@@ -1,0 +1,81 @@
+"""Ablations of SODA's design choices (DESIGN.md §4).
+
+Sweeps the knobs DESIGN.md calls out — buffer-cost asymmetry ε, target
+level x̄, horizon K, the §5.1 schema caps, and the solver choice — on a
+fixed mixed workload, reporting the QoE components per variant.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import format_table
+from repro.core.controller import SodaController
+from repro.core.objective import SodaConfig
+from repro.qoe import summarize
+from repro.sim.session import run_dataset
+
+BASE = SodaConfig()
+
+
+def variants():
+    return {
+        "default": BASE,
+        "symmetric buffer cost (ε=1)": BASE.with_(epsilon=1.0),
+        "low target (x̄=0.4·max)": BASE.with_(target_buffer=8.0),
+        "horizon K=1": BASE.with_(horizon=1),
+        "horizon K=8": BASE.with_(horizon=8),
+        "one-rung cap ON (§5.1)": BASE.with_(cap_one_rung_above=True),
+        "no download-safety guard": BASE.with_(download_safety=0.0),
+        "no per-event switch cost": BASE.with_(switch_event_cost=0.0),
+        "pure squared cost, γ=0": BASE.with_(gamma=0.0, switch_event_cost=0.0),
+        "brute-force solver": BASE.with_(use_brute_force=True, horizon=4),
+    }
+
+
+def test_ablations(benchmark, datasets, profiles):
+    workload = [
+        (trace, profiles[name])
+        for name, traces in datasets.items()
+        for trace in traces[: max(len(traces) // 2, 1)]
+    ]
+
+    def experiment():
+        rows = {}
+        for label, cfg in variants().items():
+            metrics = []
+            for trace, profile in workload:
+                metrics.extend(
+                    run_dataset(
+                        lambda cfg=cfg: SodaController(config=cfg),
+                        [trace], profile.ladder, profile.player,
+                    )
+                )
+            rows[label] = summarize(metrics)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print(banner("Ablations — SODA design choices (pooled mixed workload)"))
+    print(
+        format_table(
+            ["variant", "qoe", "utility", "rebuf", "switch"],
+            [
+                [
+                    label,
+                    f"{s.qoe.mean:.4f}",
+                    f"{s.utility.mean:.4f}",
+                    f"{s.rebuffer_ratio.mean:.4f}",
+                    f"{s.switching_rate.mean:.4f}",
+                ]
+                for label, s in rows.items()
+            ],
+        )
+    )
+
+    default = rows["default"]
+    # Removing the switching machinery must increase the switching rate.
+    assert (
+        rows["pure squared cost, γ=0"].switching_rate.mean
+        > default.switching_rate.mean
+    )
+    # A one-step horizon should not beat the default planner on QoE by much.
+    assert rows["horizon K=1"].qoe.mean <= default.qoe.mean + 0.05

@@ -1,0 +1,87 @@
+"""Extension: the FastMPC-style lookup table vs Algorithm 1 (§5.3).
+
+The paper rejects offline lookup tables as "neither flexible nor scalable"
+(§5.3).  This bench measures the trade-off: build time and memory of a
+:class:`repro.core.lookup.DecisionTable` at several grid resolutions, the
+fraction of off-grid situations where the table's nearest-neighbour answer
+diverges from an on-the-fly Algorithm 1 solve, and the per-decision runtime
+of both approaches.
+"""
+
+import time
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.analysis import format_table
+from repro.core import DecisionTable, SodaController
+from repro.sim.video import youtube_hd_ladder
+
+RESOLUTIONS = [12, 24, 48]
+MAX_BUFFER = 20.0
+
+
+def test_ext_lookup_table_tradeoff(benchmark):
+    ladder = youtube_hd_ladder()
+
+    def experiment():
+        rows = []
+        for points in RESOLUTIONS:
+            table = DecisionTable(
+                ladder, MAX_BUFFER,
+                throughput_points=points, buffer_points=points,
+            )
+            agreement = table.agreement_with_solver(samples=600, seed=3)
+            rows.append((points, table.stats, agreement, table))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    # Per-decision latency: table lookup vs on-the-fly solve.
+    table = rows[-1][3]
+    controller = SodaController()
+    rng = np.random.default_rng(0)
+    situations = [
+        (float(rng.uniform(0.5, 40.0)), float(rng.uniform(0.0, MAX_BUFFER)),
+         int(rng.integers(0, ladder.levels)))
+        for _ in range(500)
+    ]
+    t0 = time.perf_counter()
+    for tput, buf, prev in situations:
+        table.lookup(tput, buf, prev)
+    lookup_us = (time.perf_counter() - t0) / len(situations) * 1e6
+    t0 = time.perf_counter()
+    for tput, buf, prev in situations:
+        controller.decide(tput, buf, prev, ladder, MAX_BUFFER)
+    solve_us = (time.perf_counter() - t0) / len(situations) * 1e6
+
+    print(banner("§5.3 extension — lookup table vs Algorithm 1"))
+    print(
+        format_table(
+            ["grid", "cells", "build time", "memory", "off-grid agreement"],
+            [
+                [
+                    f"{points}×{points}",
+                    stats.cells,
+                    f"{stats.build_seconds:.2f}s",
+                    f"{stats.memory_bytes / 1024:.1f} KiB",
+                    f"{agreement:.1%}",
+                ]
+                for points, stats, agreement, _ in rows
+            ],
+        )
+    )
+    print(f"\nper-decision runtime: lookup {lookup_us:.0f}µs "
+          f"vs on-the-fly solve {solve_us:.0f}µs")
+    print(
+        "The table must be rebuilt for every (ladder, buffer-cap, segment-"
+        "length) combination; Algorithm 1 needs none of that — the paper's "
+        "deployability argument."
+    )
+
+    # Agreement improves with resolution but stays below perfect off-grid.
+    agreements = [a for _, _, a, _ in rows]
+    assert agreements[-1] >= agreements[0] - 0.02
+    assert agreements[-1] > 0.7
+    # Build cost grows quadratically with resolution.
+    assert rows[-1][1].build_seconds > rows[0][1].build_seconds

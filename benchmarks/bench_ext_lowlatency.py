@@ -1,0 +1,93 @@
+"""Extension: ultra-low-latency live streams (the paper's §8 future work).
+
+The paper's closing section asks whether the SOCO-based strategy survives
+ultra-low-latency live streaming, where the buffer is a few seconds instead
+of 10–20.  This bench sweeps the live latency from 20 s down to 3 s and
+reports how SODA's and Dynamic's QoE components degrade — quantifying §8's
+"harder to prevent rebuffering and bitrate switching in this regime".
+"""
+
+from conftest import BENCH_SEED, BENCH_SESSIONS, banner, run_once
+
+from repro.abr import DynamicController
+from repro.analysis import format_table
+from repro.core.controller import SodaController
+from repro.qoe import summarize
+from repro.sim.profiles import live_profile, low_latency_profile
+from repro.sim.session import run_dataset
+from repro.traces import puffer_like
+
+LATENCIES = [20.0, 10.0, 6.0, 3.0]
+SESSION_SECONDS = 300.0
+
+
+def test_ext_low_latency_sweep(benchmark):
+    traces = puffer_like().dataset(
+        max(BENCH_SESSIONS // 2, 3), SESSION_SECONDS, seed=BENCH_SEED + 71
+    )
+
+    def experiment():
+        rows = {}
+        for latency in LATENCIES:
+            if latency >= 20.0:
+                profile = live_profile(session_seconds=SESSION_SECONDS)
+            else:
+                profile = low_latency_profile(
+                    session_seconds=SESSION_SECONDS, latency=latency
+                )
+            for name, factory in (
+                ("soda", lambda: SodaController()),
+                ("dynamic", lambda: DynamicController()),
+            ):
+                metrics = run_dataset(
+                    factory, traces, profile.ladder, profile.player
+                )
+                rows[(latency, name)] = summarize(metrics)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print(banner("§8 extension — QoE vs live latency (buffer cap)"))
+    table = []
+    for latency in LATENCIES:
+        for name in ("soda", "dynamic"):
+            s = rows[(latency, name)]
+            table.append(
+                [
+                    f"{latency:.0f}s",
+                    name,
+                    f"{s.qoe.mean:.4f}",
+                    f"{s.utility.mean:.4f}",
+                    f"{s.rebuffer_ratio.mean:.4f}",
+                    f"{s.switching_rate.mean:.4f}",
+                ]
+            )
+    print(
+        format_table(
+            ["latency", "controller", "qoe", "utility", "rebuf", "switch"],
+            table,
+        )
+    )
+
+    # §8's hypothesis: smoothness degrades as the buffer shrinks...
+    soda_20 = rows[(20.0, "soda")]
+    soda_3 = rows[(3.0, "soda")]
+    assert (
+        soda_3.switching_rate.mean + soda_3.rebuffer_ratio.mean
+        >= soda_20.switching_rate.mean + soda_20.rebuffer_ratio.mean - 1e-9
+    )
+    # ...SODA keeps its switching lead down to ~6 s of latency.  Below that
+    # the regime genuinely changes (a couple of segments of buffer leave no
+    # room for horizon planning) and the lead is no longer guaranteed —
+    # which is precisely why §8 leaves ultra-low latency as future work.
+    for latency in (l for l in LATENCIES if l >= 6.0):
+        assert (
+            rows[(latency, "soda")].switching_rate.mean
+            <= rows[(latency, "dynamic")].switching_rate.mean + 1e-9
+        )
+    print(
+        "\nNote: below ~6 s the horizon-planning advantage collapses — the "
+        "§8 open problem. SODA's tuning here is unchanged from the 20 s "
+        "regime; adapting x̄/β/K for tiny buffers is the future work the "
+        "paper describes."
+    )

@@ -1,0 +1,97 @@
+"""Extension: controllers competing on a shared bottleneck link.
+
+A dimension the paper does not evaluate: several players sharing one link.
+This bench runs homogeneous groups of four clients per controller on the
+same fluctuating bottleneck and reports per-client QoE, Jain fairness over
+mean bitrates, and the switching rate under competition — where buffer
+feedback loops are known to amplify oscillation.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, banner, run_once
+
+from repro.abr import BolaController, DynamicController, HybController
+from repro.analysis import format_table
+from repro.core.controller import SodaController
+from repro.qoe import qoe_from_session
+from repro.sim.multiclient import simulate_shared_link
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig
+from repro.sim.video import youtube_hd_ladder
+from repro.traces.synthetic import MarkovLognormalGenerator, Regime
+
+N_CLIENTS = 4
+SESSION_SECONDS = 240.0
+
+
+def bottleneck_trace(seed: int) -> ThroughputTrace:
+    """A fluctuating shared link around N × mid-ladder demand."""
+    gen = MarkovLognormalGenerator(
+        target_mean=26.0,
+        target_rsd=0.4,
+        regimes=[Regime(1.0, 1e9)],
+        ar_coefficient=0.95,
+        name="bottleneck",
+    )
+    return gen.generate(SESSION_SECONDS * 3, seed=seed)
+
+
+def test_ext_shared_bottleneck(benchmark):
+    ladder = youtube_hd_ladder()
+    cfg = PlayerConfig(
+        max_buffer=20.0,
+        num_segments=int(SESSION_SECONDS / ladder.segment_duration),
+        live_delay=20.0,
+    )
+    factories = {
+        "soda": SodaController,
+        "hyb": HybController,
+        "bola": BolaController,
+        "dynamic": DynamicController,
+    }
+
+    def experiment():
+        rows = {}
+        link = bottleneck_trace(BENCH_SEED + 61)
+        for name, cls in factories.items():
+            outcome = simulate_shared_link(
+                [cls() for _ in range(N_CLIENTS)], link, ladder, cfg
+            )
+            metrics = [qoe_from_session(r) for r in outcome.results]
+            rows[name] = (outcome, metrics)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print(banner(f"Extension — {N_CLIENTS} clients sharing one bottleneck"))
+    table = []
+    for name, (outcome, metrics) in rows.items():
+        table.append(
+            [
+                name,
+                f"{np.mean([m.qoe for m in metrics]):.4f}",
+                f"{np.mean([m.utility for m in metrics]):.4f}",
+                f"{np.mean([m.rebuffer_ratio for m in metrics]):.4f}",
+                f"{np.mean([m.switching_rate for m in metrics]):.4f}",
+                f"{outcome.fairness_index():.4f}",
+                f"{outcome.link_utilisation():.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["controller ×4", "qoe", "utility", "rebuf", "switch",
+             "fairness", "link util"],
+            table,
+        )
+    )
+
+    soda_switch = np.mean([m.switching_rate for m in rows["soda"][1]])
+    for name, (_, metrics) in rows.items():
+        if name == "soda":
+            continue
+        assert soda_switch <= np.mean(
+            [m.switching_rate for m in metrics]
+        ) + 1e-9, f"{name} switches less than SODA under competition"
+    # Homogeneous clients end up near-fair for every controller.
+    for name, (outcome, _) in rows.items():
+        assert outcome.fairness_index() > 0.8, f"{name} is unfair"

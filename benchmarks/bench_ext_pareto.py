@@ -1,0 +1,86 @@
+"""Extension: the utility/smoothness trade-off frontier (§1's claim).
+
+Sweeps each controller's smoothness knob — SODA's γ (and κ), MPC's switch
+penalty, BOLA's threshold spread — on a fixed workload and compares the
+resulting (switching rate, utility) operating points.  "Pushing the
+trade-off boundary" (§1) means SODA's points sit above-left of the
+baselines': more utility at the same switching rate, or less switching at
+the same utility.
+"""
+
+from conftest import BENCH_SEED, BENCH_SESSIONS, banner, run_once
+
+from repro.abr import BolaController, RobustMpcController
+from repro.analysis import format_table
+from repro.analysis.pareto import (
+    dominates,
+    pareto_front,
+    sweep_operating_points,
+)
+from repro.core.controller import SodaController
+from repro.core.objective import SodaConfig
+from repro.sim.profiles import live_profile
+from repro.traces import puffer_like
+
+SESSION_SECONDS = 300.0
+
+
+def test_ext_tradeoff_frontier(benchmark):
+    profile = live_profile(session_seconds=SESSION_SECONDS)
+    traces = puffer_like().dataset(
+        max(BENCH_SESSIONS // 2, 3), SESSION_SECONDS, seed=BENCH_SEED + 31
+    )
+
+    def experiment():
+        factories = {}
+        for gamma, kappa in ((0.0, 0.0), (30.0, 0.01), (150.0, 0.08),
+                             (400.0, 0.2)):
+            cfg = SodaConfig(gamma=gamma, switch_event_cost=kappa)
+            factories[f"soda γ={gamma:g}"] = (
+                lambda cfg=cfg: SodaController(config=cfg)
+            )
+        for penalty in (0.2, 1.0, 4.0):
+            factories[f"mpc λ={penalty:g}"] = (
+                lambda p=penalty: RobustMpcController(switch_penalty=p)
+            )
+        for low, target in ((4.0, 8.0), (9.0, 15.0), (12.0, 18.0)):
+            factories[f"bola {low:g}/{target:g}"] = (
+                lambda lo=low, tg=target: BolaController(
+                    buffer_low=lo, buffer_target=tg
+                )
+            )
+        return sweep_operating_points(factories, traces, profile)
+
+    points = run_once(benchmark, experiment)
+    front = pareto_front(points)
+    front_labels = {p.label for p in front}
+
+    print(banner("§1 extension — utility vs switching trade-off frontier"))
+    print(
+        format_table(
+            ["operating point", "utility", "switch rate", "rebuf", "qoe",
+             "on front"],
+            [
+                [
+                    p.label,
+                    f"{p.utility:.4f}",
+                    f"{p.switching_rate:.4f}",
+                    f"{p.rebuffer_ratio:.4f}",
+                    f"{p.qoe:.4f}",
+                    "*" if p.label in front_labels else "",
+                ]
+                for p in sorted(points, key=lambda p: p.switching_rate)
+            ],
+        )
+    )
+
+    # SODA pushes the boundary: at least one SODA tuning is on the front,
+    # and no baseline point dominates every SODA point.
+    soda_points = [p for p in points if p.label.startswith("soda")]
+    assert any(p.label in front_labels for p in soda_points)
+    baselines = [p for p in points if not p.label.startswith("soda")]
+    for baseline in baselines:
+        assert not all(dominates(baseline, s) for s in soda_points)
+    # The smoothest SODA tuning switches less than every baseline tuning.
+    min_soda_switch = min(p.switching_rate for p in soda_points)
+    assert min_soda_switch <= min(p.switching_rate for p in baselines) + 1e-9

@@ -1,0 +1,53 @@
+"""Figure 1: viewing percentage vs bitrate switching rate.
+
+The paper's Figure 1 plots, for short-lived HD sessions of a live sports
+event, the fraction of the stream watched against the bitrate switching
+rate, and reports that the line of best fit drops below 10% watched once
+switching exceeds 20%.  Without production telemetry (DESIGN.md
+substitution #6) we regenerate the plot from the calibrated engagement
+model over a simulated session population.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.analysis import EngagementModel, fit_line, format_series
+
+
+def test_fig01_watch_fraction_vs_switching(benchmark):
+    model = EngagementModel()
+    rng = np.random.default_rng(11)
+
+    def experiment():
+        # Session population: switching rates as observed in the field for
+        # short-lived sessions (long-tailed, most below 30%).
+        rates = np.clip(rng.exponential(0.08, size=4000), 0.0, 0.35)
+        watch = model.sample_watch_fractions(rates, seed=13)
+        slope, intercept = fit_line(rates, watch)
+        return rates, watch, slope, intercept
+
+    rates, watch, slope, intercept = run_once(benchmark, experiment)
+
+    bins = np.linspace(0.0, 0.32, 9)
+    centers, means = [], []
+    for lo, hi in zip(bins, bins[1:]):
+        mask = (rates >= lo) & (rates < hi)
+        if mask.sum() >= 5:
+            centers.append((lo + hi) / 2.0)
+            means.append(float(watch[mask].mean()))
+
+    print(banner("Figure 1 — watch fraction vs switching rate"))
+    print(
+        format_series(
+            "switch rate",
+            [f"{c:.3f}" for c in centers],
+            {"mean watch fraction": means},
+        )
+    )
+    print(f"line of best fit: watch = {slope:.3f} * switch + {intercept:.3f}")
+    at_20 = slope * 0.20 + intercept
+    print(f"predicted watch fraction at 20% switching: {at_20:.1%}")
+
+    # Paper's headline: < 10% of the stream watched at > 20% switching.
+    assert slope < 0
+    assert at_20 < 0.12

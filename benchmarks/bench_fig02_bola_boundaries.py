@@ -1,0 +1,55 @@
+"""Figure 2: BOLA's decision boundaries, on-demand vs live.
+
+The paper's Figure 2 shows BOLA's bitrate-vs-buffer step function: with an
+on-demand 120 s buffer the decision thresholds are spaced up to ~20 s
+apart, while with a live 20 s buffer the same ladder's thresholds compress
+into a 1–3 s band, so tiny buffer fluctuations flip the chosen rung.
+"""
+
+from conftest import banner, run_once
+
+from repro.abr import BolaController
+from repro.analysis import format_table
+from repro.sim.video import youtube_4k_ladder
+
+
+def boundaries(max_buffer: float, steps: int = 4000):
+    """Buffer levels at which BOLA's decision changes rung."""
+    ladder = youtube_4k_ladder()
+    bola = BolaController()
+    edges = []
+    prev = None
+    for i in range(steps):
+        buf = max_buffer * i / steps
+        decision = bola.decision_at_buffer(buf, ladder, max_buffer)
+        if decision is None:
+            break
+        if prev is not None and decision != prev:
+            edges.append((buf, prev, decision))
+        prev = decision
+    return edges
+
+
+def test_fig02_decision_boundaries(benchmark):
+    def experiment():
+        return boundaries(120.0), boundaries(20.0)
+
+    vod, live = run_once(benchmark, experiment)
+
+    print(banner("Figure 2 — BOLA decision boundaries"))
+    for label, edges, cap in (("on-demand", vod, 120.0), ("live", live, 20.0)):
+        rows = [
+            [f"{buf:.2f}s", f"{a}->{b}"]
+            for buf, a, b in edges
+        ]
+        print(f"\n[{label}, {cap:.0f}s buffer]")
+        print(format_table(["buffer level", "rung change"], rows))
+        gaps = [b[0] - a[0] for a, b in zip(edges, edges[1:])]
+        if gaps:
+            print(f"mean gap between boundaries: {sum(gaps)/len(gaps):.2f}s")
+
+    vod_gaps = [b[0] - a[0] for a, b in zip(vod, vod[1:])]
+    live_gaps = [b[0] - a[0] for a, b in zip(live, live[1:])]
+    # Live boundaries compress into a few seconds; on-demand ones spread out.
+    assert max(live_gaps) < 5.0
+    assert max(vod_gaps) > 10.0

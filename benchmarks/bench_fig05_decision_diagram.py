@@ -1,0 +1,63 @@
+"""Figure 5: SODA's bitrate decision as a function of buffer × throughput.
+
+Regenerates the decision diagram: for a grid of (predicted throughput,
+buffer level) situations, the rung SODA commits.  Expected shape: rung
+increases with predicted throughput, SODA grows more aggressive as the
+buffer grows, and the high-buffer/high-throughput corner is blank (no
+download, to avoid overflow).
+"""
+
+from conftest import banner, run_once
+
+from repro.core.controller import SodaController
+from repro.sim.video import youtube_hd_ladder
+
+MAX_BUFFER = 20.0
+
+
+def test_fig05_decision_diagram(benchmark):
+    ladder = youtube_hd_ladder()
+    controller = SodaController()
+    buffers = [1.0 + 18.5 * i / 23 for i in range(24)]
+    throughputs = [0.5 * 1.27**i for i in range(22)]  # 0.5 .. ~45 Mb/s
+
+    def experiment():
+        grid = {}
+        for omega in throughputs:
+            for buf in buffers:
+                grid[(omega, buf)] = controller.decide(
+                    omega, buf, prev_quality=None, ladder=ladder,
+                    max_buffer=MAX_BUFFER,
+                )
+        return grid
+
+    grid = run_once(benchmark, experiment)
+
+    print(banner("Figure 5 — SODA decision diagram (rows: ω̂, cols: buffer 1..19.5 s)"))
+    print("legend: digits = rung index, '.' = no download (overflow region)")
+    for omega in reversed(throughputs):
+        row = "".join(
+            "." if grid[(omega, buf)] is None else str(grid[(omega, buf)])
+            for buf in buffers
+        )
+        print(f"ω̂={omega:6.2f} Mb/s | {row}")
+
+    # Shape checks.
+    # 1) For a fixed mid buffer, the rung is non-decreasing in throughput.
+    mid_buf = buffers[len(buffers) // 2]
+    rungs = [
+        grid[(omega, mid_buf)]
+        for omega in throughputs
+        if grid[(omega, mid_buf)] is not None
+    ]
+    assert rungs == sorted(rungs)
+    # 2) The no-download region exists and sits at high buffer levels.
+    blanks = [(o, b) for (o, b), q in grid.items() if q is None]
+    assert blanks
+    target = controller.config.resolve_target(MAX_BUFFER)
+    assert all(b > target for _, b in blanks)
+    # 3) Aggressiveness grows with the buffer: the average rung at high
+    #    buffer is at least the average rung at low buffer.
+    low = [q for (o, b), q in grid.items() if b < 5 and q is not None]
+    high = [q for (o, b), q in grid.items() if b > 15 and q is not None]
+    assert sum(high) / len(high) >= sum(low) / len(low) - 1e-9

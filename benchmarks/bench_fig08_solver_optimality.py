@@ -1,0 +1,107 @@
+"""Figure 8: P[approximate solver ≠ brute force] vs switching weight.
+
+The paper samples a million (throughput, buffer, previous bitrate)
+situations per configuration and reports the probability that Algorithm 1's
+monotonic search commits a different rung than the brute-force solver —
+below 5% for K = 4 at a relative switching weight of 2, converging to 0 as
+the weight grows (Theorem 4.3).
+
+We regenerate the curve with a smaller sample (scale with
+REPRO_BENCH_SESSIONS).  The x-axis is the relative switching weight: γ
+scaled so that 1.0 corresponds to the package's default tuning.
+"""
+
+import numpy as np
+from conftest import BENCH_SESSIONS, banner, run_once
+
+from repro.analysis import format_series
+from repro.core.objective import SodaConfig
+from repro.core.solver import solve_brute_force, solve_monotonic
+from repro.sim.video import youtube_hd_ladder
+
+RELATIVE_WEIGHTS = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0]
+BASE_GAMMA = 150.0
+HORIZONS = [2, 3, 4]
+MAX_BUFFER = 20.0
+
+
+def disagreement_probability(horizon, gamma, samples, rng, ladder):
+    cfg = SodaConfig(
+        horizon=horizon, gamma=gamma, target_buffer=14.0,
+        switch_event_cost=0.0,
+    )
+    disagreements = 0
+    decided = 0
+    for _ in range(samples):
+        omega = float(rng.uniform(0.5, 30.0))
+        buffer_level = float(rng.uniform(0.0, MAX_BUFFER))
+        prev = int(rng.integers(0, ladder.levels))
+        mono = solve_monotonic(
+            omega, buffer_level, prev, ladder, cfg, MAX_BUFFER
+        )
+        brute = solve_brute_force(
+            omega, buffer_level, prev, ladder, cfg, MAX_BUFFER
+        )
+        if mono.quality is None and brute.quality is None:
+            continue
+        decided += 1
+        if mono.quality != brute.quality:
+            disagreements += 1
+    return disagreements / max(decided, 1)
+
+
+def test_fig08_disagreement_vs_switching_weight(benchmark):
+    ladder = youtube_hd_ladder()
+    samples = 150 * max(BENCH_SESSIONS, 1)
+
+    def experiment():
+        results = {}
+        for horizon in HORIZONS:
+            rng = np.random.default_rng(1234)
+            results[f"K={horizon}"] = [
+                disagreement_probability(
+                    horizon, w * BASE_GAMMA, samples, rng, ladder
+                )
+                for w in RELATIVE_WEIGHTS
+            ]
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print(banner("Figure 8 — P[approx != brute force] vs switching weight"))
+    print(f"(samples per point: {samples})")
+    print(
+        format_series("relative switching weight", RELATIVE_WEIGHTS, results)
+    )
+
+    for name, probs in results.items():
+        # Disagreement collapses as the switching weight grows.
+        assert probs[-1] <= probs[0] + 1e-9
+        assert probs[-1] < 0.05, f"{name}: residual disagreement {probs[-1]}"
+
+
+def test_fig08_evaluation_count(benchmark):
+    """§5.3's complexity claim: ~200 sequences max in practice."""
+    ladder = youtube_hd_ladder()
+    cfg = SodaConfig(horizon=5, target_buffer=14.0)
+    rng = np.random.default_rng(5)
+
+    def experiment():
+        counts = []
+        for _ in range(300):
+            omega = float(rng.uniform(0.5, 30.0))
+            buf = float(rng.uniform(0.0, MAX_BUFFER))
+            prev = int(rng.integers(0, ladder.levels))
+            plan = solve_monotonic(omega, buf, prev, ladder, cfg, MAX_BUFFER)
+            counts.append(plan.evaluations)
+        return counts
+
+    counts = run_once(benchmark, experiment)
+    print(banner("§5.3 — approximate-solver candidate evaluations (K=5)"))
+    print(
+        f"mean={np.mean(counts):.0f} p95={np.percentile(counts, 95):.0f} "
+        f"max={max(counts)}"
+    )
+    brute_force_cost = ladder.levels ** cfg.horizon
+    print(f"brute-force sequence count would be {brute_force_cost}")
+    assert max(counts) < brute_force_cost

@@ -1,0 +1,60 @@
+"""Figure 9: throughput statistics of the three datasets.
+
+The paper reports mean throughputs of 57.1 / 31.3 / 13.0 Mb/s and mean
+relative standard deviations of 47.2% / 133% / 80.6% for the Puffer, 5G,
+and 4G datasets.  This bench regenerates the table from the synthetic
+generators and verifies the calibration.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.analysis import format_table
+from repro.traces import DATASET_FACTORIES
+
+PAPER_STATS = {
+    "puffer": (57.1, 0.472),
+    "5g": (31.3, 1.33),
+    "4g": (13.0, 0.806),
+}
+
+
+def test_fig09_dataset_statistics(benchmark, datasets):
+    def experiment():
+        rows = {}
+        for name, traces in datasets.items():
+            stats = [t.stats() for t in traces]
+            rows[name] = (
+                float(np.mean([s.mean for s in stats])),
+                float(np.mean([s.rsd for s in stats])),
+            )
+        return rows
+
+    measured = run_once(benchmark, experiment)
+
+    print(banner("Figure 9 — dataset throughput statistics"))
+    rows = []
+    for name, (mean, rsd) in measured.items():
+        paper_mean, paper_rsd = PAPER_STATS[name]
+        rows.append(
+            [name, f"{paper_mean:.1f}", f"{mean:.1f}",
+             f"{paper_rsd:.1%}", f"{rsd:.1%}"]
+        )
+    print(
+        format_table(
+            ["dataset", "paper mean Mb/s", "measured", "paper RSD", "measured "],
+            rows,
+        )
+    )
+
+    # Ordering of means and volatility matches the paper.
+    assert measured["puffer"][0] > measured["5g"][0] > measured["4g"][0]
+    assert measured["5g"][1] > measured["4g"][1] > measured["puffer"][1]
+    # Long-run calibration (per-session stats are noisier than this).
+    for name, traces in datasets.items():
+        gen = DATASET_FACTORIES[name]()
+        long_trace = gen.generate(20000.0, seed=123)
+        stats = long_trace.stats()
+        paper_mean, paper_rsd = PAPER_STATS[name]
+        np.testing.assert_allclose(stats.mean, paper_mean, rtol=0.12)
+        np.testing.assert_allclose(stats.rsd, paper_rsd, rtol=0.25)

@@ -1,0 +1,79 @@
+"""Figure 10: the headline numerical simulation (QoE across datasets).
+
+Regenerates the paper's main result table: mean QoE score, utility,
+rebuffering ratio, and switching rate (± 95% CI) for SODA and the four
+baseline controllers on all three datasets, plus the Puffer dataset split
+into variance quartiles Q1–Q4.
+
+Expected shape (paper §6.1.3): SODA has the highest mean QoE and the lowest
+switching rate on every dataset; MPC competitive only on stable networks;
+HYB/BOLA switching far above SODA.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import qoe_table, run_suite, standard_controllers
+from repro.qoe import split_by_rsd_quartile, summarize
+
+
+def test_fig10_all_datasets(benchmark, datasets, profiles):
+    def experiment():
+        return {
+            name: run_suite(
+                standard_controllers(), traces, profiles[name], name
+            )
+            for name, traces in datasets.items()
+        }
+
+    suites = run_once(benchmark, experiment)
+
+    print(banner("Figure 10 — mean QoE per dataset (±95% CI)"))
+    for name, suite in suites.items():
+        print(f"\n[{name}]")
+        print(qoe_table(suite.summaries()))
+        improvement = suite.improvement_over_best_baseline()
+        print(f"SODA QoE vs best baseline: {improvement:+.2%}")
+
+    for name, suite in suites.items():
+        summaries = suite.summaries()
+        soda = summaries["soda"]
+        for other, s in summaries.items():
+            if other == "soda":
+                continue
+            assert soda.switching_rate.mean <= s.switching_rate.mean + 1e-9, (
+                f"SODA should have the lowest switching rate on {name}, "
+                f"but {other} is lower"
+            )
+
+
+def test_fig10_puffer_variance_quartiles(benchmark, datasets, profiles):
+    traces = datasets["puffer"]
+    quartiles = split_by_rsd_quartile(traces)
+
+    def experiment():
+        results = {}
+        for qname, indices in quartiles.items():
+            subset = [traces[i] for i in indices]
+            if not subset:
+                continue
+            results[qname] = run_suite(
+                standard_controllers(), subset, profiles["puffer"],
+                f"puffer-{qname}",
+            )
+        return results
+
+    suites = run_once(benchmark, experiment)
+
+    print(banner("Figure 10 — Puffer variance quartiles (Q1 stable .. Q4 volatile)"))
+    for qname, suite in suites.items():
+        print(f"\n[puffer {qname}]")
+        print(qoe_table(suite.summaries()))
+
+    # QoE should generally degrade from Q1 to Q4 for SODA.
+    soda_qoe = [
+        suites[q].summaries()["soda"].qoe.mean
+        for q in ("Q1", "Q4")
+        if q in suites
+    ]
+    if len(soda_qoe) == 2:
+        assert soda_qoe[0] >= soda_qoe[1] - 0.1

@@ -1,0 +1,81 @@
+"""Figure 12: prototype evaluation (Puffer platform substitute).
+
+The paper's prototype experiment streams a 5-rung news clip (top rung
+~2 Mb/s) with a 15 s buffer over a low-bandwidth subset of the Puffer
+dataset (session mean below 2 Mb/s), reporting normalised-SSIM utility.
+Baselines add the learning-based controllers: Fugu and CausalSimRL (our
+substitutes: stochastic-MPC and tabular Q-learning — DESIGN.md #4, #5).
+
+Expected shape: SODA has the best QoE and is the only controller with both
+low rebuffering and low switching; MPC/Fugu get slightly higher utility at
+the price of rebuffering; the RL agent switches far more than SODA.
+"""
+
+from conftest import BENCH_SEED, BENCH_SESSIONS, banner, run_once
+
+from repro.abr import (
+    BolaController,
+    DynamicController,
+    FuguController,
+    HybController,
+    RobustMpcController,
+    train_q_controller,
+)
+from repro.analysis import qoe_table, run_suite
+from repro.core.controller import SodaController
+from repro.sim.profiles import prototype_profile
+from repro.traces import puffer_like
+
+#: scale factor taking the Puffer generator's 57.1 Mb/s mean to ~1.6 Mb/s
+LOW_BW_SCALE = 1.6 / 57.1
+
+
+def test_fig12_prototype(benchmark):
+    profile = prototype_profile(session_seconds=480.0)
+    gen = puffer_like()
+    traces = [
+        t.scaled(LOW_BW_SCALE)
+        for t in gen.dataset(BENCH_SESSIONS, 480.0, seed=BENCH_SEED + 55)
+    ]
+    train_traces = [
+        t.scaled(LOW_BW_SCALE)
+        for t in gen.dataset(12, 480.0, seed=BENCH_SEED + 999)
+    ]
+
+    def experiment():
+        rl_agent = train_q_controller(
+            profile.ladder, train_traces, profile.player,
+            episodes=60, seed=BENCH_SEED,
+        )
+        factories = {
+            "soda": lambda: SodaController(),
+            "hyb": lambda: HybController(),
+            "bola": lambda: BolaController(),
+            "dynamic": lambda: DynamicController(),
+            "mpc": lambda: RobustMpcController(),
+            "fugu": lambda: FuguController(),
+            "causalsim-rl": lambda: rl_agent,
+        }
+        return run_suite(factories, traces, profile, "prototype")
+
+    suite = run_once(benchmark, experiment)
+    summaries = suite.summaries()
+
+    print(banner("Figure 12 — prototype evaluation (normalised SSIM utility)"))
+    print(qoe_table(summaries))
+    print(
+        "SODA QoE vs best baseline: "
+        f"{suite.improvement_over_best_baseline():+.2%}"
+    )
+
+    soda = summaries["soda"]
+    # SODA has the best QoE score.
+    for name, s in summaries.items():
+        if name != "soda":
+            assert soda.qoe.mean >= s.qoe.mean - 1e-9, f"{name} beats SODA"
+    # The RL substitute switches far more than SODA (paper: +86.3%).
+    assert summaries["causalsim-rl"].switching_rate.mean > (
+        1.5 * soda.switching_rate.mean
+    )
+    # SODA keeps both smoothness components low simultaneously.
+    assert soda.rebuffer_ratio.mean < 0.01

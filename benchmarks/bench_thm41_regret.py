@@ -1,0 +1,108 @@
+"""Theorem 4.1: dynamic regret and competitive ratio vs horizon K.
+
+With exact predictions, SODA's cost approaches the offline optimal
+exponentially fast in the prediction horizon.  This bench rolls SODA out in
+the time-based model with oracle predictions, computes cost(OPT) by dynamic
+programming, and reports regret and competitive ratio per K, plus the
+closed-form Theorem A.3 bound for an Assumption-A.1-compliant instance.
+
+The exact (brute-force) solver is used, matching the theory; Theorem 4.3's
+monotone approximation is benchmarked separately (Figure 8).
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, banner, run_once
+
+from repro.analysis import format_series
+from repro.core.objective import SodaConfig
+from repro.core.offline import offline_optimal, rollout_time_based
+from repro.core.theory import (
+    StreamingModel,
+    check_assumption_a1,
+    competitive_ratio_bound,
+    decay_constants,
+)
+from repro.sim.video import BitrateLadder
+
+HORIZONS = [1, 2, 3, 5, 8]
+N_STEPS = 100
+N_TRIALS = 4
+MAX_BUFFER = 20.0
+
+
+def test_thm41_regret_vs_horizon(benchmark):
+    ladder = BitrateLadder([1.0, 2.0, 3.0, 4.5, 6.0], segment_duration=2.0)
+    cfg = SodaConfig(
+        horizon=5, beta=0.1, gamma=2.0, target_buffer=10.0,
+        switch_event_cost=0.0, use_brute_force=True,
+    )
+    rng = np.random.default_rng(BENCH_SEED)
+
+    def experiment():
+        regrets = {k: [] for k in HORIZONS}
+        ratios = {k: [] for k in HORIZONS}
+        for _ in range(N_TRIALS):
+            omega = rng.uniform(2.0, 8.0, N_STEPS)
+            opt = offline_optimal(
+                omega, ladder, cfg, MAX_BUFFER, x0=10.0, buffer_grid=301
+            )
+            for k in HORIZONS:
+                roll = rollout_time_based(
+                    omega, ladder, cfg.with_(horizon=k), MAX_BUFFER, x0=10.0,
+                    terminal_weight=1.0,
+                )
+                regrets[k].append(roll.cost - opt.cost)
+                ratios[k].append(roll.cost / opt.cost)
+        return (
+            [float(np.mean(regrets[k])) for k in HORIZONS],
+            [float(np.mean(ratios[k])) for k in HORIZONS],
+        )
+
+    regret, ratio = run_once(benchmark, experiment)
+
+    print(banner("Theorem 4.1 — regret / competitive ratio vs horizon K"))
+    print(
+        format_series(
+            "K",
+            HORIZONS,
+            {"mean dynamic regret": regret, "mean competitive ratio": ratio},
+        )
+    )
+
+    # Regret shrinks (substantially) as the horizon grows.
+    assert regret[-1] < regret[0] * 0.5
+    assert ratio[-1] < ratio[0]
+    # With a healthy horizon the rollout is near-optimal.
+    assert ratio[-1] < 1.35
+
+
+def test_thm41_closed_form_bound(benchmark):
+    """The Theorem A.3 bound itself: finite, decaying, above 1."""
+    model = StreamingModel(
+        omega_min=6.0, omega_max=10.0, r_min=1.5, r_max=12.0,
+        x_max=3.5, target=2.0, beta=1.0, gamma=1.0, epsilon=0.25,
+    )
+    ok, reason = check_assumption_a1(model)
+    assert ok, reason
+
+    def experiment():
+        constants = decay_constants(model)
+        return constants, [
+            competitive_ratio_bound(model, constants, k)
+            for k in (1, 10, 100, 1000, 10000)
+        ]
+
+    constants, bounds = run_once(benchmark, experiment)
+
+    print(banner("Theorem A.3 — closed-form competitive-ratio bound"))
+    print(f"rho = {constants.rho:.6f}  C = {constants.c_state:.3g}  "
+          f"C' = {constants.c_action:.3g}")
+    print(
+        format_series(
+            "K", [1, 10, 100, 1000, 10000], {"CR bound": bounds}
+        )
+    )
+    assert all(b >= 1.0 for b in bounds)
+    assert bounds == sorted(bounds, reverse=True)
+    # The bound converges to 1 as K grows.
+    assert bounds[-1] < bounds[0]

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every bench regenerates the content of one table or figure from the paper
+and prints it as an ASCII table (the terminal equivalent of the plot).
+Session counts scale with the ``REPRO_BENCH_SESSIONS`` environment variable
+(default 8; the paper used up to 230k sessions — raise it for tighter CIs).
+"""
+
+import os
+
+import pytest
+
+from repro.sim.profiles import live_profile
+from repro.traces import build_synthetic_datasets
+
+#: number of sessions per dataset in the evaluation benches
+BENCH_SESSIONS = int(os.environ.get("REPRO_BENCH_SESSIONS", "8"))
+#: base seed shared by all benches
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+#: session length in seconds (the paper uses 10-minute sessions)
+SESSION_SECONDS = float(os.environ.get("REPRO_BENCH_SESSION_SECONDS", "480"))
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The three synthetic stand-ins for the paper's datasets."""
+    return build_synthetic_datasets(
+        BENCH_SESSIONS, session_seconds=SESSION_SECONDS, seed=BENCH_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """Per-dataset live evaluation profiles (§6.1 setup)."""
+    return {
+        "puffer": live_profile(session_seconds=SESSION_SECONDS),
+        "5g": live_profile(session_seconds=SESSION_SECONDS, cellular=True),
+        "4g": live_profile(session_seconds=SESSION_SECONDS, cellular=True),
+    }
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Write your own ABR controller against the library's interfaces.
+
+Implements a naive "buffer thirds" controller in ~20 lines, streams it next
+to SODA on the same traces, and prints the comparison — the minimal
+template for plugging research controllers into this harness.
+
+Usage:
+    python examples/custom_controller.py
+"""
+
+from typing import Optional
+
+from repro import SodaController, live_profile, run_dataset
+from repro.abr.base import AbrController, PlayerObservation
+from repro.analysis import qoe_table
+from repro.qoe import summarize
+from repro.traces import fourg_like
+
+
+class BufferThirdsController(AbrController):
+    """A deliberately simple buffer-threshold controller.
+
+    Splits the buffer range into thirds: lowest rung below 1/3, a mid rung
+    in the middle, the top rung above 2/3.  No predictions, no planning —
+    a strawman to compare SODA against.
+    """
+
+    name = "buffer-thirds"
+
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        fraction = obs.buffer_level / obs.max_buffer
+        top = obs.ladder.levels - 1
+        if fraction < 1.0 / 3.0:
+            return 0
+        if fraction < 2.0 / 3.0:
+            return top // 2
+        return top
+
+
+def main() -> None:
+    profile = live_profile(session_seconds=300.0, cellular=True)
+    traces = fourg_like().dataset(6, duration=300.0, seed=21)
+
+    factories = {
+        "soda": lambda: SodaController(),
+        "buffer-thirds": lambda: BufferThirdsController(),
+    }
+    summaries = {}
+    for name, factory in factories.items():
+        metrics = run_dataset(factory, traces, profile.ladder, profile.player)
+        summaries[name] = summarize(metrics)
+
+    print("custom controller vs SODA on 4G-like live streams")
+    print(qoe_table(summaries))
+    print(
+        "\nTo go further: give your controller a predictor (see "
+        "repro.prediction), tune it per profile, and drop it into "
+        "repro.analysis.run_suite next to the full baseline set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Prediction-error robustness: SODA under a noisy oracle (Figure 11).
+
+Replaces SODA's predictor with a perfect short-term oracle and injects
+increasing white noise, then does the same for RobustMPC.  BOLA is included
+as the noise-immune reference (it never looks at predictions).
+
+Usage:
+    python examples/prediction_robustness.py
+"""
+
+from repro import (
+    BolaController,
+    NoisyOraclePredictor,
+    RobustMpcController,
+    SodaController,
+    live_profile,
+    run_dataset,
+)
+from repro.analysis import format_series
+from repro.qoe import summarize
+from repro.traces import puffer_like
+
+NOISE_LEVELS = [0.0, 0.15, 0.3, 0.5, 0.75]
+
+
+def main() -> None:
+    profile = live_profile(session_seconds=300.0)
+    traces = puffer_like().dataset(5, duration=300.0, seed=9)
+
+    series = {"soda": [], "robustmpc": [], "bola": []}
+    for noise in NOISE_LEVELS:
+        factories = {
+            "soda": lambda: SodaController(
+                predictor=NoisyOraclePredictor(noise, seed=1)
+            ),
+            "robustmpc": lambda: RobustMpcController(
+                predictor=NoisyOraclePredictor(noise, seed=2)
+            ),
+            "bola": lambda: BolaController(),
+        }
+        for name, factory in factories.items():
+            metrics = run_dataset(
+                factory, traces, profile.ladder, profile.player
+            )
+            series[name].append(summarize(metrics).qoe.mean)
+
+    print("mean QoE vs prediction noise (perfect oracle + white noise)")
+    print(format_series("noise", NOISE_LEVELS, series))
+    print(
+        "\nNote: ~30% noise matches the empirical accuracy of the dash.js "
+        "EMA predictor (§6.1.4); SODA's QoE loss up to that point should be "
+        "small, and BOLA's curve is flat because it is purely buffer-based."
+    )
+
+
+if __name__ == "__main__":
+    main()

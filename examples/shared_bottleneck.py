@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Several players competing for one bottleneck link.
+
+Runs homogeneous groups of four clients per controller on the same shared
+link and reports QoE, fairness, and switching under competition — a classic
+ABR stress test that the single-player simulator cannot express.
+
+Usage:
+    python examples/shared_bottleneck.py
+"""
+
+import numpy as np
+
+from repro import BolaController, DynamicController, HybController, SodaController
+from repro.analysis import format_table
+from repro.qoe import qoe_from_session
+from repro.sim import PlayerConfig, ThroughputTrace, simulate_shared_link
+from repro.sim.video import youtube_hd_ladder
+
+N_CLIENTS = 4
+
+
+def main() -> None:
+    ladder = youtube_hd_ladder()
+    # A 26 Mb/s link shared by four players: fair share 6.5 Mb/s sits
+    # between the 4 and 7.5 Mb/s rungs — maximum switching pressure.
+    link = ThroughputTrace.constant(26.0, 3600.0)
+    config = PlayerConfig(max_buffer=20.0, num_segments=90, live_delay=20.0)
+
+    rows = []
+    for name, cls in (
+        ("soda", SodaController),
+        ("hyb", HybController),
+        ("bola", BolaController),
+        ("dynamic", DynamicController),
+    ):
+        outcome = simulate_shared_link(
+            [cls() for _ in range(N_CLIENTS)], link, ladder, config
+        )
+        metrics = [qoe_from_session(r) for r in outcome.results]
+        rows.append(
+            [
+                f"{name} ×{N_CLIENTS}",
+                f"{np.mean([m.qoe for m in metrics]):.3f}",
+                f"{np.mean([m.switching_rate for m in metrics]):.3f}",
+                f"{outcome.fairness_index():.3f}",
+                f"{np.mean(outcome.mean_bitrates()):.2f} Mb/s",
+            ]
+        )
+
+    print(f"four clients sharing a 26 Mb/s link (fair share 6.5 Mb/s)")
+    print(
+        format_table(
+            ["clients", "mean qoe", "mean switch rate", "jain fairness",
+             "mean bitrate"],
+            rows,
+        )
+    )
+    print(
+        "\nThe fair share lands between two rungs, so every client must "
+        "oscillate or settle low; SODA's switching cost keeps the group "
+        "calm where throughput- and buffer-rule controllers thrash."
+    )
+
+
+if __name__ == "__main__":
+    main()

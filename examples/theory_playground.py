@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The theory behind SODA, numerically (paper §4 and Appendix A).
+
+Three demonstrations:
+
+1. the exponentially decaying perturbation property (Figure 6 / Thm A.1):
+   optimal trajectories from different initial buffers converge
+   geometrically;
+2. dynamic regret vs prediction horizon (Theorem 4.1): SODA's time-based
+   rollout approaches the DP offline optimal as K grows;
+3. the closed-form constants: ρ, C, C′ and the competitive-ratio bound for
+   an Assumption-A.1-compliant instance.
+
+Usage:
+    python examples/theory_playground.py
+"""
+
+import numpy as np
+
+from repro.core.objective import SodaConfig
+from repro.core.offline import offline_optimal, rollout_time_based
+from repro.core.planner import (
+    ContinuousProblem,
+    solve_continuous,
+    trajectory_distance,
+)
+from repro.core.theory import (
+    StreamingModel,
+    check_assumption_a1,
+    competitive_ratio_bound,
+    decay_constants,
+    fit_decay_rate,
+    horizon_requirement,
+)
+from repro.sim.video import BitrateLadder
+
+
+def demo_decay() -> None:
+    print("=" * 64)
+    print("1) Exponentially decaying perturbations (Figure 6)")
+    problem = ContinuousProblem(
+        r_min=1.5, r_max=12.0, max_buffer=20.0, target=12.0,
+        beta=1.0, gamma=1.0,
+    )
+    omega = np.full(12, 6.0)
+    plan_a = solve_continuous(omega, 4.0, 1 / 6.0, problem)
+    plan_b = solve_continuous(omega, 18.0, 1 / 3.0, problem)
+    distance = trajectory_distance(plan_a, plan_b)
+    print("per-step |Δx|+|Δu| between two initial conditions:")
+    print("  " + "  ".join(f"{d:.3f}" for d in distance))
+    print(f"fitted decay factor ρ ≈ {fit_decay_rate(distance):.3f}")
+
+
+def demo_regret() -> None:
+    print("\n" + "=" * 64)
+    print("2) Dynamic regret vs horizon K (Theorem 4.1, exact predictions)")
+    ladder = BitrateLadder([1.0, 2.0, 3.0, 4.5, 6.0], segment_duration=2.0)
+    cfg = SodaConfig(
+        beta=0.1, gamma=2.0, target_buffer=10.0, switch_event_cost=0.0,
+        use_brute_force=True,
+    )
+    rng = np.random.default_rng(3)
+    omega = rng.uniform(2.0, 8.0, 80)
+    opt = offline_optimal(omega, ladder, cfg, max_buffer=20.0, x0=10.0)
+    print(f"offline optimal cost (DP): {opt.cost:.2f}")
+    for k in (1, 2, 3, 5, 8):
+        roll = rollout_time_based(
+            omega, ladder, cfg.with_(horizon=k), max_buffer=20.0, x0=10.0,
+        )
+        print(
+            f"  K={k}: cost={roll.cost:7.2f}  "
+            f"regret={roll.cost - opt.cost:6.2f}  "
+            f"competitive ratio={roll.cost / opt.cost:.3f}"
+        )
+
+
+def demo_constants() -> None:
+    print("\n" + "=" * 64)
+    print("3) Closed-form constants (Theorem A.1 / A.3)")
+    model = StreamingModel(
+        omega_min=6.0, omega_max=10.0, r_min=1.5, r_max=12.0,
+        x_max=3.5, target=2.0, beta=1.0, gamma=1.0, epsilon=0.25,
+    )
+    ok, reason = check_assumption_a1(model)
+    print(f"Assumption A.1: {reason}")
+    assert ok
+    constants = decay_constants(model)
+    print(f"ρ  = {constants.rho:.6f}")
+    print(f"C  = {constants.c_state:.4g}")
+    print(f"C' = {constants.c_action:.4g}")
+    print(f"Theorem A.3 horizon requirement: K ≥ {horizon_requirement(constants):.0f}")
+    for k in (10, 100, 1000):
+        print(
+            f"  competitive-ratio bound at K={k}: "
+            f"{competitive_ratio_bound(model, constants, k):.4g}"
+        )
+    print(
+        "\n(The closed-form constants are conservative — empirically the "
+        "decay is far faster, as demo 1 shows.)"
+    )
+
+
+if __name__ == "__main__":
+    demo_decay()
+    demo_regret()
+    demo_constants()

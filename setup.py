@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+Editable installs (PEP 660) need setuptools' wheel support; this offline
+environment ships setuptools 65 without `wheel`, so pip falls back to the
+legacy `setup.py develop` path through this file.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

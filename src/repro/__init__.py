@@ -1,0 +1,136 @@
+"""repro — a full reproduction of SODA (SIGCOMM 2024).
+
+SODA: An Adaptive Bitrate Controller for Consistent High-Quality Video
+Streaming (Chen et al., ACM SIGCOMM 2024).
+
+Quick start::
+
+    from repro import SodaController, live_profile, puffer_like, run_session
+
+    profile = live_profile(session_seconds=120)
+    trace = puffer_like().generate(duration=120, seed=1)
+    result = run_session(SodaController(), trace, profile.ladder, profile.player)
+
+Subpackages:
+    core:       SODA controller, solvers, offline optimal, theory bounds
+    abr:        baseline controllers (HYB, BOLA, Dynamic, MPC, Fugu, RL)
+    sim:        player simulator, video models, network traces
+    prediction: throughput predictors
+    traces:     synthetic dataset generators and real-format parsers
+    qoe:        the paper's QoE metrics and aggregation
+    analysis:   experiment harness, tables, engagement models
+"""
+
+from .abr import (
+    AbrController,
+    BolaController,
+    DynamicController,
+    FuguController,
+    HybController,
+    MpcController,
+    PlayerObservation,
+    QTableController,
+    RateController,
+    RobustMpcController,
+    train_q_controller,
+)
+from .core import (
+    SodaConfig,
+    SodaController,
+    offline_optimal,
+    rollout_time_based,
+    solve_brute_force,
+    solve_monotonic,
+)
+from .prediction import (
+    EmaPredictor,
+    HarmonicMeanPredictor,
+    MovingAveragePredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    SlidingWindowPredictor,
+    StochasticPredictor,
+    ThroughputPredictor,
+    ThroughputSample,
+)
+from .qoe import QoeMetrics, QoeSummary, qoe_from_session, summarize
+from .sim import (
+    BitrateLadder,
+    PlayerConfig,
+    SessionResult,
+    SsimModel,
+    ThroughputTrace,
+    live_profile,
+    on_demand_profile,
+    production_profile,
+    prototype_profile,
+    run_dataset,
+    run_session,
+    simulate_session,
+)
+from .traces import (
+    build_synthetic_datasets,
+    fiveg_like,
+    fourg_like,
+    prepare_sessions,
+    puffer_like,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SodaController",
+    "SodaConfig",
+    "solve_monotonic",
+    "solve_brute_force",
+    "offline_optimal",
+    "rollout_time_based",
+    # abr
+    "AbrController",
+    "PlayerObservation",
+    "BolaController",
+    "DynamicController",
+    "FuguController",
+    "HybController",
+    "MpcController",
+    "RobustMpcController",
+    "RateController",
+    "QTableController",
+    "train_q_controller",
+    # prediction
+    "ThroughputPredictor",
+    "ThroughputSample",
+    "EmaPredictor",
+    "MovingAveragePredictor",
+    "SlidingWindowPredictor",
+    "HarmonicMeanPredictor",
+    "OraclePredictor",
+    "NoisyOraclePredictor",
+    "StochasticPredictor",
+    # sim
+    "ThroughputTrace",
+    "BitrateLadder",
+    "SsimModel",
+    "PlayerConfig",
+    "SessionResult",
+    "simulate_session",
+    "run_session",
+    "run_dataset",
+    "live_profile",
+    "on_demand_profile",
+    "prototype_profile",
+    "production_profile",
+    # traces
+    "puffer_like",
+    "fiveg_like",
+    "fourg_like",
+    "build_synthetic_datasets",
+    "prepare_sessions",
+    # qoe
+    "QoeMetrics",
+    "QoeSummary",
+    "qoe_from_session",
+    "summarize",
+]

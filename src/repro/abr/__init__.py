@@ -1,0 +1,30 @@
+"""Baseline ABR controllers evaluated against SODA (paper §6.1.2, §6.2.2)."""
+
+from .base import AbrController, PlayerObservation
+from .bba import BbaController
+from .bola import BolaController, BolaParameters
+from .dynamic import DynamicController
+from .fugu import FuguController
+from .hyb import HybController
+from .mpc import MpcController, RobustMpcController
+from .pid import PidController
+from .rate import RateController, rate_rule_quality
+from .rl import QTableController, train_q_controller
+
+__all__ = [
+    "AbrController",
+    "PlayerObservation",
+    "BbaController",
+    "PidController",
+    "BolaController",
+    "BolaParameters",
+    "DynamicController",
+    "FuguController",
+    "HybController",
+    "MpcController",
+    "RobustMpcController",
+    "RateController",
+    "rate_rule_quality",
+    "QTableController",
+    "train_q_controller",
+]

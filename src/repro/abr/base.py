@@ -1,0 +1,67 @@
+"""ABR controller interface.
+
+Controllers are pure decision functions: the player simulator hands them a
+:class:`repro.sim.player.PlayerObservation` (re-exported here) before every
+segment download and they answer with a rung index (0 = lowest bitrate) or
+``None`` to defer the download — SODA uses ``None`` to avoid overflowing
+the buffer (Figure 5's blank region).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..prediction.base import ThroughputPredictor, ThroughputSample
+from ..sim.player import PlayerObservation
+
+__all__ = ["PlayerObservation", "AbrController"]
+
+
+class AbrController(abc.ABC):
+    """Base class for every ABR controller in the package.
+
+    Controllers that consume throughput predictions hold a
+    :class:`ThroughputPredictor`; the simulator forwards every completed
+    download to :meth:`on_download`, which updates the predictor.
+    """
+
+    #: Human-readable name used in result tables.
+    name: str = "abr"
+
+    def __init__(self, predictor: Optional[ThroughputPredictor] = None) -> None:
+        self.predictor = predictor
+
+    def reset(self) -> None:
+        """Reset controller state at the start of a session."""
+        if self.predictor is not None:
+            self.predictor.reset()
+
+    def on_download(self, sample: ThroughputSample) -> None:
+        """Observe one completed segment download."""
+        if self.predictor is not None:
+            self.predictor.update(sample)
+
+    @abc.abstractmethod
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        """Choose a rung for the next segment, or ``None`` to defer.
+
+        Returning ``None`` makes the player wait a short idle step (buffer
+        drains, wall time advances) before asking again.
+        """
+
+    # ------------------------------------------------------------------
+    def _predicted_throughput(self, obs: PlayerObservation) -> float:
+        """Convenience: scalar prediction with a safe fallback.
+
+        Falls back to the last measured throughput, then to the lowest
+        ladder rung, when the predictor has no history yet.
+        """
+        estimate = 0.0
+        if self.predictor is not None:
+            estimate = self.predictor.predict_scalar(obs.wall_time)
+        if estimate <= 0 and obs.last_throughput is not None:
+            estimate = obs.last_throughput
+        if estimate <= 0:
+            estimate = obs.ladder.min_bitrate
+        return estimate

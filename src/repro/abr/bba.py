@@ -1,0 +1,79 @@
+"""BBA: the buffer-based rate map of Huang et al. [15].
+
+BBA-0 maps the buffer level linearly onto the bitrate range between a
+*reservoir* (below which the lowest rung is used) and a *cushion* (above
+which the highest rung is used), with hysteresis: the rung only changes
+when the mapped rate crosses the next rung up (or the previous rung down).
+The paper cites BBA in related work (§7.1) as the canonical pure
+buffer-based design; it is included here to round out the baseline family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import AbrController, PlayerObservation
+
+__all__ = ["BbaController"]
+
+
+class BbaController(AbrController):
+    """BBA-0 buffer-based controller with the standard hysteresis.
+
+    Args:
+        reservoir: buffer level (seconds) below which the lowest rung is
+            always chosen; when None, 20% of the buffer cap.
+        cushion: buffer span (seconds) over which the rate map climbs from
+            the lowest to the highest rung; when None, 60% of the cap.
+    """
+
+    name = "bba"
+
+    def __init__(
+        self,
+        reservoir: Optional[float] = None,
+        cushion: Optional[float] = None,
+    ) -> None:
+        super().__init__(predictor=None)
+        if reservoir is not None and reservoir <= 0:
+            raise ValueError("reservoir must be positive")
+        if cushion is not None and cushion <= 0:
+            raise ValueError("cushion must be positive")
+        self._reservoir = reservoir
+        self._cushion = cushion
+
+    # ------------------------------------------------------------------
+    def rate_map(self, buffer_level: float, ladder, max_buffer: float) -> float:
+        """The linear buffer→rate map f(B) of BBA-0."""
+        reservoir = self._reservoir
+        if reservoir is None:
+            reservoir = 0.2 * max_buffer
+        cushion = self._cushion
+        if cushion is None:
+            cushion = 0.6 * max_buffer
+        if buffer_level <= reservoir:
+            return ladder.min_bitrate
+        if buffer_level >= reservoir + cushion:
+            return ladder.max_bitrate
+        fraction = (buffer_level - reservoir) / cushion
+        return ladder.min_bitrate + fraction * (
+            ladder.max_bitrate - ladder.min_bitrate
+        )
+
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        ladder = obs.ladder
+        mapped = self.rate_map(obs.buffer_level, ladder, obs.max_buffer)
+        prev = obs.previous_quality
+        if prev is None:
+            return ladder.quality_for_bitrate(mapped)
+
+        # Hysteresis: only move up when the map clears the NEXT rung, and
+        # only move down when the map falls below the CURRENT rung.
+        rate_prev = ladder.bitrate(prev)
+        if prev + 1 < ladder.levels and mapped >= ladder.bitrate(prev + 1):
+            return ladder.quality_for_bitrate(mapped)
+        if mapped < rate_prev:
+            # Highest rung strictly below the mapped rate, floor at 0.
+            quality = ladder.quality_for_bitrate(mapped)
+            return min(quality, prev)
+        return prev

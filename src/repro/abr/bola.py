@@ -1,0 +1,170 @@
+"""BOLA: buffer-based bitrate adaptation via Lyapunov optimization [36, 44].
+
+BOLA maximises a per-download score ``(V·(u_m + gp) − Q) / S_m`` where
+``u_m`` is the (log) utility of rung m, ``S_m`` its segment size, ``Q`` the
+current buffer level, and ``V``/``gp`` control parameters derived from two
+buffer thresholds: the level at which the lowest rung is picked and the
+level at which the highest rung is reached.  This file follows the dash.js
+``BolaRule`` parameterisation.
+
+BOLA is purely buffer-based in steady state — throughput predictions never
+enter its decisions — which is why Figure 11 shows it unaffected by
+prediction noise.  Its weakness (Figure 2) is that the decision thresholds
+compress into a 1–3 s band when the buffer cap is a live-streaming 20 s, so
+tiny buffer fluctuations flip the chosen rung.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .base import AbrController, PlayerObservation
+from .rate import rate_rule_quality
+
+__all__ = ["BolaController", "BolaParameters"]
+
+
+@dataclass(frozen=True)
+class BolaParameters:
+    """Derived BOLA control parameters for one ladder + buffer setting.
+
+    Attributes:
+        vp: the Lyapunov trade-off parameter V (seconds).
+        gp: the utility offset γp.
+        utilities: per-rung log utilities, shifted so the lowest rung is 1.
+        buffer_low: buffer level at/below which the lowest rung is chosen.
+        buffer_target: buffer level around which the top rung is reached.
+    """
+
+    vp: float
+    gp: float
+    utilities: List[float]
+    buffer_low: float
+    buffer_target: float
+
+    @staticmethod
+    def derive(
+        ladder, buffer_low: float, buffer_target: float
+    ) -> "BolaParameters":
+        """Solve for (V, gp) from the two buffer thresholds (dash.js rule)."""
+        if buffer_low <= 0 or buffer_target <= buffer_low:
+            raise ValueError("need 0 < buffer_low < buffer_target")
+        sizes = [ladder.segment_size(q) for q in range(ladder.levels)]
+        utilities = [math.log(s / sizes[0]) + 1.0 for s in sizes]
+        top = utilities[-1]
+        if ladder.levels == 1 or top <= 1.0:
+            # Degenerate single-rung ladder: any positive parameters work.
+            return BolaParameters(
+                vp=buffer_low,
+                gp=1.0,
+                utilities=utilities,
+                buffer_low=buffer_low,
+                buffer_target=buffer_target,
+            )
+        gp = (top - 1.0) / (buffer_target / buffer_low - 1.0)
+        vp = buffer_low / gp
+        return BolaParameters(
+            vp=vp,
+            gp=gp,
+            utilities=utilities,
+            buffer_low=buffer_low,
+            buffer_target=buffer_target,
+        )
+
+    def score(self, quality: int, buffer_level: float, ladder, segment_index: int = 0) -> float:
+        """BOLA objective for one rung at one buffer level."""
+        size = ladder.segment_size(quality, segment_index)
+        return (
+            self.vp * (self.utilities[quality] + self.gp) - buffer_level
+        ) / size
+
+
+class BolaController(AbrController):
+    """BOLA (buffer-based, Lyapunov-derived).
+
+    Args:
+        buffer_low: threshold below which the lowest rung is chosen; when
+            None, ``min(10 s, 0.45 × max_buffer)`` — dash.js's 10 s minimum
+            adapted to small live buffers.
+        buffer_target: level where the top rung is reached; when None,
+            ``0.75 × max_buffer``.
+        allow_deferral: return ``None`` (no download) when every score is
+            negative, i.e. the buffer is above the top decision boundary.
+    """
+
+    name = "bola"
+
+    def __init__(
+        self,
+        buffer_low: Optional[float] = None,
+        buffer_target: Optional[float] = None,
+        allow_deferral: bool = True,
+    ) -> None:
+        super().__init__(predictor=None)
+        self._buffer_low = buffer_low
+        self._buffer_target = buffer_target
+        self.allow_deferral = allow_deferral
+        self._params: Optional[BolaParameters] = None
+        self._params_key = None
+
+    # ------------------------------------------------------------------
+    def parameters_for(self, ladder, max_buffer: float) -> BolaParameters:
+        """Derived (V, gp) for a ladder + buffer cap, cached per session."""
+        key = (id(ladder), max_buffer)
+        if self._params is None or self._params_key != key:
+            low = self._buffer_low
+            if low is None:
+                low = min(10.0, 0.45 * max_buffer)
+            low = max(low, ladder.segment_duration)
+            target = self._buffer_target
+            if target is None:
+                target = 0.75 * max_buffer
+            if target <= low:
+                target = low * 1.5
+            self._params = BolaParameters.derive(ladder, low, target)
+            self._params_key = key
+        return self._params
+
+    def reset(self) -> None:
+        super().reset()
+        self._params = None
+        self._params_key = None
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        params = self.parameters_for(obs.ladder, obs.max_buffer)
+        if not obs.playing and obs.previous_quality is None:
+            # Startup: no buffer signal yet; begin from the measured
+            # throughput if any, else the lowest rung.
+            throughput = obs.last_throughput
+            if throughput is None:
+                return 0
+            return rate_rule_quality(throughput, obs.ladder)
+
+        best_quality = 0
+        best_score = -math.inf
+        for quality in range(obs.ladder.levels):
+            s = params.score(
+                quality, obs.buffer_level, obs.ladder, obs.segment_index
+            )
+            if s > best_score:
+                best_score = s
+                best_quality = quality
+        if best_score < 0 and self.allow_deferral:
+            return None
+        return best_quality
+
+    def decision_at_buffer(
+        self, buffer_level: float, ladder, max_buffer: float
+    ) -> Optional[int]:
+        """Stateless decision for a buffer level (Figure 2 boundary sweep)."""
+        params = self.parameters_for(ladder, max_buffer)
+        scores = [
+            params.score(q, buffer_level, ladder) for q in range(ladder.levels)
+        ]
+        best = max(range(ladder.levels), key=lambda q: scores[q])
+        if scores[best] < 0 and self.allow_deferral:
+            return None
+        return best

@@ -1,0 +1,109 @@
+"""Dynamic: the production BOLA variant that is dash.js's default ABR [44].
+
+Dynamic switches between two modes with hysteresis:
+
+* **throughput mode** when the buffer is low — follow the (EMA-) predicted
+  bandwidth with a safety factor;
+* **buffer mode (BOLA)** once the buffer is comfortable.
+
+On top of the mode switch it carries two production heuristics the paper
+calls out (§6.1.2): a low-buffer safety rule (drop to the lowest rung when
+less than one segment is buffered) and a switching-avoidance rule (when BOLA
+wants to step *up* beyond both the previous rung and what the measured
+throughput supports, hold the previous rung instead — dash.js's
+"insufficient buffer"/steady-state damping).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..prediction.base import ThroughputPredictor
+from ..prediction.ema import EmaPredictor
+from .base import AbrController, PlayerObservation
+from .bola import BolaController
+from .rate import rate_rule_quality
+
+__all__ = ["DynamicController"]
+
+
+class DynamicController(AbrController):
+    """dash.js ``Dynamic``: BOLA + throughput mode + safety heuristics.
+
+    Args:
+        predictor: throughput predictor for throughput mode (EMA default).
+        enter_buffer_mode: buffer level (seconds) above which BOLA takes
+            over; when None, ``0.5 × max_buffer``.
+        exit_buffer_mode: buffer level below which throughput mode resumes;
+            when None, ``0.35 × max_buffer`` (hysteresis gap).
+        safety_factor: throughput-mode safety margin.
+        bola: optionally a pre-configured BOLA instance for buffer mode.
+    """
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        enter_buffer_mode: Optional[float] = None,
+        exit_buffer_mode: Optional[float] = None,
+        safety_factor: float = 0.9,
+        bola: Optional[BolaController] = None,
+    ) -> None:
+        super().__init__(predictor or EmaPredictor())
+        self._enter = enter_buffer_mode
+        self._exit = exit_buffer_mode
+        self.safety_factor = safety_factor
+        self.bola = bola or BolaController(allow_deferral=True)
+        self._buffer_mode = False
+
+    def reset(self) -> None:
+        super().reset()
+        self.bola.reset()
+        self._buffer_mode = False
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        enter = self._enter if self._enter is not None else 0.5 * obs.max_buffer
+        exit_ = self._exit if self._exit is not None else 0.35 * obs.max_buffer
+        if exit_ >= enter:
+            exit_ = 0.7 * enter
+
+        # Mode switch with hysteresis.
+        if self._buffer_mode and obs.buffer_level < exit_:
+            self._buffer_mode = False
+        elif not self._buffer_mode and obs.buffer_level >= enter:
+            self._buffer_mode = True
+
+        # Low-buffer safety heuristic: under one segment buffered while
+        # playing, take the lowest rung unconditionally.
+        if obs.playing and obs.buffer_level < obs.ladder.segment_duration:
+            return 0
+
+        throughput = self._predicted_throughput(obs)
+        tput_quality = rate_rule_quality(
+            throughput, obs.ladder, self.safety_factor
+        )
+
+        if not self._buffer_mode:
+            return tput_quality
+
+        bola_quality = self.bola.select_quality(obs)
+        if bola_quality is None:
+            return None
+
+        # Switching-avoidance: below BOLA's top decision threshold, damp
+        # upward jumps beyond throughput support (dash.js's
+        # insufficient-buffer rule).  With a near-full buffer the rule
+        # trusts the buffer and lets BOLA climb, so Dynamic still reaches
+        # the top rungs — the paper's "medium" switching profile.
+        prev = obs.previous_quality
+        params = self.bola.parameters_for(obs.ladder, obs.max_buffer)
+        if (
+            prev is not None
+            and obs.buffer_level < params.buffer_target
+            and bola_quality > prev
+            and bola_quality > tput_quality
+        ):
+            return max(prev, tput_quality)
+        return bola_quality

@@ -1,0 +1,137 @@
+"""Fugu-like controller: stochastic MPC over a throughput belief.
+
+Fugu [46] pairs an MPC-style controller with a *probabilistic* transmission
+time predictor learned in situ on Puffer.  The learned DNN cannot be
+retrained offline here (see DESIGN.md substitution #4), so this controller
+keeps Fugu's decision structure — maximise *expected* QoE over the belief —
+and replaces the DNN with an empirical Gaussian belief from a sliding
+window (:class:`repro.prediction.stochastic.StochasticPredictor`).
+
+The expectation is evaluated with a three-point quadrature over the belief
+(μ−σ, μ, μ+σ with weights ¼, ½, ¼), and the controller plans as an
+expectimax policy tree rather than a fixed sequence, which is how hedging
+against slow outcomes enters the decision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..prediction.stochastic import StochasticPredictor, ThroughputDistribution
+from .base import AbrController, PlayerObservation
+
+__all__ = ["FuguController"]
+
+#: three-point quadrature on a Gaussian belief
+_SCENARIOS: Tuple[Tuple[float, float], ...] = (
+    (-1.0, 0.25),
+    (0.0, 0.50),
+    (1.0, 0.25),
+)
+
+
+class FuguController(AbrController):
+    """Fugu-like stochastic MPC.
+
+    Args:
+        predictor: a :class:`StochasticPredictor`; a default 8-download
+            window is created when omitted.
+        horizon: policy-tree depth in segments.
+        rebuffer_penalty: QoE lost per second of expected rebuffering.
+        switch_penalty: QoE lost per unit of |Δutility|.
+    """
+
+    name = "fugu"
+
+    def __init__(
+        self,
+        predictor: Optional[StochasticPredictor] = None,
+        horizon: int = 3,
+        rebuffer_penalty: float = 3.0,
+        switch_penalty: float = 1.0,
+    ) -> None:
+        super().__init__(predictor or StochasticPredictor(window=8))
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        self.horizon = horizon
+        self.rebuffer_penalty = rebuffer_penalty
+        self.switch_penalty = switch_penalty
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        belief = self._belief(obs)
+        ladder = obs.ladder
+        utilities = ladder.utilities()
+        seg_len = ladder.segment_duration
+
+        def value(
+            k: int, buffer_level: float, prev_utility: Optional[float]
+        ) -> float:
+            if k == self.horizon:
+                return 0.0
+            best = -math.inf
+            for quality in range(ladder.levels):
+                size = ladder.segment_size(quality, obs.segment_index + k)
+                expected = 0.0
+                for sigmas, weight in _SCENARIOS:
+                    throughput = max(
+                        belief.mean + sigmas * belief.std, 1e-6
+                    )
+                    dl_time = size / throughput
+                    rebuffer = max(dl_time - buffer_level, 0.0)
+                    nxt = min(
+                        max(buffer_level - dl_time, 0.0) + seg_len,
+                        obs.max_buffer,
+                    )
+                    step = utilities[quality] - self.rebuffer_penalty * rebuffer
+                    if prev_utility is not None:
+                        step -= self.switch_penalty * abs(
+                            utilities[quality] - prev_utility
+                        )
+                    expected += weight * (
+                        step + value(k + 1, nxt, float(utilities[quality]))
+                    )
+                best = max(best, expected)
+            return best
+
+        prev_utility = (
+            None
+            if obs.previous_quality is None
+            else float(utilities[obs.previous_quality])
+        )
+        best_quality = 0
+        best_value = -math.inf
+        for quality in range(ladder.levels):
+            size = ladder.segment_size(quality, obs.segment_index)
+            expected = 0.0
+            for sigmas, weight in _SCENARIOS:
+                throughput = max(belief.mean + sigmas * belief.std, 1e-6)
+                dl_time = size / throughput
+                rebuffer = max(dl_time - obs.buffer_level, 0.0)
+                nxt = min(
+                    max(obs.buffer_level - dl_time, 0.0) + seg_len,
+                    obs.max_buffer,
+                )
+                step = utilities[quality] - self.rebuffer_penalty * rebuffer
+                if prev_utility is not None:
+                    step -= self.switch_penalty * abs(
+                        utilities[quality] - prev_utility
+                    )
+                expected += weight * (
+                    step + value(1, nxt, float(utilities[quality]))
+                )
+            if expected > best_value:
+                best_value = expected
+                best_quality = quality
+        return best_quality
+
+    # ------------------------------------------------------------------
+    def _belief(self, obs: PlayerObservation) -> ThroughputDistribution:
+        belief = None
+        if isinstance(self.predictor, StochasticPredictor):
+            belief = self.predictor.predict_distribution(obs.wall_time)
+        if belief is None or belief.mean <= 0:
+            fallback = obs.last_throughput or obs.ladder.min_bitrate
+            belief = ThroughputDistribution(fallback, 0.25 * fallback)
+        return belief

@@ -1,0 +1,57 @@
+"""HYB: the buffer-aware throughput heuristic from Oboe [24].
+
+HYB selects the highest bitrate that is predicted to download without
+draining the buffer: rung j is sustainable when
+
+    size(j) / ω̂  ≤  δ · buffer_level
+
+with a discount factor δ < 1 that absorbs prediction error.  HYB is simple
+and widely deployed but ignores switching entirely, which is why the paper
+reports it switching up to 215% more than SODA (§6.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..prediction.base import ThroughputPredictor
+from ..prediction.ema import EmaPredictor
+from .base import AbrController, PlayerObservation
+from .rate import rate_rule_quality
+
+__all__ = ["HybController"]
+
+
+class HybController(AbrController):
+    """HYB heuristic: highest bitrate that avoids rebuffering.
+
+    Args:
+        predictor: throughput predictor (EMA by default).
+        discount: δ — fraction of the current buffer the next download is
+            allowed to consume.  Oboe uses values around 0.25–0.5; with the
+            short live buffers used here 0.5 is a reasonable tuning.
+    """
+
+    name = "hyb"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        discount: float = 0.5,
+    ) -> None:
+        super().__init__(predictor or EmaPredictor())
+        if not 0 < discount <= 1:
+            raise ValueError("discount must be in (0, 1]")
+        self.discount = discount
+
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        throughput = self._predicted_throughput(obs)
+        if obs.buffer_level <= 0 or not obs.playing:
+            # Cold start / empty buffer: fall back to the plain rate rule.
+            return rate_rule_quality(throughput, obs.ladder, self.discount + 0.25)
+        best = 0
+        for quality in range(obs.ladder.levels):
+            size = obs.ladder.segment_size(quality, obs.segment_index)
+            if size / throughput <= self.discount * obs.buffer_level:
+                best = quality
+        return best

@@ -1,0 +1,138 @@
+"""MPC and RobustMPC: model-predictive ABR control (Yin et al. [17]).
+
+MPC maximises a segment-based QoE over a K-segment horizon:
+
+    Σ_k  u(r_k) − μ · rebuffer_k − λ · |u(r_k) − u(r_{k-1})|
+
+where u is the normalised log utility, rebuffering is predicted from the
+harmonic-mean throughput estimate, and the first decision of the best plan
+is committed.  ``RobustMPC`` divides the throughput estimate by
+``1 + max recent relative error`` — the robustness fix from the same paper.
+
+The search is exhaustive over |R|^K sequences with an admissible
+branch-and-bound cut (remaining utility is bounded by the horizon length),
+mirroring the reference implementation's cost profile that §2 of the paper
+criticises.  Section 2's Figure 3 pathology — tolerating rebuffering to
+avoid a switch — emerges from this objective when the buffer runs dry.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..prediction.base import ThroughputPredictor, ThroughputSample
+from ..prediction.moving_average import HarmonicMeanPredictor
+from .base import AbrController, PlayerObservation
+
+__all__ = ["MpcController", "RobustMpcController"]
+
+
+class MpcController(AbrController):
+    """MPC over a K-segment horizon with a harmonic-mean predictor.
+
+    Args:
+        predictor: throughput predictor (harmonic mean of the last 5
+            downloads by default, as in [17]).
+        horizon: number of future segments planned (K = 5 in the paper).
+        rebuffer_penalty: μ — QoE lost per second of predicted rebuffering.
+        switch_penalty: λ — QoE lost per unit of |Δutility|.
+    """
+
+    name = "mpc"
+    robust = False
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        horizon: int = 5,
+        rebuffer_penalty: float = 3.0,
+        switch_penalty: float = 1.0,
+    ) -> None:
+        super().__init__(predictor or HarmonicMeanPredictor(window=5))
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        self.horizon = horizon
+        self.rebuffer_penalty = rebuffer_penalty
+        self.switch_penalty = switch_penalty
+        self._errors: Deque[float] = deque(maxlen=5)
+        self._last_prediction: Optional[float] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._errors.clear()
+        self._last_prediction = None
+
+    def on_download(self, sample: ThroughputSample) -> None:
+        if self._last_prediction is not None and sample.throughput > 0:
+            err = abs(self._last_prediction - sample.throughput) / sample.throughput
+            self._errors.append(err)
+        super().on_download(sample)
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        throughput = self._predicted_throughput(obs)
+        self._last_prediction = throughput
+        if self.robust and self._errors:
+            throughput /= 1.0 + max(self._errors)
+        plan = self._best_plan(obs, throughput)
+        return plan[0]
+
+    # ------------------------------------------------------------------
+    def _best_plan(
+        self, obs: PlayerObservation, throughput: float
+    ) -> List[int]:
+        """Exhaustive horizon search, returns the best rung sequence."""
+        ladder = obs.ladder
+        seg_len = ladder.segment_duration
+        utilities = ladder.utilities()
+        throughput = max(throughput, 1e-6)
+
+        best: Tuple[float, List[int]] = (-math.inf, [0])
+
+        def rec(
+            k: int,
+            buffer_level: float,
+            prev_utility: Optional[float],
+            qoe: float,
+            plan: List[int],
+        ) -> None:
+            nonlocal best
+            if k == self.horizon:
+                if qoe > best[0]:
+                    best = (qoe, list(plan))
+                return
+            # Admissible bound: future QoE gain is at most one utility unit
+            # per remaining segment (penalties only subtract).
+            if qoe + (self.horizon - k) * 1.0 <= best[0]:
+                return
+            for quality in range(ladder.levels):
+                size = ladder.segment_size(quality, obs.segment_index + k)
+                dl_time = size / throughput
+                rebuffer = max(dl_time - buffer_level, 0.0)
+                next_buffer = max(buffer_level - dl_time, 0.0) + seg_len
+                next_buffer = min(next_buffer, obs.max_buffer)
+                step = utilities[quality] - self.rebuffer_penalty * rebuffer
+                if prev_utility is not None:
+                    step -= self.switch_penalty * abs(
+                        utilities[quality] - prev_utility
+                    )
+                plan.append(quality)
+                rec(k + 1, next_buffer, utilities[quality], qoe + step, plan)
+                plan.pop()
+
+        prev_utility = (
+            None
+            if obs.previous_quality is None
+            else float(utilities[obs.previous_quality])
+        )
+        rec(0, obs.buffer_level, prev_utility, 0.0, [])
+        return best[1]
+
+
+class RobustMpcController(MpcController):
+    """RobustMPC: MPC with the max-recent-error throughput discount [17]."""
+
+    name = "robustmpc"
+    robust = True

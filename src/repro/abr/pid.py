@@ -1,0 +1,91 @@
+"""PID-based rate adaptation (Qin et al. [23]).
+
+The paper's §2 cites classical PID control as one of the approaches the
+streaming literature kept returning to.  This controller regulates the
+buffer level around a setpoint with a discrete PID loop whose output scales
+the predicted throughput into a target bitrate:
+
+    e_t   = x_target − x_t
+    u_t   = Kp·e_t + Ki·Σe + Kd·(e_t − e_{t−1})
+    rate  = ω̂ · exp(−u_t · k)
+
+A positive error (buffer below target) pushes the rate below the predicted
+throughput so the buffer refills, and vice versa.  It is a reasonable,
+tunable baseline — and a demonstration of why pure feedback control without
+switching costs produces jittery bitrates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..prediction.base import ThroughputPredictor
+from ..prediction.ema import EmaPredictor
+from .base import AbrController, PlayerObservation
+
+__all__ = ["PidController"]
+
+
+class PidController(AbrController):
+    """Discrete PID buffer regulator mapped onto the bitrate ladder.
+
+    Args:
+        predictor: throughput predictor (EMA by default).
+        kp: proportional gain.
+        ki: integral gain (with anti-windup clamping).
+        kd: derivative gain.
+        setpoint_fraction: buffer target as a fraction of the buffer cap.
+        response: scale of the exponential rate response to the PID output.
+    """
+
+    name = "pid"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        kp: float = 0.15,
+        ki: float = 0.01,
+        kd: float = 0.1,
+        setpoint_fraction: float = 0.6,
+        response: float = 1.0,
+    ) -> None:
+        super().__init__(predictor or EmaPredictor())
+        if not 0 < setpoint_fraction <= 1:
+            raise ValueError("setpoint fraction must be in (0, 1]")
+        if response <= 0:
+            raise ValueError("response must be positive")
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.setpoint_fraction = setpoint_fraction
+        self.response = response
+        self._integral = 0.0
+        self._last_error: Optional[float] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._integral = 0.0
+        self._last_error = None
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        setpoint = self.setpoint_fraction * obs.max_buffer
+        error = (setpoint - obs.buffer_level) / obs.max_buffer
+
+        self._integral += error
+        # Anti-windup: bound the integral contribution.
+        self._integral = max(min(self._integral, 10.0), -10.0)
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = error - self._last_error
+        self._last_error = error
+
+        control = (
+            self.kp * error
+            + self.ki * self._integral
+            + self.kd * derivative
+        )
+        throughput = self._predicted_throughput(obs)
+        target_rate = throughput * math.exp(-self.response * control)
+        return obs.ladder.quality_for_bitrate(target_rate)

@@ -1,0 +1,51 @@
+"""Simple throughput-based bitrate rule.
+
+Picks the highest rung whose bitrate stays below a safety fraction of the
+predicted throughput.  This is the classic "rate rule": it is both a weak
+baseline on its own and a building block of Dynamic's throughput mode and of
+several startup heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..prediction.base import ThroughputPredictor
+from ..prediction.ema import EmaPredictor
+from .base import AbrController, PlayerObservation
+
+__all__ = ["RateController", "rate_rule_quality"]
+
+
+def rate_rule_quality(
+    throughput: float, ladder, safety_factor: float = 0.9
+) -> int:
+    """Highest rung with bitrate ≤ safety_factor × throughput (min rung 0)."""
+    if safety_factor <= 0:
+        raise ValueError("safety factor must be positive")
+    return ladder.quality_for_bitrate(safety_factor * throughput)
+
+
+class RateController(AbrController):
+    """Throughput rule: follow the predicted bandwidth with a safety margin.
+
+    Args:
+        predictor: throughput predictor (EMA by default, as in dash.js).
+        safety_factor: fraction of the prediction considered sustainable.
+    """
+
+    name = "rate"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        safety_factor: float = 0.9,
+    ) -> None:
+        super().__init__(predictor or EmaPredictor())
+        if safety_factor <= 0:
+            raise ValueError("safety factor must be positive")
+        self.safety_factor = safety_factor
+
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        throughput = self._predicted_throughput(obs)
+        return rate_rule_quality(throughput, obs.ladder, self.safety_factor)

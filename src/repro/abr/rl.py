@@ -1,0 +1,172 @@
+"""Tabular-RL ABR controller: the CausalSimRL / Pensieve substitute.
+
+CausalSimRL [60] is a Pensieve-style [22] reinforcement-learning controller
+trained with CausalSim for the Puffer platform.  Training that network is
+out of scope offline (DESIGN.md substitution #5); this module provides the
+closest laptop-scale equivalent: a tabular Q-learning agent over a
+discretised (buffer, throughput, previous-rung) state, trained in the very
+simulator of this package with the standard Pensieve reward
+
+    utility − w_rebuf · rebuffer_seconds − w_switch · |Δutility|.
+
+The substitute keeps the properties the paper reports for CausalSimRL:
+competitive utility and rebuffering after training, a high switching rate,
+and no way to tune one QoE component without retraining.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..prediction.base import ThroughputSample
+from .base import AbrController, PlayerObservation
+
+__all__ = ["QTableController", "train_q_controller"]
+
+State = Tuple[int, int, int]
+
+
+@dataclass
+class QTableController(AbrController):
+    """Q-learning ABR agent over a discretised state space.
+
+    States are ``(buffer bucket, throughput bucket, previous rung)``;
+    actions are rungs.  In training mode the agent explores ε-greedily and
+    updates its table online from the rewards implied by consecutive
+    observations; in evaluation mode it is a frozen greedy policy.
+
+    Attributes:
+        buffer_buckets: number of buffer-level buckets.
+        throughput_buckets: number of log-throughput buckets.
+        rebuffer_weight: reward weight on rebuffered seconds.
+        switch_weight: reward weight on |Δutility|.
+    """
+
+    buffer_buckets: int = 8
+    throughput_buckets: int = 8
+    rebuffer_weight: float = 10.0
+    switch_weight: float = 1.0
+    learning_rate: float = 0.15
+    discount: float = 0.9
+    epsilon: float = 0.0
+    seed: int = 0
+    name: str = "rl"
+
+    q_table: Dict[Tuple[State, int], float] = field(default_factory=dict)
+    training: bool = False
+
+    def __post_init__(self) -> None:
+        super().__init__(predictor=None)
+        self._rng = random.Random(self.seed)
+        self._prev: Optional[Tuple[State, int, float, float]] = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        super().reset()
+        self._prev = None
+
+    def encode(self, obs: PlayerObservation) -> State:
+        """Discretise an observation into a table state."""
+        frac = min(max(obs.buffer_level / obs.max_buffer, 0.0), 1.0)
+        b = min(int(frac * self.buffer_buckets), self.buffer_buckets - 1)
+        throughput = obs.last_throughput or obs.ladder.min_bitrate
+        # Log-spaced throughput buckets across 1/4x .. 4x of the ladder span.
+        lo = 0.25 * obs.ladder.min_bitrate
+        hi = 4.0 * obs.ladder.max_bitrate
+        ratio = min(max(throughput, lo), hi) / lo
+        t = int(math.log(ratio) / math.log(hi / lo) * self.throughput_buckets)
+        t = min(t, self.throughput_buckets - 1)
+        p = -1 if obs.previous_quality is None else obs.previous_quality
+        return (b, t, p)
+
+    def q_value(self, state: State, action: int) -> float:
+        return self.q_table.get((state, action), 0.0)
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        state = self.encode(obs)
+        levels = obs.ladder.levels
+
+        if self.training and self._prev is not None:
+            self._learn(obs, state, levels)
+
+        if self.training and self._rng.random() < self.epsilon:
+            action = self._rng.randrange(levels)
+        else:
+            action = max(
+                range(levels), key=lambda a: (self.q_value(state, a), -a)
+            )
+
+        if self.training:
+            self._prev = (
+                state,
+                action,
+                obs.rebuffer_time,
+                obs.ladder.log_utility(action),
+            )
+        return action
+
+    # ------------------------------------------------------------------
+    def _learn(self, obs: PlayerObservation, state: State, levels: int) -> None:
+        prev_state, prev_action, prev_rebuffer, prev_utility = self._prev
+        rebuffer_delta = max(obs.rebuffer_time - prev_rebuffer, 0.0)
+        switch = 0.0
+        if obs.previous_quality is not None and prev_state[2] >= 0:
+            switch = abs(
+                obs.ladder.log_utility(obs.previous_quality)
+                - obs.ladder.log_utility(prev_state[2])
+            )
+        reward = (
+            prev_utility
+            - self.rebuffer_weight * rebuffer_delta / obs.ladder.segment_duration
+            - self.switch_weight * switch
+        )
+        best_next = max(self.q_value(state, a) for a in range(levels))
+        key = (prev_state, prev_action)
+        old = self.q_table.get(key, 0.0)
+        target = reward + self.discount * best_next
+        self.q_table[key] = old + self.learning_rate * (target - old)
+
+
+def train_q_controller(
+    ladder,
+    traces: Sequence,
+    player_config=None,
+    episodes: int = 60,
+    epsilon_start: float = 0.4,
+    epsilon_end: float = 0.02,
+    seed: int = 0,
+    **agent_kwargs,
+) -> QTableController:
+    """Train a :class:`QTableController` in the package's own simulator.
+
+    Args:
+        ladder: encoding ladder the agent will stream.
+        traces: training traces; episodes cycle through them.
+        player_config: player parameters used during training.
+        episodes: number of training sessions.
+        epsilon_start: initial exploration rate, decayed linearly.
+        epsilon_end: final exploration rate.
+        seed: RNG seed for exploration.
+        **agent_kwargs: forwarded to :class:`QTableController`.
+
+    Returns:
+        The trained agent, frozen (``training=False``, ε=0).
+    """
+    from ..sim.player import simulate_session
+
+    if not traces:
+        raise ValueError("need at least one training trace")
+    agent = QTableController(seed=seed, **agent_kwargs)
+    agent.training = True
+    for episode in range(episodes):
+        frac = episode / max(episodes - 1, 1)
+        agent.epsilon = epsilon_start + (epsilon_end - epsilon_start) * frac
+        trace = traces[episode % len(traces)]
+        simulate_session(agent, trace, ladder, player_config)
+    agent.training = False
+    agent.epsilon = 0.0
+    return agent

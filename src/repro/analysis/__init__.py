@@ -1,0 +1,34 @@
+"""Experiment harness, result tables, and engagement/production models."""
+
+from .engagement import EngagementModel, fit_line
+from .harness import SuiteResult, run_suite, standard_controllers
+from .pareto import OperatingPoint, dominates, pareto_front, sweep_operating_points
+from .report import ReportConfig, generate_report
+from .production import (
+    DEVICE_FAMILIES,
+    DeviceFamily,
+    ProductionDeltas,
+    relative_deltas,
+)
+from .tables import format_series, format_table, qoe_table
+
+__all__ = [
+    "EngagementModel",
+    "fit_line",
+    "SuiteResult",
+    "OperatingPoint",
+    "dominates",
+    "pareto_front",
+    "sweep_operating_points",
+    "ReportConfig",
+    "generate_report",
+    "run_suite",
+    "standard_controllers",
+    "DEVICE_FAMILIES",
+    "DeviceFamily",
+    "ProductionDeltas",
+    "relative_deltas",
+    "format_series",
+    "format_table",
+    "qoe_table",
+]

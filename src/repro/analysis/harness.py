@@ -1,0 +1,125 @@
+"""Experiment harness: run controller suites over datasets and summarise.
+
+This is the machinery behind every evaluation bench: build fresh
+controllers per session, stream every trace of a dataset under a profile,
+and aggregate the paper's QoE metrics with confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..abr import (
+    AbrController,
+    BolaController,
+    DynamicController,
+    HybController,
+    MpcController,
+    RobustMpcController,
+)
+from ..core.controller import SodaController
+from ..core.objective import SodaConfig
+from ..prediction.ema import EmaPredictor
+from ..qoe.aggregate import QoeSummary
+from ..qoe.metrics import QoeMetrics
+from ..sim.network import ThroughputTrace
+from ..sim.profiles import EvaluationProfile
+from ..sim.session import run_dataset
+
+__all__ = ["SuiteResult", "run_suite", "standard_controllers"]
+
+ControllerFactory = Callable[[], AbrController]
+
+
+@dataclass
+class SuiteResult:
+    """Per-controller QoE metrics for one dataset × profile experiment."""
+
+    profile: str
+    dataset: str
+    per_controller: Dict[str, List[QoeMetrics]] = field(default_factory=dict)
+
+    def summary(self, controller: str) -> QoeSummary:
+        return QoeSummary.of(self.per_controller[controller])
+
+    def summaries(self) -> Dict[str, QoeSummary]:
+        return {name: self.summary(name) for name in self.per_controller}
+
+    def best_baseline_qoe(self, soda_name: str = "soda") -> float:
+        """Highest mean QoE among the non-SODA controllers."""
+        candidates = [
+            self.summary(name).qoe.mean
+            for name in self.per_controller
+            if name != soda_name
+        ]
+        if not candidates:
+            raise ValueError("no baselines in the suite")
+        return max(candidates)
+
+    def improvement_over_best_baseline(self, soda_name: str = "soda") -> float:
+        """Relative QoE improvement of SODA over the best baseline.
+
+        Matches the paper's headline "9.55% to 27.8%" metric; computed on
+        QoE scores shifted to be positive over the controller set when any
+        mean score is negative (relative change is otherwise undefined).
+        """
+        soda = self.summary(soda_name).qoe.mean
+        best = self.best_baseline_qoe(soda_name)
+        floor = min(
+            self.summary(name).qoe.mean for name in self.per_controller
+        )
+        shift = -floor + 0.1 if floor < 0 else 0.0
+        return (soda + shift) / (best + shift) - 1.0
+
+
+def standard_controllers(
+    soda_config: Optional[SodaConfig] = None,
+    predictor_factory: Optional[Callable[[], object]] = None,
+) -> Dict[str, ControllerFactory]:
+    """The §6.1.2 baseline suite plus SODA, as per-session factories.
+
+    Args:
+        soda_config: SODA tuning; defaults to :class:`SodaConfig`'s.
+        predictor_factory: builds the predictor given to the hybrid
+            controllers (SODA, HYB, Dynamic); defaults to the dash.js EMA
+            predictor used in §6.1.1.  MPC keeps its harmonic-mean
+            predictor, as in [17]; BOLA uses none.
+    """
+    make_predictor = predictor_factory or (lambda: EmaPredictor())
+    cfg = soda_config or SodaConfig()
+    return {
+        "soda": lambda: SodaController(predictor=make_predictor(), config=cfg),
+        "hyb": lambda: HybController(predictor=make_predictor()),
+        "bola": lambda: BolaController(),
+        "dynamic": lambda: DynamicController(predictor=make_predictor()),
+        "mpc": lambda: RobustMpcController(),
+    }
+
+
+def run_suite(
+    factories: Mapping[str, ControllerFactory],
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+    dataset_name: str = "dataset",
+    qoe_beta: float = 10.0,
+    qoe_gamma: float = 1.0,
+) -> SuiteResult:
+    """Run every controller factory over every trace of a dataset."""
+    if not factories:
+        raise ValueError("need at least one controller factory")
+    if not traces:
+        raise ValueError("need at least one trace")
+    result = SuiteResult(profile=profile.name, dataset=dataset_name)
+    for name, factory in factories.items():
+        result.per_controller[name] = run_dataset(
+            factory,
+            traces,
+            profile.ladder,
+            profile.player,
+            utility=profile.utility,
+            ssim_model=profile.ssim_model,
+            qoe_beta=qoe_beta,
+            qoe_gamma=qoe_gamma,
+        )
+    return result

@@ -1,0 +1,102 @@
+"""Quality / smoothness trade-off frontiers (the paper's §1 claim).
+
+The introduction frames the three QoE components as a three-way trade-off
+and claims an ideal controller "pushes the trade-off boundary".  This
+module makes that measurable: sweep a controller's tuning knob (γ for SODA,
+the switch penalty for MPC, thresholds for BOLA), collect the mean
+(switching rate, utility) operating points, and extract the Pareto front.
+SODA pushing the boundary means its front dominates the baselines' fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..qoe.aggregate import QoeSummary
+from ..sim.network import ThroughputTrace
+from ..sim.profiles import EvaluationProfile
+from ..sim.session import run_dataset
+
+__all__ = ["OperatingPoint", "sweep_operating_points", "pareto_front", "dominates"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One controller tuning's mean behaviour on a workload.
+
+    Attributes:
+        label: "<controller>@<knob value>".
+        utility: mean utility (higher is better).
+        switching_rate: mean switching rate (lower is better).
+        rebuffer_ratio: mean rebuffering ratio (lower is better).
+        qoe: mean QoE score.
+    """
+
+    label: str
+    utility: float
+    switching_rate: float
+    rebuffer_ratio: float
+    qoe: float
+
+    @staticmethod
+    def from_summary(label: str, summary: QoeSummary) -> "OperatingPoint":
+        return OperatingPoint(
+            label=label,
+            utility=summary.utility.mean,
+            switching_rate=summary.switching_rate.mean,
+            rebuffer_ratio=summary.rebuffer_ratio.mean,
+            qoe=summary.qoe.mean,
+        )
+
+
+def sweep_operating_points(
+    factories: Mapping[str, Callable[[], object]],
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+) -> List[OperatingPoint]:
+    """Evaluate each labelled factory on the workload.
+
+    Args:
+        factories: label → fresh-controller factory, one per tuning.
+        traces: the workload.
+        profile: the player/ladder setting.
+    """
+    if not factories:
+        raise ValueError("need at least one tuning to sweep")
+    points = []
+    for label, factory in factories.items():
+        metrics = run_dataset(
+            factory, traces, profile.ladder, profile.player,
+            utility=profile.utility, ssim_model=profile.ssim_model,
+        )
+        points.append(
+            OperatingPoint.from_summary(label, QoeSummary.of(metrics))
+        )
+    return points
+
+
+def dominates(a: OperatingPoint, b: OperatingPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` on utility, switching,
+    and rebuffering, and strictly better on at least one."""
+    at_least = (
+        a.utility >= b.utility
+        and a.switching_rate <= b.switching_rate
+        and a.rebuffer_ratio <= b.rebuffer_ratio
+    )
+    strictly = (
+        a.utility > b.utility
+        or a.switching_rate < b.switching_rate
+        or a.rebuffer_ratio < b.rebuffer_ratio
+    )
+    return at_least and strictly
+
+
+def pareto_front(points: Sequence[OperatingPoint]) -> List[OperatingPoint]:
+    """The non-dominated subset, sorted by switching rate ascending."""
+    front = [
+        p
+        for p in points
+        if not any(dominates(q, p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: (p.switching_rate, -p.utility))

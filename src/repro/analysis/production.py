@@ -1,0 +1,135 @@
+"""Production A/B simulation: device families and relative deltas (§6.3).
+
+The paper's production experiment ran SODA against a fine-tuned baseline on
+three device families — HTML5 browsers, smart TVs, and set-top boxes — each
+with its own network volatility mix (browsers see the most volatile links).
+Without the Prime Video fleet (DESIGN.md substitution #6) we model each
+family as a throughput-generator mix and reproduce Figure 13's *relative*
+metric changes: viewing duration (via the engagement model), mean bitrate,
+rebuffering ratio, and switching rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..sim.network import ThroughputTrace
+from ..sim.player import SessionResult
+from ..traces.synthetic import MarkovLognormalGenerator, Regime
+from .engagement import EngagementModel
+
+__all__ = ["DeviceFamily", "DEVICE_FAMILIES", "ProductionDeltas", "relative_deltas"]
+
+
+@dataclass(frozen=True)
+class DeviceFamily:
+    """One production device family and its network environment.
+
+    Attributes:
+        name: family label, as in Figure 13.
+        mean_mbps: typical downlink for the family, Mb/s.
+        rsd: relative standard deviation of the family's links.
+        outage_prone: whether the family sees short outage episodes
+            (HTML5 browsers on Wi-Fi/cellular do; wired set-top boxes
+            mostly do not).
+    """
+
+    name: str
+    mean_mbps: float
+    rsd: float
+    outage_prone: bool
+
+    def generator(self) -> MarkovLognormalGenerator:
+        """Build the family's throughput generator."""
+        regimes = [Regime(1.0, 1e9)]
+        if self.outage_prone:
+            regimes = [Regime(1.15, 45.0), Regime(0.35, 8.0)]
+        return MarkovLognormalGenerator(
+            target_mean=self.mean_mbps,
+            target_rsd=self.rsd,
+            regimes=regimes,
+            ar_coefficient=0.94,
+            name=self.name,
+        )
+
+    def traces(
+        self, n_sessions: int, duration: float = 600.0, seed: int = 0
+    ) -> List[ThroughputTrace]:
+        return self.generator().dataset(n_sessions, duration, seed=seed)
+
+
+#: the three families of §6.3, volatility ordered as the paper describes
+DEVICE_FAMILIES = (
+    DeviceFamily("html5", mean_mbps=18.0, rsd=0.95, outage_prone=True),
+    DeviceFamily("smart-tv", mean_mbps=35.0, rsd=0.45, outage_prone=False),
+    DeviceFamily("set-top-box", mean_mbps=25.0, rsd=0.60, outage_prone=False),
+)
+
+
+@dataclass(frozen=True)
+class ProductionDeltas:
+    """Figure 13's four relative changes (SODA vs the production baseline).
+
+    Positive viewing-duration and bitrate deltas are improvements; negative
+    rebuffering and switching deltas are improvements.
+    """
+
+    family: str
+    viewing_duration: float
+    bitrate: float
+    rebuffer_ratio: float
+    switching_rate: float
+
+
+def _mean_bitrate(results: Sequence[SessionResult]) -> float:
+    values = [np.mean(r.bitrates) for r in results if r.num_segments]
+    return float(np.mean(values))
+
+
+def _mean(values: Sequence[float]) -> float:
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def relative_deltas(
+    family: DeviceFamily,
+    soda_results: Sequence[SessionResult],
+    baseline_results: Sequence[SessionResult],
+    engagement: EngagementModel = EngagementModel(),
+) -> ProductionDeltas:
+    """Compute Figure 13's relative metric changes for one device family.
+
+    Rebuffering and switching deltas are relative changes of the means;
+    viewing duration comes from the engagement model applied to the mean
+    switching/rebuffering of each arm.
+    """
+    if not soda_results or not baseline_results:
+        raise ValueError("both arms need at least one session")
+
+    def switch_rate(r: SessionResult) -> float:
+        return r.switch_count / max(r.num_segments - 1, 1)
+
+    def rebuf_ratio(r: SessionResult) -> float:
+        return r.rebuffer_time / max(r.session_duration, 1e-9)
+
+    soda_switch = _mean([switch_rate(r) for r in soda_results])
+    base_switch = _mean([switch_rate(r) for r in baseline_results])
+    soda_rebuf = _mean([rebuf_ratio(r) for r in soda_results])
+    base_rebuf = _mean([rebuf_ratio(r) for r in baseline_results])
+
+    def rel(a: float, b: float) -> float:
+        if b <= 1e-12:
+            return 0.0 if a <= 1e-12 else float("inf")
+        return a / b - 1.0
+
+    return ProductionDeltas(
+        family=family.name,
+        viewing_duration=engagement.relative_duration_change(
+            soda_switch, soda_rebuf, base_switch, base_rebuf
+        ),
+        bitrate=rel(_mean_bitrate(soda_results), _mean_bitrate(baseline_results)),
+        rebuffer_ratio=rel(soda_rebuf, base_rebuf),
+        switching_rate=rel(soda_switch, base_switch),
+    )

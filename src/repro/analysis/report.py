@@ -1,0 +1,205 @@
+"""One-shot evaluation report: run the core experiments, emit markdown.
+
+``generate_report`` reruns the package's headline experiments (Figure 9's
+dataset statistics, Figure 10's controller comparison, Figure 11's noise
+sweep, and the Figure 13 production deltas) at a configurable scale and
+renders a self-contained markdown report.  EXPERIMENTS.md's measured
+columns were produced this way; rerun with more sessions to refresh them:
+
+    python -m repro.analysis.report --sessions 32 --out report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..abr import BolaController, DynamicController, HybController, RobustMpcController
+from ..core.controller import SodaController
+from ..prediction import NoisyOraclePredictor
+from ..qoe import QoeSummary, summarize
+from ..sim.profiles import live_profile, production_profile
+from ..sim.session import run_dataset, run_session
+from ..traces import build_synthetic_datasets
+from .harness import run_suite, standard_controllers
+from .production import DEVICE_FAMILIES, relative_deltas
+from .engagement import EngagementModel
+
+__all__ = ["ReportConfig", "generate_report", "main"]
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Scale knobs for the generated report."""
+
+    sessions: int = 8
+    session_seconds: float = 480.0
+    seed: int = 7
+    noise_levels: Sequence[float] = (0.0, 0.3, 0.75)
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("need at least one session")
+        if self.session_seconds < 60:
+            raise ValueError("sessions shorter than a minute are not useful")
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _summary_row(name: str, s: QoeSummary) -> List[str]:
+    return [
+        name,
+        f"{s.qoe.mean:.4f} ± {s.qoe.half_width:.4f}",
+        f"{s.utility.mean:.4f}",
+        f"{s.rebuffer_ratio.mean:.4f}",
+        f"{s.switching_rate.mean:.4f}",
+    ]
+
+
+def generate_report(config: Optional[ReportConfig] = None) -> str:
+    """Run the headline experiments and return a markdown report."""
+    cfg = config or ReportConfig()
+    datasets = build_synthetic_datasets(
+        cfg.sessions, session_seconds=cfg.session_seconds, seed=cfg.seed
+    )
+    profiles = {
+        "puffer": live_profile(session_seconds=cfg.session_seconds),
+        "5g": live_profile(session_seconds=cfg.session_seconds, cellular=True),
+        "4g": live_profile(session_seconds=cfg.session_seconds, cellular=True),
+    }
+
+    parts: List[str] = [
+        "# SODA reproduction — evaluation report",
+        "",
+        f"Scale: {cfg.sessions} sessions × {cfg.session_seconds:.0f} s per "
+        f"dataset, seed {cfg.seed}.",
+    ]
+
+    # ------------------------------------------------------------ Fig 9
+    parts += ["", "## Dataset statistics (Figure 9)", ""]
+    rows = []
+    for name, traces in datasets.items():
+        stats = [t.stats() for t in traces]
+        rows.append(
+            [
+                name,
+                f"{np.mean([s.mean for s in stats]):.1f}",
+                f"{np.mean([s.rsd for s in stats]):.1%}",
+            ]
+        )
+    parts.append(_md_table(["dataset", "mean Mb/s", "mean RSD"], rows))
+
+    # ----------------------------------------------------------- Fig 10
+    parts += ["", "## Controller comparison (Figure 10)", ""]
+    for name, traces in datasets.items():
+        suite = run_suite(standard_controllers(), traces, profiles[name], name)
+        summaries = suite.summaries()
+        parts += [f"### {name}", ""]
+        parts.append(
+            _md_table(
+                ["controller", "QoE", "utility", "rebuf", "switch"],
+                [_summary_row(c, s) for c, s in summaries.items()],
+            )
+        )
+        parts.append(
+            f"\nSODA vs best baseline: "
+            f"{suite.improvement_over_best_baseline():+.2%}\n"
+        )
+
+    # ----------------------------------------------------------- Fig 11
+    parts += ["", "## Prediction-noise robustness (Figure 11)", ""]
+    noise_rows = []
+    subset = datasets["puffer"][: max(cfg.sessions // 2, 2)]
+    for noise in cfg.noise_levels:
+        metrics = run_dataset(
+            lambda n=noise: SodaController(
+                predictor=NoisyOraclePredictor(n, seed=5)
+            ),
+            subset,
+            profiles["puffer"].ladder,
+            profiles["puffer"].player,
+        )
+        noise_rows.append([f"{noise:.0%}", f"{summarize(metrics).qoe.mean:.4f}"])
+    parts.append(_md_table(["noise level", "SODA mean QoE"], noise_rows))
+
+    # ----------------------------------------------------------- Fig 13
+    parts += ["", "## Production A/B simulation (Figure 13)", ""]
+    prod_profile = production_profile(session_seconds=cfg.session_seconds)
+    rows = []
+    for i, family in enumerate(DEVICE_FAMILIES):
+        traces = family.traces(
+            cfg.sessions, duration=cfg.session_seconds, seed=cfg.seed + 7 * i
+        )
+        soda_results = [
+            run_session(
+                SodaController(), t, prod_profile.ladder, prod_profile.player
+            )
+            for t in traces
+        ]
+        base_results = [
+            run_session(
+                DynamicController(), t, prod_profile.ladder,
+                prod_profile.player,
+            )
+            for t in traces
+        ]
+        deltas = relative_deltas(
+            family, soda_results, base_results, EngagementModel()
+        )
+        rows.append(
+            [
+                family.name,
+                f"{deltas.viewing_duration:+.2%}",
+                f"{deltas.bitrate:+.2%}",
+                f"{deltas.rebuffer_ratio:+.2%}",
+                f"{deltas.switching_rate:+.2%}",
+            ]
+        )
+    parts.append(
+        _md_table(
+            ["device family", "viewing duration", "bitrate", "rebuffering",
+             "switching"],
+            rows,
+        )
+    )
+    parts.append("")
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--session-seconds", type=float, default=480.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", help="write the report here (default stdout)")
+    args = parser.parse_args(argv)
+    report = generate_report(
+        ReportConfig(
+            sessions=args.sessions,
+            session_seconds=args.session_seconds,
+            seed=args.seed,
+        )
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

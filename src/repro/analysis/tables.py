@@ -1,0 +1,85 @@
+"""ASCII rendering of result tables, matching the paper's figures' content.
+
+Every bench prints its rows through these helpers so the regenerated
+"figures" are readable in a terminal and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+from ..qoe.aggregate import QoeSummary
+
+__all__ = ["format_table", "qoe_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: cell values; floats are formatted to four decimals.
+
+    Raises:
+        ValueError: when a row's width differs from the header's.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    text_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        sep,
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def qoe_table(summaries: Mapping[str, QoeSummary]) -> str:
+    """One row per controller: QoE score and its three components ± 95% CI."""
+    headers = ["controller", "qoe", "utility", "rebuf ratio", "switch rate"]
+    rows = [
+        [
+            name,
+            str(s.qoe),
+            str(s.utility),
+            str(s.rebuffer_ratio),
+            str(s.switching_rate),
+        ]
+        for name, s in summaries.items()
+    ]
+    return format_table(headers, rows)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """A table with one x column and one column per named series.
+
+    The tabular equivalent of the paper's line plots (Figures 7, 8, 11).
+    """
+    headers = [x_label] + list(series)
+    n = len(xs)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length differs from x axis")
+    rows = [
+        [xs[i]] + [series[name][i] for name in series] for i in range(n)
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,238 @@
+"""Command-line interface: run experiments without writing code.
+
+Subcommands:
+
+* ``compare`` — controller suite over a synthetic dataset (a mini Fig. 10);
+* ``session`` — one session of one controller on a trace/scenario, with an
+  optional event timeline;
+* ``trace`` — generate a synthetic trace to CSV or summarise a trace file;
+* ``decide`` — a single SODA decision for a (throughput, buffer, prev) situation;
+* ``tune`` — grid-search SODA weights for a dataset.
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .abr import (
+    BbaController,
+    BolaController,
+    DynamicController,
+    FuguController,
+    HybController,
+    PidController,
+    RateController,
+    RobustMpcController,
+)
+from .analysis import qoe_table, run_suite, standard_controllers
+from .core.controller import SodaController
+from .core.objective import SodaConfig
+from .core.tuning import tune_soda
+from .qoe import qoe_from_session
+from .sim.events import TimelineRecorder
+from .sim.profiles import live_profile
+from .sim.session import run_session
+from .traces import DATASET_FACTORIES, load_bandwidth_csv
+from .traces import scenarios as scenario_lib
+
+__all__ = ["main", "build_parser"]
+
+_CONTROLLERS = {
+    "soda": SodaController,
+    "hyb": HybController,
+    "bola": BolaController,
+    "dynamic": DynamicController,
+    "mpc": RobustMpcController,
+    "fugu": FuguController,
+    "bba": BbaController,
+    "pid": PidController,
+    "rate": RateController,
+}
+
+# Scenario factories, re-parameterised so events scale with the duration.
+_SCENARIOS = {
+    "step-down": lambda duration: scenario_lib.step_down(
+        at=0.4 * duration, duration=duration
+    ),
+    "step-up": lambda duration: scenario_lib.step_up(
+        at=0.4 * duration, duration=duration
+    ),
+    "spike": lambda duration: scenario_lib.spike(
+        at=0.4 * duration, width=0.05 * duration, duration=duration
+    ),
+    "outage": lambda duration: scenario_lib.outage(
+        at=0.4 * duration, width=0.05 * duration, duration=duration
+    ),
+    "ramp": lambda duration: scenario_lib.ramp(duration=duration),
+    "oscillation": lambda duration: scenario_lib.oscillation(
+        period=duration / 8.0, duration=duration
+    ),
+    "sawtooth": lambda duration: scenario_lib.sawtooth(
+        period=duration / 5.0, duration=duration
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SODA (SIGCOMM 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="controller suite over a dataset")
+    p.add_argument("--dataset", choices=[*DATASET_FACTORIES, "all"],
+                   default="puffer")
+    p.add_argument("--sessions", type=int, default=6)
+    p.add_argument("--duration", type=float, default=480.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("session", help="run one controller on one trace")
+    p.add_argument("controller", choices=sorted(_CONTROLLERS))
+    p.add_argument("--scenario", choices=sorted(_SCENARIOS), default="outage")
+    p.add_argument("--trace-csv", help="time,bandwidth CSV instead of a scenario")
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--timeline", action="store_true",
+                   help="print the event timeline")
+    p.set_defaults(func=_cmd_session)
+
+    p = sub.add_parser("trace", help="generate or summarise a trace")
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES),
+                   default="puffer")
+    p.add_argument("--duration", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="write time,bandwidth CSV here")
+    p.add_argument("--summarize", help="summarise an existing CSV instead")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("decide", help="one SODA decision for a situation")
+    p.add_argument("--throughput", type=float, required=True,
+                   help="predicted throughput, Mb/s")
+    p.add_argument("--buffer", type=float, required=True,
+                   help="buffer level, seconds")
+    p.add_argument("--prev", type=int, default=None,
+                   help="previous rung index (omit at session start)")
+    p.add_argument("--max-buffer", type=float, default=20.0)
+    p.set_defaults(func=_cmd_decide)
+
+    p = sub.add_parser("tune", help="grid-search SODA weights on a dataset")
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES),
+                   default="puffer")
+    p.add_argument("--sessions", type=int, default=4)
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_tune)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = list(DATASET_FACTORIES) if args.dataset == "all" else [args.dataset]
+    for name in names:
+        traces = DATASET_FACTORIES[name]().dataset(
+            args.sessions, args.duration, seed=args.seed
+        )
+        profile = live_profile(
+            session_seconds=args.duration, cellular=name in ("5g", "4g")
+        )
+        suite = run_suite(standard_controllers(), traces, profile, name)
+        print(f"\n=== {name} ({args.sessions} × {args.duration:.0f}s) ===")
+        print(qoe_table(suite.summaries()))
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    if args.trace_csv:
+        trace = load_bandwidth_csv(args.trace_csv)
+    else:
+        trace = _SCENARIOS[args.scenario](args.duration)
+    profile = live_profile(session_seconds=min(args.duration, trace.duration))
+    controller = _CONTROLLERS[args.controller]()
+    recorder = TimelineRecorder(controller)
+    result = run_session(recorder, trace, profile.ladder, profile.player)
+    metrics = qoe_from_session(result)
+    print(f"controller={controller.name} trace={trace.name or 'csv'}")
+    print(f"qoe={metrics.qoe:.3f} utility={metrics.utility:.3f} "
+          f"rebuf={metrics.rebuffer_ratio:.4f} "
+          f"switch={metrics.switching_rate:.3f} "
+          f"abandonments={result.abandonments}")
+    if args.timeline:
+        print(recorder.timeline(result).render(limit=80))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.summarize:
+        trace = load_bandwidth_csv(args.summarize)
+        stats = trace.stats()
+        print(f"{args.summarize}: duration={stats.duration:.0f}s "
+              f"mean={stats.mean:.2f} Mb/s rsd={stats.rsd:.1%} "
+              f"min={stats.minimum:.2f} max={stats.maximum:.2f}")
+        return 0
+    trace = DATASET_FACTORIES[args.dataset]().generate(
+        args.duration, seed=args.seed
+    )
+    stats = trace.stats()
+    print(f"generated {args.dataset} trace: mean={stats.mean:.2f} Mb/s "
+          f"rsd={stats.rsd:.1%}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write("time,bandwidth\n")
+            t = 0.0
+            for duration, bandwidth in zip(trace.durations, trace.bandwidths):
+                f.write(f"{t:.3f},{bandwidth:.6f}\n")
+                t += duration
+            f.write(f"{t:.3f},{trace.bandwidths[-1]:.6f}\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    profile = live_profile()
+    controller = SodaController()
+    decision = controller.decide(
+        args.throughput, args.buffer, args.prev, profile.ladder,
+        args.max_buffer,
+    )
+    if decision is None:
+        print("decision: defer (no download — overflow region)")
+    else:
+        print(f"decision: rung {decision} "
+              f"({profile.ladder.bitrate(decision):.2f} Mb/s)")
+    plan = controller.last_plan
+    if plan is not None and plan.feasible:
+        print(f"planned sequence: {list(plan.sequence)} "
+              f"(objective {plan.objective:.4f}, "
+              f"{plan.evaluations} candidates scored)")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    traces = DATASET_FACTORIES[args.dataset]().dataset(
+        args.sessions, args.duration, seed=args.seed
+    )
+    profile = live_profile(
+        session_seconds=args.duration, cellular=args.dataset in ("5g", "4g")
+    )
+    result = tune_soda(traces, profile)
+    print(result.render(n=8))
+    best = result.best.config
+    print(f"\nbest: beta={best.beta} gamma={best.gamma} "
+          f"kappa={best.switch_event_cost} target={best.target_buffer}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

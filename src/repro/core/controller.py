@@ -1,0 +1,219 @@
+"""The SODA controller (paper §3.3 and §5).
+
+``SodaController`` is the deployable, segment-based realisation of the
+time-based design: Δt is set to the segment length (§5.1), predictions come
+from a pluggable (by default simple) throughput predictor (§5.2), and each
+decision runs Algorithm 1's monotonic search (§5.3), committing only the
+first rung of the K-step plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..abr.base import AbrController, PlayerObservation
+from ..prediction.base import ThroughputPredictor
+from ..prediction.moving_average import SlidingWindowPredictor
+from .objective import SodaConfig
+from .solver import PlanResult, solve_brute_force, solve_monotonic
+
+__all__ = ["SodaController"]
+
+
+class SodaController(AbrController):
+    """Smoothness-optimized dynamic adaptive controller.
+
+    Args:
+        predictor: throughput predictor; defaults to the 10-second sliding
+            window used in the production deployment (§6.3).  SODA is robust
+            to prediction errors by design, so simple predictors suffice.
+        config: weights, horizon, and solver options.
+
+    The controller returns ``None`` (defer) when any download would overflow
+    the buffer — the blank region of Figure 5 — and falls back to the lowest
+    rung when the network is too slow for any feasible plan.
+    """
+
+    name = "soda"
+
+    def __init__(
+        self,
+        predictor: Optional[ThroughputPredictor] = None,
+        config: Optional[SodaConfig] = None,
+    ) -> None:
+        super().__init__(predictor or SlidingWindowPredictor(window_seconds=10.0))
+        self.config = config or SodaConfig()
+        #: last plan produced, for diagnostics and the decision-diagram bench
+        self.last_plan: Optional[PlanResult] = None
+
+    # ------------------------------------------------------------------
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        omega = self._predict_vector(obs, self.config.horizon)
+        # The schema caps react on the freshest signal available: EMA-style
+        # predictors recover slowly after an outage, which would pin the cap
+        # below the ladder for many segments; the last measured sample lifts
+        # it as soon as the network actually recovers.
+        cap_tput = float(omega[0])
+        if obs.last_throughput is not None:
+            cap_tput = max(cap_tput, obs.last_throughput)
+        return self._select(
+            omega,
+            obs.buffer_level,
+            obs.previous_quality,
+            obs.ladder,
+            obs.max_buffer,
+            cap_tput,
+        )
+
+    def decide(
+        self,
+        throughput: float,
+        buffer_level: float,
+        prev_quality: Optional[int],
+        ladder,
+        max_buffer: float,
+    ) -> Optional[int]:
+        """Stateless single decision for a given situation.
+
+        Used by the Figure 5 decision diagram and the Figure 8 solver-parity
+        experiment, which sample (throughput, buffer, previous-rate)
+        situations directly rather than running sessions.  Applies exactly
+        the same fallback rules as :meth:`select_quality`.
+        """
+        omega = np.full(self.config.horizon, max(float(throughput), 0.0))
+        return self._select(
+            omega, buffer_level, prev_quality, ladder, max_buffer, omega[0]
+        )
+
+    # ------------------------------------------------------------------
+    def _select(
+        self,
+        omega: np.ndarray,
+        buffer_level: float,
+        prev_quality: Optional[int],
+        ladder,
+        max_buffer: float,
+        cap_tput: float,
+    ) -> Optional[int]:
+        cfg = self.config
+        dt = ladder.segment_duration
+        first_cap = self._first_step_cap(
+            cap_tput, buffer_level, max_buffer, ladder, cfg
+        )
+        plan = self._solve(
+            omega, buffer_level, prev_quality, ladder, max_buffer, cfg, dt,
+            first_cap,
+        )
+        if plan.quality is None and cfg.horizon > 1:
+            # The model sees no feasible K-step plan (e.g. a deep throughput
+            # drop makes future underflow unavoidable); degrade gracefully to
+            # a one-step look-ahead before applying the hard fallbacks.
+            plan = self._solve(
+                omega[:1], buffer_level, prev_quality, ladder, max_buffer,
+                cfg.with_(horizon=1), dt, first_cap,
+            )
+        self.last_plan = plan
+        target = cfg.resolve_target(max_buffer)
+
+        if plan.quality is not None:
+            if (
+                prev_quality is not None
+                and plan.quality > prev_quality
+                and buffer_level > target
+            ):
+                # The plan switches up while the buffer is already above
+                # target.  If holding the previous rung is only ruled out
+                # because its model landing point overflows the buffer,
+                # prefer *not downloading* (Figure 5's blank region): wait a
+                # beat, let the buffer drain, and keep the bitrate smooth.
+                x1_hold = (
+                    buffer_level
+                    + omega[0] * dt / ladder.bitrate(prev_quality)
+                    - dt
+                )
+                if x1_hold > max_buffer:
+                    return None
+            return plan.quality
+
+        # Still infeasible.  Two cases:
+        # * every rung overflows the model buffer (throughput far above the
+        #   ladder).  Defer while the buffer sits above target — Figure 5's
+        #   blank region — but never below it, because the Δt model's
+        #   overflow is an artifact there: the real player downloads exactly
+        #   one segment and enforces buffer room itself.
+        # * the network is too slow for any plan: take the lowest rung and
+        #   accept the buffer drain.
+        x1_fastest = buffer_level + omega[0] * dt / ladder.max_bitrate - dt
+        if x1_fastest > max_buffer:
+            if buffer_level > target:
+                return None
+            if first_cap is not None:
+                return first_cap
+            return ladder.levels - 1
+        return 0
+
+    # ------------------------------------------------------------------
+    def _first_step_cap(
+        self,
+        omega0: float,
+        buffer_level: float,
+        max_buffer: float,
+        ladder,
+        cfg: SodaConfig,
+    ):
+        """Combined §5.1 schema caps on the committed rung.
+
+        The one-rung-above-throughput cap plus the low-buffer download-time
+        guard; returns ``None`` when neither is enabled.
+        """
+        caps = []
+        if cfg.cap_one_rung_above:
+            caps.append(ladder.ceil_quality_for_bitrate(omega0))
+        if cfg.download_safety > 0:
+            seg_len = ladder.segment_duration
+            budget = max(cfg.download_safety * buffer_level, seg_len)
+            caps.append(
+                ladder.quality_for_bitrate(omega0 * budget / seg_len)
+            )
+        if not caps:
+            return None
+        return min(caps)
+
+    def _solve(
+        self,
+        omega: np.ndarray,
+        buffer_level: float,
+        prev_quality: Optional[int],
+        ladder,
+        max_buffer: float,
+        cfg: SodaConfig,
+        dt: float,
+        first_cap: Optional[int],
+    ) -> PlanResult:
+        solver = solve_brute_force if cfg.use_brute_force else solve_monotonic
+        return solver(
+            omega,
+            buffer_level,
+            prev_quality,
+            ladder,
+            cfg,
+            max_buffer,
+            dt=dt,
+            first_cap=first_cap,
+        )
+
+    def _predict_vector(self, obs: PlayerObservation, horizon: int) -> np.ndarray:
+        """Per-interval predictions with safe cold-start fallbacks."""
+        omega = None
+        if self.predictor is not None:
+            omega = self.predictor.predict(
+                obs.wall_time, horizon, obs.ladder.segment_duration
+            )
+        if omega is None or float(np.max(omega)) <= 0.0:
+            fallback = obs.last_throughput
+            if fallback is None or fallback <= 0:
+                fallback = obs.ladder.min_bitrate
+            omega = np.full(horizon, fallback)
+        return np.asarray(omega, dtype=float)

@@ -1,0 +1,168 @@
+"""FastMPC-style offline decision tables (the §5.3 alternative).
+
+FastMPC [17] sidesteps online optimisation by enumerating all combinations
+of discretised throughput, buffer level, and previous bitrate offline and
+shipping a lookup table.  The paper argues (§5.3) this is neither flexible
+nor scalable: the table is specific to one ladder / buffer cap / segment
+length and must be rebuilt whenever anything changes — untenable for live
+streaming.
+
+This module implements the approach faithfully so the trade-off can be
+*measured*: :class:`DecisionTable` precomputes SODA's decision on a grid
+and answers lookups by nearest-neighbour; the ablation bench compares its
+build cost, memory, and off-grid decision accuracy against Algorithm 1's
+on-the-fly solve.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sim.video import BitrateLadder
+from .controller import SodaController
+from .objective import SodaConfig
+
+__all__ = ["DecisionTable"]
+
+#: table cell meaning "defer / no download"
+_DEFER = -1
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Build statistics of a decision table.
+
+    Attributes:
+        cells: number of precomputed decisions.
+        build_seconds: wall time spent building.
+        memory_bytes: size of the decision array.
+    """
+
+    cells: int
+    build_seconds: float
+    memory_bytes: int
+
+
+class DecisionTable:
+    """A precomputed (throughput × buffer × previous-rung) decision grid.
+
+    Args:
+        ladder: the encoding ladder the table is specific to.
+        max_buffer: the buffer cap the table is specific to.
+        config: SODA tuning baked into the table.
+        throughput_points: log-spaced throughput grid size.
+        buffer_points: linear buffer grid size.
+        throughput_range: (min, max) throughput covered, Mb/s; defaults to
+            0.25× the lowest rung .. 4× the highest rung.
+
+    Raises:
+        ValueError: on degenerate grid sizes or ranges.
+    """
+
+    def __init__(
+        self,
+        ladder: BitrateLadder,
+        max_buffer: float,
+        config: Optional[SodaConfig] = None,
+        throughput_points: int = 48,
+        buffer_points: int = 48,
+        throughput_range: Optional[Sequence[float]] = None,
+    ) -> None:
+        if throughput_points < 2 or buffer_points < 2:
+            raise ValueError("grids need at least two points per axis")
+        if max_buffer <= 0:
+            raise ValueError("max_buffer must be positive")
+        self.ladder = ladder
+        self.max_buffer = max_buffer
+        self.config = config or SodaConfig()
+
+        if throughput_range is None:
+            throughput_range = (
+                0.25 * ladder.min_bitrate,
+                4.0 * ladder.max_bitrate,
+            )
+        lo, hi = throughput_range
+        if not 0 < lo < hi:
+            raise ValueError("need 0 < throughput lo < hi")
+        self._tput_grid = np.geomspace(lo, hi, throughput_points)
+        self._buffer_grid = np.linspace(0.0, max_buffer, buffer_points)
+        # previous rung axis: index 0 encodes "no previous rung".
+        self._table = np.full(
+            (throughput_points, buffer_points, ladder.levels + 1),
+            _DEFER,
+            dtype=np.int8,
+        )
+        self.stats = self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> TableStats:
+        start = time.perf_counter()
+        controller = SodaController(config=self.config)
+        for ti, tput in enumerate(self._tput_grid):
+            for bi, buf in enumerate(self._buffer_grid):
+                for prev_axis in range(self.ladder.levels + 1):
+                    prev = None if prev_axis == 0 else prev_axis - 1
+                    decision = controller.decide(
+                        float(tput), float(buf), prev, self.ladder,
+                        self.max_buffer,
+                    )
+                    self._table[ti, bi, prev_axis] = (
+                        _DEFER if decision is None else decision
+                    )
+        elapsed = time.perf_counter() - start
+        return TableStats(
+            cells=int(self._table.size),
+            build_seconds=elapsed,
+            memory_bytes=int(self._table.nbytes),
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        throughput: float,
+        buffer_level: float,
+        prev_quality: Optional[int],
+    ) -> Optional[int]:
+        """Nearest-neighbour decision (what FastMPC does at runtime)."""
+        if throughput <= 0:
+            throughput = float(self._tput_grid[0])
+        ti = int(
+            np.argmin(np.abs(np.log(self._tput_grid) - math.log(throughput)))
+        )
+        bi = int(np.argmin(np.abs(self._buffer_grid - buffer_level)))
+        prev_axis = 0 if prev_quality is None else prev_quality + 1
+        decision = int(self._table[ti, bi, prev_axis])
+        return None if decision == _DEFER else decision
+
+    def agreement_with_solver(
+        self, samples: int = 2000, seed: int = 0
+    ) -> float:
+        """Fraction of random off-grid situations where the table matches
+        an on-the-fly Algorithm 1 solve."""
+        rng = np.random.default_rng(seed)
+        controller = SodaController(config=self.config)
+        agree = 0
+        for _ in range(samples):
+            tput = float(
+                rng.uniform(self._tput_grid[0], self._tput_grid[-1])
+            )
+            buf = float(rng.uniform(0.0, self.max_buffer))
+            prev_axis = int(rng.integers(0, self.ladder.levels + 1))
+            prev = None if prev_axis == 0 else prev_axis - 1
+            if self.lookup(tput, buf, prev) == controller.decide(
+                tput, buf, prev, self.ladder, self.max_buffer
+            ):
+                agree += 1
+        return agree / samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DecisionTable {self._table.shape} "
+            f"{self.stats.memory_bytes / 1024:.0f} KiB "
+            f"built in {self.stats.build_seconds:.2f}s>"
+        )

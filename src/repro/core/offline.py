@@ -1,0 +1,288 @@
+"""Offline optimal (OPT) and time-based rollouts for regret experiments.
+
+The paper's theory (§4, Appendix A) measures SODA against the *offline
+optimal* — the cost a clairvoyant controller achieves with the whole
+bandwidth sequence in hand.  This module provides:
+
+* :func:`offline_optimal` — dynamic programming over a discretised
+  (buffer, previous-rung) state space, computing cost(OPT) and the optimal
+  trajectory for the time-based objective of §3.1;
+* :func:`rollout_time_based` — SODA run in the pure time-based model
+  (Equation 2 each step, commit the first action, advance with the *true*
+  bandwidth), which is what the dynamic-regret and competitive-ratio
+  benches compare against OPT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.video import BitrateLadder
+from .objective import SodaConfig
+from .solver import solve_brute_force, solve_monotonic
+
+__all__ = ["OfflineSolution", "offline_optimal", "RolloutResult", "rollout_time_based"]
+
+
+@dataclass(frozen=True)
+class OfflineSolution:
+    """The offline optimal trajectory and its cost.
+
+    Attributes:
+        cost: total objective value of the optimal plan.
+        qualities: optimal rung per interval.
+        buffers: buffer level after each interval (grid-snapped).
+    """
+
+    cost: float
+    qualities: Tuple[int, ...]
+    buffers: Tuple[float, ...]
+
+
+def offline_optimal(
+    omega: Sequence[float],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    x0: float,
+    dt: Optional[float] = None,
+    prev_quality: Optional[int] = None,
+    buffer_grid: int = 201,
+) -> OfflineSolution:
+    """cost(OPT) for a bandwidth sequence via dynamic programming.
+
+    The buffer level is discretised onto ``buffer_grid`` points; finer
+    grids tighten the approximation (the DP cost converges to the true
+    optimum from above as the grid refines).
+
+    Args:
+        omega: true bandwidth per interval, Mb/s.
+        ladder: discrete bitrate set R.
+        cfg: objective weights (horizon is ignored — OPT sees everything).
+        max_buffer: buffer capacity x_max.
+        x0: initial buffer level.
+        dt: interval length Δt (defaults to the segment duration).
+        prev_quality: rung before the first interval (None = no switching
+            anchor for the first decision).
+        buffer_grid: number of buffer discretisation points.
+
+    Returns:
+        The optimal plan; ``cost`` is ``inf`` when no feasible plan exists.
+    """
+    omega = np.asarray(omega, dtype=float)
+    if omega.ndim != 1 or omega.size == 0:
+        raise ValueError("omega must be a non-empty 1-D sequence")
+    if buffer_grid < 2:
+        raise ValueError("buffer grid needs at least two points")
+    dt = ladder.segment_duration if dt is None else dt
+
+    n_steps = omega.size
+    levels = ladder.levels
+    target = cfg.resolve_target(max_buffer)
+    distortion = cfg.distortion_fn()
+    v = np.array(
+        [
+            distortion(r, ladder.min_bitrate, ladder.max_bitrate)
+            for r in ladder.bitrates
+        ]
+    )
+    rates = np.array(ladder.bitrates)
+    grid = np.linspace(0.0, max_buffer, buffer_grid)
+    h = grid[1] - grid[0]
+
+    # cost[b, q] = min cost to be at buffer grid[b] having just played rung q.
+    # q index `levels` encodes "no previous rung" (only valid at step 0).
+    big = math.inf
+    cost = np.full((buffer_grid, levels + 1), big)
+    start_idx = int(round(min(max(x0, 0.0), max_buffer) / h))
+    cost[start_idx, levels] = 0.0
+
+    parents: List[np.ndarray] = []
+
+    buffer_cost = np.where(
+        grid <= target,
+        (target - grid) ** 2,
+        cfg.epsilon * (grid - target) ** 2,
+    )
+
+    for n in range(n_steps):
+        new_cost = np.full((buffer_grid, levels), big)
+        parent = np.full((buffer_grid, levels, 2), -1, dtype=np.int32)
+        for q in range(levels):
+            delta = omega[n] * dt / rates[q] - dt
+            shift = delta / h
+            # Landing index for every grid start.
+            land = np.rint(np.arange(buffer_grid) + shift).astype(np.int64)
+            valid = (land >= 0) & (land < buffer_grid)
+            video_seconds = omega[n] * dt / rates[q]
+            base_step = v[q] * video_seconds
+            for q_prev in range(levels + 1):
+                src = cost[:, q_prev]
+                if not np.any(np.isfinite(src)):
+                    continue
+                if q_prev == levels:
+                    switch = 0.0
+                else:
+                    switch = cfg.gamma * cfg.switching_cost(v[q], v[q_prev])
+                total = src + base_step + switch
+                for b in np.nonzero(valid & np.isfinite(src))[0]:
+                    lb = land[b]
+                    c = total[b] + cfg.beta * buffer_cost[lb]
+                    if c < new_cost[lb, q]:
+                        new_cost[lb, q] = c
+                        parent[lb, q, 0] = b
+                        parent[lb, q, 1] = q_prev
+        parents.append(parent)
+        cost = np.concatenate([new_cost, np.full((buffer_grid, 1), big)], axis=1)
+
+    final = cost[:, :levels]
+    if not np.any(np.isfinite(final)):
+        return OfflineSolution(cost=math.inf, qualities=(), buffers=())
+    b_idx, q_idx = np.unravel_index(np.argmin(final), final.shape)
+    best_cost = float(final[b_idx, q_idx])
+
+    # Recover the trajectory.
+    qualities: List[int] = []
+    buffers: List[float] = []
+    b, q = int(b_idx), int(q_idx)
+    for n in range(n_steps - 1, -1, -1):
+        qualities.append(q)
+        buffers.append(float(grid[b]))
+        pb, pq = parents[n][b, q]
+        b, q = int(pb), int(pq)
+    qualities.reverse()
+    buffers.reverse()
+    return OfflineSolution(
+        cost=best_cost, qualities=tuple(qualities), buffers=tuple(buffers)
+    )
+
+
+@dataclass(frozen=True)
+class RolloutResult:
+    """A time-based SODA rollout against the true bandwidth sequence.
+
+    Attributes:
+        cost: realised objective value.
+        qualities: committed rung per interval.
+        buffers: realised buffer level after each interval.
+        violations: count of intervals where the model buffer had to be
+            clipped into [0, x_max] (prediction errors can cause this —
+            §3.1's execution-phase caveat).
+    """
+
+    cost: float
+    qualities: Tuple[int, ...]
+    buffers: Tuple[float, ...]
+    violations: int
+
+
+def rollout_time_based(
+    omega: Sequence[float],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    x0: float,
+    dt: Optional[float] = None,
+    predictions: Optional[Callable[[int, int], np.ndarray]] = None,
+    prev_quality: Optional[int] = None,
+    terminal_weight: float = 1.0,
+) -> RolloutResult:
+    """Run SODA step-by-step in the time-based model (§3.3).
+
+    Args:
+        omega: true bandwidth per interval.
+        ladder: discrete bitrate set.
+        cfg: SODA weights and horizon K.
+        max_buffer: buffer capacity.
+        x0: initial buffer level.
+        dt: interval length (defaults to segment duration).
+        predictions: ``predictions(n, k)`` returns the ω̂ vector of length k
+            available at step n; defaults to exact predictions (slices of
+            the true sequence — Theorem 4.1's regime).
+        prev_quality: rung before the first interval.
+        terminal_weight: weight of the soft terminal cost steering the
+            planned end-of-horizon buffer back to target — the practical
+            stand-in for Algorithm 2's indicator terminal constraint.
+
+    Returns:
+        The realised trajectory and cost under the true bandwidths.
+    """
+    omega = np.asarray(omega, dtype=float)
+    dt = ladder.segment_duration if dt is None else dt
+    n_steps = omega.size
+    target = cfg.resolve_target(max_buffer)
+    distortion = cfg.distortion_fn()
+    v = [
+        distortion(r, ladder.min_bitrate, ladder.max_bitrate)
+        for r in ladder.bitrates
+    ]
+
+    def exact(n: int, k: int) -> np.ndarray:
+        idx = np.minimum(np.arange(n, n + k), n_steps - 1)
+        return omega[idx]
+
+    predict = predictions or exact
+
+    solver = solve_brute_force if cfg.use_brute_force else solve_monotonic
+    x = float(x0)
+    q_prev = prev_quality
+    total = 0.0
+    violations = 0
+    qualities: List[int] = []
+    buffers: List[float] = []
+
+    for n in range(n_steps):
+        k = min(cfg.horizon, n_steps - n)
+        step_cfg = cfg if k == cfg.horizon else cfg.with_(horizon=k)
+        omega_hat = np.asarray(predict(n, k), dtype=float)
+        plan = solver(
+            omega_hat,
+            x,
+            q_prev,
+            ladder,
+            step_cfg,
+            max_buffer,
+            dt=dt,
+            terminal_weight=terminal_weight,
+        )
+        if plan.quality is None:
+            # No feasible plan under the prediction: take the rung whose
+            # one-step landing point is least infeasible.
+            landings = [
+                x + omega_hat[0] * dt / r - dt for r in ladder.bitrates
+            ]
+            q = min(
+                range(ladder.levels),
+                key=lambda i: max(-landings[i], landings[i] - max_buffer, 0.0),
+            )
+        else:
+            q = plan.quality
+
+        r = ladder.bitrates[q]
+        x_next = x + omega[n] * dt / r - dt
+        if x_next < 0.0 or x_next > max_buffer:
+            violations += 1
+            x_next = min(max(x_next, 0.0), max_buffer)
+
+        video_seconds = omega[n] * dt / r
+        step_cost = v[q] * video_seconds
+        step_cost += cfg.beta * cfg.buffer_cost(x_next, target)
+        if q_prev is not None:
+            step_cost += cfg.gamma * cfg.switching_cost(v[q], v[q_prev])
+        total += step_cost
+
+        qualities.append(q)
+        buffers.append(x_next)
+        x = x_next
+        q_prev = q
+
+    return RolloutResult(
+        cost=total,
+        qualities=tuple(qualities),
+        buffers=tuple(buffers),
+        violations=violations,
+    )

@@ -1,0 +1,184 @@
+"""Continuous-action horizon planner (the theory's Equation 3).
+
+The theoretical analysis of Appendix A works with continuous actions
+``u = 1/r`` on ``[1/r_max, 1/r_min]`` and the unnormalised distortion
+``v(r) = 1/r`` (so the per-interval distortion term is ``ω u²``).  This
+planner solves that constrained problem numerically and is used by the
+theory benches: the exponential-decay experiment (Figure 6) perturbs its
+initial conditions, and the Theorem A.9 experiment compares it against its
+switching-cost-only sibling.
+
+Requires scipy (available offline); the discrete production solver in
+``repro.core.solver`` has no such dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["ContinuousProblem", "ContinuousPlan", "solve_continuous", "trajectory_distance"]
+
+
+@dataclass(frozen=True)
+class ContinuousProblem:
+    """Parameters of the theoretical control problem (Equation 3).
+
+    Attributes:
+        r_min: smallest available bitrate, Mb/s.
+        r_max: largest available bitrate, Mb/s.
+        max_buffer: buffer capacity x_max, seconds.
+        target: target buffer level x̄, seconds.
+        beta: buffer-cost weight β.
+        gamma: switching-cost weight γ.
+        epsilon: asymmetry factor ε of the buffer cost.
+        dt: interval length Δt (the theory sets Δt = 1).
+    """
+
+    r_min: float
+    r_max: float
+    max_buffer: float
+    target: float
+    beta: float
+    gamma: float
+    epsilon: float = 0.25
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.r_min < self.r_max:
+            raise ValueError("need 0 < r_min < r_max")
+        if not 0 < self.target <= self.max_buffer:
+            raise ValueError("target must lie in (0, max_buffer]")
+        if self.beta < 0 or self.gamma < 0:
+            raise ValueError("weights must be non-negative")
+        if not 0 < self.epsilon <= 1:
+            raise ValueError("epsilon must be in (0, 1]")
+
+    @property
+    def u_min(self) -> float:
+        return 1.0 / self.r_max
+
+    @property
+    def u_max(self) -> float:
+        return 1.0 / self.r_min
+
+    def buffer_cost(self, x: float) -> float:
+        dev = self.target - x
+        if x <= self.target:
+            return dev * dev
+        return self.epsilon * dev * dev
+
+
+@dataclass(frozen=True)
+class ContinuousPlan:
+    """Solution of one continuous horizon problem.
+
+    Attributes:
+        actions: optimal u_t .. u_{t+K-1}.
+        buffers: resulting x_t .. x_{t+K-1}.
+        cost: objective value.
+        converged: scipy success flag.
+    """
+
+    actions: np.ndarray
+    buffers: np.ndarray
+    cost: float
+    converged: bool
+
+    @property
+    def bitrates(self) -> np.ndarray:
+        return 1.0 / self.actions
+
+
+def solve_continuous(
+    omega: Sequence[float],
+    x0: float,
+    u_prev: float,
+    problem: ContinuousProblem,
+    switching_only: bool = False,
+    terminal_buffer: Optional[float] = None,
+) -> ContinuousPlan:
+    """Solve Equation 3 over continuous actions with SLSQP.
+
+    Args:
+        omega: predicted bandwidth per interval (length K).
+        x0: initial buffer level x_{t-1}.
+        u_prev: previous action u_{t-1} (inverse bitrate).
+        problem: cost/constraint parameters.
+        switching_only: drop distortion and buffer costs — the Lemma A.10
+            problem whose optimum is provably monotonic.
+        terminal_buffer: optional equality constraint on the final buffer
+            level (the indicator terminal cost of Algorithm 2).
+
+    Returns:
+        The optimal plan.  ``converged`` is False when SLSQP failed to
+        satisfy the constraints; callers doing theory experiments should
+        check it.
+    """
+    omega = np.asarray(omega, dtype=float)
+    if omega.ndim != 1 or omega.size == 0:
+        raise ValueError("omega must be a non-empty 1-D sequence")
+    if np.any(omega <= 0):
+        raise ValueError("the continuous planner needs positive bandwidth")
+    k = omega.size
+    dt = problem.dt
+
+    def buffers_of(u: np.ndarray) -> np.ndarray:
+        return x0 + np.cumsum(omega * u * dt - dt)
+
+    def objective(u: np.ndarray) -> float:
+        x = buffers_of(u)
+        switching = problem.gamma * float(
+            np.sum(np.diff(np.concatenate(([u_prev], u))) ** 2)
+        )
+        if switching_only:
+            return switching
+        distortion = float(np.sum(omega * u * u * dt))
+        buffer_term = problem.beta * sum(problem.buffer_cost(xi) for xi in x)
+        return distortion + buffer_term + switching
+
+    bounds = [(problem.u_min, problem.u_max)] * k
+    constraints = [
+        {"type": "ineq", "fun": lambda u: buffers_of(u)},
+        {"type": "ineq", "fun": lambda u: problem.max_buffer - buffers_of(u)},
+    ]
+    if terminal_buffer is not None:
+        constraints.append(
+            {
+                "type": "eq",
+                "fun": lambda u: buffers_of(u)[-1] - terminal_buffer,
+            }
+        )
+
+    # Feasible-ish start: hold the buffer level (u = 1/ω).
+    u_start = np.clip(1.0 / omega, problem.u_min, problem.u_max)
+    result = optimize.minimize(
+        objective,
+        u_start,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": 500, "ftol": 1e-10},
+    )
+    u_opt = np.clip(result.x, problem.u_min, problem.u_max)
+    return ContinuousPlan(
+        actions=u_opt,
+        buffers=buffers_of(u_opt),
+        cost=float(objective(u_opt)),
+        converged=bool(result.success),
+    )
+
+
+def trajectory_distance(
+    plan_a: ContinuousPlan, plan_b: ContinuousPlan
+) -> np.ndarray:
+    """Per-step distance |x − x'| + |u − u'| between two plans (Figure 6)."""
+    if plan_a.actions.shape != plan_b.actions.shape:
+        raise ValueError("plans must share a horizon")
+    return np.abs(plan_a.buffers - plan_b.buffers) + np.abs(
+        plan_a.actions - plan_b.actions
+    )

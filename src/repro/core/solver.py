@@ -1,0 +1,295 @@
+"""Horizon solvers: Algorithm 1 (monotonic search) and brute force.
+
+Both solvers optimise the paper's Equation 2 over the discrete ladder R for
+the next K intervals:
+
+    min Σ_m  v(r_m)·ω̂_m Δt / r_m + β·b(x_m) + γ·c(r_m, r_{m-1})
+    s.t. x_m = x_{m-1} + ω̂_m Δt / r_m − Δt ∈ [0, x_max]
+
+The approximate solver (Theorem 4.3 / §5.3) restricts the search to
+*monotonic* rate sequences — non-decreasing (SearchUp) or non-increasing
+(SearchDown) from the previous bitrate — cutting the candidate count from
+|R|^K to C(|R|+K, K).  The brute-force solver enumerates every sequence and
+exists to validate the approximation (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.video import BitrateLadder
+from .objective import SodaConfig
+
+__all__ = ["PlanResult", "solve_monotonic", "solve_brute_force", "plan_cost"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Outcome of one horizon optimisation.
+
+    Attributes:
+        quality: rung committed for the next interval, or ``None`` when no
+            feasible plan exists (e.g. any download would overflow the
+            buffer — the blank region of Figure 5).
+        objective: total cost of the best plan (``inf`` when infeasible).
+        sequence: the full planned rung sequence (empty when infeasible).
+        evaluations: number of candidate sequences scored, for the
+            complexity claims of §5.3.
+    """
+
+    quality: Optional[int]
+    objective: float
+    sequence: Tuple[int, ...]
+    evaluations: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.quality is not None
+
+
+class _Problem:
+    """Shared per-call state for the recursive searches."""
+
+    __slots__ = (
+        "omega", "dt", "ladder", "cfg", "max_buffer", "target",
+        "v", "rates", "levels", "evaluations", "terminal_weight",
+    )
+
+    def __init__(
+        self,
+        omega: np.ndarray,
+        dt: float,
+        ladder: BitrateLadder,
+        cfg: SodaConfig,
+        max_buffer: float,
+        terminal_weight: float = 0.0,
+    ) -> None:
+        self.terminal_weight = terminal_weight
+        self.omega = omega
+        self.dt = dt
+        self.ladder = ladder
+        self.cfg = cfg
+        self.max_buffer = max_buffer
+        self.target = cfg.resolve_target(max_buffer)
+        distortion = cfg.distortion_fn()
+        self.rates = ladder.bitrates
+        self.v = [
+            distortion(r, ladder.min_bitrate, ladder.max_bitrate)
+            for r in self.rates
+        ]
+        self.levels = ladder.levels
+        self.evaluations = 0
+
+    def step_cost(self, k: int, quality: int, prev_v: Optional[float], x1: float) -> float:
+        """Cost of choosing ``quality`` during interval ``k`` ending at buffer x1."""
+        r = self.rates[quality]
+        video_seconds = self.omega[k] * self.dt / r
+        cost = self.v[quality] * video_seconds
+        cost += self.cfg.beta * self.cfg.buffer_cost(x1, self.target)
+        if prev_v is not None:
+            cost += self.cfg.gamma * self.cfg.switching_cost(self.v[quality], prev_v)
+        return cost
+
+    def next_buffer(self, k: int, x: float, quality: int) -> float:
+        return x + self.omega[k] * self.dt / self.rates[quality] - self.dt
+
+    def terminal_cost(self, x: float) -> float:
+        """Soft version of Algorithm 2's terminal constraint x_K = x̄."""
+        if self.terminal_weight <= 0:
+            return 0.0
+        dev = x - self.target
+        return self.terminal_weight * dev * dev
+
+
+def _prepare(
+    omega: Sequence[float] | float,
+    horizon: int,
+) -> np.ndarray:
+    """Broadcast a scalar prediction across the horizon, validate arrays."""
+    arr = np.atleast_1d(np.asarray(omega, dtype=float))
+    if arr.size == 1:
+        arr = np.full(horizon, float(arr[0]))
+    if arr.size != horizon:
+        raise ValueError(
+            f"prediction length {arr.size} does not match horizon {horizon}"
+        )
+    if np.any(arr < 0):
+        raise ValueError("throughput predictions must be non-negative")
+    return arr
+
+
+def solve_monotonic(
+    omega: Sequence[float] | float,
+    buffer_level: float,
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+    first_cap: Optional[int] = None,
+    terminal_weight: float = 0.0,
+) -> PlanResult:
+    """Algorithm 1: best monotonic plan (SearchUp ∪ SearchDown).
+
+    Args:
+        omega: throughput prediction, scalar or per-interval array (Mb/s).
+        buffer_level: current buffer x₀ in seconds.
+        prev_quality: rung of the previous segment (None at session start,
+            which removes the switching anchor and lets the plan start
+            anywhere).
+        ladder: the encoding ladder.
+        cfg: SODA weights and horizon.
+        max_buffer: buffer capacity x_max in seconds.
+        dt: interval length Δt; defaults to the ladder's segment duration.
+        first_cap: optional upper bound on the first rung (the §5.1
+            one-rung-above-throughput heuristic).
+
+    Returns:
+        The best plan found over monotonic sequences.
+    """
+    dt = ladder.segment_duration if dt is None else dt
+    pred = _prepare(omega, cfg.horizon)
+    prob = _Problem(pred, dt, ladder, cfg, max_buffer, terminal_weight)
+
+    if prev_quality is None:
+        # No anchor: non-decreasing plans starting from the bottom plus
+        # non-increasing plans starting from the top jointly cover every
+        # monotonic sequence with a free first rung.
+        up = _search(prob, buffer_level, 0, None, +1, first_cap)
+        down = _search(prob, buffer_level, prob.levels - 1, None, -1, first_cap)
+    else:
+        v_prev = prob.v[prev_quality]
+        up = _search(prob, buffer_level, prev_quality, v_prev, +1, first_cap)
+        down = _search(prob, buffer_level, prev_quality, v_prev, -1, first_cap)
+
+    best = up if up[1] <= down[1] else down
+    quality, objective, seq = best
+    return PlanResult(
+        quality=quality,
+        objective=objective,
+        sequence=tuple(seq),
+        evaluations=prob.evaluations,
+    )
+
+
+def _search(
+    prob: _Problem,
+    x0: float,
+    anchor: int,
+    anchor_v: Optional[float],
+    direction: int,
+    first_cap: Optional[int],
+) -> Tuple[Optional[int], float, List[int]]:
+    """One direction of Algorithm 1 (non-strict monotone recursion)."""
+
+    def rec(k: int, x: float, q_prev: int, v_prev: Optional[float]) -> Tuple[float, List[int]]:
+        if k == prob.cfg.horizon:
+            return prob.terminal_cost(x), []
+        best_obj = math.inf
+        best_seq: List[int] = []
+        if direction > 0:
+            candidates = range(q_prev, prob.levels)
+        else:
+            candidates = range(q_prev, -1, -1)
+        for q in candidates:
+            if k == 0 and first_cap is not None and q > first_cap:
+                continue
+            x1 = prob.next_buffer(k, x, q)
+            if x1 < -_TOL or x1 > prob.max_buffer + _TOL:
+                continue
+            prob.evaluations += 1
+            step = prob.step_cost(k, q, v_prev, x1)
+            if step >= best_obj:
+                continue
+            sub, seq = rec(k + 1, x1, q, prob.v[q])
+            total = step + sub
+            if total < best_obj:
+                best_obj = total
+                best_seq = [q] + seq
+        return best_obj, best_seq
+
+    obj, seq = rec(0, x0, anchor, anchor_v)
+    if not seq:
+        return None, math.inf, []
+    return seq[0], obj, seq
+
+
+def solve_brute_force(
+    omega: Sequence[float] | float,
+    buffer_level: float,
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+    first_cap: Optional[int] = None,
+    terminal_weight: float = 0.0,
+) -> PlanResult:
+    """Exhaustive search over all |R|^K rate sequences (Figure 8 baseline)."""
+    dt = ladder.segment_duration if dt is None else dt
+    pred = _prepare(omega, cfg.horizon)
+    prob = _Problem(pred, dt, ladder, cfg, max_buffer, terminal_weight)
+    v_prev = None if prev_quality is None else prob.v[prev_quality]
+
+    def rec(k: int, x: float, v_before: Optional[float]) -> Tuple[float, List[int]]:
+        if k == prob.cfg.horizon:
+            return prob.terminal_cost(x), []
+        best_obj = math.inf
+        best_seq: List[int] = []
+        for q in range(prob.levels):
+            if k == 0 and first_cap is not None and q > first_cap:
+                continue
+            x1 = prob.next_buffer(k, x, q)
+            if x1 < -_TOL or x1 > prob.max_buffer + _TOL:
+                continue
+            prob.evaluations += 1
+            step = prob.step_cost(k, q, v_before, x1)
+            sub, seq = rec(k + 1, x1, prob.v[q])
+            total = step + sub
+            if total < best_obj:
+                best_obj = total
+                best_seq = [q] + seq
+        return best_obj, best_seq
+
+    obj, seq = rec(0, buffer_level, v_prev)
+    if not seq:
+        return PlanResult(None, math.inf, (), prob.evaluations)
+    return PlanResult(seq[0], obj, tuple(seq), prob.evaluations)
+
+
+def plan_cost(
+    sequence: Sequence[int],
+    omega: Sequence[float] | float,
+    buffer_level: float,
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+) -> float:
+    """Cost of an explicit plan under Equation 2 (``inf`` if infeasible).
+
+    Useful in tests and ablations to cross-check solver outputs.
+    """
+    dt = ladder.segment_duration if dt is None else dt
+    if len(sequence) != cfg.horizon:
+        raise ValueError("plan length must equal the horizon")
+    pred = _prepare(omega, cfg.horizon)
+    prob = _Problem(pred, dt, ladder, cfg, max_buffer)
+    x = buffer_level
+    v_prev = None if prev_quality is None else prob.v[prev_quality]
+    total = 0.0
+    for k, q in enumerate(sequence):
+        x1 = prob.next_buffer(k, x, q)
+        if x1 < -_TOL or x1 > max_buffer + _TOL:
+            return math.inf
+        total += prob.step_cost(k, q, v_prev, x1)
+        v_prev = prob.v[q]
+        x = x1
+    return total

@@ -1,0 +1,276 @@
+"""Theoretical constants and bound calculators (paper §4, Appendix A).
+
+Implements, in closed form, the quantities the paper derives:
+
+* Assumption A.1's reachability conditions and slack δ;
+* Theorem A.1's exponential-decay constants ρ and C (and Corollary A.2's
+  C′ for actions);
+* Theorem A.3's horizon requirement and dynamic-regret / competitive-ratio
+  bounds under exact predictions;
+* Theorem A.8's aggregate prediction-error term E and regret bound under
+  inexact predictions;
+* Theorem A.9's switching-weight requirement for the monotonic
+  approximation;
+* an empirical decay-rate estimator used by the Figure 6 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "StreamingModel",
+    "DecayConstants",
+    "check_assumption_a1",
+    "decay_constants",
+    "horizon_requirement",
+    "regret_bound_exact",
+    "competitive_ratio_bound",
+    "error_aggregate",
+    "regret_bound_inexact",
+    "monotonic_gamma_requirement",
+    "fit_decay_rate",
+]
+
+
+@dataclass(frozen=True)
+class StreamingModel:
+    """The problem parameters the theory quantifies over.
+
+    Attributes:
+        omega_min: lower bandwidth bound (Assumption A.1), Mb/s.
+        omega_max: upper bandwidth bound, Mb/s.
+        r_min: smallest bitrate, Mb/s.
+        r_max: largest bitrate, Mb/s.
+        x_max: buffer capacity, seconds.
+        target: target buffer level x̄, seconds.
+        beta: buffer-cost weight β.
+        gamma: switching-cost weight γ.
+        epsilon: buffer-cost asymmetry ε.
+    """
+
+    omega_min: float
+    omega_max: float
+    r_min: float
+    r_max: float
+    x_max: float
+    target: float
+    beta: float
+    gamma: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.omega_min <= self.omega_max:
+            raise ValueError("need 0 < omega_min <= omega_max")
+        if not 0 < self.r_min < self.r_max:
+            raise ValueError("need 0 < r_min < r_max")
+        if self.x_max <= 0 or not 0 < self.target <= self.x_max:
+            raise ValueError("need 0 < target <= x_max")
+        if self.beta <= 0 or self.gamma < 0 or not 0 < self.epsilon <= 1:
+            raise ValueError("invalid weights")
+
+    @property
+    def delta(self) -> float:
+        """Drain slack δ: ``1 − ω_max / r_max`` (Assumption A.1)."""
+        return 1.0 - self.omega_max / self.r_max
+
+
+def check_assumption_a1(model: StreamingModel) -> Tuple[bool, str]:
+    """Verify Assumption A.1: the buffer is always fillable and drainable.
+
+    Returns:
+        ``(holds, reason)`` — the reason explains the first failed
+        condition, or confirms both hold.
+    """
+    fill = model.omega_min / model.r_min
+    if fill < model.x_max:
+        return (
+            False,
+            f"omega_min/r_min = {fill:.3f} < x_max = {model.x_max:.3f}: the "
+            "lowest rung cannot always refill the buffer",
+        )
+    if model.delta <= 0:
+        return (
+            False,
+            f"omega_max/r_max = {model.omega_max / model.r_max:.3f} >= 1: "
+            "the highest rung cannot always drain the buffer",
+        )
+    return True, "Assumption A.1 holds"
+
+
+@dataclass(frozen=True)
+class DecayConstants:
+    """Theorem A.1's exponential-decay constants.
+
+    Attributes:
+        rho: decay factor ρ ∈ (0, 1).
+        c_state: state-perturbation coefficient C.
+        c_action: action-perturbation coefficient C′ (Corollary A.2).
+    """
+
+    rho: float
+    c_state: float
+    c_action: float
+
+
+def decay_constants(model: StreamingModel) -> DecayConstants:
+    """ρ, C, C′ from Theorem A.1 / Corollary A.2.
+
+    Raises:
+        ValueError: when Assumption A.1's drain condition fails (δ ≤ 0),
+            which makes the exponent undefined.
+    """
+    if model.delta <= 0:
+        raise ValueError("Assumption A.1 fails: omega_max/r_max >= 1")
+    d = math.ceil(model.x_max / model.delta)
+    w = model.omega_min
+    m = max(6.0 * w * (w + 3.0), 4.0 * model.x_max * (w + 8.0 * model.gamma))
+    inner = 1.0 + m / (w**3 * model.epsilon * model.beta)
+    base = 1.0 - 2.0 / (1.0 + math.sqrt(inner))
+    rho = base ** (1.0 / (3.0 * (3.0 + d)))
+    c_state = (
+        (1.0 + model.omega_max) * (3.0 * model.beta * w**3 + m)
+    ) / (w**3 * rho ** (3 + d))
+    c_action = (
+        c_state * (1.0 + rho) * model.r_min + rho
+    ) / (w * model.r_min * rho)
+    return DecayConstants(rho=rho, c_state=c_state, c_action=c_action)
+
+
+def horizon_requirement(constants: DecayConstants) -> float:
+    """Minimal prediction horizon K of Theorem A.3 (an O(1) constant)."""
+    rho, c, cp = constants.rho, constants.c_state, constants.c_action
+    numerator = (
+        16.0 / (1.0 - rho)
+        * (1.0 + (c + cp) ** 2 / (1.0 - rho))
+        * (c**2 + cp**2) ** 2
+    )
+    return 0.25 * math.log(numerator) / math.log(1.0 / rho)
+
+
+def _c1(model: StreamingModel, constants: DecayConstants) -> float:
+    rho, c, cp = constants.rho, constants.c_state, constants.c_action
+    w = model.omega_min
+    inner = (
+        2.0
+        * (4.0 * model.gamma + model.beta + model.omega_max)
+        * (1.0 / (1.0 - rho))
+        * (1.0 + (c + cp) ** 2 / (1.0 - rho))
+        * (c**2 + cp**2)
+        * (4.0 + w * w)
+        / (model.epsilon * model.beta * w * w)
+    )
+    return 8.0 * math.sqrt(inner)
+
+
+def regret_bound_exact(
+    model: StreamingModel,
+    constants: DecayConstants,
+    horizon: int,
+    opt_cost: float,
+) -> float:
+    """Theorem A.3's dynamic-regret bound C₁ ρ^{K−1} cost(OPT)."""
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+    if opt_cost < 0:
+        raise ValueError("OPT cost must be non-negative")
+    return _c1(model, constants) * constants.rho ** (horizon - 1) * opt_cost
+
+
+def competitive_ratio_bound(
+    model: StreamingModel, constants: DecayConstants, horizon: int
+) -> float:
+    """Theorem A.3's competitive ratio 1 + C₁ ρ^{K−1}."""
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+    return 1.0 + _c1(model, constants) * constants.rho ** (horizon - 1)
+
+
+def error_aggregate(
+    per_lookahead_errors: Sequence[float],
+    rho: float,
+    horizon: int,
+    n_steps: int,
+) -> float:
+    """Theorem 4.2's E = ρ^{2K} N + Σ_κ ρ^κ E_κ.
+
+    Args:
+        per_lookahead_errors: E_κ for κ = 1..K — the total squared error of
+            predicting κ steps ahead, summed over the whole horizon.
+        rho: decay factor.
+        horizon: prediction horizon K.
+        n_steps: problem length N.
+    """
+    if len(per_lookahead_errors) != horizon:
+        raise ValueError("need one E_kappa per lookahead step")
+    total = rho ** (2 * horizon) * n_steps
+    for kappa, e in enumerate(per_lookahead_errors, start=1):
+        if e < 0:
+            raise ValueError("squared errors must be non-negative")
+        total += rho**kappa * e
+    return total
+
+
+def regret_bound_inexact(
+    model: StreamingModel,
+    constants: DecayConstants,
+    aggregate_error: float,
+    opt_cost: float,
+) -> float:
+    """Theorem A.8's dynamic-regret bound O(√(E·OPT) + E) with constants."""
+    rho, c, cp = constants.rho, constants.c_state, constants.c_action
+    span = 1.0 / model.r_min - 1.0 / model.r_max
+    a = 1.0 + 1.0 / model.r_min + c + cp
+    b = 1.0 + model.x_max + span
+    weight = 4.0 * model.gamma + model.beta + model.omega_max
+    term1 = (
+        2.0
+        * a**2
+        * b
+        / (1.0 - rho) ** 1.5
+        * math.sqrt(weight)
+        * math.sqrt(max(aggregate_error, 0.0) * max(opt_cost, 0.0))
+    )
+    term2 = a**4 * b**2 * weight / (1.0 - rho) ** 3 * aggregate_error
+    return term1 + term2
+
+
+def monotonic_gamma_requirement(
+    model: StreamingModel, omega_hat: float, horizon: int, tolerance: float
+) -> float:
+    """Theorem A.9's γ threshold for a λ-accurate monotonic approximation.
+
+    Returns the smallest γ for which the optimal plan is within
+    ``tolerance`` (in action space) of a monotonic plan.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+    span = omega_hat * (1.0 / model.r_min**2 - 1.0 / model.r_max**2)
+    buffer_span = model.beta * max(
+        model.target**2, model.epsilon * (model.x_max - model.target) ** 2
+    )
+    return (horizon**2 / tolerance**2) * (span + buffer_span)
+
+
+def fit_decay_rate(distances: Sequence[float]) -> float:
+    """Estimate the geometric decay rate of a positive, decaying sequence.
+
+    Fits ``log d_t ≈ a + t log ρ`` by least squares over the entries that
+    stay above numerical noise, returning the estimated ρ.  Used by the
+    Figure 6 bench to confirm the perturbation distance decays
+    exponentially.
+    """
+    d = np.asarray(distances, dtype=float)
+    mask = d > 1e-12
+    if int(mask.sum()) < 2:
+        return 0.0
+    t = np.nonzero(mask)[0]
+    logs = np.log(d[mask])
+    slope = np.polyfit(t, logs, 1)[0]
+    return float(math.exp(slope))

@@ -1,0 +1,136 @@
+"""Grid-search auto-tuning of SODA's weights for a target workload.
+
+The paper fine-tunes its production baseline and tunes every simulated
+baseline "to our best efforts" (§6.1.2).  This module gives SODA the same
+treatment programmatically: evaluate a grid of :class:`SodaConfig`
+candidates on a calibration dataset and pick the best mean QoE (or any
+custom score).  Deployments with unusual ladders or buffer caps should run
+this once against traces from their own population.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..qoe.aggregate import QoeSummary
+from ..qoe.metrics import QoeMetrics
+from ..sim.network import ThroughputTrace
+from ..sim.profiles import EvaluationProfile
+from ..sim.session import run_dataset
+from .controller import SodaController
+from .objective import SodaConfig
+
+__all__ = ["TuningResult", "tune_soda"]
+
+#: score used when a candidate is not overridden: mean QoE
+Scorer = Callable[[QoeSummary], float]
+
+
+@dataclass(frozen=True)
+class TuningCandidate:
+    """One evaluated configuration."""
+
+    config: SodaConfig
+    summary: QoeSummary
+    score: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run, ranked best first."""
+
+    candidates: List[TuningCandidate] = field(default_factory=list)
+
+    @property
+    def best(self) -> TuningCandidate:
+        if not self.candidates:
+            raise ValueError("tuning produced no candidates")
+        return self.candidates[0]
+
+    def top(self, n: int = 5) -> List[TuningCandidate]:
+        return self.candidates[:n]
+
+    def render(self, n: int = 5) -> str:
+        lines = ["rank  score    beta   gamma  kappa  target  eps"]
+        for i, cand in enumerate(self.top(n), start=1):
+            cfg = cand.config
+            target = cfg.target_buffer if cfg.target_buffer is not None else -1
+            lines.append(
+                f"{i:>4d}  {cand.score:7.4f}  {cfg.beta:5.3f}  "
+                f"{cfg.gamma:6.1f} {cfg.switch_event_cost:6.3f} "
+                f"{target:7.2f} {cfg.epsilon:5.2f}"
+            )
+        return "\n".join(lines)
+
+
+def _default_scorer(summary: QoeSummary) -> float:
+    return summary.qoe.mean
+
+
+def tune_soda(
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+    grid: Optional[Mapping[str, Sequence]] = None,
+    base_config: Optional[SodaConfig] = None,
+    scorer: Optional[Scorer] = None,
+    max_candidates: int = 200,
+) -> TuningResult:
+    """Grid-search SODA configurations on a calibration dataset.
+
+    Args:
+        traces: calibration sessions (use held-out traces for evaluation!).
+        profile: the (ladder, player) setting to tune for.
+        grid: mapping of :class:`SodaConfig` field names to candidate
+            values; the cross product is evaluated.  Defaults to a compact
+            grid over β, γ, κ, and the target buffer.
+        base_config: configuration the grid overrides are applied to.
+        scorer: candidate score (higher is better); mean QoE by default.
+        max_candidates: safety bound on the grid size.
+
+    Returns:
+        All candidates, ranked by score descending.
+
+    Raises:
+        ValueError: on an empty dataset or an oversized grid.
+    """
+    if not traces:
+        raise ValueError("need at least one calibration trace")
+    base = base_config or SodaConfig()
+    score = scorer or _default_scorer
+    if grid is None:
+        cap = profile.player.max_buffer
+        grid = {
+            "beta": [0.02, 0.05, 0.15],
+            "gamma": [60.0, 150.0],
+            "switch_event_cost": [0.02, 0.08],
+            "target_buffer": [0.7 * cap, 0.8 * cap],
+        }
+
+    names = list(grid)
+    combos = list(itertools.product(*(grid[k] for k in names)))
+    if len(combos) > max_candidates:
+        raise ValueError(
+            f"grid has {len(combos)} candidates; cap is {max_candidates}"
+        )
+
+    candidates: List[TuningCandidate] = []
+    for combo in combos:
+        overrides = dict(zip(names, combo))
+        config = base.with_(**overrides)
+        metrics: List[QoeMetrics] = run_dataset(
+            lambda config=config: SodaController(config=config),
+            traces,
+            profile.ladder,
+            profile.player,
+            utility=profile.utility,
+            ssim_model=profile.ssim_model,
+        )
+        summary = QoeSummary.of(metrics)
+        candidates.append(
+            TuningCandidate(config=config, summary=summary, score=score(summary))
+        )
+
+    candidates.sort(key=lambda c: c.score, reverse=True)
+    return TuningResult(candidates=candidates)

@@ -1,0 +1,26 @@
+"""Throughput predictors (paper §3.2, §5.2, Figure 7, Figure 11)."""
+
+from .base import ThroughputPredictor, ThroughputSample
+from .ema import EmaPredictor
+from .markov import MarkovPredictor
+from .moving_average import (
+    HarmonicMeanPredictor,
+    MovingAveragePredictor,
+    SlidingWindowPredictor,
+)
+from .oracle import NoisyOraclePredictor, OraclePredictor
+from .stochastic import StochasticPredictor, ThroughputDistribution
+
+__all__ = [
+    "ThroughputPredictor",
+    "ThroughputSample",
+    "EmaPredictor",
+    "MarkovPredictor",
+    "MovingAveragePredictor",
+    "SlidingWindowPredictor",
+    "HarmonicMeanPredictor",
+    "OraclePredictor",
+    "NoisyOraclePredictor",
+    "StochasticPredictor",
+    "ThroughputDistribution",
+]

@@ -1,0 +1,84 @@
+"""Exponential-moving-average throughput predictor.
+
+The dash.js reference player estimates throughput with two EMAs of different
+half-lives (a fast one and a slow one) and takes the more conservative of the
+two; this is the "EMA predictor" the paper uses as the default in its
+numerical simulations (§6.1.1, Figure 7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .base import ThroughputPredictor, ThroughputSample
+
+__all__ = ["EmaPredictor"]
+
+
+class EmaPredictor(ThroughputPredictor):
+    """dash.js-style dual-half-life EMA over measured download throughput.
+
+    Each completed download contributes its measured throughput, weighted by
+    its transfer duration (longer downloads carry more evidence).  Two EMAs
+    with different half-lives are maintained; the estimate is the minimum of
+    the two, which makes the predictor react quickly to drops but slowly to
+    recoveries — the conservative behaviour of dash.js.
+
+    Args:
+        fast_half_life: half-life of the fast EMA in seconds.
+        slow_half_life: half-life of the slow EMA in seconds.
+        wall_clock: when True, samples are weighted by the wall-clock time
+            they span (inter-arrival interval) instead of the transfer
+            duration alone.  dash.js weights by transfer duration, which
+            adapts very slowly when downloads are short (a fast network
+            produces little "EMA time" per segment); wall-clock weighting
+            bounds the adaptation time in real seconds.
+    """
+
+    name = "ema"
+
+    def __init__(
+        self,
+        fast_half_life: float = 3.0,
+        slow_half_life: float = 8.0,
+        wall_clock: bool = False,
+    ) -> None:
+        if fast_half_life <= 0 or slow_half_life <= 0:
+            raise ValueError("half-lives must be positive")
+        if fast_half_life > slow_half_life:
+            raise ValueError("fast half-life must not exceed the slow one")
+        self.fast_half_life = fast_half_life
+        self.slow_half_life = slow_half_life
+        self.wall_clock = wall_clock
+        self.reset()
+
+    def reset(self) -> None:
+        self._fast = 0.0
+        self._slow = 0.0
+        # Total decayed weight per EMA, for bias correction during warm-up.
+        self._fast_weight = 0.0
+        self._slow_weight = 0.0
+        self._last_end = None
+
+    def update(self, sample: ThroughputSample) -> None:
+        duration = max(sample.duration, 1e-6)
+        if self.wall_clock and self._last_end is not None:
+            duration = max(duration, sample.end - self._last_end)
+        self._last_end = sample.end
+        for attr, half_life in (
+            ("_fast", self.fast_half_life),
+            ("_slow", self.slow_half_life),
+        ):
+            alpha = 0.5 ** (duration / half_life)
+            value = getattr(self, attr)
+            weight = getattr(self, attr + "_weight")
+            setattr(self, attr, alpha * value + (1 - alpha) * sample.throughput)
+            setattr(self, attr + "_weight", alpha * weight + (1 - alpha))
+
+    def predict_scalar(self, now: float) -> float:
+        if self._fast_weight <= 0 or self._slow_weight <= 0:
+            return 0.0
+        fast = self._fast / self._fast_weight
+        slow = self._slow / self._slow_weight
+        return min(fast, slow)

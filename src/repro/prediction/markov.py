@@ -1,0 +1,108 @@
+"""CS2P-style Markov throughput predictor.
+
+CS2P [20] observed that session throughput moves between a small number of
+discrete states and fitted hidden-Markov models per session cluster.  This
+predictor is the online, single-session variant of that idea: it quantises
+observed throughput into log-spaced states, learns the state-transition
+counts on the fly, and predicts by propagating the state distribution
+forward — so, unlike the constant-output predictors, it produces genuinely
+*per-interval* forecasts over the horizon.
+
+The paper's position (§6.1.4) is that SODA does not need such machinery;
+this class exists so that claim can be tested: wire it into any controller
+and compare against the simple predictors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .base import ThroughputPredictor, ThroughputSample
+
+__all__ = ["MarkovPredictor"]
+
+
+class MarkovPredictor(ThroughputPredictor):
+    """Online Markov-chain throughput predictor with log-spaced states.
+
+    Args:
+        states: number of throughput states.
+        low: lower edge of the state range, Mb/s.
+        high: upper edge of the state range, Mb/s.
+        smoothing: Laplace smoothing added to transition counts.
+
+    Raises:
+        ValueError: on degenerate state counts or ranges.
+    """
+
+    name = "markov"
+
+    def __init__(
+        self,
+        states: int = 12,
+        low: float = 0.1,
+        high: float = 120.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        if states < 2:
+            raise ValueError("need at least two states")
+        if not 0 < low < high:
+            raise ValueError("need 0 < low < high")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.states = states
+        self.low = low
+        self.high = high
+        self.smoothing = smoothing
+        # State centres (geometric) and edges.
+        self._edges = np.geomspace(low, high, states + 1)
+        self._centres = np.sqrt(self._edges[:-1] * self._edges[1:])
+        self.reset()
+
+    def reset(self) -> None:
+        self._counts = np.full(
+            (self.states, self.states), self.smoothing, dtype=float
+        )
+        self._state: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _quantise(self, throughput: float) -> int:
+        clipped = min(max(throughput, self.low), self.high * (1 - 1e-12))
+        return int(np.searchsorted(self._edges, clipped, side="right") - 1)
+
+    def update(self, sample: ThroughputSample) -> None:
+        state = self._quantise(sample.throughput)
+        if self._state is not None:
+            self._counts[self._state, state] += 1.0
+        self._state = state
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """Row-normalised transition probabilities (learned so far)."""
+        return self._counts / self._counts.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    def predict_scalar(self, now: float) -> float:
+        if self._state is None:
+            return 0.0
+        row = self.transition_matrix[self._state]
+        return float(np.dot(row, self._centres))
+
+    def predict(self, now: float, horizon: int, dt: float) -> np.ndarray:
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self._state is None:
+            return np.zeros(horizon)
+        matrix = self.transition_matrix
+        belief = np.zeros(self.states)
+        belief[self._state] = 1.0
+        forecast = np.empty(horizon)
+        for k in range(horizon):
+            belief = belief @ matrix
+            forecast[k] = float(np.dot(belief, self._centres))
+        return forecast

@@ -1,0 +1,114 @@
+"""Moving-average and sliding-window throughput predictors.
+
+The moving-average predictor is the second predictor shipped with dash.js
+that the paper profiles in Figure 7; the sliding-window predictor is the
+"simple sliding window-based throughput predictor" used in the production
+deployment (§6.3).  The harmonic-mean predictor is what MPC [17] uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .base import ThroughputPredictor, ThroughputSample
+
+__all__ = [
+    "MovingAveragePredictor",
+    "SlidingWindowPredictor",
+    "HarmonicMeanPredictor",
+]
+
+
+class MovingAveragePredictor(ThroughputPredictor):
+    """Arithmetic mean of the last ``window`` download throughputs."""
+
+    name = "moving-average"
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def update(self, sample: ThroughputSample) -> None:
+        self._samples.append(sample.throughput)
+
+    def predict_scalar(self, now: float) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+
+class SlidingWindowPredictor(ThroughputPredictor):
+    """Duration-weighted mean over a sliding wall-clock window.
+
+    Downloads whose transfer finished within the last ``window_seconds`` are
+    averaged, each weighted by its transfer duration.  This matches the
+    simple sliding-window predictor SODA used on all three production device
+    families (§6.3).
+    """
+
+    name = "sliding-window"
+
+    def __init__(self, window_seconds: float = 10.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self.window_seconds = window_seconds
+        self._samples: Deque[ThroughputSample] = deque()
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def update(self, sample: ThroughputSample) -> None:
+        self._samples.append(sample)
+        self._evict(sample.end)
+
+    def predict_scalar(self, now: float) -> float:
+        self._evict(now)
+        if not self._samples:
+            return 0.0
+        total_bits = sum(s.size for s in self._samples)
+        total_time = sum(s.duration for s in self._samples)
+        if total_time <= 0:
+            return 0.0
+        return total_bits / total_time
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_seconds
+        while self._samples and self._samples[0].end < cutoff:
+            self._samples.popleft()
+
+
+class HarmonicMeanPredictor(ThroughputPredictor):
+    """Harmonic mean of the last ``window`` throughputs (MPC's choice [17]).
+
+    The harmonic mean is dominated by the slowest recent download, making it
+    robust to throughput spikes.  ``RobustMPC`` additionally discounts this
+    estimate by the recent maximum relative error; that discounting lives in
+    the controller (``repro.abr.mpc``), not here, so the predictor can also
+    be used undiscounted.
+    """
+
+    name = "harmonic-mean"
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def update(self, sample: ThroughputSample) -> None:
+        if sample.throughput > 0:
+            self._samples.append(sample.throughput)
+
+    def predict_scalar(self, now: float) -> float:
+        if not self._samples:
+            return 0.0
+        return len(self._samples) / sum(1.0 / s for s in self._samples)

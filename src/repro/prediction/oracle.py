@@ -1,0 +1,107 @@
+"""Oracle predictors: perfect and noise-corrupted short-term foresight.
+
+The paper's intrinsic-sensitivity experiment (§6.1.4, Figure 11) replaces the
+real predictor with a *perfect short-term throughput predictor* and then
+injects increasing amounts of white noise into its output.  These predictors
+read the ground-truth trace, so the simulator attaches the trace before the
+session starts (see :func:`repro.sim.session.run_session`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.network import ThroughputTrace
+from .base import ThroughputPredictor, ThroughputSample
+
+__all__ = ["OraclePredictor", "NoisyOraclePredictor"]
+
+
+class OraclePredictor(ThroughputPredictor):
+    """Perfect short-term predictor: reads future throughput off the trace.
+
+    ``predict(now, K, dt)`` returns the true time-averaged throughput of each
+    of the next K intervals of ``dt`` seconds — the exact-predictions regime
+    of Theorem 4.1.
+    """
+
+    name = "oracle"
+
+    def __init__(self, trace: Optional[ThroughputTrace] = None) -> None:
+        self.trace = trace
+
+    def attach_trace(self, trace: ThroughputTrace) -> None:
+        """Point the oracle at the session's ground-truth trace."""
+        self.trace = trace
+
+    def _require_trace(self) -> ThroughputTrace:
+        if self.trace is None:
+            raise RuntimeError("oracle predictor has no trace attached")
+        return self.trace
+
+    def predict_scalar(self, now: float) -> float:
+        trace = self._require_trace()
+        return trace.average_throughput(now, now + 1.0)
+
+    def predict(self, now: float, horizon: int, dt: float) -> np.ndarray:
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        trace = self._require_trace()
+        return np.array(
+            [
+                trace.average_throughput(now + k * dt, now + (k + 1) * dt)
+                for k in range(horizon)
+            ]
+        )
+
+
+class NoisyOraclePredictor(OraclePredictor):
+    """Perfect predictions corrupted by multiplicative white noise.
+
+    Each predicted value ω is replaced by ``ω * (1 + ε)`` with
+    ``ε ~ N(0, noise_level²)``, truncated so the result stays non-negative.
+    ``noise_level = 0.3`` corresponds to the paper's empirical EMA reference
+    point (§6.1.4).
+
+    Args:
+        noise_level: standard deviation of the relative error.
+        seed: RNG seed; per-session reproducibility comes from calling
+            :meth:`reset` (which reseeds) at session start.
+    """
+
+    name = "noisy-oracle"
+
+    def __init__(
+        self,
+        noise_level: float,
+        trace: Optional[ThroughputTrace] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(trace)
+        if noise_level < 0:
+            raise ValueError("noise level must be non-negative")
+        self.noise_level = noise_level
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.name = f"noisy-oracle({noise_level:.0%})"
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _corrupt(self, values: np.ndarray) -> np.ndarray:
+        if self.noise_level == 0:
+            return values
+        noise = self._rng.normal(0.0, self.noise_level, size=values.shape)
+        return np.maximum(values * (1.0 + noise), 0.0)
+
+    def predict_scalar(self, now: float) -> float:
+        clean = np.array([super().predict_scalar(now)])
+        return float(self._corrupt(clean)[0])
+
+    def predict(self, now: float, horizon: int, dt: float) -> np.ndarray:
+        clean = super().predict(now, horizon, dt)
+        return self._corrupt(clean)

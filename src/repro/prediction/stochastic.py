@@ -1,0 +1,120 @@
+"""Stochastic throughput predictor: mean + uncertainty estimate.
+
+Fugu [46] couples an MPC-style controller with a *learned probabilistic*
+transmission-time predictor.  We cannot retrain Fugu's DNN here, so the
+Fugu-like controller in this package uses this empirical substitute: a
+sliding window that reports both the mean and the standard deviation of
+recent throughput, from which the controller derives download-time quantiles.
+The substitution keeps the property the paper credits to Fugu — decisions
+that hedge against throughput uncertainty — while remaining trainable-free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+from .base import ThroughputPredictor, ThroughputSample
+
+__all__ = ["ThroughputDistribution", "StochasticPredictor"]
+
+
+@dataclass(frozen=True)
+class ThroughputDistribution:
+    """A Gaussian throughput belief in Mb/s."""
+
+    mean: float
+    std: float
+
+    def quantile(self, q: float) -> float:
+        """Approximate Gaussian quantile, clamped to be non-negative.
+
+        Uses the Acklam/Peter John rational approximation of the probit
+        function — accurate to ~1e-9, no scipy dependency.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        return max(self.mean + self.std * _probit(q), 0.0)
+
+
+class StochasticPredictor(ThroughputPredictor):
+    """Sliding-window empirical mean/std of measured throughput.
+
+    Args:
+        window: number of recent downloads retained.
+        min_std_fraction: lower bound on the reported std as a fraction of
+            the mean, so a lucky run of identical samples does not collapse
+            the belief to a point mass.
+    """
+
+    name = "stochastic"
+
+    def __init__(self, window: int = 8, min_std_fraction: float = 0.05) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        if min_std_fraction < 0:
+            raise ValueError("min_std_fraction must be non-negative")
+        self.window = window
+        self.min_std_fraction = min_std_fraction
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def update(self, sample: ThroughputSample) -> None:
+        self._samples.append(sample.throughput)
+
+    def predict_scalar(self, now: float) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def predict_distribution(self, now: float) -> ThroughputDistribution:
+        """Current Gaussian belief; degenerate (0, 0) with no history."""
+        n = len(self._samples)
+        if n == 0:
+            return ThroughputDistribution(0.0, 0.0)
+        mean = sum(self._samples) / n
+        if n == 1:
+            return ThroughputDistribution(mean, self.min_std_fraction * mean)
+        var = sum((s - mean) ** 2 for s in self._samples) / (n - 1)
+        std = max(math.sqrt(var), self.min_std_fraction * mean)
+        return ThroughputDistribution(mean, std)
+
+
+def _probit(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    # Coefficients for the central and tail regions.
+    a = (
+        -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+        1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+        6.680131188771972e01, -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+        -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+        3.754408661907416e00,
+    )
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (
+            ((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]
+        ) / ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    if q > 1.0 - p_low:
+        return -_probit(1.0 - q)
+    u = q - 0.5
+    r = u * u
+    return (
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+        * u
+        / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    )

@@ -1,0 +1,22 @@
+"""QoE metrics and aggregation (paper §6 "Performance Metrics")."""
+
+from .aggregate import (
+    DistributionSummary,
+    MeanCI,
+    QoeSummary,
+    distribution,
+    split_by_rsd_quartile,
+    summarize,
+)
+from .metrics import QoeMetrics, qoe_from_session
+
+__all__ = [
+    "QoeMetrics",
+    "qoe_from_session",
+    "MeanCI",
+    "DistributionSummary",
+    "distribution",
+    "QoeSummary",
+    "summarize",
+    "split_by_rsd_quartile",
+]

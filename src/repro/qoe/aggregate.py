@@ -1,0 +1,161 @@
+"""Aggregation of per-session QoE metrics: means, CIs, quartile splits.
+
+The paper reports mean QoE components with 95% confidence intervals
+(Figures 10–12) and splits the Puffer dataset into quartiles by throughput
+relative standard deviation (Figure 10).  These helpers implement both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim.network import ThroughputTrace
+from .metrics import QoeMetrics
+
+__all__ = [
+    "MeanCI",
+    "QoeSummary",
+    "DistributionSummary",
+    "summarize",
+    "distribution",
+    "split_by_rsd_quartile",
+]
+
+#: two-sided 95% normal critical value
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A sample mean with its 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "MeanCI":
+        n = len(values)
+        if n == 0:
+            raise ValueError("cannot summarise an empty sample")
+        mean = sum(values) / n
+        if n == 1:
+            return MeanCI(mean, 0.0, 1)
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half = _Z95 * math.sqrt(var / n)
+        return MeanCI(mean, half, n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f}"
+
+
+@dataclass(frozen=True)
+class QoeSummary:
+    """Mean ± CI of each QoE component over a set of sessions."""
+
+    qoe: MeanCI
+    utility: MeanCI
+    rebuffer_ratio: MeanCI
+    switching_rate: MeanCI
+
+    @staticmethod
+    def of(metrics: Sequence[QoeMetrics]) -> "QoeSummary":
+        if not metrics:
+            raise ValueError("cannot summarise an empty metric list")
+        return QoeSummary(
+            qoe=MeanCI.of([m.qoe for m in metrics]),
+            utility=MeanCI.of([m.utility for m in metrics]),
+            rebuffer_ratio=MeanCI.of([m.rebuffer_ratio for m in metrics]),
+            switching_rate=MeanCI.of([m.switching_rate for m in metrics]),
+        )
+
+
+def summarize(metrics: Sequence[QoeMetrics]) -> QoeSummary:
+    """Shorthand for :meth:`QoeSummary.of`."""
+    return QoeSummary.of(metrics)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Percentile view of a per-session metric (the CDF's key points).
+
+    Mean-only comparisons hide tail behaviour — a controller can win on
+    mean QoE while its worst sessions are far worse.  Papers therefore plot
+    CDFs; this is the tabular equivalent.
+    """
+
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "DistributionSummary":
+        if not values:
+            raise ValueError("cannot summarise an empty sample")
+        ordered = sorted(values)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            # Linear interpolation between closest ranks.
+            pos = q * (n - 1)
+            lo = int(math.floor(pos))
+            hi = min(lo + 1, n - 1)
+            frac = pos - lo
+            return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+        return DistributionSummary(
+            p5=pct(0.05),
+            p25=pct(0.25),
+            median=pct(0.50),
+            p75=pct(0.75),
+            p95=pct(0.95),
+            n=n,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"p5={self.p5:.4f} p25={self.p25:.4f} med={self.median:.4f} "
+            f"p75={self.p75:.4f} p95={self.p95:.4f} (n={self.n})"
+        )
+
+
+def distribution(
+    metrics: Sequence[QoeMetrics], component: str = "qoe"
+) -> DistributionSummary:
+    """Percentiles of one QoE component across sessions.
+
+    Args:
+        metrics: per-session metrics.
+        component: "qoe", "utility", "rebuffer_ratio", or "switching_rate".
+    """
+    valid = ("qoe", "utility", "rebuffer_ratio", "switching_rate")
+    if component not in valid:
+        raise ValueError(f"component must be one of {valid}")
+    return DistributionSummary.of([getattr(m, component) for m in metrics])
+
+
+def split_by_rsd_quartile(
+    traces: Sequence[ThroughputTrace],
+) -> Dict[str, List[int]]:
+    """Partition trace indices into Q1..Q4 by throughput RSD (Figure 10).
+
+    Q1 holds the most stable quarter of the sessions, Q4 the most volatile.
+
+    Returns:
+        Mapping ``{"Q1": [...], ..., "Q4": [...]}`` of indices into
+        ``traces``; quartiles differ in size by at most one.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    order = sorted(range(len(traces)), key=lambda i: traces[i].stats().rsd)
+    n = len(order)
+    quartiles: Dict[str, List[int]] = {}
+    bounds = [round(n * k / 4) for k in range(5)]
+    for k in range(4):
+        quartiles[f"Q{k + 1}"] = order[bounds[k] : bounds[k + 1]]
+    return quartiles

@@ -1,0 +1,95 @@
+"""QoE metrics exactly as defined in the paper's §6 ("Performance Metrics").
+
+All three components are normalised to [0, 1]:
+
+* **mean utility** — ``mean(log(r_i / r_min) / log(r_max / r_min))`` for the
+  simulations, or normalised mean SSIM for the prototype profile;
+* **rebuffering ratio** — total rebuffering time over session duration;
+* **switching rate** — switch count over (segment count − 1).
+
+The QoE score is the linear combination ``v − β·ρ_rebuf − γ·p_switch`` with
+the paper's weights β = 10, γ = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.player import SessionResult
+from ..sim.video import SsimModel
+
+__all__ = ["QoeMetrics", "qoe_from_session"]
+
+
+@dataclass(frozen=True)
+class QoeMetrics:
+    """The three QoE components and their weighted score for one session."""
+
+    utility: float
+    rebuffer_ratio: float
+    switching_rate: float
+    qoe: float
+    beta: float = 10.0
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utility <= 1.0 + 1e-9:
+            raise ValueError(f"utility {self.utility} outside [0, 1]")
+        if self.rebuffer_ratio < -1e-12 or self.rebuffer_ratio > 1.0 + 1e-9:
+            raise ValueError(
+                f"rebuffer ratio {self.rebuffer_ratio} outside [0, 1]"
+            )
+        if not 0.0 <= self.switching_rate <= 1.0 + 1e-9:
+            raise ValueError(
+                f"switching rate {self.switching_rate} outside [0, 1]"
+            )
+
+
+def qoe_from_session(
+    result: SessionResult,
+    utility: str = "log",
+    ssim_model: Optional[SsimModel] = None,
+    beta: float = 10.0,
+    gamma: float = 1.0,
+) -> QoeMetrics:
+    """Compute the paper's QoE metrics for one finished session.
+
+    Args:
+        result: the session record.
+        utility: "log" (simulations, §6.1) or "ssim" (prototype, §6.2).
+        ssim_model: required when ``utility="ssim"``.
+        beta: rebuffering weight in the score (paper: 10).
+        gamma: switching weight in the score (paper: 1).
+
+    Raises:
+        ValueError: on an empty session or a missing SSIM model.
+    """
+    n = result.num_segments
+    if n == 0:
+        raise ValueError("session downloaded no segments")
+
+    if utility == "log":
+        v = sum(result.ladder.log_utility(q) for q in result.qualities) / n
+    elif utility == "ssim":
+        if ssim_model is None:
+            raise ValueError('utility="ssim" requires an ssim_model')
+        v = (
+            sum(ssim_model.normalized(b) for b in result.bitrates) / n
+        )
+    else:
+        raise ValueError(f"unknown utility {utility!r}")
+
+    duration = max(result.session_duration, 1e-9)
+    rebuffer_ratio = min(result.rebuffer_time / duration, 1.0)
+    switching_rate = result.switch_count / (n - 1) if n > 1 else 0.0
+
+    qoe = v - beta * rebuffer_ratio - gamma * switching_rate
+    return QoeMetrics(
+        utility=min(v, 1.0),
+        rebuffer_ratio=rebuffer_ratio,
+        switching_rate=switching_rate,
+        qoe=qoe,
+        beta=beta,
+        gamma=gamma,
+    )

@@ -1,0 +1,50 @@
+"""Player simulation substrate (the Sabre [36] equivalent)."""
+
+from .events import EventKind, SessionEvent, SessionTimeline, TimelineRecorder
+from .multiclient import SharedLinkOutcome, jain_fairness, simulate_shared_link
+from .network import ThroughputTrace, TraceStats
+from .player import PlayerConfig, SessionResult, simulate_session
+from .profiles import (
+    EvaluationProfile,
+    live_profile,
+    on_demand_profile,
+    production_profile,
+    prototype_profile,
+)
+from .session import run_dataset, run_session
+from .video import (
+    BitrateLadder,
+    SsimModel,
+    prime_video_live_ladder,
+    puffer_news_ladder,
+    youtube_4k_ladder,
+    youtube_hd_ladder,
+)
+
+__all__ = [
+    "ThroughputTrace",
+    "TraceStats",
+    "EventKind",
+    "SessionEvent",
+    "SessionTimeline",
+    "TimelineRecorder",
+    "SharedLinkOutcome",
+    "jain_fairness",
+    "simulate_shared_link",
+    "PlayerConfig",
+    "SessionResult",
+    "simulate_session",
+    "run_session",
+    "run_dataset",
+    "EvaluationProfile",
+    "live_profile",
+    "on_demand_profile",
+    "prototype_profile",
+    "production_profile",
+    "BitrateLadder",
+    "SsimModel",
+    "youtube_4k_ladder",
+    "youtube_hd_ladder",
+    "puffer_news_ladder",
+    "prime_video_live_ladder",
+]

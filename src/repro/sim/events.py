@@ -1,0 +1,190 @@
+"""Session event timelines: a per-event record of what the player did.
+
+``SessionResult`` stores per-segment aggregates; for debugging controllers
+and for session plots like the paper's Figure 3 (bitrate + buffer over
+time) a finer record helps.  :class:`TimelineRecorder` wraps a controller
+and reconstructs a typed event stream — downloads, stalls, idle waits,
+abandonments, and switches — from the session result.
+
+Usage::
+
+    recorder = TimelineRecorder(SodaController())
+    result = run_session(recorder, trace, ladder, config)
+    timeline = recorder.timeline(result)
+    print(timeline.render())
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..prediction.base import ThroughputSample
+from .player import PlayerObservation, SessionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from ..abr.base import AbrController
+
+__all__ = ["EventKind", "SessionEvent", "SessionTimeline", "TimelineRecorder"]
+
+
+class EventKind(enum.Enum):
+    """The kinds of events a session timeline records."""
+
+    DOWNLOAD = "download"
+    SWITCH = "switch"
+    STALL = "stall"
+    DEFER = "defer"
+    ABANDON = "abandon"
+    DECISION = "decision"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One timeline event.
+
+    Attributes:
+        time: wall-clock time the event starts, seconds.
+        kind: event type.
+        segment: segment index the event concerns (−1 when not applicable).
+        detail: human-readable payload ("rung 3 -> 4", "2.1s stall", ...).
+        value: numeric payload (download duration, stall length, rung, ...).
+    """
+
+    time: float
+    kind: EventKind
+    segment: int
+    detail: str
+    value: float = 0.0
+
+
+@dataclass
+class SessionTimeline:
+    """An ordered list of session events with query helpers."""
+
+    events: List[SessionEvent] = field(default_factory=list)
+
+    def of_kind(self, kind: EventKind) -> List[SessionEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    @property
+    def switch_times(self) -> List[float]:
+        return [e.time for e in self.of_kind(EventKind.SWITCH)]
+
+    @property
+    def stall_seconds(self) -> float:
+        return sum(e.value for e in self.of_kind(EventKind.STALL))
+
+    def between(self, start: float, end: float) -> "SessionTimeline":
+        """Events in the wall-clock window [start, end)."""
+        return SessionTimeline(
+            [e for e in self.events if start <= e.time < end]
+        )
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """A readable multi-line rendering (one event per line)."""
+        lines = []
+        for event in self.events[: limit or len(self.events)]:
+            lines.append(
+                f"{event.time:9.2f}s  {event.kind.value:9s} "
+                f"seg={event.segment:<4d} {event.detail}"
+            )
+        skipped = len(self.events) - (limit or len(self.events))
+        if skipped > 0:
+            lines.append(f"... {skipped} more events")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class TimelineRecorder:
+    """Wraps a controller, recording its decisions and the player's events.
+
+    The recorder is transparent: it forwards every call (and the wrapped
+    controller's predictor, so oracle wiring still works) to the inner
+    controller, so QoE results are identical with or without it.  It is
+    duck-typed rather than an :class:`repro.abr.base.AbrController`
+    subclass to keep the sim layer free of upward imports.
+    """
+
+    def __init__(self, inner: "AbrController") -> None:
+        self.inner = inner
+        self.name = inner.name
+        self._decisions: List[SessionEvent] = []
+
+    @property
+    def predictor(self):
+        """The wrapped controller's predictor (for oracle trace wiring)."""
+        return getattr(self.inner, "predictor", None)
+
+    # -- controller protocol -------------------------------------------
+    def reset(self) -> None:
+        self.inner.reset()
+        self._decisions = []
+
+    def on_download(self, sample: ThroughputSample) -> None:
+        self.inner.on_download(sample)
+
+    def select_quality(self, obs: PlayerObservation):
+        quality = self.inner.select_quality(obs)
+        if quality is None:
+            self._decisions.append(
+                SessionEvent(
+                    time=obs.wall_time,
+                    kind=EventKind.DEFER,
+                    segment=obs.segment_index,
+                    detail=f"deferred at buffer {obs.buffer_level:.2f}s",
+                )
+            )
+        else:
+            self._decisions.append(
+                SessionEvent(
+                    time=obs.wall_time,
+                    kind=EventKind.DECISION,
+                    segment=obs.segment_index,
+                    detail=(
+                        f"rung {quality} "
+                        f"({obs.ladder.bitrate(quality):.2f} Mb/s) at "
+                        f"buffer {obs.buffer_level:.2f}s"
+                    ),
+                    value=float(quality),
+                )
+            )
+        return quality
+
+    # -- timeline assembly ---------------------------------------------
+    def timeline(self, result: SessionResult) -> SessionTimeline:
+        """Merge recorded decisions with the session result's aggregates."""
+        events: List[SessionEvent] = list(self._decisions)
+        prev_quality: Optional[int] = None
+        for i, (start, duration, quality) in enumerate(
+            zip(result.download_starts, result.download_times, result.qualities)
+        ):
+            events.append(
+                SessionEvent(
+                    time=start,
+                    kind=EventKind.DOWNLOAD,
+                    segment=i,
+                    detail=(
+                        f"{result.ladder.segment_size(quality, i):.1f} Mb in "
+                        f"{duration:.2f}s "
+                        f"({result.throughputs[i]:.2f} Mb/s)"
+                    ),
+                    value=duration,
+                )
+            )
+            if prev_quality is not None and quality != prev_quality:
+                events.append(
+                    SessionEvent(
+                        time=start,
+                        kind=EventKind.SWITCH,
+                        segment=i,
+                        detail=f"rung {prev_quality} -> {quality}",
+                        value=float(quality - prev_quality),
+                    )
+                )
+            prev_quality = quality
+        events.sort(key=lambda e: (e.time, e.kind.value))
+        return SessionTimeline(events)

@@ -1,0 +1,295 @@
+"""Multi-client simulation: several players sharing one bottleneck link.
+
+The paper evaluates one player per network trace; a long-standing ABR
+question is how controllers behave when several players *compete* for a
+bottleneck (fairness, oscillation amplification).  This module adds that
+substrate: N players share a link whose capacity follows a trace, active
+downloads get an equal (TCP-fair approximation) share, and each player runs
+the same decision protocol as :func:`repro.sim.player.simulate_session`.
+
+The simulation advances in small fixed ticks (default 50 ms), which keeps
+the share accounting simple and is accurate to well under a segment
+duration.  Download abandonment is not modelled here (it would entangle the
+share accounting); sessions are on-demand or live exactly as in the
+single-player case.
+
+Example::
+
+    clients = [SodaController() for _ in range(4)]
+    outcome = simulate_shared_link(clients, trace, ladder, config)
+    print(outcome.fairness_index(), [r.switch_count for r in outcome.results])
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from ..prediction.base import ThroughputSample
+from .network import ThroughputTrace
+from .player import PlayerConfig, PlayerObservation, SessionResult
+from .video import BitrateLadder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from ..abr.base import AbrController
+
+__all__ = ["SharedLinkOutcome", "simulate_shared_link", "jain_fairness"]
+
+#: simulation tick in seconds
+_TICK = 0.05
+#: consecutive deferral cap per segment, mirroring the single-player guard
+_MAX_IDLE_TICKS = 200_000
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 means perfectly fair."""
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("fairness of an empty set is undefined")
+    denom = x.size * float(np.sum(x * x))
+    if denom <= 0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom
+
+
+@dataclass
+class SharedLinkOutcome:
+    """Results of a shared-link simulation.
+
+    Attributes:
+        results: one :class:`SessionResult` per client.
+        link_capacity_mean: time-averaged link capacity, Mb/s.
+        delivered_megabits: total payload delivered to all clients.
+        duration: wall-clock length of the simulation.
+    """
+
+    results: List[SessionResult] = field(default_factory=list)
+    link_capacity_mean: float = 0.0
+    delivered_megabits: float = 0.0
+    duration: float = 0.0
+
+    def mean_bitrates(self) -> List[float]:
+        """Per-client mean video bitrate, Mb/s."""
+        return [
+            float(np.mean(r.bitrates)) if r.num_segments else 0.0
+            for r in self.results
+        ]
+
+    def fairness_index(self) -> float:
+        """Jain's index over per-client mean bitrates."""
+        return jain_fairness(self.mean_bitrates())
+
+    def link_utilisation(self) -> float:
+        """Delivered megabits over the link's total capacity-time."""
+        total = self.link_capacity_mean * self.duration
+        if total <= 0:
+            return 0.0
+        return min(self.delivered_megabits / total, 1.0)
+
+
+class _Client:
+    """Per-player state machine (mirrors simulate_session's phases)."""
+
+    __slots__ = (
+        "controller", "result", "segment_index", "buffer", "playing",
+        "rebuffering", "history", "prev_quality", "pending_size",
+        "pending_received", "pending_start", "pending_quality",
+        "idle_ticks", "done", "wall_time",
+    )
+
+    def __init__(self, controller: "AbrController", ladder: BitrateLadder):
+        controller.reset()
+        self.controller = controller
+        self.result = SessionResult(controller=controller.name, ladder=ladder)
+        self.segment_index = 0
+        self.buffer = 0.0
+        self.playing = False
+        self.rebuffering = False
+        self.history: List[ThroughputSample] = []
+        self.prev_quality: Optional[int] = None
+        self.pending_size: Optional[float] = None
+        self.pending_received = 0.0
+        self.pending_start = 0.0
+        self.pending_quality = 0
+        self.idle_ticks = 0
+        self.done = False
+        self.wall_time = 0.0
+
+    @property
+    def downloading(self) -> bool:
+        return self.pending_size is not None
+
+
+def simulate_shared_link(
+    controllers: Sequence["AbrController"],
+    link: ThroughputTrace,
+    ladder: BitrateLadder,
+    config: Optional[PlayerConfig] = None,
+    tick: float = _TICK,
+) -> SharedLinkOutcome:
+    """Simulate N players sharing one bottleneck link.
+
+    Args:
+        controllers: one controller per client (distinct instances!).
+        link: total link capacity over time, Mb/s (loops).
+        ladder: encoding ladder shared by all clients.
+        config: player parameters (``abandonment`` is ignored here).
+        tick: simulation step, seconds.
+
+    Returns:
+        A :class:`SharedLinkOutcome` with per-client session results.
+
+    Raises:
+        ValueError: with no clients or a non-positive tick.
+        RuntimeError: if a controller defers indefinitely.
+    """
+    if not controllers:
+        raise ValueError("need at least one client")
+    if len({id(c) for c in controllers}) != len(controllers):
+        raise ValueError("controllers must be distinct instances")
+    if tick <= 0:
+        raise ValueError("tick must be positive")
+    cfg = config or PlayerConfig()
+    seg_len = ladder.segment_duration
+
+    clients = [_Client(c, ladder) for c in controllers]
+    t = 0.0
+    delivered = 0.0
+    max_time = cfg.num_segments * seg_len * 50 + 300.0  # hard stop
+
+    while not all(c.done for c in clients):
+        if t > max_time:
+            raise RuntimeError("shared-link simulation exceeded its time cap")
+        # 1) Ask idle clients for their next action.
+        for client in clients:
+            if client.done or client.downloading:
+                continue
+            _maybe_start_download(client, cfg, ladder, t, seg_len)
+
+        # 2) Split capacity among active downloads and advance one tick.
+        active = [c for c in clients if c.downloading]
+        capacity_bits = link.bits_between(t, t + tick)
+        share = capacity_bits / len(active) if active else 0.0
+        for client in active:
+            client.pending_received += share
+            delivered += share
+
+        # 3) Advance playback and finish completed downloads.
+        for client in clients:
+            if client.done:
+                continue
+            _advance_playback(client, tick, cfg)
+            client.wall_time = t + tick
+            if client.downloading and (
+                client.pending_received >= client.pending_size - 1e-9
+            ):
+                _finish_download(client, t + tick, cfg, seg_len)
+        t += tick
+
+    outcome = SharedLinkOutcome(
+        results=[c.result for c in clients],
+        link_capacity_mean=link.stats().mean,
+        delivered_megabits=delivered,
+        duration=t,
+    )
+    for client in clients:
+        client.result.wall_duration = t
+    return outcome
+
+
+# ----------------------------------------------------------------------
+def _maybe_start_download(
+    client: _Client,
+    cfg: PlayerConfig,
+    ladder: BitrateLadder,
+    t: float,
+    seg_len: float,
+) -> None:
+    if client.segment_index >= cfg.num_segments:
+        client.done = True
+        return
+    # Live availability.
+    if cfg.live_delay is not None:
+        available_at = (client.segment_index + 1) * seg_len - cfg.live_delay
+        if t < available_at - 1e-9:
+            return
+    # Buffer room.
+    if client.buffer + seg_len > cfg.max_buffer + 1e-9:
+        return
+
+    obs = PlayerObservation(
+        wall_time=t,
+        segment_index=client.segment_index,
+        buffer_level=client.buffer,
+        max_buffer=cfg.max_buffer,
+        previous_quality=client.prev_quality,
+        ladder=ladder,
+        history=tuple(client.history[-cfg.history_window:]),
+        rebuffer_time=client.result.rebuffer_time,
+        playing=client.playing,
+    )
+    quality = client.controller.select_quality(obs)
+    if quality is None:
+        client.idle_ticks += 1
+        if client.idle_ticks > _MAX_IDLE_TICKS:
+            raise RuntimeError(
+                f"{client.controller.name} deferred indefinitely"
+            )
+        return
+    if not 0 <= quality < ladder.levels:
+        raise ValueError(
+            f"{client.controller.name} chose invalid rung {quality!r}"
+        )
+    client.idle_ticks = 0
+    client.pending_quality = quality
+    client.pending_size = ladder.segment_size(quality, client.segment_index)
+    client.pending_received = 0.0
+    client.pending_start = t
+
+
+def _advance_playback(client: _Client, dt: float, cfg: PlayerConfig) -> None:
+    if not client.playing:
+        client.result.startup_delay += dt
+        return
+    played = min(client.buffer, dt)
+    if played > 1e-12:
+        client.rebuffering = False
+    stall = dt - played
+    if stall > 1e-12:
+        if not client.rebuffering:
+            client.result.rebuffer_events += 1
+        client.rebuffering = True
+        client.result.rebuffer_time += stall
+    client.buffer -= played
+
+
+def _finish_download(
+    client: _Client, t: float, cfg: PlayerConfig, seg_len: float
+) -> None:
+    duration = max(t - client.pending_start, 1e-9)
+    sample = ThroughputSample(
+        start=client.pending_start,
+        duration=duration,
+        size=client.pending_size,
+        throughput=client.pending_size / duration,
+    )
+    client.history.append(sample)
+    client.controller.on_download(sample)
+
+    client.buffer = min(client.buffer + seg_len, cfg.max_buffer)
+    client.result.qualities.append(client.pending_quality)
+    client.result.download_times.append(duration)
+    client.result.download_starts.append(client.pending_start)
+    client.result.throughputs.append(sample.throughput)
+    client.result.buffer_levels.append(client.buffer)
+    client.prev_quality = client.pending_quality
+    client.pending_size = None
+    client.segment_index += 1
+
+    if not client.playing and client.buffer >= cfg.startup_threshold:
+        client.playing = True
+    if client.segment_index >= cfg.num_segments:
+        client.done = True

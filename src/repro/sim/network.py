@@ -1,0 +1,310 @@
+"""Network model: piecewise-constant throughput traces.
+
+A :class:`ThroughputTrace` describes the downlink capacity available to the
+video player as a piecewise-constant function of wall-clock time, which is
+the representation used by Sabre, Mahimahi-derived datasets, and the Puffer
+trace dumps the paper builds on.
+
+All throughputs are in megabits per second (Mb/s), sizes in megabits (Mb),
+and times in seconds.  Traces loop: a session longer than the trace wraps
+around to the beginning, matching Sabre's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ThroughputTrace", "TraceStats"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace (time-weighted).
+
+    Attributes:
+        mean: time-weighted mean throughput in Mb/s.
+        std: time-weighted standard deviation in Mb/s.
+        rsd: relative standard deviation ``std / mean`` (0 when mean is 0).
+        minimum: smallest throughput value in the trace.
+        maximum: largest throughput value in the trace.
+        duration: total trace duration in seconds.
+    """
+
+    mean: float
+    std: float
+    rsd: float
+    minimum: float
+    maximum: float
+    duration: float
+
+
+class ThroughputTrace:
+    """A piecewise-constant throughput function of time.
+
+    Args:
+        durations: length of each constant-throughput interval, seconds.
+        bandwidths: throughput during each interval, Mb/s.
+        name: optional human-readable label (e.g. source file name).
+
+    Raises:
+        ValueError: if the inputs are empty, have mismatched lengths, or
+            contain non-positive durations / negative bandwidths.
+    """
+
+    def __init__(
+        self,
+        durations: Sequence[float],
+        bandwidths: Sequence[float],
+        name: str = "",
+    ) -> None:
+        durations = np.asarray(durations, dtype=float)
+        bandwidths = np.asarray(bandwidths, dtype=float)
+        if durations.ndim != 1 or bandwidths.ndim != 1:
+            raise ValueError("durations and bandwidths must be 1-D sequences")
+        if len(durations) == 0:
+            raise ValueError("a trace needs at least one interval")
+        if len(durations) != len(bandwidths):
+            raise ValueError(
+                f"length mismatch: {len(durations)} durations vs "
+                f"{len(bandwidths)} bandwidths"
+            )
+        if np.any(durations <= 0):
+            raise ValueError("all interval durations must be positive")
+        if np.any(bandwidths < 0):
+            raise ValueError("bandwidths must be non-negative")
+
+        self.name = name
+        self._durations = durations
+        self._bandwidths = bandwidths
+        # Interval boundaries: t_0 = 0 < t_1 < ... < t_n = duration.
+        self._boundaries = np.concatenate(([0.0], np.cumsum(durations)))
+        # Megabits deliverable from time 0 up to each boundary.
+        self._cum_bits = np.concatenate(
+            ([0.0], np.cumsum(durations * bandwidths))
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def durations(self) -> np.ndarray:
+        """Interval durations (read-only view), seconds."""
+        return self._durations
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        """Interval throughputs (read-only view), Mb/s."""
+        return self._bandwidths
+
+    @property
+    def duration(self) -> float:
+        """Total trace duration in seconds."""
+        return float(self._boundaries[-1])
+
+    @property
+    def total_bits(self) -> float:
+        """Megabits deliverable over one full pass of the trace."""
+        return float(self._cum_bits[-1])
+
+    def __len__(self) -> int:
+        return len(self._durations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<ThroughputTrace{label} n={len(self)} dur={stats.duration:.1f}s "
+            f"mean={stats.mean:.2f}Mb/s rsd={stats.rsd:.2f}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def bandwidth_at(self, t: float) -> float:
+        """Instantaneous throughput at wall time ``t`` (trace loops)."""
+        t = self._wrap(t)
+        idx = int(np.searchsorted(self._boundaries, t, side="right")) - 1
+        idx = min(max(idx, 0), len(self._durations) - 1)
+        return float(self._bandwidths[idx])
+
+    def bits_between(self, start: float, end: float) -> float:
+        """Megabits deliverable in the wall-clock window [start, end]."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        return self._cum_bits_at(end) - self._cum_bits_at(start)
+
+    def average_throughput(self, start: float, end: float) -> float:
+        """Time-averaged throughput over [start, end] in Mb/s."""
+        if end <= start:
+            return self.bandwidth_at(start)
+        return self.bits_between(start, end) / (end - start)
+
+    def download_time(self, size_mbits: float, start: float) -> float:
+        """Seconds needed to transfer ``size_mbits`` starting at ``start``.
+
+        Returns ``math.inf`` when the trace cannot ever deliver the payload
+        (all-zero throughput).
+        """
+        if size_mbits < 0:
+            raise ValueError("size must be non-negative")
+        if size_mbits == 0:
+            return 0.0
+        if self.total_bits <= _EPS:
+            return math.inf
+
+        # Whole trace loops first.
+        loops = 0.0
+        remaining = size_mbits
+        if remaining > self.total_bits:
+            n_loops = math.floor(remaining / self.total_bits)
+            # Guard against the payload landing exactly on a loop boundary.
+            if remaining - n_loops * self.total_bits <= _EPS and n_loops > 0:
+                n_loops -= 1
+            loops = n_loops * self.duration
+            remaining -= n_loops * self.total_bits
+
+        offset = self._wrap(start)
+        base_bits = self._cum_bits_at_offset(offset)
+        target = base_bits + remaining
+        if target > self.total_bits + _EPS:
+            # Wraps past the end of the trace: finish the pass, then recurse
+            # from the beginning.
+            first_leg = self.duration - offset
+            leftover = target - self.total_bits
+            return loops + first_leg + self._time_for_bits_from_zero(leftover)
+        return loops + self._time_for_bits_from_zero(target) - offset
+
+    def stats(self) -> TraceStats:
+        """Time-weighted summary statistics."""
+        weights = self._durations / self.duration
+        mean = float(np.sum(weights * self._bandwidths))
+        var = float(np.sum(weights * (self._bandwidths - mean) ** 2))
+        std = math.sqrt(max(var, 0.0))
+        rsd = std / mean if mean > _EPS else 0.0
+        return TraceStats(
+            mean=mean,
+            std=std,
+            rsd=rsd,
+            minimum=float(np.min(self._bandwidths)),
+            maximum=float(np.max(self._bandwidths)),
+            duration=self.duration,
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "ThroughputTrace":
+        """A copy with every bandwidth multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return ThroughputTrace(
+            self._durations.copy(),
+            self._bandwidths * factor,
+            name=self.name,
+        )
+
+    def slice(self, start: float, end: float) -> "ThroughputTrace":
+        """Extract the sub-trace covering wall time [start, end).
+
+        ``start``/``end`` may exceed the trace duration; the trace loops.
+        """
+        if end <= start:
+            raise ValueError("slice needs end > start")
+        durations: List[float] = []
+        bandwidths: List[float] = []
+        t = start
+        while t < end - _EPS:
+            offset = self._wrap(t)
+            idx = int(np.searchsorted(self._boundaries, offset, side="right")) - 1
+            idx = min(max(idx, 0), len(self._durations) - 1)
+            seg_end = self._boundaries[idx + 1]
+            step = min(seg_end - offset, end - t)
+            if step <= _EPS:
+                step = min(self._durations[idx], end - t)
+            durations.append(step)
+            bandwidths.append(float(self._bandwidths[idx]))
+            t += step
+        return ThroughputTrace(durations, bandwidths, name=self.name)
+
+    def split(self, chunk_seconds: float) -> List["ThroughputTrace"]:
+        """Split one pass of the trace into consecutive fixed-length chunks.
+
+        Trailing material shorter than ``chunk_seconds`` is dropped — this is
+        the session-splitting rule from the paper's §6.1.1.
+        """
+        if chunk_seconds <= 0:
+            raise ValueError("chunk length must be positive")
+        n_chunks = int(self.duration // chunk_seconds)
+        return [
+            self.slice(i * chunk_seconds, (i + 1) * chunk_seconds)
+            for i in range(n_chunks)
+        ]
+
+    def sampled(self, dt: float) -> np.ndarray:
+        """Bandwidth averaged over consecutive ``dt``-second bins (one pass)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        n = max(int(round(self.duration / dt)), 1)
+        return np.array(
+            [self.average_throughput(i * dt, (i + 1) * dt) for i in range(n)]
+        )
+
+    @staticmethod
+    def constant(
+        bandwidth: float, duration: float, name: str = "constant"
+    ) -> "ThroughputTrace":
+        """A trace with fixed throughput for ``duration`` seconds."""
+        return ThroughputTrace([duration], [bandwidth], name=name)
+
+    @staticmethod
+    def from_samples(
+        bandwidths: Iterable[float], dt: float, name: str = ""
+    ) -> "ThroughputTrace":
+        """Build a trace from equally spaced bandwidth samples."""
+        bandwidths = list(bandwidths)
+        return ThroughputTrace([dt] * len(bandwidths), bandwidths, name=name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _wrap(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        wrapped = math.fmod(t, self.duration)
+        return wrapped
+
+    def _cum_bits_at_offset(self, offset: float) -> float:
+        """Megabits deliverable from 0 to ``offset`` (offset < duration)."""
+        idx = int(np.searchsorted(self._boundaries, offset, side="right")) - 1
+        idx = min(max(idx, 0), len(self._durations) - 1)
+        partial = (offset - self._boundaries[idx]) * self._bandwidths[idx]
+        return float(self._cum_bits[idx] + partial)
+
+    def _cum_bits_at(self, t: float) -> float:
+        """Megabits deliverable from 0 to ``t`` (with looping)."""
+        loops = math.floor(t / self.duration) if self.duration > 0 else 0
+        offset = t - loops * self.duration
+        return loops * self.total_bits + self._cum_bits_at_offset(offset)
+
+    def _time_for_bits_from_zero(self, bits: float) -> float:
+        """Seconds from trace start to deliver ``bits`` (bits ≤ total)."""
+        idx = int(np.searchsorted(self._cum_bits, bits, side="left")) - 1
+        idx = min(max(idx, 0), len(self._durations) - 1)
+        # Skip zero-bandwidth intervals at the boundary.
+        while idx < len(self._durations) and (
+            self._bandwidths[idx] <= _EPS
+            and bits > self._cum_bits[idx] + _EPS
+        ):
+            idx += 1
+        if idx >= len(self._durations):
+            return self.duration
+        remaining = bits - self._cum_bits[idx]
+        if self._bandwidths[idx] <= _EPS:
+            return float(self._boundaries[idx])
+        return float(self._boundaries[idx] + remaining / self._bandwidths[idx])

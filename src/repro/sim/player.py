@@ -1,0 +1,377 @@
+"""The streaming player simulator (Sabre-equivalent).
+
+Simulates one streaming session: a controller picks a rung per segment, the
+segment downloads over the trace, the buffer drains in wall time, rebuffering
+accrues when the buffer empties, and live sessions cannot fetch segments that
+have not been produced yet.
+
+The dynamics follow Sabre [36], whose accuracy the paper validated against
+dash.js: downloads are sequential, the buffer holds whole segments, and the
+player waits when the buffer is full (no overflow, matching the blank region
+of the paper's Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..prediction.base import ThroughputSample
+from .network import ThroughputTrace
+from .video import BitrateLadder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from ..abr.base import AbrController
+
+__all__ = ["PlayerConfig", "PlayerObservation", "SessionResult", "simulate_session"]
+
+
+@dataclass(frozen=True)
+class PlayerObservation:
+    """Everything a controller may look at before picking a bitrate.
+
+    Attributes:
+        wall_time: current wall-clock time in the session, seconds.
+        segment_index: index of the segment about to be requested.
+        buffer_level: seconds of video currently buffered.
+        max_buffer: buffer capacity in seconds (x_max).
+        previous_quality: rung of the previously downloaded segment, or
+            ``None`` before the first download.
+        ladder: the encoding ladder in use.
+        history: completed downloads, oldest first.
+        rebuffer_time: cumulative rebuffering so far, seconds.
+        playing: whether playback has started (False during startup).
+    """
+
+    wall_time: float
+    segment_index: int
+    buffer_level: float
+    max_buffer: float
+    previous_quality: Optional[int]
+    ladder: BitrateLadder
+    history: Tuple[ThroughputSample, ...]
+    rebuffer_time: float = 0.0
+    playing: bool = True
+
+    @property
+    def previous_bitrate(self) -> Optional[float]:
+        """Bitrate of the previous segment in Mb/s, if any."""
+        if self.previous_quality is None:
+            return None
+        return self.ladder.bitrate(self.previous_quality)
+
+    @property
+    def last_throughput(self) -> Optional[float]:
+        """Measured throughput of the most recent download, Mb/s."""
+        if not self.history:
+            return None
+        return self.history[-1].throughput
+
+#: idle step used when the controller defers or a segment is unavailable
+_IDLE_STEP = 0.1
+#: hard cap on consecutive idle steps, to catch livelocked controllers
+_MAX_IDLE_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class PlayerConfig:
+    """Player-side parameters of a session.
+
+    Attributes:
+        max_buffer: buffer capacity in seconds (20 s for the paper's live
+            setting, 15 s for the prototype, 60–180 s for on-demand).
+        num_segments: how many segments the session streams.
+        startup_threshold: seconds of buffered video required before
+            playback starts.
+        live_delay: for live sessions, how far behind the live edge the
+            player sits; segment ``i`` becomes available at wall time
+            ``(i + 1) * L - live_delay``.  ``None`` means on-demand (every
+            segment is available immediately).
+        history_window: how many download samples are exposed to the
+            controller (and kept for metrics).
+        abandonment: whether a download that is on course to stall the
+            player may be abandoned and refetched at the lowest rung.
+            Production players (dash.js, Prime Video) all do this; the
+            original Sabre does not, so it can be disabled for strict
+            Sabre-equivalence.
+        abandon_check_fraction: how far into the current buffer (as a
+            fraction) the player re-estimates the download before deciding
+            to abandon.
+        abandon_threshold: extra stall tolerance in seconds before an
+            abandonment triggers.
+        rtt: per-request round-trip latency in seconds added before each
+            segment download (no payload flows during it).  Default 0 keeps
+            strict Sabre-equivalence; realistic values are 0.02–0.2 s.
+    """
+
+    max_buffer: float = 20.0
+    num_segments: int = 300
+    startup_threshold: float = 2.0
+    live_delay: Optional[float] = None
+    history_window: int = 32
+    abandonment: bool = True
+    abandon_check_fraction: float = 0.5
+    abandon_threshold: float = 1.0
+    rtt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_buffer <= 0:
+            raise ValueError("max_buffer must be positive")
+        if self.num_segments < 1:
+            raise ValueError("need at least one segment")
+        if self.startup_threshold < 0:
+            raise ValueError("startup threshold must be non-negative")
+        if self.live_delay is not None and self.live_delay <= 0:
+            raise ValueError("live_delay must be positive when set")
+        if not 0 < self.abandon_check_fraction <= 1:
+            raise ValueError("abandon_check_fraction must be in (0, 1]")
+        if self.abandon_threshold < 0:
+            raise ValueError("abandon_threshold must be non-negative")
+        if self.rtt < 0:
+            raise ValueError("rtt must be non-negative")
+
+
+@dataclass
+class SessionResult:
+    """Full record of one simulated session.
+
+    Everything the paper's metrics need: per-segment rungs and timings, total
+    rebuffering, startup delay, and the buffer trajectory sampled at each
+    download completion.
+    """
+
+    controller: str
+    ladder: BitrateLadder
+    qualities: List[int] = field(default_factory=list)
+    download_times: List[float] = field(default_factory=list)
+    download_starts: List[float] = field(default_factory=list)
+    throughputs: List[float] = field(default_factory=list)
+    buffer_levels: List[float] = field(default_factory=list)
+    rebuffer_time: float = 0.0
+    rebuffer_events: int = 0
+    startup_delay: float = 0.0
+    wall_duration: float = 0.0
+    idle_time: float = 0.0
+    abandonments: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        return len(self.qualities)
+
+    @property
+    def bitrates(self) -> List[float]:
+        """Per-segment bitrates in Mb/s."""
+        return [self.ladder.bitrate(q) for q in self.qualities]
+
+    @property
+    def switch_count(self) -> int:
+        """Number of adjacent segment pairs with different rungs."""
+        return sum(
+            1
+            for a, b in zip(self.qualities, self.qualities[1:])
+            if a != b
+        )
+
+    @property
+    def play_duration(self) -> float:
+        """Video seconds delivered."""
+        return self.num_segments * self.ladder.segment_duration
+
+    @property
+    def session_duration(self) -> float:
+        """Wall-clock session length used for the rebuffering ratio."""
+        return self.wall_duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SessionResult {self.controller} segs={self.num_segments} "
+            f"rebuf={self.rebuffer_time:.2f}s switches={self.switch_count}>"
+        )
+
+
+def simulate_session(
+    controller: "AbrController",
+    trace: ThroughputTrace,
+    ladder: BitrateLadder,
+    config: Optional[PlayerConfig] = None,
+) -> SessionResult:
+    """Run one streaming session and return its full record.
+
+    Args:
+        controller: the ABR controller under test; it is reset first.
+        trace: network conditions (loops if shorter than the session).
+        ladder: the encoding ladder.
+        config: player parameters; defaults to the paper's live setting.
+
+    Returns:
+        A :class:`SessionResult` with per-segment decisions and QoE inputs.
+
+    Raises:
+        RuntimeError: if the controller defers forever or the network can
+            never deliver a segment (all-zero trace).
+    """
+    cfg = config or PlayerConfig()
+    controller.reset()
+
+    result = SessionResult(controller=controller.name, ladder=ladder)
+    seg_len = ladder.segment_duration
+
+    t = 0.0
+    buffer = 0.0
+    playing = False
+    rebuffering = False
+    history: List[ThroughputSample] = []
+    prev_quality: Optional[int] = None
+
+    for segment_index in range(cfg.num_segments):
+        idle_steps = 0
+
+        # ------------------------------------------------------------
+        # Wait for segment availability (live) and buffer room.
+        # ------------------------------------------------------------
+        while True:
+            waited = 0.0
+            if cfg.live_delay is not None:
+                available_at = (segment_index + 1) * seg_len - cfg.live_delay
+                if t < available_at - 1e-9:
+                    waited = available_at - t
+            if waited == 0.0 and buffer + seg_len > cfg.max_buffer + 1e-9:
+                # Drain exactly enough room for one more segment.
+                waited = buffer + seg_len - cfg.max_buffer
+            if waited <= 0.0:
+                break
+            t, buffer, playing, rebuffering = _advance(
+                t, buffer, playing, rebuffering, waited, cfg, result
+            )
+            result.idle_time += waited
+
+        # ------------------------------------------------------------
+        # Ask the controller.
+        # ------------------------------------------------------------
+        while True:
+            obs = PlayerObservation(
+                wall_time=t,
+                segment_index=segment_index,
+                buffer_level=buffer,
+                max_buffer=cfg.max_buffer,
+                previous_quality=prev_quality,
+                ladder=ladder,
+                history=tuple(history[-cfg.history_window :]),
+                rebuffer_time=result.rebuffer_time,
+                playing=playing,
+            )
+            quality = controller.select_quality(obs)
+            if quality is not None:
+                break
+            idle_steps += 1
+            if idle_steps > _MAX_IDLE_STEPS:
+                raise RuntimeError(
+                    f"{controller.name} deferred {idle_steps} times in a row"
+                )
+            t, buffer, playing, rebuffering = _advance(
+                t, buffer, playing, rebuffering, _IDLE_STEP, cfg, result
+            )
+            result.idle_time += _IDLE_STEP
+
+        if not 0 <= quality < ladder.levels:
+            raise ValueError(
+                f"{controller.name} chose invalid rung {quality!r}"
+            )
+
+        # ------------------------------------------------------------
+        # Download the segment.
+        # ------------------------------------------------------------
+        size = ladder.segment_size(quality, segment_index)
+        dt = cfg.rtt + trace.download_time(size, t + cfg.rtt)
+        if math.isinf(dt):
+            raise RuntimeError("trace can never deliver the segment")
+
+        # Abandonment: a download on course to stall playback is cancelled
+        # once the player has spent a fraction of its buffer confirming the
+        # slowdown, and the segment is refetched at the lowest rung.
+        if (
+            cfg.abandonment
+            and playing
+            and quality > 0
+            and dt > buffer + cfg.abandon_threshold
+        ):
+            elapsed = min(
+                max(cfg.abandon_check_fraction * buffer, 0.25), dt
+            )
+            bits_got = trace.bits_between(t, t + elapsed)
+            if elapsed > 0 and bits_got >= 0:
+                partial = ThroughputSample(
+                    start=t,
+                    duration=elapsed,
+                    size=bits_got,
+                    throughput=bits_got / elapsed,
+                )
+                t, buffer, playing, rebuffering = _advance(
+                    t, buffer, playing, rebuffering, elapsed, cfg, result
+                )
+                history.append(partial)
+                controller.on_download(partial)
+                result.abandonments += 1
+                quality = 0
+                size = ladder.segment_size(quality, segment_index)
+                dt = cfg.rtt + trace.download_time(size, t + cfg.rtt)
+
+        sample = ThroughputSample.from_download(start=t, duration=dt, size=size)
+        start_t = t
+        t, buffer, playing, rebuffering = _advance(
+            t, buffer, playing, rebuffering, dt, cfg, result
+        )
+        buffer += seg_len
+
+        history.append(sample)
+        controller.on_download(sample)
+        prev_quality = quality
+
+        result.qualities.append(quality)
+        result.download_times.append(dt)
+        result.download_starts.append(start_t)
+        result.throughputs.append(sample.throughput)
+        result.buffer_levels.append(buffer)
+
+        if not playing and buffer >= cfg.startup_threshold:
+            playing = True
+
+    result.wall_duration = t
+    return result
+
+
+def _advance(
+    t: float,
+    buffer: float,
+    playing: bool,
+    rebuffering: bool,
+    dt: float,
+    cfg: PlayerConfig,
+    result: SessionResult,
+) -> tuple:
+    """Advance wall time by ``dt``, draining the buffer and accounting.
+
+    Returns the updated ``(t, buffer, playing, rebuffering)`` tuple and
+    mutates ``result`` with rebuffer/startup accounting.
+    """
+    if dt < 0:
+        raise ValueError("cannot advance time backwards")
+    if not playing:
+        # Startup: nothing plays, the clock ticks.
+        result.startup_delay += dt
+        return t + dt, buffer, playing, rebuffering
+
+    played = min(buffer, dt)
+    if played > 1e-12:
+        # Any resumed playback ends the current stall: a later stall is a
+        # new rebuffering event (the sawtooth of the paper's Figure 3).
+        rebuffering = False
+    stall = dt - played
+    if stall > 1e-12:
+        if not rebuffering:
+            result.rebuffer_events += 1
+        rebuffering = True
+        result.rebuffer_time += stall
+    return t + dt, buffer - played, playing, rebuffering

@@ -1,0 +1,157 @@
+"""Evaluation profiles: ready-made (ladder, player config) settings.
+
+One profile per evaluation venue in the paper:
+
+* **live** — the numerical-simulation setting (§6.1): 20 s buffer cap, 4K
+  YouTube ladder (or the HD cut for cellular datasets), 2 s segments;
+* **on_demand** — the 120 s-buffer setting of Figure 2's comparison;
+* **prototype** — the Puffer browser prototype (§6.2): 15 s buffer cap,
+  5-rung news-clip ladder, SSIM utility;
+* **production** — the Prime Video deployment (§6.3): 10-rung ladder,
+  20 s behind live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .player import PlayerConfig
+from .video import (
+    BitrateLadder,
+    SsimModel,
+    prime_video_live_ladder,
+    puffer_news_ladder,
+    youtube_4k_ladder,
+    youtube_hd_ladder,
+)
+
+__all__ = [
+    "EvaluationProfile",
+    "live_profile",
+    "on_demand_profile",
+    "prototype_profile",
+    "production_profile",
+    "low_latency_profile",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationProfile:
+    """A complete simulation setting.
+
+    Attributes:
+        name: profile label.
+        ladder: encoding ladder.
+        player: player configuration.
+        utility: QoE utility kind — "log" or "ssim".
+        ssim_model: SSIM curve when ``utility == "ssim"``.
+    """
+
+    name: str
+    ladder: BitrateLadder
+    player: PlayerConfig
+    utility: str = "log"
+    ssim_model: Optional[SsimModel] = None
+
+
+def live_profile(
+    session_seconds: float = 600.0,
+    cellular: bool = False,
+    max_buffer: float = 20.0,
+) -> EvaluationProfile:
+    """The §6.1 numerical-simulation setting (live streaming)."""
+    ladder = youtube_hd_ladder() if cellular else youtube_4k_ladder()
+    num_segments = int(session_seconds / ladder.segment_duration)
+    return EvaluationProfile(
+        name="live-cellular" if cellular else "live",
+        ladder=ladder,
+        player=PlayerConfig(
+            max_buffer=max_buffer,
+            num_segments=num_segments,
+            startup_threshold=ladder.segment_duration,
+            live_delay=max_buffer,
+        ),
+    )
+
+
+def on_demand_profile(
+    session_seconds: float = 600.0, max_buffer: float = 120.0
+) -> EvaluationProfile:
+    """The on-demand setting of Figure 2 (long buffer, no live edge)."""
+    ladder = youtube_4k_ladder()
+    num_segments = int(session_seconds / ladder.segment_duration)
+    return EvaluationProfile(
+        name="on-demand",
+        ladder=ladder,
+        player=PlayerConfig(
+            max_buffer=max_buffer,
+            num_segments=num_segments,
+            startup_threshold=ladder.segment_duration,
+            live_delay=None,
+        ),
+    )
+
+
+def prototype_profile(session_seconds: float = 600.0) -> EvaluationProfile:
+    """The §6.2 Puffer prototype setting (15 s buffer, SSIM utility)."""
+    ladder = puffer_news_ladder()
+    num_segments = int(session_seconds / ladder.segment_duration)
+    return EvaluationProfile(
+        name="prototype",
+        ladder=ladder,
+        player=PlayerConfig(
+            max_buffer=15.0,
+            num_segments=num_segments,
+            startup_threshold=ladder.segment_duration,
+            live_delay=15.0,
+        ),
+        utility="ssim",
+        ssim_model=SsimModel(),
+    )
+
+
+def low_latency_profile(
+    session_seconds: float = 600.0,
+    latency: float = 4.0,
+    segment_duration: float = 1.0,
+    cellular: bool = False,
+) -> EvaluationProfile:
+    """Ultra-low-latency live streaming — the paper's §8 future-work regime.
+
+    The player sits only a few seconds behind the live edge, so the buffer
+    is capped at ``latency`` seconds and segments are short.  The §8
+    hypothesis — that preventing rebuffering and switching gets much harder
+    here — is exercised by ``benchmarks/bench_ext_lowlatency.py``.
+    """
+    if latency <= segment_duration:
+        raise ValueError("latency must exceed one segment")
+    base = youtube_hd_ladder if cellular else youtube_4k_ladder
+    ladder = base(segment_duration=segment_duration)
+    num_segments = int(session_seconds / ladder.segment_duration)
+    return EvaluationProfile(
+        name=f"low-latency-{latency:.0f}s",
+        ladder=ladder,
+        player=PlayerConfig(
+            max_buffer=latency,
+            num_segments=num_segments,
+            startup_threshold=segment_duration,
+            live_delay=latency,
+        ),
+    )
+
+
+def production_profile(session_seconds: float = 600.0) -> EvaluationProfile:
+    """The §6.3 Prime Video deployment setting (10-rung ladder, 20 s live)."""
+    ladder = prime_video_live_ladder()
+    num_segments = int(session_seconds / ladder.segment_duration)
+    return EvaluationProfile(
+        name="production",
+        ladder=ladder,
+        player=PlayerConfig(
+            max_buffer=20.0,
+            num_segments=num_segments,
+            startup_threshold=ladder.segment_duration,
+            live_delay=20.0,
+        ),
+    )

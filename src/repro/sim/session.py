@@ -1,0 +1,83 @@
+"""Session orchestration: wire controller, trace, video, and player together.
+
+These helpers add the plumbing :func:`repro.sim.player.simulate_session`
+deliberately leaves out: attaching oracle predictors to the ground-truth
+trace, computing QoE metrics, and running controller factories across whole
+datasets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from ..qoe.metrics import QoeMetrics, qoe_from_session
+from .network import ThroughputTrace
+from .player import PlayerConfig, SessionResult, simulate_session
+from .video import BitrateLadder, SsimModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from ..abr.base import AbrController
+
+__all__ = ["run_session", "run_dataset", "ControllerFactory"]
+
+#: A zero-argument callable producing a fresh controller for each session.
+ControllerFactory = Callable[[], "AbrController"]
+
+
+def run_session(
+    controller: "AbrController",
+    trace: ThroughputTrace,
+    ladder: BitrateLadder,
+    config: Optional[PlayerConfig] = None,
+    utility: str = "log",
+    ssim_model: Optional[SsimModel] = None,
+) -> SessionResult:
+    """Simulate one session, attaching oracle predictors to the trace.
+
+    Any predictor exposing ``attach_trace`` (the oracle family) is pointed
+    at the session's ground-truth trace before the run — this is how the
+    perfect/noisy-prediction experiments of §6.1.4 are wired.
+    """
+    predictor = getattr(controller, "predictor", None)
+    if predictor is not None and hasattr(predictor, "attach_trace"):
+        predictor.attach_trace(trace)
+    return simulate_session(controller, trace, ladder, config)
+
+
+def run_dataset(
+    factory: ControllerFactory,
+    traces: Sequence[ThroughputTrace],
+    ladder: BitrateLadder,
+    config: Optional[PlayerConfig] = None,
+    utility: str = "log",
+    ssim_model: Optional[SsimModel] = None,
+    qoe_beta: float = 10.0,
+    qoe_gamma: float = 1.0,
+) -> List[QoeMetrics]:
+    """Run a fresh controller instance over every trace, returning QoE rows.
+
+    Args:
+        factory: builds a new controller per session, so per-session state
+            (predictor history, RNGs) never leaks across traces.
+        traces: the dataset.
+        ladder: encoding ladder shared by all sessions.
+        config: player parameters.
+        utility: "log" or "ssim" (the latter needs ``ssim_model``).
+        ssim_model: SSIM curve used when ``utility="ssim"``.
+        qoe_beta: rebuffering weight in the QoE score (paper uses 10).
+        qoe_gamma: switching weight in the QoE score (paper uses 1).
+    """
+    metrics: List[QoeMetrics] = []
+    for trace in traces:
+        controller = factory()
+        result = run_session(controller, trace, ladder, config)
+        metrics.append(
+            qoe_from_session(
+                result,
+                utility=utility,
+                ssim_model=ssim_model,
+                beta=qoe_beta,
+                gamma=qoe_gamma,
+            )
+        )
+    return metrics

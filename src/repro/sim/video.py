@@ -1,0 +1,247 @@
+"""Video model: bitrate ladders, segment sizes, and quality curves.
+
+The paper's evaluations use three encodings:
+
+* a high-frame-rate 4K video following YouTube's recommended ladder
+  (1.5, 4, 7.5, 12, 24, 60 Mb/s) with 2-second segments (§6.1.1);
+* the same ladder with the two highest rungs removed for the 4G/5G datasets;
+* a five-resolution news clip for the Puffer prototype whose highest rung
+  averages about 2 Mb/s (§6.2.1).
+
+Sizes are in megabits, durations in seconds, bitrates in Mb/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BitrateLadder",
+    "SsimModel",
+    "youtube_4k_ladder",
+    "youtube_hd_ladder",
+    "puffer_news_ladder",
+    "prime_video_live_ladder",
+]
+
+
+@dataclass(frozen=True)
+class SsimModel:
+    """A saturating SSIM-vs-bitrate curve.
+
+    ``ssim(r) = ssim_max - span * exp(-r / scale)`` — SSIM rises steeply at
+    low bitrates and saturates near ``ssim_max``, the canonical shape of the
+    per-title curves measured on Puffer [46].
+
+    Attributes:
+        ssim_max: SSIM approached at very high bitrate (≤ 1).
+        span: total SSIM range between zero-rate and saturation.
+        scale: bitrate (Mb/s) at which ~63% of the span is recovered.
+    """
+
+    ssim_max: float = 0.985
+    span: float = 0.12
+    scale: float = 0.8
+
+    def ssim(self, bitrate: float) -> float:
+        """SSIM of a segment encoded at ``bitrate`` Mb/s."""
+        if bitrate < 0:
+            raise ValueError("bitrate must be non-negative")
+        return self.ssim_max - self.span * math.exp(-bitrate / self.scale)
+
+    def normalized(self, bitrate: float) -> float:
+        """SSIM normalized by ``ssim_max`` — the prototype utility (§6.2.3)."""
+        return self.ssim(bitrate) / self.ssim_max
+
+
+class BitrateLadder:
+    """An encoding ladder: the discrete set R of available bitrates.
+
+    Args:
+        bitrates: available bitrates in Mb/s, any order, must be unique and
+            positive.  Stored sorted ascending.
+        segment_duration: video seconds per segment (L in the paper).
+        name: optional label.
+        size_variation: per-segment VBR size multiplier amplitude; 0 means
+            perfectly CBR (size = bitrate * duration).  With a positive value
+            a deterministic per-segment pattern in
+            ``[1 - size_variation, 1 + size_variation]`` scales every rung of
+            a segment identically (scene complexity affects all encodings).
+
+    Raises:
+        ValueError: on empty, non-positive, or duplicate bitrates, or a
+            non-positive segment duration.
+    """
+
+    def __init__(
+        self,
+        bitrates: Sequence[float],
+        segment_duration: float = 2.0,
+        name: str = "",
+        size_variation: float = 0.0,
+    ) -> None:
+        rates = sorted(float(b) for b in bitrates)
+        if not rates:
+            raise ValueError("ladder needs at least one bitrate")
+        if any(r <= 0 for r in rates):
+            raise ValueError("bitrates must be positive")
+        if len(set(rates)) != len(rates):
+            raise ValueError("bitrates must be unique")
+        if segment_duration <= 0:
+            raise ValueError("segment duration must be positive")
+        if not 0.0 <= size_variation < 1.0:
+            raise ValueError("size_variation must be in [0, 1)")
+        self.bitrates: List[float] = rates
+        self.segment_duration = float(segment_duration)
+        self.name = name
+        self.size_variation = float(size_variation)
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of rungs in the ladder."""
+        return len(self.bitrates)
+
+    @property
+    def min_bitrate(self) -> float:
+        return self.bitrates[0]
+
+    @property
+    def max_bitrate(self) -> float:
+        return self.bitrates[-1]
+
+    def __len__(self) -> int:
+        return len(self.bitrates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<BitrateLadder{label} rungs={self.bitrates} "
+            f"L={self.segment_duration}s>"
+        )
+
+    # ------------------------------------------------------------------
+    def bitrate(self, quality: int) -> float:
+        """Bitrate (Mb/s) of rung ``quality`` (0 = lowest)."""
+        return self.bitrates[self._check(quality)]
+
+    def segment_size(self, quality: int, segment_index: int = 0) -> float:
+        """Size in megabits of segment ``segment_index`` at rung ``quality``."""
+        base = self.bitrate(quality) * self.segment_duration
+        return base * self._size_multiplier(segment_index)
+
+    def quality_for_bitrate(self, bitrate: float) -> int:
+        """Highest rung whose bitrate does not exceed ``bitrate``.
+
+        Returns 0 when even the lowest rung exceeds ``bitrate``.
+        """
+        quality = 0
+        for i, r in enumerate(self.bitrates):
+            if r <= bitrate:
+                quality = i
+        return quality
+
+    def ceil_quality_for_bitrate(self, bitrate: float) -> int:
+        """Lowest rung with bitrate ≥ ``bitrate`` — min{r in R : r ≥ ω̂}.
+
+        Returns the top rung when ``bitrate`` exceeds every rung.  This is
+        the cap used by SODA's segment-based schema heuristic (§5.1).
+        """
+        for i, r in enumerate(self.bitrates):
+            if r >= bitrate:
+                return i
+        return len(self.bitrates) - 1
+
+    def log_utility(self, quality: int) -> float:
+        """Normalized logarithmic utility log(r/rmin)/log(rmax/rmin) (§6).
+
+        For a single-rung ladder the utility is defined as 1.
+        """
+        r = self.bitrate(quality)
+        if self.levels == 1:
+            return 1.0
+        return math.log(r / self.min_bitrate) / math.log(
+            self.max_bitrate / self.min_bitrate
+        )
+
+    def utilities(self) -> np.ndarray:
+        """Log utility of every rung, ascending."""
+        return np.array([self.log_utility(q) for q in range(self.levels)])
+
+    def without_top(self, n: int = 1) -> "BitrateLadder":
+        """A copy with the ``n`` highest rungs removed (§6.1.1, 4G/5G)."""
+        if n < 0 or n >= self.levels:
+            raise ValueError("must keep at least one rung")
+        return BitrateLadder(
+            self.bitrates[: self.levels - n],
+            segment_duration=self.segment_duration,
+            name=self.name,
+            size_variation=self.size_variation,
+        )
+
+    # ------------------------------------------------------------------
+    def _check(self, quality: int) -> int:
+        if not 0 <= quality < self.levels:
+            raise IndexError(
+                f"quality {quality} out of range [0, {self.levels})"
+            )
+        return quality
+
+    def _size_multiplier(self, segment_index: int) -> float:
+        if self.size_variation == 0.0:
+            return 1.0
+        # Deterministic pseudo-random scene complexity: a fixed low-discrepancy
+        # phase pattern so sizes are reproducible without carrying an RNG.
+        phase = math.sin(2.399963229728653 * (segment_index + 1))
+        return 1.0 + self.size_variation * phase
+
+
+def youtube_4k_ladder(
+    segment_duration: float = 2.0, size_variation: float = 0.0
+) -> BitrateLadder:
+    """YouTube-recommended HFR 4K ladder used for the Puffer dataset (§6.1.1)."""
+    return BitrateLadder(
+        [1.5, 4.0, 7.5, 12.0, 24.0, 60.0],
+        segment_duration=segment_duration,
+        name="youtube-4k",
+        size_variation=size_variation,
+    )
+
+
+def youtube_hd_ladder(
+    segment_duration: float = 2.0, size_variation: float = 0.0
+) -> BitrateLadder:
+    """The 4K ladder with the two highest rungs removed — 4G/5G sets (§6.1.1)."""
+    return youtube_4k_ladder(segment_duration, size_variation).without_top(2)
+
+
+def puffer_news_ladder(
+    segment_duration: float = 2.0, size_variation: float = 0.0
+) -> BitrateLadder:
+    """Five-resolution news clip from the prototype evaluation (§6.2.1).
+
+    The paper reports the highest rung (1080p, CRF 26) averages about
+    2 Mb/s; the lower rungs follow typical CRF-26 scaling for 240p-720p.
+    """
+    return BitrateLadder(
+        [0.2, 0.45, 0.9, 1.4, 2.0],
+        segment_duration=segment_duration,
+        name="puffer-news",
+        size_variation=size_variation,
+    )
+
+
+def prime_video_live_ladder(
+    segment_duration: float = 2.0, size_variation: float = 0.0
+) -> BitrateLadder:
+    """The production bitrate ladder from the Prime Video deployment (§6.3)."""
+    return BitrateLadder(
+        [0.2, 0.45, 0.8, 1.2, 1.8, 2.0, 4.0, 5.0, 6.5, 8.0],
+        segment_duration=segment_duration,
+        name="prime-video-live",
+        size_variation=size_variation,
+    )

@@ -1,0 +1,44 @@
+"""Throughput datasets: synthetic generators and real-format parsers."""
+
+from .datasets import build_synthetic_datasets, prepare_sessions
+from .loader import load_bandwidth_csv, load_irish_csv, load_mahimahi
+from .scenarios import (
+    all_scenarios,
+    oscillation,
+    outage,
+    ramp,
+    sawtooth,
+    spike,
+    step_down,
+    step_up,
+)
+from .synthetic import (
+    DATASET_FACTORIES,
+    MarkovLognormalGenerator,
+    Regime,
+    fiveg_like,
+    fourg_like,
+    puffer_like,
+)
+
+__all__ = [
+    "build_synthetic_datasets",
+    "prepare_sessions",
+    "load_bandwidth_csv",
+    "load_irish_csv",
+    "load_mahimahi",
+    "all_scenarios",
+    "step_down",
+    "step_up",
+    "spike",
+    "outage",
+    "ramp",
+    "oscillation",
+    "sawtooth",
+    "DATASET_FACTORIES",
+    "MarkovLognormalGenerator",
+    "Regime",
+    "puffer_like",
+    "fiveg_like",
+    "fourg_like",
+]

@@ -1,0 +1,60 @@
+"""Dataset preparation: the session filtering/splitting rule of §6.1.1.
+
+The paper filters out sessions shorter than 10 minutes and divides longer
+sessions into consecutive 10-minute chunks.  These helpers apply that rule
+to any collection of traces (real or synthetic) and build the three
+ready-to-use synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.network import ThroughputTrace
+from .synthetic import DATASET_FACTORIES
+
+__all__ = ["prepare_sessions", "build_synthetic_datasets"]
+
+
+def prepare_sessions(
+    traces: Iterable[ThroughputTrace],
+    session_seconds: float = 600.0,
+) -> List[ThroughputTrace]:
+    """Filter and split traces into fixed-length sessions (§6.1.1).
+
+    Traces shorter than ``session_seconds`` are dropped; longer traces are
+    cut into consecutive ``session_seconds`` chunks (the tail shorter than a
+    full session is discarded).
+    """
+    if session_seconds <= 0:
+        raise ValueError("session length must be positive")
+    sessions: List[ThroughputTrace] = []
+    for trace in traces:
+        if trace.duration < session_seconds:
+            continue
+        sessions.extend(trace.split(session_seconds))
+    return sessions
+
+
+def build_synthetic_datasets(
+    sessions_per_dataset: int,
+    session_seconds: float = 600.0,
+    seed: int = 0,
+) -> Dict[str, List[ThroughputTrace]]:
+    """The three synthetic stand-ins for the paper's datasets (Figure 9).
+
+    Returns:
+        ``{"puffer": [...], "5g": [...], "4g": [...]}`` with
+        ``sessions_per_dataset`` traces each.
+    """
+    if sessions_per_dataset < 1:
+        raise ValueError("need at least one session per dataset")
+    datasets: Dict[str, List[ThroughputTrace]] = {}
+    for offset, (name, factory) in enumerate(DATASET_FACTORIES.items()):
+        generator = factory()
+        datasets[name] = generator.dataset(
+            sessions_per_dataset,
+            duration=session_seconds,
+            seed=seed + 17 * offset,
+        )
+    return datasets

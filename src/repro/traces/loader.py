@@ -1,0 +1,153 @@
+"""Parsers for the public trace formats the paper's datasets ship in.
+
+Real data is not bundled with this repository (DESIGN.md substitution #1),
+but these loaders let the paper's actual datasets drop in unchanged:
+
+* **Mahimahi** packet-delivery logs (one millisecond timestamp per line,
+  each line = one 1500-byte MTU delivered) — the format of the FCC/Norway
+  traces used by MPC and Pensieve and convertible from Puffer dumps;
+* **bandwidth CSV** — ``timestamp,bandwidth`` pairs, the shape of parsed
+  Puffer throughput logs;
+* **Irish 4G/5G CSV** [27, 41] — per-second rows with a ``DL_bitrate``
+  column in kbit/s.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Sequence, TextIO, Union
+
+from ..sim.network import ThroughputTrace
+
+__all__ = ["load_mahimahi", "load_bandwidth_csv", "load_irish_csv"]
+
+#: bits in one Mahimahi MTU-sized delivery opportunity
+_MTU_BITS = 1500 * 8
+
+Source = Union[str, Path, TextIO]
+
+
+def _open(source: Source):
+    """Return (file object, should_close) for a path or open file."""
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def load_mahimahi(
+    source: Source, bin_seconds: float = 1.0, name: str = ""
+) -> ThroughputTrace:
+    """Parse a Mahimahi packet-delivery trace into a throughput trace.
+
+    Args:
+        source: path or file of millisecond timestamps, one per line; each
+            line grants one 1500-byte delivery.
+        bin_seconds: width of the throughput bins.
+        name: label for the resulting trace (defaults to the file name).
+
+    Raises:
+        ValueError: on an empty file or non-monotonic timestamps.
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin width must be positive")
+    f, should_close = _open(source)
+    try:
+        timestamps_ms = [int(line) for line in f if line.strip()]
+    finally:
+        if should_close:
+            f.close()
+    if not timestamps_ms:
+        raise ValueError("mahimahi trace is empty")
+    if any(b < a for a, b in zip(timestamps_ms, timestamps_ms[1:])):
+        raise ValueError("mahimahi timestamps must be non-decreasing")
+
+    end_ms = timestamps_ms[-1]
+    n_bins = max(int(end_ms / 1000.0 / bin_seconds) + 1, 1)
+    bits = [0.0] * n_bins
+    for ts in timestamps_ms:
+        idx = min(int(ts / 1000.0 / bin_seconds), n_bins - 1)
+        bits[idx] += _MTU_BITS
+    bandwidths = [b / bin_seconds / 1e6 for b in bits]  # Mb/s
+    label = name or (str(source) if isinstance(source, (str, Path)) else "")
+    return ThroughputTrace([bin_seconds] * n_bins, bandwidths, name=label)
+
+
+def load_bandwidth_csv(
+    source: Source,
+    time_column: str = "time",
+    bandwidth_column: str = "bandwidth",
+    bandwidth_scale: float = 1.0,
+    name: str = "",
+) -> ThroughputTrace:
+    """Parse a ``timestamp,bandwidth`` CSV into a throughput trace.
+
+    Args:
+        source: path or file with a header row.
+        time_column: column of timestamps in seconds (monotonic).
+        bandwidth_column: column of bandwidth values.
+        bandwidth_scale: multiplier taking the column's unit to Mb/s.
+        name: trace label.
+
+    Raises:
+        ValueError: on missing columns or fewer than two rows.
+    """
+    f, should_close = _open(source)
+    try:
+        reader = csv.DictReader(f)
+        rows = list(reader)
+    finally:
+        if should_close:
+            f.close()
+    if len(rows) < 2:
+        raise ValueError("bandwidth CSV needs at least two rows")
+    for col in (time_column, bandwidth_column):
+        if col not in rows[0]:
+            raise ValueError(f"CSV lacks column {col!r}")
+
+    times = [float(r[time_column]) for r in rows]
+    bws = [float(r[bandwidth_column]) * bandwidth_scale for r in rows]
+    durations: List[float] = []
+    bandwidths: List[float] = []
+    for i in range(len(rows) - 1):
+        dt = times[i + 1] - times[i]
+        if dt <= 0:
+            raise ValueError("timestamps must be strictly increasing")
+        durations.append(dt)
+        bandwidths.append(max(bws[i], 0.0))
+    label = name or (str(source) if isinstance(source, (str, Path)) else "")
+    return ThroughputTrace(durations, bandwidths, name=label)
+
+
+def load_irish_csv(source: Source, name: str = "") -> ThroughputTrace:
+    """Parse an Irish 4G/5G dataset CSV [27, 41] into a throughput trace.
+
+    The datasets log one row per second with downlink throughput in the
+    ``DL_bitrate`` column (kbit/s).  Rows with missing or negative values
+    are treated as zero throughput (radio gaps).
+
+    Raises:
+        ValueError: when the ``DL_bitrate`` column is absent or no rows
+            parse.
+    """
+    f, should_close = _open(source)
+    try:
+        reader = csv.DictReader(f)
+        if reader.fieldnames is None or "DL_bitrate" not in reader.fieldnames:
+            raise ValueError("Irish dataset CSV lacks a DL_bitrate column")
+        bandwidths: List[float] = []
+        for row in reader:
+            raw = (row.get("DL_bitrate") or "").strip()
+            try:
+                kbps = float(raw)
+            except ValueError:
+                kbps = 0.0
+            bandwidths.append(max(kbps, 0.0) / 1000.0)  # kb/s -> Mb/s
+    finally:
+        if should_close:
+            f.close()
+    if not bandwidths:
+        raise ValueError("Irish dataset CSV has no data rows")
+    label = name or (str(source) if isinstance(source, (str, Path)) else "")
+    return ThroughputTrace([1.0] * len(bandwidths), bandwidths, name=label)

@@ -1,0 +1,148 @@
+"""Canned deterministic trace scenarios for controller studies.
+
+Unit-style network shapes — steps, spikes, outages, ramps, oscillations —
+that isolate one adaptation challenge each.  They complement the stochastic
+generators in :mod:`repro.traces.synthetic`: when a controller misbehaves
+on a synthetic dataset, replaying these shapes usually pinpoints why.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..sim.network import ThroughputTrace
+
+__all__ = [
+    "step_down",
+    "step_up",
+    "spike",
+    "outage",
+    "ramp",
+    "oscillation",
+    "sawtooth",
+    "all_scenarios",
+]
+
+
+def step_down(
+    high: float = 12.0,
+    low: float = 3.0,
+    at: float = 120.0,
+    duration: float = 300.0,
+) -> ThroughputTrace:
+    """Healthy network that permanently drops at ``at`` seconds."""
+    if not 0 < at < duration:
+        raise ValueError("step time must fall inside the trace")
+    return ThroughputTrace(
+        [at, duration - at], [high, low], name="step-down"
+    )
+
+
+def step_up(
+    low: float = 3.0,
+    high: float = 12.0,
+    at: float = 120.0,
+    duration: float = 300.0,
+) -> ThroughputTrace:
+    """Congested network that recovers at ``at`` seconds."""
+    if not 0 < at < duration:
+        raise ValueError("step time must fall inside the trace")
+    return ThroughputTrace([at, duration - at], [low, high], name="step-up")
+
+
+def spike(
+    base: float = 6.0,
+    peak: float = 40.0,
+    at: float = 120.0,
+    width: float = 10.0,
+    duration: float = 300.0,
+) -> ThroughputTrace:
+    """A short throughput burst that a smooth controller should ignore."""
+    if not 0 < at < at + width < duration:
+        raise ValueError("spike must fall inside the trace")
+    return ThroughputTrace(
+        [at, width, duration - at - width],
+        [base, peak, base],
+        name="spike",
+    )
+
+
+def outage(
+    base: float = 8.0,
+    floor: float = 0.2,
+    at: float = 120.0,
+    width: float = 15.0,
+    duration: float = 300.0,
+) -> ThroughputTrace:
+    """A near-total outage: the rebuffering stress test."""
+    if not 0 < at < at + width < duration:
+        raise ValueError("outage must fall inside the trace")
+    return ThroughputTrace(
+        [at, width, duration - at - width],
+        [base, floor, base],
+        name="outage",
+    )
+
+
+def ramp(
+    start: float = 2.0,
+    end: float = 20.0,
+    duration: float = 300.0,
+    steps: int = 60,
+) -> ThroughputTrace:
+    """A slow linear climb (or descent, if end < start)."""
+    if steps < 2:
+        raise ValueError("need at least two steps")
+    dt = duration / steps
+    bandwidths = [
+        start + (end - start) * i / (steps - 1) for i in range(steps)
+    ]
+    return ThroughputTrace([dt] * steps, bandwidths, name="ramp")
+
+
+def oscillation(
+    low: float = 4.0,
+    high: float = 10.0,
+    period: float = 40.0,
+    duration: float = 320.0,
+) -> ThroughputTrace:
+    """A square wave straddling a rung boundary: the switching stress test."""
+    if period <= 0 or duration < period:
+        raise ValueError("need at least one full period")
+    half = period / 2.0
+    n = int(duration // half)
+    bandwidths = [low if i % 2 == 0 else high for i in range(n)]
+    return ThroughputTrace([half] * n, bandwidths, name="oscillation")
+
+
+def sawtooth(
+    low: float = 2.0,
+    high: float = 16.0,
+    period: float = 60.0,
+    duration: float = 300.0,
+    steps_per_period: int = 12,
+) -> ThroughputTrace:
+    """Repeated ramps up with sharp drops — TCP-sawtooth-like."""
+    if steps_per_period < 2:
+        raise ValueError("need at least two steps per period")
+    dt = period / steps_per_period
+    n = max(int(duration // dt), 1)
+    bandwidths: List[float] = []
+    for i in range(n):
+        phase = (i % steps_per_period) / (steps_per_period - 1)
+        bandwidths.append(low + (high - low) * phase)
+    return ThroughputTrace([dt] * n, bandwidths, name="sawtooth")
+
+
+def all_scenarios() -> List[ThroughputTrace]:
+    """One instance of every scenario at its defaults."""
+    return [
+        step_down(),
+        step_up(),
+        spike(),
+        outage(),
+        ramp(),
+        oscillation(),
+        sawtooth(),
+    ]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig
+from repro.sim.video import BitrateLadder, youtube_4k_ladder, youtube_hd_ladder
+
+
+@pytest.fixture
+def ladder() -> BitrateLadder:
+    """A small three-rung ladder with 2 s segments."""
+    return BitrateLadder([1.0, 3.0, 6.0], segment_duration=2.0, name="test")
+
+
+@pytest.fixture
+def hd_ladder() -> BitrateLadder:
+    return youtube_hd_ladder()
+
+
+@pytest.fixture
+def fourk_ladder() -> BitrateLadder:
+    return youtube_4k_ladder()
+
+
+@pytest.fixture
+def steady_trace() -> ThroughputTrace:
+    """Plenty of constant bandwidth for 10 minutes."""
+    return ThroughputTrace.constant(8.0, 600.0)
+
+
+@pytest.fixture
+def slow_trace() -> ThroughputTrace:
+    """Bandwidth below the lowest test-ladder rung."""
+    return ThroughputTrace.constant(0.5, 600.0)
+
+
+@pytest.fixture
+def step_trace() -> ThroughputTrace:
+    """Alternating good/bad conditions."""
+    durations = [30.0, 10.0] * 12
+    bandwidths = [8.0, 1.2] * 12
+    return ThroughputTrace(durations, bandwidths, name="step")
+
+
+@pytest.fixture
+def short_config() -> PlayerConfig:
+    """A quick 30-segment live session."""
+    return PlayerConfig(
+        max_buffer=20.0,
+        num_segments=30,
+        startup_threshold=2.0,
+        live_delay=20.0,
+    )
+
+
+@pytest.fixture
+def vod_config() -> PlayerConfig:
+    """A quick 30-segment on-demand session."""
+    return PlayerConfig(
+        max_buffer=60.0,
+        num_segments=30,
+        startup_threshold=2.0,
+        live_delay=None,
+    )

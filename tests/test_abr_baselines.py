@@ -1,0 +1,311 @@
+"""Tests for the baseline ABR controllers."""
+
+import pytest
+
+from repro.abr import (
+    BolaController,
+    DynamicController,
+    FuguController,
+    HybController,
+    MpcController,
+    PlayerObservation,
+    QTableController,
+    RateController,
+    RobustMpcController,
+    rate_rule_quality,
+    train_q_controller,
+)
+from repro.abr.bola import BolaParameters
+from repro.prediction import MovingAveragePredictor, ThroughputSample
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig
+from repro.sim.session import run_session
+from repro.sim.video import BitrateLadder
+
+
+def make_obs(
+    ladder,
+    buffer_level=10.0,
+    prev=1,
+    throughput=4.0,
+    playing=True,
+    max_buffer=20.0,
+    wall_time=50.0,
+    segment_index=10,
+):
+    history = ()
+    if throughput is not None:
+        history = (
+            ThroughputSample(
+                start=wall_time - 1.0,
+                duration=1.0,
+                size=throughput,
+                throughput=throughput,
+            ),
+        )
+    return PlayerObservation(
+        wall_time=wall_time,
+        segment_index=segment_index,
+        buffer_level=buffer_level,
+        max_buffer=max_buffer,
+        previous_quality=prev,
+        ladder=ladder,
+        history=history,
+        playing=playing,
+    )
+
+
+class TestRateRule:
+    def test_follows_throughput(self, ladder):
+        assert rate_rule_quality(10.0, ladder) == 2
+        assert rate_rule_quality(4.0, ladder) == 1
+        assert rate_rule_quality(0.5, ladder) == 0
+
+    def test_safety_factor(self, ladder):
+        assert rate_rule_quality(3.0, ladder, safety_factor=0.9) == 0
+        assert rate_rule_quality(3.0, ladder, safety_factor=1.0) == 1
+
+    def test_rejects_bad_safety(self, ladder):
+        with pytest.raises(ValueError):
+            rate_rule_quality(3.0, ladder, safety_factor=0.0)
+
+    def test_controller(self, ladder):
+        c = RateController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 7.0, 7.0))
+        assert c.select_quality(make_obs(ladder)) == 2
+
+    def test_cold_start_uses_last_sample(self, ladder):
+        c = RateController(MovingAveragePredictor())
+        obs = make_obs(ladder, throughput=5.0)
+        assert c.select_quality(obs) in (1, 2)
+
+
+class TestHyb:
+    def test_limits_by_buffer(self, ladder):
+        c = HybController(MovingAveragePredictor(), discount=0.5)
+        c.on_download(ThroughputSample(0.0, 1.0, 6.0, 6.0))
+        # With 10 s buffer: size(q)/6 <= 5 -> all rungs fit.
+        assert c.select_quality(make_obs(ladder, buffer_level=10.0)) == 2
+        # With 1 s buffer: size must download in 0.5 s -> only rung 0 (2 Mb).
+        assert c.select_quality(make_obs(ladder, buffer_level=1.0)) == 0
+
+    def test_rejects_bad_discount(self):
+        with pytest.raises(ValueError):
+            HybController(discount=0.0)
+
+    def test_empty_buffer_falls_back_to_rate_rule(self, ladder):
+        c = HybController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 6.0, 6.0))
+        q = c.select_quality(make_obs(ladder, buffer_level=0.0))
+        assert 0 <= q < ladder.levels
+
+
+class TestBolaParameters:
+    def test_derivation(self, ladder):
+        params = BolaParameters.derive(ladder, buffer_low=5.0, buffer_target=15.0)
+        assert params.vp > 0
+        assert params.gp > 0
+        assert params.utilities[0] == pytest.approx(1.0)
+
+    def test_lowest_rung_at_low_buffer(self, ladder):
+        params = BolaParameters.derive(ladder, 5.0, 15.0)
+        scores = [params.score(q, 2.0, ladder) for q in range(3)]
+        assert max(range(3), key=lambda q: scores[q]) == 0
+
+    def test_highest_rung_at_target(self, ladder):
+        params = BolaParameters.derive(ladder, 5.0, 15.0)
+        scores = [params.score(q, 15.0, ladder) for q in range(3)]
+        assert max(range(3), key=lambda q: scores[q]) == 2
+
+    def test_rejects_bad_thresholds(self, ladder):
+        with pytest.raises(ValueError):
+            BolaParameters.derive(ladder, 10.0, 5.0)
+
+    def test_single_rung_degenerate(self):
+        one = BitrateLadder([2.0])
+        params = BolaParameters.derive(one, 5.0, 15.0)
+        assert params.vp > 0
+
+
+class TestBola:
+    def test_decision_monotone_in_buffer(self, ladder):
+        c = BolaController()
+        decisions = []
+        for buf in (1.0, 4.0, 8.0, 12.0, 14.9):
+            d = c.decision_at_buffer(buf, ladder, max_buffer=20.0)
+            if d is not None:
+                decisions.append(d)
+        assert decisions == sorted(decisions)
+
+    def test_defers_at_very_high_buffer(self, ladder):
+        c = BolaController()
+        assert c.decision_at_buffer(19.9, ladder, max_buffer=20.0) is None
+
+    def test_no_deferral_when_disabled(self, ladder):
+        c = BolaController(allow_deferral=False)
+        assert c.decision_at_buffer(19.9, ladder, max_buffer=20.0) is not None
+
+    def test_startup_without_history(self, ladder):
+        c = BolaController()
+        obs = make_obs(ladder, prev=None, playing=False, throughput=None)
+        assert c.select_quality(obs) == 0
+
+    def test_threshold_spacing_shrinks_for_live(self, fourk_ladder):
+        """Figure 2: decision bands compress when the buffer cap shrinks."""
+        def band_width(max_buffer):
+            c = BolaController()
+            boundaries = []
+            prev = None
+            buf = 0.0
+            while buf < max_buffer:
+                d = c.decision_at_buffer(buf, fourk_ladder, max_buffer)
+                if d is not None and prev is not None and d != prev:
+                    boundaries.append(buf)
+                if d is not None:
+                    prev = d
+                buf += max_buffer / 400.0
+            if len(boundaries) < 2:
+                return 0.0
+            gaps = [b - a for a, b in zip(boundaries, boundaries[1:])]
+            return sum(gaps) / len(gaps)
+
+        assert band_width(20.0) < band_width(120.0)
+
+    def test_full_session(self, ladder, steady_trace, short_config):
+        result = run_session(BolaController(), steady_trace, ladder, short_config)
+        assert result.num_segments == 30
+
+
+class TestDynamic:
+    def test_low_buffer_safety(self, ladder):
+        c = DynamicController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 6.0, 6.0))
+        assert c.select_quality(make_obs(ladder, buffer_level=1.0)) == 0
+
+    def test_throughput_mode_at_low_buffer(self, ladder):
+        c = DynamicController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 7.0, 7.0))
+        q = c.select_quality(make_obs(ladder, buffer_level=5.0))
+        assert q == 2  # 0.9 * 7 = 6.3 >= 6
+
+    def test_buffer_mode_at_high_buffer(self, ladder):
+        c = DynamicController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 1.0, 1.0))
+        # Buffer mode: BOLA can choose above the throughput rung when the
+        # buffer is near its cap.
+        q = c.select_quality(make_obs(ladder, buffer_level=14.0, prev=2))
+        assert q is None or q >= 1
+
+    def test_hysteresis_state(self, ladder):
+        c = DynamicController(MovingAveragePredictor())
+        c.reset()
+        c.on_download(ThroughputSample(0.0, 1.0, 6.0, 6.0))
+        c.select_quality(make_obs(ladder, buffer_level=12.0))
+        assert c._buffer_mode
+        c.select_quality(make_obs(ladder, buffer_level=6.0))
+        assert not c._buffer_mode
+
+    def test_full_session(self, ladder, step_trace, short_config):
+        result = run_session(
+            DynamicController(), step_trace, ladder, short_config
+        )
+        assert result.num_segments == 30
+
+
+class TestMpc:
+    def test_prefers_low_rung_on_slow_network(self, ladder):
+        c = MpcController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 0.8, 0.8))
+        assert c.select_quality(make_obs(ladder, buffer_level=2.0)) == 0
+
+    def test_prefers_high_rung_on_fast_network(self, ladder):
+        c = MpcController(MovingAveragePredictor())
+        c.on_download(ThroughputSample(0.0, 1.0, 30.0, 30.0))
+        assert c.select_quality(make_obs(ladder, buffer_level=15.0, prev=2)) == 2
+
+    def test_switch_penalty_holds_rate(self, ladder):
+        # With a large switch penalty MPC sticks to the previous rung.
+        c = MpcController(MovingAveragePredictor(), switch_penalty=100.0)
+        c.on_download(ThroughputSample(0.0, 1.0, 30.0, 30.0))
+        assert c.select_quality(make_obs(ladder, buffer_level=15.0, prev=0)) == 0
+
+    def test_robust_discount_reduces_estimate(self, ladder):
+        c = RobustMpcController(MovingAveragePredictor())
+        # Feed a wrong prediction history: predicted high, measured low.
+        c._last_prediction = 10.0
+        c.on_download(ThroughputSample(0.0, 1.0, 2.0, 2.0))
+        assert len(c._errors) == 1
+        assert c._errors[0] == pytest.approx(4.0)
+
+    def test_reset_clears_errors(self, ladder):
+        c = RobustMpcController()
+        c._errors.append(1.0)
+        c.reset()
+        assert len(c._errors) == 0
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            MpcController(horizon=0)
+
+    def test_full_session(self, ladder, step_trace, short_config):
+        result = run_session(
+            RobustMpcController(), step_trace, ladder, short_config
+        )
+        assert result.num_segments == 30
+
+
+class TestFugu:
+    def test_full_session(self, ladder, step_trace, short_config):
+        result = run_session(FuguController(), step_trace, ladder, short_config)
+        assert result.num_segments == 30
+
+    def test_hedges_against_uncertainty(self, ladder):
+        from repro.prediction import StochasticPredictor
+
+        certain = FuguController(StochasticPredictor(min_std_fraction=0.0))
+        uncertain = FuguController(StochasticPredictor(min_std_fraction=0.0))
+        for v in (6.0, 6.0, 6.0, 6.0):
+            certain.on_download(ThroughputSample(0.0, 1.0, v, v))
+        for v in (1.0, 11.0, 2.0, 10.0):
+            uncertain.on_download(ThroughputSample(0.0, 1.0, v, v))
+        obs = make_obs(ladder, buffer_level=3.0, prev=None)
+        assert uncertain.select_quality(obs) <= certain.select_quality(obs)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            FuguController(horizon=0)
+
+
+class TestQLearning:
+    def test_training_populates_table(self, ladder):
+        traces = [ThroughputTrace.constant(5.0, 120.0)]
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=30)
+        agent = train_q_controller(ladder, traces, cfg, episodes=5)
+        assert len(agent.q_table) > 0
+        assert not agent.training
+
+    def test_frozen_agent_is_deterministic(self, ladder, steady_trace, short_config):
+        traces = [ThroughputTrace.constant(5.0, 120.0)]
+        agent = train_q_controller(ladder, traces, short_config, episodes=5)
+        a = run_session(agent, steady_trace, ladder, short_config)
+        b = run_session(agent, steady_trace, ladder, short_config)
+        assert a.qualities == b.qualities
+
+    def test_encode_buckets(self, ladder):
+        agent = QTableController()
+        low = agent.encode(make_obs(ladder, buffer_level=0.0))
+        high = agent.encode(make_obs(ladder, buffer_level=19.9))
+        assert low[0] == 0
+        assert high[0] == agent.buffer_buckets - 1
+
+    def test_train_requires_traces(self, ladder):
+        with pytest.raises(ValueError):
+            train_q_controller(ladder, [], episodes=1)
+
+    def test_learns_to_avoid_rebuffering(self, ladder):
+        """On a slow link the trained agent picks lower rungs than max."""
+        traces = [ThroughputTrace.constant(1.5, 120.0)]
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=40)
+        agent = train_q_controller(ladder, traces, cfg, episodes=40, seed=1)
+        result = run_session(agent, traces[0], ladder, cfg)
+        assert sum(result.qualities) / len(result.qualities) < 2.0

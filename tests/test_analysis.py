@@ -1,0 +1,191 @@
+"""Tests for the experiment harness, tables, and engagement models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.abr import BolaController
+from repro.analysis import (
+    DEVICE_FAMILIES,
+    DeviceFamily,
+    EngagementModel,
+    SuiteResult,
+    fit_line,
+    format_series,
+    format_table,
+    qoe_table,
+    relative_deltas,
+    run_suite,
+    standard_controllers,
+)
+from repro.core.controller import SodaController
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, SessionResult
+from repro.sim.profiles import EvaluationProfile
+from repro.sim.video import BitrateLadder
+
+
+@pytest.fixture
+def tiny_profile(ladder):
+    return EvaluationProfile(
+        name="tiny",
+        ladder=ladder,
+        player=PlayerConfig(max_buffer=20.0, num_segments=15),
+    )
+
+
+@pytest.fixture
+def tiny_traces():
+    return [
+        ThroughputTrace.constant(5.0, 120.0),
+        ThroughputTrace([20.0, 10.0] * 4, [7.0, 2.0] * 4),
+    ]
+
+
+class TestRunSuite:
+    def test_runs_all_controllers(self, tiny_profile, tiny_traces):
+        factories = {
+            "soda": lambda: SodaController(),
+            "bola": lambda: BolaController(),
+        }
+        result = run_suite(factories, tiny_traces, tiny_profile, "tiny-ds")
+        assert set(result.per_controller) == {"soda", "bola"}
+        assert all(len(v) == 2 for v in result.per_controller.values())
+        summaries = result.summaries()
+        assert set(summaries) == {"soda", "bola"}
+
+    def test_validates_inputs(self, tiny_profile, tiny_traces):
+        with pytest.raises(ValueError):
+            run_suite({}, tiny_traces, tiny_profile)
+        with pytest.raises(ValueError):
+            run_suite({"x": lambda: SodaController()}, [], tiny_profile)
+
+    def test_improvement_over_best_baseline(self, tiny_profile, tiny_traces):
+        factories = {
+            "soda": lambda: SodaController(),
+            "bola": lambda: BolaController(),
+        }
+        result = run_suite(factories, tiny_traces, tiny_profile)
+        imp = result.improvement_over_best_baseline()
+        assert math.isfinite(imp)
+
+    def test_best_baseline_requires_baselines(self):
+        result = SuiteResult(profile="p", dataset="d")
+        result.per_controller["soda"] = []
+        with pytest.raises(ValueError):
+            result.best_baseline_qoe()
+
+    def test_standard_controllers_complete(self):
+        factories = standard_controllers()
+        assert set(factories) == {"soda", "hyb", "bola", "dynamic", "mpc"}
+        for factory in factories.values():
+            controller = factory()
+            assert hasattr(controller, "select_quality")
+        # factories produce fresh instances
+        assert factories["soda"]() is not factories["soda"]()
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.5000" in text
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_series_validates(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [0.1]})
+
+    def test_qoe_table(self, tiny_profile, tiny_traces):
+        result = run_suite(
+            {"soda": lambda: SodaController()}, tiny_traces, tiny_profile
+        )
+        text = qoe_table(result.summaries())
+        assert "soda" in text
+        assert "rebuf ratio" in text
+
+
+class TestEngagement:
+    def test_duration_decreases_with_switching(self):
+        model = EngagementModel()
+        assert model.expected_duration(0.2) < model.expected_duration(0.0)
+
+    def test_duration_decreases_with_rebuffering(self):
+        model = EngagementModel()
+        assert model.expected_duration(0.0, 0.05) < model.expected_duration(0.0)
+
+    def test_calibration_rebuffering(self):
+        """[7]: +1% rebuffering costs roughly 3 minutes of a 90-min session."""
+        model = EngagementModel()
+        loss = model.expected_duration(0.0, 0.0) - model.expected_duration(0.0, 0.01)
+        assert loss == pytest.approx(3.0, rel=0.15)
+
+    def test_relative_change_sign(self):
+        model = EngagementModel()
+        change = model.relative_duration_change(0.01, 0.0, 0.10, 0.0)
+        assert change > 0.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            EngagementModel().expected_duration(-0.1)
+
+    def test_watch_fraction_population(self):
+        model = EngagementModel()
+        rates = np.linspace(0.0, 0.3, 200)
+        watch = model.sample_watch_fractions(rates, seed=0)
+        assert np.all(watch > 0.0) and np.all(watch <= 0.25)
+        slope, intercept = fit_line(rates, watch)
+        assert slope < 0
+        # Figure 1's headline: under 10% watched at a 20% switching rate.
+        assert slope * 0.2 + intercept < 0.12
+
+    def test_fit_line_validates(self):
+        with pytest.raises(ValueError):
+            fit_line([1.0], [2.0])
+
+
+class TestProduction:
+    def test_device_families_defined(self):
+        names = {f.name for f in DEVICE_FAMILIES}
+        assert names == {"html5", "smart-tv", "set-top-box"}
+
+    def test_family_generator_stats(self):
+        fam = DEVICE_FAMILIES[0]
+        trace = fam.generator().generate(20000.0, seed=1)
+        assert trace.stats().mean == pytest.approx(fam.mean_mbps, rel=0.15)
+
+    def test_family_traces(self):
+        traces = DEVICE_FAMILIES[1].traces(3, duration=30.0, seed=2)
+        assert len(traces) == 3
+
+    def _result(self, ladder, qualities, rebuffer, wall=60.0):
+        r = SessionResult(controller="x", ladder=ladder)
+        r.qualities = qualities
+        r.rebuffer_time = rebuffer
+        r.wall_duration = wall
+        return r
+
+    def test_relative_deltas(self, ladder):
+        fam = DEVICE_FAMILIES[0]
+        soda = [self._result(ladder, [2, 2, 2, 2], rebuffer=0.0)]
+        base = [self._result(ladder, [0, 2, 0, 2], rebuffer=3.0)]
+        deltas = relative_deltas(fam, soda, base)
+        assert deltas.switching_rate == pytest.approx(-1.0)
+        assert deltas.rebuffer_ratio == pytest.approx(-1.0)
+        assert deltas.bitrate > 0
+        assert deltas.viewing_duration > 0
+
+    def test_relative_deltas_validates(self, ladder):
+        fam = DEVICE_FAMILIES[0]
+        with pytest.raises(ValueError):
+            relative_deltas(fam, [], [])

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["compare", "--dataset", "puffer"],
+            ["session", "soda", "--scenario", "spike"],
+            ["trace", "--dataset", "4g"],
+            ["decide", "--throughput", "5", "--buffer", "10"],
+            ["tune", "--dataset", "puffer"],
+        ],
+    )
+    def test_valid_invocations_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestCommands:
+    def test_decide(self, capsys):
+        assert main(["decide", "--throughput", "30", "--buffer", "10",
+                     "--prev", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "decision:" in out
+        assert "planned sequence" in out
+
+    def test_decide_defer_region(self, capsys):
+        assert main(["decide", "--throughput", "500", "--buffer", "19"]) == 0
+        assert "defer" in capsys.readouterr().out
+
+    def test_session_scenario(self, capsys):
+        assert main(["session", "bola", "--scenario", "step-up",
+                     "--duration", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "qoe=" in out
+
+    def test_session_timeline(self, capsys):
+        assert main(["session", "soda", "--scenario", "spike",
+                     "--duration", "120", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "download" in out
+
+    def test_trace_generate_and_summarize(self, tmp_path, capsys):
+        out_csv = tmp_path / "trace.csv"
+        assert main(["trace", "--dataset", "5g", "--duration", "60",
+                     "--out", str(out_csv)]) == 0
+        assert out_csv.exists()
+        assert main(["trace", "--summarize", str(out_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "mean=" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--dataset", "4g", "--sessions", "1",
+                     "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "soda" in out and "dynamic" in out
+
+    def test_tune_small(self, capsys):
+        assert main(["tune", "--dataset", "puffer", "--sessions", "1",
+                     "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out

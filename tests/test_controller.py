@@ -1,0 +1,190 @@
+"""Tests for the SODA controller itself."""
+
+import pytest
+
+from repro.abr import PlayerObservation
+from repro.core.controller import SodaController
+from repro.core.objective import SodaConfig
+from repro.prediction import (
+    MovingAveragePredictor,
+    OraclePredictor,
+    ThroughputSample,
+)
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig
+from repro.sim.session import run_session
+from repro.sim.video import BitrateLadder, youtube_4k_ladder
+
+
+def make_obs(ladder, buffer_level, prev=1, throughput=4.0, max_buffer=20.0):
+    history = ()
+    if throughput is not None:
+        history = (
+            ThroughputSample(0.0, 1.0, throughput, throughput),
+        )
+    return PlayerObservation(
+        wall_time=10.0,
+        segment_index=5,
+        buffer_level=buffer_level,
+        max_buffer=max_buffer,
+        previous_quality=prev,
+        ladder=ladder,
+        history=history,
+        playing=True,
+    )
+
+
+def primed(config=None, throughput=4.0):
+    c = SodaController(MovingAveragePredictor(), config)
+    c.reset()
+    c.on_download(ThroughputSample(0.0, 1.0, throughput, throughput))
+    return c
+
+
+class TestDecisions:
+    def test_returns_valid_rung(self, ladder):
+        c = primed()
+        q = c.select_quality(make_obs(ladder, 10.0))
+        assert q is None or 0 <= q < ladder.levels
+
+    def test_low_throughput_picks_lowest(self, ladder):
+        c = primed(throughput=0.3)
+        assert c.select_quality(make_obs(ladder, 1.0, prev=2, throughput=0.3)) == 0
+
+    def test_high_throughput_high_buffer_picks_high(self, ladder):
+        c = primed(throughput=12.0)
+        q = c.select_quality(make_obs(ladder, 15.0, prev=2, throughput=12.0))
+        assert q == 2
+
+    def test_defers_on_extreme_overflow(self, ladder):
+        # Enormous throughput at a nearly full buffer: every rung overflows
+        # the model and the buffer sits above target -> wait.
+        c = primed(throughput=500.0)
+        q = c.select_quality(make_obs(ladder, 18.0, prev=2, throughput=500.0))
+        assert q is None
+
+    def test_no_deadlock_below_target(self, ladder):
+        # Same overflow situation but with a low buffer: must download.
+        c = primed(throughput=500.0)
+        q = c.select_quality(make_obs(ladder, 2.0, prev=2, throughput=500.0))
+        assert q is not None
+
+    def test_cold_start_without_history(self, ladder):
+        c = SodaController(MovingAveragePredictor())
+        c.reset()
+        obs = make_obs(ladder, 0.0, prev=None, throughput=None)
+        q = c.select_quality(obs)
+        assert q is not None and 0 <= q < ladder.levels
+
+    def test_last_plan_recorded(self, ladder):
+        c = primed()
+        c.select_quality(make_obs(ladder, 10.0))
+        assert c.last_plan is not None
+
+    def test_smoothness_deferral_instead_of_upswitch(self, ladder):
+        """Above target, a cap-forced up-switch becomes a wait."""
+        cfg = SodaConfig(target_buffer=10.0)
+        c = primed(cfg, throughput=12.0)
+        # Holding rung 0 (1 Mb/s) at omega 12 would overflow: 18+24-2 > 20.
+        q = c.select_quality(make_obs(ladder, 18.0, prev=0, throughput=12.0))
+        assert q is None
+
+
+class TestDecide:
+    def test_grid_decision(self, ladder):
+        c = SodaController()
+        q = c.decide(4.0, 10.0, 1, ladder, max_buffer=20.0)
+        assert q is None or 0 <= q < ladder.levels
+
+    def test_brute_force_config(self, ladder):
+        cfg = SodaConfig(horizon=3, use_brute_force=True)
+        c = SodaController(config=cfg)
+        q = c.decide(4.0, 10.0, 1, ladder, max_buffer=20.0)
+        assert q is None or 0 <= q < ladder.levels
+
+    def test_decision_increases_with_throughput(self, ladder):
+        c = SodaController()
+        qs = []
+        for omega in (0.8, 3.0, 10.0):
+            q = c.decide(omega, 12.0, 1, ladder, max_buffer=20.0)
+            if q is not None:
+                qs.append(q)
+        assert qs == sorted(qs)
+
+
+class TestFullSessions:
+    def test_steady_session(self, ladder, steady_trace, short_config):
+        result = run_session(SodaController(), steady_trace, ladder, short_config)
+        assert result.num_segments == 30
+        assert result.rebuffer_time == pytest.approx(0.0, abs=0.5)
+
+    def test_step_session(self, ladder, step_trace, short_config):
+        result = run_session(SodaController(), step_trace, ladder, short_config)
+        assert result.num_segments == 30
+
+    def test_oracle_predictor_wiring(self, ladder, step_trace, short_config):
+        c = SodaController(predictor=OraclePredictor())
+        result = run_session(c, step_trace, ladder, short_config)
+        assert c.predictor.trace is step_trace
+        assert result.num_segments == 30
+
+    def test_4k_ladder_live(self, fourk_ladder, short_config):
+        trace = ThroughputTrace.constant(40.0, 600.0)
+        result = run_session(SodaController(), trace, fourk_ladder, short_config)
+        assert result.num_segments == 30
+
+    def test_smoother_than_alternation(self, fourk_ladder, short_config):
+        """On a mildly wobbly link SODA should barely switch."""
+        durations = [10.0] * 12
+        bandwidths = [30.0, 40.0] * 6
+        trace = ThroughputTrace(durations, bandwidths)
+        result = run_session(SodaController(), trace, fourk_ladder, short_config)
+        assert result.switch_count <= 6
+
+    def test_single_rung_ladder(self, short_config):
+        one = BitrateLadder([2.0], segment_duration=2.0)
+        trace = ThroughputTrace.constant(5.0, 600.0)
+        result = run_session(SodaController(), trace, one, short_config)
+        assert result.qualities == [0] * 30
+
+    def test_tiny_buffer_cap(self, ladder):
+        cfg = PlayerConfig(max_buffer=3.0, num_segments=20, startup_threshold=2.0)
+        trace = ThroughputTrace.constant(8.0, 600.0)
+        result = run_session(SodaController(), trace, ladder, cfg)
+        assert result.num_segments == 20
+
+    def test_outage_recovery(self, ladder):
+        trace = ThroughputTrace([40.0, 15.0, 60.0], [8.0, 0.4, 8.0])
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=50)
+        result = run_session(SodaController(), trace, ladder, cfg)
+        # After the outage the controller climbs back up.
+        assert max(result.qualities[-5:]) == 2
+
+
+class TestConfigInteraction:
+    def test_horizon_one(self, ladder, step_trace, short_config):
+        c = SodaController(config=SodaConfig(horizon=1))
+        result = run_session(c, step_trace, ladder, short_config)
+        assert result.num_segments == 30
+
+    def test_brute_force_session(self, ladder, step_trace, short_config):
+        c = SodaController(config=SodaConfig(horizon=3, use_brute_force=True))
+        result = run_session(c, step_trace, ladder, short_config)
+        assert result.num_segments == 30
+
+    def test_cap_heuristic_on(self, ladder, step_trace, short_config):
+        c = SodaController(config=SodaConfig(cap_one_rung_above=True))
+        result = run_session(c, step_trace, ladder, short_config)
+        assert result.num_segments == 30
+
+    def test_gamma_zero_switches_more(self, fourk_ladder, short_config):
+        wobble = ThroughputTrace([6.0] * 20, [20.0, 45.0] * 10)
+        smooth_cfg = SodaConfig(gamma=400.0, switch_event_cost=0.2)
+        loose_cfg = SodaConfig(gamma=0.0, switch_event_cost=0.0)
+        smooth = run_session(
+            SodaController(config=smooth_cfg), wobble, fourk_ladder, short_config
+        )
+        loose = run_session(
+            SodaController(config=loose_cfg), wobble, fourk_ladder, short_config
+        )
+        assert smooth.switch_count <= loose.switch_count

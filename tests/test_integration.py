@@ -1,0 +1,156 @@
+"""Integration tests: whole sessions, every controller × every dataset."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BolaController,
+    DynamicController,
+    FuguController,
+    HybController,
+    MpcController,
+    RobustMpcController,
+    SodaConfig,
+    SodaController,
+    qoe_from_session,
+    run_session,
+)
+from repro.analysis import run_suite, standard_controllers
+from repro.prediction import NoisyOraclePredictor, OraclePredictor
+from repro.qoe import summarize
+from repro.sim.profiles import (
+    live_profile,
+    on_demand_profile,
+    production_profile,
+    prototype_profile,
+)
+from repro.traces import build_synthetic_datasets
+
+CONTROLLERS = {
+    "soda": SodaController,
+    "hyb": HybController,
+    "bola": BolaController,
+    "dynamic": DynamicController,
+    "mpc": MpcController,
+    "robustmpc": RobustMpcController,
+    "fugu": FuguController,
+}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return build_synthetic_datasets(2, session_seconds=120.0, seed=17)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {
+        "puffer": live_profile(session_seconds=120.0),
+        "5g": live_profile(session_seconds=120.0, cellular=True),
+        "4g": live_profile(session_seconds=120.0, cellular=True),
+    }
+
+
+@pytest.mark.parametrize("controller_name", sorted(CONTROLLERS))
+@pytest.mark.parametrize("dataset_name", ["puffer", "5g", "4g"])
+def test_every_controller_every_dataset(
+    controller_name, dataset_name, datasets, profiles
+):
+    controller = CONTROLLERS[controller_name]()
+    profile = profiles[dataset_name]
+    for trace in datasets[dataset_name]:
+        result = run_session(controller, trace, profile.ladder, profile.player)
+        assert result.num_segments == profile.player.num_segments
+        metrics = qoe_from_session(result)
+        assert -11.0 <= metrics.qoe <= 1.0
+
+
+@pytest.mark.parametrize(
+    "profile_factory",
+    [on_demand_profile, prototype_profile, production_profile],
+)
+def test_soda_on_every_profile(profile_factory, datasets):
+    profile = profile_factory(session_seconds=120.0)
+    trace = datasets["puffer"][0]
+    if profile.name == "prototype":
+        trace = trace.scaled(0.05)
+    result = run_session(SodaController(), trace, profile.ladder, profile.player)
+    assert result.num_segments == profile.player.num_segments
+
+
+def test_sessions_deterministic(datasets, profiles):
+    profile = profiles["puffer"]
+    trace = datasets["puffer"][0]
+    a = run_session(SodaController(), trace, profile.ladder, profile.player)
+    b = run_session(SodaController(), trace, profile.ladder, profile.player)
+    assert a.qualities == b.qualities
+    assert a.rebuffer_time == b.rebuffer_time
+
+
+def test_suite_runs_standard_controllers(datasets, profiles):
+    suite = run_suite(
+        standard_controllers(),
+        datasets["puffer"],
+        profiles["puffer"],
+        dataset_name="puffer",
+    )
+    assert len(suite.per_controller) == 5
+
+
+class TestHeadlineShape:
+    """The paper's qualitative results on a medium-sized run."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        datasets = build_synthetic_datasets(5, session_seconds=300.0, seed=23)
+        profile = live_profile(session_seconds=300.0)
+        suite = run_suite(
+            standard_controllers(), datasets["puffer"], profile, "puffer"
+        )
+        return suite
+
+    def test_soda_lowest_switching(self, run):
+        summaries = run.summaries()
+        soda = summaries["soda"].switching_rate.mean
+        for name, s in summaries.items():
+            if name != "soda":
+                assert soda <= s.switching_rate.mean + 1e-9
+
+    def test_soda_best_qoe(self, run):
+        summaries = run.summaries()
+        soda = summaries["soda"].qoe.mean
+        best_baseline = max(
+            s.qoe.mean for n, s in summaries.items() if n != "soda"
+        )
+        assert soda >= best_baseline - 0.02
+
+    def test_soda_rebuffering_short(self, run):
+        summaries = run.summaries()
+        assert summaries["soda"].rebuffer_ratio.mean <= 0.02
+
+
+class TestPredictionRobustness:
+    """Figure 11's shape: SODA degrades gracefully with prediction noise."""
+
+    def _qoe_at_noise(self, noise, trace, profile):
+        controller = SodaController(predictor=NoisyOraclePredictor(noise, seed=3))
+        result = run_session(controller, trace, profile.ladder, profile.player)
+        return qoe_from_session(result).qoe
+
+    def test_moderate_noise_is_tolerated(self, datasets, profiles):
+        profile = profiles["puffer"]
+        trace = datasets["puffer"][0]
+        clean = self._qoe_at_noise(0.0, trace, profile)
+        noisy = self._qoe_at_noise(0.3, trace, profile)
+        assert noisy >= clean - 0.35
+
+    def test_oracle_at_least_as_good_as_heavy_noise(self, datasets, profiles):
+        profile = profiles["4g"]
+        qoes = []
+        for noise in (0.0, 1.0):
+            vals = [
+                self._qoe_at_noise(noise, tr, profile)
+                for tr in datasets["4g"]
+            ]
+            qoes.append(np.mean(vals))
+        assert qoes[0] >= qoes[1] - 0.1

@@ -1,0 +1,139 @@
+"""Tests for the shared-bottleneck multi-client simulator."""
+
+import numpy as np
+import pytest
+
+from repro.abr import BolaController, HybController
+from repro.core.controller import SodaController
+from repro.sim.multiclient import (
+    jain_fairness,
+    simulate_shared_link,
+)
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, simulate_session
+from repro.sim.video import BitrateLadder
+
+
+@pytest.fixture
+def link():
+    return ThroughputTrace.constant(16.0, 600.0)
+
+
+@pytest.fixture
+def mc_config():
+    return PlayerConfig(max_buffer=20.0, num_segments=25, live_delay=20.0)
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_fairness([5.0]) == pytest.approx(1.0)
+
+    def test_unfair(self):
+        assert jain_fairness([10.0, 0.0]) == pytest.approx(0.5)
+
+    def test_partial(self):
+        idx = jain_fairness([4.0, 2.0])
+        assert 0.5 < idx < 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+    def test_all_zero(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestSharedLink:
+    def test_validation(self, ladder, link, mc_config):
+        with pytest.raises(ValueError):
+            simulate_shared_link([], link, ladder, mc_config)
+        c = SodaController()
+        with pytest.raises(ValueError):
+            simulate_shared_link([c, c], link, ladder, mc_config)
+        with pytest.raises(ValueError):
+            simulate_shared_link([c], link, ladder, mc_config, tick=0.0)
+
+    def test_all_clients_complete(self, ladder, link, mc_config):
+        out = simulate_shared_link(
+            [SodaController() for _ in range(3)], link, ladder, mc_config
+        )
+        assert len(out.results) == 3
+        for result in out.results:
+            assert result.num_segments == 25
+
+    def test_identical_clients_are_fair(self, ladder, link, mc_config):
+        out = simulate_shared_link(
+            [BolaController() for _ in range(4)], link, ladder, mc_config
+        )
+        assert out.fairness_index() > 0.9
+
+    def test_conservation(self, ladder, link, mc_config):
+        """Delivered bits never exceed the link's capacity-time."""
+        out = simulate_shared_link(
+            [SodaController() for _ in range(3)], link, ladder, mc_config
+        )
+        assert out.delivered_megabits <= (
+            out.link_capacity_mean * out.duration + 1e-6
+        )
+        assert 0.0 <= out.link_utilisation() <= 1.0
+
+    def test_delivered_matches_segment_sizes(self, ladder, link, mc_config):
+        out = simulate_shared_link(
+            [SodaController(), HybController()], link, ladder, mc_config
+        )
+        expected = sum(
+            ladder.segment_size(q, i)
+            for r in out.results
+            for i, q in enumerate(r.qualities)
+        )
+        assert out.delivered_megabits == pytest.approx(expected, rel=0.02)
+
+    def test_single_client_close_to_plain_player(self, ladder, mc_config):
+        """One client on the link ≈ the single-player simulator."""
+        link = ThroughputTrace.constant(8.0, 600.0)
+        shared = simulate_shared_link(
+            [BolaController()], link, ladder, mc_config
+        )
+        plain = simulate_session(BolaController(), link, ladder, mc_config)
+        shared_mean = np.mean(shared.results[0].bitrates)
+        plain_mean = np.mean(plain.bitrates)
+        assert shared_mean == pytest.approx(plain_mean, rel=0.25)
+
+    def test_deterministic(self, ladder, link, mc_config):
+        runs = [
+            simulate_shared_link(
+                [SodaController(), SodaController()], link, ladder, mc_config
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].results[0].qualities == runs[1].results[0].qualities
+
+    def test_competition_lowers_bitrate(self, ladder, mc_config):
+        """Four clients on the link get less than one client alone."""
+        link = ThroughputTrace.constant(12.0, 600.0)
+        alone = simulate_shared_link(
+            [SodaController()], link, ladder, mc_config
+        )
+        crowd = simulate_shared_link(
+            [SodaController() for _ in range(4)], link, ladder, mc_config
+        )
+        assert max(crowd.mean_bitrates()) < alone.mean_bitrates()[0] + 1e-9
+
+    def test_scarce_link_causes_rebuffering(self, ladder, mc_config):
+        """Below N × r_min the clients must stall."""
+        link = ThroughputTrace.constant(1.5, 600.0)
+        out = simulate_shared_link(
+            [SodaController(), SodaController()], link, ladder, mc_config
+        )
+        assert any(r.rebuffer_time > 0 for r in out.results)
+
+    def test_mixed_controllers(self, ladder, link, mc_config):
+        out = simulate_shared_link(
+            [SodaController(), BolaController(), HybController()],
+            link, ladder, mc_config,
+        )
+        names = [r.controller for r in out.results]
+        assert names == ["soda", "bola", "hyb"]

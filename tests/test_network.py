@@ -1,0 +1,237 @@
+"""Unit and property tests for the trace/network model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.network import ThroughputTrace
+
+
+class TestConstruction:
+    def test_basic(self):
+        tr = ThroughputTrace([1.0, 2.0], [5.0, 10.0])
+        assert len(tr) == 2
+        assert tr.duration == 3.0
+        assert tr.total_bits == 25.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace([1.0], [5.0, 6.0])
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace([1.0, 0.0], [5.0, 5.0])
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace([1.0], [-1.0])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace([[1.0]], [[5.0]])
+
+    def test_constant_factory(self):
+        tr = ThroughputTrace.constant(4.0, 10.0)
+        assert tr.duration == 10.0
+        assert tr.bandwidth_at(3.0) == 4.0
+
+    def test_from_samples(self):
+        tr = ThroughputTrace.from_samples([1.0, 2.0, 3.0], dt=0.5)
+        assert tr.duration == 1.5
+        assert tr.bandwidth_at(1.2) == 3.0
+
+
+class TestQueries:
+    def test_bandwidth_at_boundaries(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        assert tr.bandwidth_at(0.0) == 2.0
+        assert tr.bandwidth_at(0.999) == 2.0
+        assert tr.bandwidth_at(1.0) == 8.0
+
+    def test_bandwidth_wraps(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        assert tr.bandwidth_at(2.5) == 2.0  # wrapped to 0.5
+
+    def test_bandwidth_at_negative_raises(self):
+        tr = ThroughputTrace.constant(1.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.bandwidth_at(-0.1)
+
+    def test_bits_between(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        assert tr.bits_between(0.0, 1.0) == pytest.approx(2.0)
+        assert tr.bits_between(0.5, 1.5) == pytest.approx(1.0 + 4.0)
+        # across a loop boundary
+        assert tr.bits_between(1.5, 2.5) == pytest.approx(4.0 + 1.0)
+
+    def test_bits_between_rejects_reversed(self):
+        tr = ThroughputTrace.constant(1.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.bits_between(2.0, 1.0)
+
+    def test_average_throughput(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        assert tr.average_throughput(0.0, 2.0) == pytest.approx(5.0)
+
+    def test_download_time_constant(self):
+        tr = ThroughputTrace.constant(10.0, 100.0)
+        assert tr.download_time(25.0, 0.0) == pytest.approx(2.5)
+        assert tr.download_time(25.0, 7.3) == pytest.approx(2.5)
+
+    def test_download_time_zero_size(self):
+        tr = ThroughputTrace.constant(10.0, 100.0)
+        assert tr.download_time(0.0, 5.0) == 0.0
+
+    def test_download_time_negative_raises(self):
+        tr = ThroughputTrace.constant(10.0, 100.0)
+        with pytest.raises(ValueError):
+            tr.download_time(-1.0, 0.0)
+
+    def test_download_time_spans_segments(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        # 2 Mb in first second, then 8 Mb/s: 6 Mb takes 1 + 0.5 s
+        assert tr.download_time(6.0, 0.0) == pytest.approx(1.5)
+
+    def test_download_time_wraps_past_end(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        # starting mid-second-interval: 4 Mb left at 8 Mb/s, then wraps to 2
+        assert tr.download_time(6.0, 1.5) == pytest.approx(0.5 + 1.0)
+
+    def test_download_time_multiple_loops(self):
+        tr = ThroughputTrace.constant(1.0, 2.0)  # 2 Mb per pass
+        assert tr.download_time(7.0, 0.0) == pytest.approx(7.0)
+
+    def test_download_time_zero_bandwidth_trace(self):
+        tr = ThroughputTrace.constant(0.0, 5.0)
+        assert math.isinf(tr.download_time(1.0, 0.0))
+
+    def test_download_time_through_zero_interval(self):
+        tr = ThroughputTrace([1.0, 1.0, 1.0], [4.0, 0.0, 4.0])
+        # 6 Mb: 4 in [0,1), stall in [1,2), 2 more by 2.5
+        assert tr.download_time(6.0, 0.0) == pytest.approx(2.5)
+
+
+class TestStats:
+    def test_constant_stats(self):
+        s = ThroughputTrace.constant(4.0, 10.0).stats()
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(0.0)
+        assert s.rsd == pytest.approx(0.0)
+
+    def test_weighted_mean(self):
+        s = ThroughputTrace([3.0, 1.0], [2.0, 10.0]).stats()
+        assert s.mean == pytest.approx(4.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 10.0
+
+    def test_zero_mean_rsd(self):
+        s = ThroughputTrace.constant(0.0, 1.0).stats()
+        assert s.rsd == 0.0
+
+
+class TestTransformations:
+    def test_scaled(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0]).scaled(0.5)
+        assert tr.stats().mean == pytest.approx(2.5)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace.constant(1.0, 1.0).scaled(-1.0)
+
+    def test_slice(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        sub = tr.slice(0.5, 1.5)
+        assert sub.duration == pytest.approx(1.0)
+        assert sub.bits_between(0.0, 1.0) == pytest.approx(1.0 + 4.0)
+
+    def test_slice_rejects_empty(self):
+        tr = ThroughputTrace.constant(1.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.slice(1.0, 1.0)
+
+    def test_split_drops_tail(self):
+        tr = ThroughputTrace.constant(1.0, 25.0)
+        chunks = tr.split(10.0)
+        assert len(chunks) == 2
+        assert all(c.duration == pytest.approx(10.0) for c in chunks)
+
+    def test_split_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace.constant(1.0, 1.0).split(0.0)
+
+    def test_sampled(self):
+        tr = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        samples = tr.sampled(1.0)
+        assert samples == pytest.approx([2.0, 8.0])
+
+    def test_sampled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace.constant(1.0, 1.0).sampled(0.0)
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    bandwidths = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return ThroughputTrace(durations, bandwidths)
+
+
+class TestProperties:
+    @given(traces(), st.floats(min_value=0.01, max_value=50.0),
+           st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=80, deadline=None)
+    def test_download_time_consistent_with_bits(self, tr, size, start):
+        """Bits deliverable in the computed download time ≈ the size."""
+        dt = tr.download_time(size, start)
+        assert dt >= 0
+        delivered = tr.bits_between(start, start + dt)
+        assert delivered == pytest.approx(size, rel=1e-6, abs=1e-6)
+
+    @given(traces(), st.floats(min_value=0.0, max_value=30.0),
+           st.floats(min_value=0.01, max_value=10.0),
+           st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=80, deadline=None)
+    def test_bits_additive(self, tr, start, d1, d2):
+        total = tr.bits_between(start, start + d1 + d2)
+        parts = tr.bits_between(start, start + d1) + tr.bits_between(
+            start + d1, start + d1 + d2
+        )
+        assert total == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+    @given(traces(), st.floats(min_value=0.01, max_value=20.0),
+           st.floats(min_value=0.01, max_value=20.0),
+           st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_download_time_monotone_in_size(self, tr, s1, s2, start):
+        small, large = sorted((s1, s2))
+        assert tr.download_time(small, start) <= tr.download_time(
+            large, start
+        ) + 1e-9
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_stats_bounds(self, tr):
+        s = tr.stats()
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+        assert s.std >= 0
+        assert s.duration == pytest.approx(tr.duration)

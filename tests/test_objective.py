@@ -1,0 +1,134 @@
+"""Tests for SODA's cost model (SodaConfig, distortion/buffer/switch costs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import (
+    SodaConfig,
+    log_distortion,
+    reciprocal_distortion,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SodaConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": 0},
+            {"beta": -1.0},
+            {"gamma": -0.1},
+            {"epsilon": 0.0},
+            {"epsilon": 1.5},
+            {"distortion": "nope"},
+            {"target_buffer": 0.0},
+            {"download_safety": -1.0},
+            {"switch_event_cost": -0.01},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SodaConfig(**kwargs)
+
+    def test_with_replaces(self):
+        cfg = SodaConfig().with_(horizon=3, gamma=7.0)
+        assert cfg.horizon == 3
+        assert cfg.gamma == 7.0
+        # original unchanged
+        assert SodaConfig().horizon == 5
+
+
+class TestDistortionFunctions:
+    @pytest.mark.parametrize("fn", [reciprocal_distortion, log_distortion])
+    def test_strictly_decreasing(self, fn):
+        values = [fn(r, 1.0, 60.0) for r in (1.0, 2.0, 10.0, 60.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("fn", [reciprocal_distortion, log_distortion])
+    def test_positive(self, fn):
+        assert fn(60.0, 1.0, 60.0) > 0.0
+        assert fn(1.0, 1.0, 60.0) > 0.0
+
+    def test_reciprocal_normalised_at_min(self):
+        assert reciprocal_distortion(1.5, 1.5, 60.0) == pytest.approx(1.0)
+
+    def test_log_normalised_range(self):
+        assert log_distortion(1.5, 1.5, 60.0) == pytest.approx(1.0, abs=1e-9)
+        assert log_distortion(60.0, 1.5, 60.0) == pytest.approx(0.02)
+
+    def test_rejects_nonpositive_bitrate(self):
+        with pytest.raises(ValueError):
+            reciprocal_distortion(0.0, 1.0, 2.0)
+
+    def test_degenerate_ladder(self):
+        assert log_distortion(2.0, 2.0, 2.0) == 1.0
+
+    def test_config_lookup(self):
+        assert SodaConfig(distortion="log").distortion_fn() is log_distortion
+        assert (
+            SodaConfig(distortion="reciprocal").distortion_fn()
+            is reciprocal_distortion
+        )
+
+
+class TestBufferCost:
+    def test_zero_at_target(self):
+        cfg = SodaConfig()
+        assert cfg.buffer_cost(10.0, 10.0) == 0.0
+
+    def test_quadratic_below(self):
+        cfg = SodaConfig()
+        assert cfg.buffer_cost(7.0, 10.0) == pytest.approx(9.0)
+
+    def test_discounted_above(self):
+        cfg = SodaConfig(epsilon=0.25)
+        assert cfg.buffer_cost(13.0, 10.0) == pytest.approx(0.25 * 9.0)
+
+    def test_asymmetry(self):
+        cfg = SodaConfig(epsilon=0.1)
+        below = cfg.buffer_cost(8.0, 10.0)
+        above = cfg.buffer_cost(12.0, 10.0)
+        assert above == pytest.approx(0.1 * below)
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=1.0, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative(self, x, target):
+        assert SodaConfig().buffer_cost(x, target) >= 0.0
+
+
+class TestSwitchingCost:
+    def test_zero_for_same_rate(self):
+        cfg = SodaConfig(switch_event_cost=0.1)
+        assert cfg.switching_cost(0.5, 0.5) == 0.0
+
+    def test_squared_term(self):
+        cfg = SodaConfig(switch_event_cost=0.0)
+        assert cfg.switching_cost(0.7, 0.4) == pytest.approx(0.09)
+
+    def test_event_term_added(self):
+        cfg = SodaConfig(switch_event_cost=0.05)
+        assert cfg.switching_cost(0.7, 0.4) == pytest.approx(0.09 + 0.05)
+
+    def test_symmetric(self):
+        cfg = SodaConfig()
+        assert cfg.switching_cost(0.2, 0.9) == pytest.approx(
+            cfg.switching_cost(0.9, 0.2)
+        )
+
+
+class TestTargetResolution:
+    def test_explicit_target(self):
+        assert SodaConfig(target_buffer=12.0).resolve_target(20.0) == 12.0
+
+    def test_explicit_target_clamped(self):
+        assert SodaConfig(target_buffer=30.0).resolve_target(20.0) == 20.0
+
+    def test_default_fraction(self):
+        assert SodaConfig().resolve_target(20.0) == pytest.approx(16.0)
+        assert SodaConfig().resolve_target(15.0) == pytest.approx(12.0)

@@ -1,0 +1,164 @@
+"""Tests for the offline optimal DP and the time-based rollout."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.objective import SodaConfig
+from repro.core.offline import offline_optimal, rollout_time_based
+from repro.core.solver import plan_cost
+from repro.sim.video import BitrateLadder
+
+
+@pytest.fixture
+def cfg():
+    return SodaConfig(
+        horizon=3, beta=0.1, gamma=2.0, target_buffer=10.0,
+        switch_event_cost=0.0,
+    )
+
+
+class TestOfflineOptimal:
+    def test_returns_plan_of_right_length(self, ladder, cfg):
+        omega = [4.0] * 10
+        sol = offline_optimal(omega, ladder, cfg, max_buffer=20.0, x0=10.0)
+        assert len(sol.qualities) == 10
+        assert len(sol.buffers) == 10
+        assert math.isfinite(sol.cost)
+
+    def test_never_beaten_by_explicit_plans(self, ladder, cfg):
+        """DP cost <= cost of any explicit plan (up to grid snapping)."""
+        omega = [5.0, 2.0, 6.0, 4.0]
+        sol = offline_optimal(
+            omega, ladder, cfg, max_buffer=20.0, x0=10.0, buffer_grid=801
+        )
+        best_explicit = math.inf
+        for seq in itertools.product(range(ladder.levels), repeat=4):
+            c = plan_cost(
+                seq, omega, 10.0, None, ladder, cfg.with_(horizon=4),
+                max_buffer=20.0,
+            )
+            best_explicit = min(best_explicit, c)
+        assert sol.cost <= best_explicit + 0.15
+
+    def test_matches_exhaustive_on_tiny_instance(self, ladder, cfg):
+        """With grid-aligned dynamics the DP is exact."""
+        # omega chosen so every transition lands exactly on the 0.1 grid.
+        omega = [3.0, 3.0, 3.0]
+        sol = offline_optimal(
+            omega, ladder, cfg, max_buffer=20.0, x0=10.0, buffer_grid=2001
+        )
+        best = math.inf
+        for seq in itertools.product(range(ladder.levels), repeat=3):
+            c = plan_cost(
+                seq, omega, 10.0, None, ladder, cfg, max_buffer=20.0
+            )
+            best = min(best, c)
+        assert sol.cost == pytest.approx(best, rel=1e-2, abs=5e-2)
+
+    def test_infeasible_sequence(self, ladder, cfg):
+        # Zero bandwidth forever: the buffer must underflow.
+        sol = offline_optimal([0.0] * 6, ladder, cfg, max_buffer=20.0, x0=1.0)
+        assert sol.cost == math.inf
+        assert sol.qualities == ()
+
+    def test_validates_inputs(self, ladder, cfg):
+        with pytest.raises(ValueError):
+            offline_optimal([], ladder, cfg, max_buffer=20.0, x0=10.0)
+        with pytest.raises(ValueError):
+            offline_optimal([1.0], ladder, cfg, max_buffer=20.0, x0=1.0,
+                            buffer_grid=1)
+
+    def test_buffers_within_bounds(self, ladder, cfg):
+        rng = np.random.default_rng(1)
+        omega = rng.uniform(2.0, 8.0, 20)
+        sol = offline_optimal(omega, ladder, cfg, max_buffer=20.0, x0=10.0)
+        assert all(0.0 <= b <= 20.0 for b in sol.buffers)
+
+
+class TestRollout:
+    def test_rollout_completes(self, ladder, cfg):
+        rng = np.random.default_rng(0)
+        omega = rng.uniform(2.0, 8.0, 30)
+        roll = rollout_time_based(omega, ladder, cfg, max_buffer=20.0, x0=10.0)
+        assert len(roll.qualities) == 30
+        assert math.isfinite(roll.cost)
+        assert all(0.0 <= b <= 20.0 for b in roll.buffers)
+
+    def test_rollout_cost_at_least_opt(self, ladder, cfg):
+        rng = np.random.default_rng(2)
+        omega = rng.uniform(2.0, 8.0, 40)
+        opt = offline_optimal(
+            omega, ladder, cfg, max_buffer=20.0, x0=10.0, buffer_grid=401
+        )
+        roll = rollout_time_based(omega, ladder, cfg, max_buffer=20.0, x0=10.0)
+        # Small negative slack allowed for DP grid snapping.
+        assert roll.cost >= opt.cost - 0.5
+
+    def test_exact_predictions_beat_bad_predictions(self, ladder, cfg):
+        rng = np.random.default_rng(3)
+        omega = rng.uniform(2.0, 8.0, 60)
+
+        def bad_predictions(n, k):
+            return np.full(k, 5.0)  # constant, ignores reality
+
+        exact = rollout_time_based(omega, ladder, cfg, max_buffer=20.0, x0=10.0)
+        noisy = rollout_time_based(
+            omega, ladder, cfg, max_buffer=20.0, x0=10.0,
+            predictions=bad_predictions,
+        )
+        assert exact.cost <= noisy.cost * 1.05
+
+    def test_longer_horizon_helps_brute_force(self, ladder, cfg):
+        """Theorem 4.1's regime: with the exact solver, more look-ahead
+        (plus the terminal steering of Algorithm 2) improves the cost."""
+        rng = np.random.default_rng(4)
+        omega = rng.uniform(2.0, 8.0, 60)
+        exact = cfg.with_(use_brute_force=True)
+        short = rollout_time_based(
+            omega, ladder, exact.with_(horizon=1), max_buffer=20.0, x0=10.0
+        )
+        long = rollout_time_based(
+            omega, ladder, exact.with_(horizon=6), max_buffer=20.0, x0=10.0
+        )
+        assert long.cost <= short.cost * 1.02
+
+    def test_monotone_matches_brute_force_at_high_gamma(self, ladder, cfg):
+        """Theorem 4.3's regime: with a large switching weight the monotone
+        rollout tracks the brute-force rollout closely."""
+        rng = np.random.default_rng(5)
+        omega = rng.uniform(2.0, 8.0, 40)
+        heavy = cfg.with_(gamma=200.0)
+        mono = rollout_time_based(
+            omega, ladder, heavy, max_buffer=20.0, x0=10.0
+        )
+        brute = rollout_time_based(
+            omega, ladder, heavy.with_(use_brute_force=True),
+            max_buffer=20.0, x0=10.0,
+        )
+        assert mono.cost <= brute.cost * 1.1
+
+    def test_violations_counted_with_wild_predictions(self, ladder, cfg):
+        # Predictions say the network is slow (controller picks rung 0),
+        # but the real bandwidth is enormous: the realised buffer overflows
+        # the model constraint and must be clipped.
+        omega = np.full(5, 50.0)
+
+        def pessimistic(n, k):
+            return np.full(k, 1.0)
+
+        roll = rollout_time_based(
+            omega, ladder, cfg, max_buffer=20.0, x0=2.0,
+            predictions=pessimistic,
+        )
+        assert roll.violations >= 1
+
+    def test_brute_force_rollout(self, ladder, cfg):
+        omega = np.full(10, 4.0)
+        roll = rollout_time_based(
+            omega, ladder, cfg.with_(use_brute_force=True),
+            max_buffer=20.0, x0=10.0,
+        )
+        assert len(roll.qualities) == 10

@@ -1,0 +1,137 @@
+"""Tests for the continuous-action theory planner (Equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import (
+    ContinuousPlan,
+    ContinuousProblem,
+    solve_continuous,
+    trajectory_distance,
+)
+from repro.core.theory import fit_decay_rate
+
+
+@pytest.fixture
+def problem():
+    return ContinuousProblem(
+        r_min=1.5, r_max=12.0, max_buffer=20.0, target=12.0,
+        beta=1.0, gamma=1.0, epsilon=0.25,
+    )
+
+
+class TestProblemValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"r_min": 0.0},
+            {"r_min": 12.0},
+            {"target": 0.0},
+            {"target": 25.0},
+            {"beta": -1.0},
+            {"epsilon": 0.0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        base = dict(
+            r_min=1.5, r_max=12.0, max_buffer=20.0, target=12.0,
+            beta=1.0, gamma=1.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            ContinuousProblem(**base)
+
+    def test_action_bounds(self, problem):
+        assert problem.u_min == pytest.approx(1.0 / 12.0)
+        assert problem.u_max == pytest.approx(1.0 / 1.5)
+
+
+class TestSolve:
+    def test_steady_state_holds_rate(self, problem):
+        """At target buffer with feasible 1/ω, actions stay near 1/ω."""
+        omega = np.full(8, 6.0)
+        plan = solve_continuous(omega, problem.target, 1.0 / 6.0, problem)
+        assert plan.converged
+        # The tail of the horizon drifts (no terminal cost); the interior
+        # holds the rate and the buffer.
+        assert np.allclose(plan.actions[:-2], 1.0 / 6.0, atol=0.02)
+        assert np.allclose(plan.buffers[:-2], problem.target, atol=0.2)
+
+    def test_actions_within_bounds(self, problem):
+        omega = np.linspace(3.0, 9.0, 10)
+        plan = solve_continuous(omega, 5.0, 0.2, problem)
+        assert np.all(plan.actions >= problem.u_min - 1e-9)
+        assert np.all(plan.actions <= problem.u_max + 1e-9)
+
+    def test_buffers_within_constraints(self, problem):
+        omega = np.full(10, 4.0)
+        plan = solve_continuous(omega, 2.0, 0.25, problem)
+        assert plan.converged
+        assert np.all(plan.buffers >= -1e-6)
+        assert np.all(plan.buffers <= problem.max_buffer + 1e-6)
+
+    def test_low_buffer_recovers_toward_target(self, problem):
+        omega = np.full(12, 8.0)
+        plan = solve_continuous(omega, 1.0, 1.0 / 8.0, problem)
+        assert plan.converged
+        assert plan.buffers[-1] > plan.buffers[0]
+
+    def test_terminal_buffer_constraint(self, problem):
+        omega = np.full(8, 8.0)
+        plan = solve_continuous(
+            omega, 6.0, 1.0 / 8.0, problem, terminal_buffer=12.0
+        )
+        assert plan.converged
+        assert plan.buffers[-1] == pytest.approx(12.0, abs=1e-3)
+
+    def test_bitrates_property(self, problem):
+        omega = np.full(4, 6.0)
+        plan = solve_continuous(omega, 12.0, 1.0 / 6.0, problem)
+        assert np.allclose(plan.bitrates, 1.0 / plan.actions)
+
+    def test_validates_omega(self, problem):
+        with pytest.raises(ValueError):
+            solve_continuous([], 5.0, 0.2, problem)
+        with pytest.raises(ValueError):
+            solve_continuous([0.0, 1.0], 5.0, 0.2, problem)
+
+
+class TestSwitchingOnly:
+    def test_monotone_actions(self, problem):
+        """Lemma A.10: switching-cost-only optima are monotone in u."""
+        omega = np.full(10, 6.0)
+        for u_prev in (problem.u_min, 1.0 / 6.0, problem.u_max):
+            plan = solve_continuous(
+                omega, 10.0, u_prev, problem, switching_only=True
+            )
+            seq = np.concatenate(([u_prev], plan.actions))
+            diffs = np.diff(seq)
+            assert np.all(diffs >= -1e-6) or np.all(diffs <= 1e-6)
+
+    def test_steady_when_matching(self, problem):
+        """u_prev = 1/ω is already optimal: stay put (Lemma A.10 case 3)."""
+        omega = np.full(6, 6.0)
+        plan = solve_continuous(
+            omega, 10.0, 1.0 / 6.0, problem, switching_only=True
+        )
+        assert np.allclose(plan.actions, 1.0 / 6.0, atol=1e-4)
+        assert plan.cost == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDecayProperty:
+    def test_perturbation_decays_exponentially(self, problem):
+        """Figure 6: trajectories from different starts converge fast."""
+        omega = np.full(12, 6.0)
+        a = solve_continuous(omega, 4.0, 1.0 / 6.0, problem)
+        b = solve_continuous(omega, 18.0, 1.0 / 3.0, problem)
+        assert a.converged and b.converged
+        d = trajectory_distance(a, b)
+        assert d[0] > d[-1]
+        rho = fit_decay_rate(d)
+        assert 0.0 < rho < 0.95
+
+    def test_distance_requires_same_horizon(self, problem):
+        a = solve_continuous(np.full(4, 6.0), 4.0, 0.2, problem)
+        b = solve_continuous(np.full(5, 6.0), 4.0, 0.2, problem)
+        with pytest.raises(ValueError):
+            trajectory_distance(a, b)

@@ -1,0 +1,239 @@
+"""Tests for the player simulator: dynamics, accounting, edge cases."""
+
+import math
+
+import pytest
+
+from repro.abr.base import AbrController
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, simulate_session
+from repro.sim.video import BitrateLadder
+
+
+class FixedController(AbrController):
+    """Always picks the same rung."""
+
+    name = "fixed"
+
+    def __init__(self, quality: int = 0):
+        super().__init__()
+        self.quality = quality
+
+    def select_quality(self, obs):
+        return self.quality
+
+
+class DeferNTimesController(AbrController):
+    """Defers a fixed number of times before picking rung 0."""
+
+    name = "defer"
+
+    def __init__(self, defers: int):
+        super().__init__()
+        self.defers = defers
+        self._count = 0
+
+    def reset(self):
+        super().reset()
+        self._count = 0
+
+    def select_quality(self, obs):
+        if self._count < self.defers:
+            self._count += 1
+            return None
+        self._count = 0
+        return 0
+
+
+class BadController(AbrController):
+    name = "bad"
+
+    def select_quality(self, obs):
+        return 99
+
+
+class TestConfigValidation:
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(max_buffer=0.0)
+
+    def test_rejects_no_segments(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(num_segments=0)
+
+    def test_rejects_negative_startup(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(startup_threshold=-1.0)
+
+    def test_rejects_zero_live_delay(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(live_delay=0.0)
+
+    def test_rejects_bad_abandon_fraction(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(abandon_check_fraction=0.0)
+
+    def test_rejects_negative_abandon_threshold(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(abandon_threshold=-0.5)
+
+
+class TestBasicDynamics:
+    def test_fast_network_no_rebuffering(self, ladder, steady_trace, vod_config):
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, vod_config
+        )
+        assert result.num_segments == 30
+        assert result.rebuffer_time == pytest.approx(0.0)
+        assert result.rebuffer_events == 0
+
+    def test_qualities_recorded(self, ladder, steady_trace, vod_config):
+        result = simulate_session(
+            FixedController(1), steady_trace, ladder, vod_config
+        )
+        assert result.qualities == [1] * 30
+        assert result.switch_count == 0
+        assert result.bitrates == [3.0] * 30
+
+    def test_slow_network_rebuffers(self, ladder, slow_trace, vod_config):
+        # 0.5 Mb/s < lowest rung 1.0 Mb/s: every download outpaces playback.
+        result = simulate_session(
+            FixedController(0), slow_trace, ladder, vod_config
+        )
+        assert result.rebuffer_time > 0
+        assert result.rebuffer_events >= 1
+
+    def test_download_times_match_trace(self, ladder, vod_config):
+        trace = ThroughputTrace.constant(4.0, 1000.0)
+        result = simulate_session(FixedController(2), trace, ladder, vod_config)
+        # Each 12 Mb segment at 4 Mb/s takes 3 s.
+        assert all(dt == pytest.approx(3.0) for dt in result.download_times)
+        assert all(th == pytest.approx(4.0) for th in result.throughputs)
+
+    def test_startup_delay_accounted(self, ladder, vod_config):
+        trace = ThroughputTrace.constant(1.0, 1000.0)
+        result = simulate_session(FixedController(0), trace, ladder, vod_config)
+        # First segment (2 Mb at 1 Mb/s) takes 2 s; playback starts after it.
+        assert result.startup_delay == pytest.approx(2.0)
+
+    def test_wall_duration_positive(self, ladder, steady_trace, vod_config):
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, vod_config
+        )
+        assert result.wall_duration > 0
+        assert result.session_duration == result.wall_duration
+
+    def test_play_duration(self, ladder, steady_trace, vod_config):
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, vod_config
+        )
+        assert result.play_duration == pytest.approx(60.0)
+
+
+class TestBufferCap:
+    def test_buffer_never_exceeds_cap(self, ladder, steady_trace):
+        cfg = PlayerConfig(max_buffer=6.0, num_segments=40)
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, cfg
+        )
+        assert max(result.buffer_levels) <= 6.0 + 1e-9
+
+    def test_waiting_for_room_counts_idle(self, ladder, steady_trace):
+        cfg = PlayerConfig(max_buffer=6.0, num_segments=40)
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, cfg
+        )
+        assert result.idle_time > 0
+
+
+class TestLiveDelay:
+    def test_live_paces_the_session(self, ladder, steady_trace):
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=30, live_delay=20.0)
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, cfg
+        )
+        # The last segment becomes available at (30*2 - 20) = 40 s.
+        assert result.wall_duration >= 40.0 - 1e-9
+
+    def test_live_buffer_bounded_by_delay(self, ladder, steady_trace):
+        cfg = PlayerConfig(max_buffer=50.0, num_segments=40, live_delay=10.0)
+        result = simulate_session(
+            FixedController(0), steady_trace, ladder, cfg
+        )
+        # Cannot buffer more video than the live edge has produced.
+        assert max(result.buffer_levels) <= 10.0 + 1e-6
+
+
+class TestDeferral:
+    def test_deferring_controller_progresses(self, ladder, steady_trace, vod_config):
+        result = simulate_session(
+            DeferNTimesController(3), steady_trace, ladder, vod_config
+        )
+        assert result.num_segments == 30
+        assert result.idle_time >= 30 * 3 * 0.1 - 1e-6
+
+    def test_infinite_deferral_raises(self, ladder, steady_trace, vod_config):
+        with pytest.raises(RuntimeError, match="deferred"):
+            simulate_session(
+                DeferNTimesController(10**9), steady_trace, ladder, vod_config
+            )
+
+
+class TestInvalidControllers:
+    def test_invalid_rung_raises(self, ladder, steady_trace, vod_config):
+        with pytest.raises(ValueError, match="invalid rung"):
+            simulate_session(BadController(), steady_trace, ladder, vod_config)
+
+    def test_all_zero_trace_raises(self, ladder, vod_config):
+        trace = ThroughputTrace.constant(0.0, 10.0)
+        with pytest.raises(RuntimeError, match="never deliver"):
+            simulate_session(FixedController(0), trace, ladder, vod_config)
+
+
+class TestAbandonment:
+    def _outage_trace(self):
+        # Good for 30 s, then near-dead for 30 s, repeating.
+        return ThroughputTrace([30.0, 30.0] * 8, [10.0, 0.2] * 8)
+
+    def test_abandonment_triggers_on_outage(self, ladder):
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=40, abandonment=True)
+        result = simulate_session(
+            FixedController(2), self._outage_trace(), ladder, cfg
+        )
+        assert result.abandonments > 0
+
+    def test_abandonment_reduces_rebuffering(self, ladder):
+        trace = self._outage_trace()
+        on = PlayerConfig(max_buffer=20.0, num_segments=40, abandonment=True)
+        off = PlayerConfig(max_buffer=20.0, num_segments=40, abandonment=False)
+        with_ab = simulate_session(FixedController(2), trace, ladder, on)
+        without = simulate_session(FixedController(2), trace, ladder, off)
+        assert with_ab.rebuffer_time < without.rebuffer_time
+
+    def test_lowest_rung_never_abandons(self, ladder):
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=40, abandonment=True)
+        result = simulate_session(
+            FixedController(0), self._outage_trace(), ladder, cfg
+        )
+        assert result.abandonments == 0
+
+
+class TestDeterminism:
+    def test_same_inputs_same_result(self, ladder, step_trace, short_config):
+        a = simulate_session(FixedController(1), step_trace, ladder, short_config)
+        b = simulate_session(FixedController(1), step_trace, ladder, short_config)
+        assert a.qualities == b.qualities
+        assert a.rebuffer_time == b.rebuffer_time
+        assert a.wall_duration == b.wall_duration
+
+
+class TestSessionResultDerived:
+    def test_switch_count(self, ladder, steady_trace, vod_config):
+        class Alternating(AbrController):
+            name = "alt"
+
+            def select_quality(self, obs):
+                return obs.segment_index % 2
+
+        result = simulate_session(Alternating(), steady_trace, ladder, vod_config)
+        assert result.switch_count == 29

@@ -1,0 +1,260 @@
+"""Tests for the throughput predictors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    EmaPredictor,
+    HarmonicMeanPredictor,
+    MovingAveragePredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    SlidingWindowPredictor,
+    StochasticPredictor,
+    ThroughputSample,
+)
+from repro.prediction.stochastic import _probit
+from repro.sim.network import ThroughputTrace
+
+
+def sample(throughput: float, start: float = 0.0, duration: float = 1.0):
+    return ThroughputSample(
+        start=start, duration=duration, size=throughput * duration,
+        throughput=throughput,
+    )
+
+
+class TestThroughputSample:
+    def test_from_download(self):
+        s = ThroughputSample.from_download(start=1.0, duration=2.0, size=10.0)
+        assert s.throughput == pytest.approx(5.0)
+        assert s.end == pytest.approx(3.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            ThroughputSample.from_download(0.0, 0.0, 1.0)
+
+
+class TestMovingAverage:
+    def test_empty_returns_zero(self):
+        assert MovingAveragePredictor().predict_scalar(0.0) == 0.0
+
+    def test_mean_of_window(self):
+        p = MovingAveragePredictor(window=3)
+        for v in (2.0, 4.0, 6.0, 8.0):
+            p.update(sample(v))
+        assert p.predict_scalar(0.0) == pytest.approx(6.0)
+
+    def test_reset(self):
+        p = MovingAveragePredictor()
+        p.update(sample(5.0))
+        p.reset()
+        assert p.predict_scalar(0.0) == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+
+    def test_predict_vector_constant(self):
+        p = MovingAveragePredictor()
+        p.update(sample(4.0))
+        vec = p.predict(0.0, horizon=3, dt=2.0)
+        assert vec == pytest.approx([4.0, 4.0, 4.0])
+
+    def test_predict_validates_args(self):
+        p = MovingAveragePredictor()
+        with pytest.raises(ValueError):
+            p.predict(0.0, horizon=0, dt=1.0)
+        with pytest.raises(ValueError):
+            p.predict(0.0, horizon=1, dt=0.0)
+
+
+class TestSlidingWindow:
+    def test_duration_weighted(self):
+        p = SlidingWindowPredictor(window_seconds=100.0)
+        p.update(ThroughputSample(start=0.0, duration=3.0, size=3.0, throughput=1.0))
+        p.update(ThroughputSample(start=3.0, duration=1.0, size=9.0, throughput=9.0))
+        # (3 + 9) Mb over 4 s = 3 Mb/s
+        assert p.predict_scalar(4.0) == pytest.approx(3.0)
+
+    def test_eviction(self):
+        p = SlidingWindowPredictor(window_seconds=5.0)
+        p.update(ThroughputSample(start=0.0, duration=1.0, size=2.0, throughput=2.0))
+        p.update(ThroughputSample(start=10.0, duration=1.0, size=8.0, throughput=8.0))
+        assert p.predict_scalar(11.0) == pytest.approx(8.0)
+
+    def test_all_evicted(self):
+        p = SlidingWindowPredictor(window_seconds=1.0)
+        p.update(sample(5.0, start=0.0))
+        assert p.predict_scalar(100.0) == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowPredictor(window_seconds=0.0)
+
+
+class TestHarmonicMean:
+    def test_harmonic_mean(self):
+        p = HarmonicMeanPredictor(window=2)
+        p.update(sample(2.0))
+        p.update(sample(6.0))
+        assert p.predict_scalar(0.0) == pytest.approx(3.0)
+
+    def test_dominated_by_slow_samples(self):
+        p = HarmonicMeanPredictor(window=5)
+        for v in (100.0, 100.0, 100.0, 100.0, 1.0):
+            p.update(sample(v))
+        assert p.predict_scalar(0.0) < 5.0
+
+    def test_ignores_zero_throughput(self):
+        p = HarmonicMeanPredictor()
+        p.update(sample(0.0))
+        assert p.predict_scalar(0.0) == 0.0
+
+
+class TestEma:
+    def test_empty_returns_zero(self):
+        assert EmaPredictor().predict_scalar(0.0) == 0.0
+
+    def test_constant_input_converges(self):
+        p = EmaPredictor()
+        for _ in range(50):
+            p.update(sample(7.0))
+        assert p.predict_scalar(0.0) == pytest.approx(7.0, rel=1e-6)
+
+    def test_takes_conservative_min(self):
+        p = EmaPredictor(fast_half_life=1.0, slow_half_life=20.0)
+        for _ in range(30):
+            p.update(sample(10.0))
+        p.update(sample(1.0, duration=2.0))
+        # Fast EMA drops quickly; estimate follows the smaller one.
+        est = p.predict_scalar(0.0)
+        slow_only = 10.0  # slow EMA barely moved
+        assert est < slow_only
+
+    def test_validates_half_lives(self):
+        with pytest.raises(ValueError):
+            EmaPredictor(fast_half_life=0.0)
+        with pytest.raises(ValueError):
+            EmaPredictor(fast_half_life=10.0, slow_half_life=1.0)
+
+    def test_reset(self):
+        p = EmaPredictor()
+        p.update(sample(5.0))
+        p.reset()
+        assert p.predict_scalar(0.0) == 0.0
+
+
+class TestOracle:
+    def test_exact_future(self):
+        trace = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        oracle = OraclePredictor(trace)
+        vec = oracle.predict(0.0, horizon=2, dt=1.0)
+        assert vec == pytest.approx([2.0, 8.0])
+
+    def test_attach_trace(self):
+        oracle = OraclePredictor()
+        with pytest.raises(RuntimeError):
+            oracle.predict_scalar(0.0)
+        oracle.attach_trace(ThroughputTrace.constant(3.0, 10.0))
+        assert oracle.predict_scalar(0.0) == pytest.approx(3.0)
+
+    def test_scalar_is_next_second(self):
+        trace = ThroughputTrace([1.0, 1.0], [2.0, 8.0])
+        assert OraclePredictor(trace).predict_scalar(1.0) == pytest.approx(8.0)
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_exact(self):
+        trace = ThroughputTrace.constant(4.0, 10.0)
+        p = NoisyOraclePredictor(0.0, trace)
+        assert p.predict(0.0, 3, 1.0) == pytest.approx([4.0, 4.0, 4.0])
+
+    def test_noise_changes_predictions(self):
+        trace = ThroughputTrace.constant(4.0, 10.0)
+        p = NoisyOraclePredictor(0.5, trace, seed=1)
+        vec = p.predict(0.0, 8, 1.0)
+        assert not np.allclose(vec, 4.0)
+        assert np.all(vec >= 0.0)
+
+    def test_reset_reproduces_stream(self):
+        trace = ThroughputTrace.constant(4.0, 10.0)
+        p = NoisyOraclePredictor(0.3, trace, seed=7)
+        a = p.predict(0.0, 5, 1.0)
+        p.reset()
+        b = p.predict(0.0, 5, 1.0)
+        assert a == pytest.approx(b)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            NoisyOraclePredictor(-0.1)
+
+    def test_mean_roughly_unbiased(self):
+        trace = ThroughputTrace.constant(10.0, 10.0)
+        p = NoisyOraclePredictor(0.3, trace, seed=3)
+        vec = p.predict(0.0, 2000, 0.001)
+        assert np.mean(vec) == pytest.approx(10.0, rel=0.05)
+
+
+class TestStochastic:
+    def test_distribution_mean_std(self):
+        p = StochasticPredictor(window=8, min_std_fraction=0.0)
+        for v in (4.0, 6.0):
+            p.update(sample(v))
+        d = p.predict_distribution(0.0)
+        assert d.mean == pytest.approx(5.0)
+        assert d.std == pytest.approx(math.sqrt(2.0))
+
+    def test_min_std_floor(self):
+        p = StochasticPredictor(window=4, min_std_fraction=0.1)
+        for _ in range(4):
+            p.update(sample(10.0))
+        assert p.predict_distribution(0.0).std == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        d = StochasticPredictor().predict_distribution(0.0)
+        assert d.mean == 0.0 and d.std == 0.0
+
+    def test_quantiles_ordered(self):
+        p = StochasticPredictor()
+        for v in (4.0, 8.0, 6.0):
+            p.update(sample(v))
+        d = p.predict_distribution(0.0)
+        assert d.quantile(0.1) < d.quantile(0.5) < d.quantile(0.9)
+        assert d.quantile(0.5) == pytest.approx(d.mean, abs=1e-9)
+
+    def test_quantile_nonnegative(self):
+        from repro.prediction.stochastic import ThroughputDistribution
+
+        d = ThroughputDistribution(mean=1.0, std=10.0)
+        assert d.quantile(0.01) == 0.0
+
+    def test_quantile_validates(self):
+        from repro.prediction.stochastic import ThroughputDistribution
+
+        d = ThroughputDistribution(1.0, 1.0)
+        with pytest.raises(ValueError):
+            d.quantile(0.0)
+
+    def test_rejects_small_window(self):
+        with pytest.raises(ValueError):
+            StochasticPredictor(window=1)
+
+
+class TestProbit:
+    @pytest.mark.parametrize(
+        "q,expected",
+        [(0.5, 0.0), (0.8413447460685429, 1.0), (0.15865525393145707, -1.0),
+         (0.9772498680518208, 2.0), (0.001, -3.090232306167813)],
+    )
+    def test_against_known_values(self, q, expected):
+        assert _probit(q) == pytest.approx(expected, abs=1e-6)
+
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_antisymmetric(self, q):
+        assert _probit(q) == pytest.approx(-_probit(1.0 - q), abs=1e-7)

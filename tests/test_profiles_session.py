@@ -1,0 +1,116 @@
+"""Tests for evaluation profiles and the session-orchestration helpers."""
+
+import pytest
+
+from repro.abr import BolaController
+from repro.core.controller import SodaController
+from repro.qoe import QoeMetrics
+from repro.sim.network import ThroughputTrace
+from repro.sim.profiles import (
+    live_profile,
+    low_latency_profile,
+    on_demand_profile,
+    production_profile,
+    prototype_profile,
+)
+from repro.sim.session import run_dataset, run_session
+
+
+class TestProfiles:
+    def test_live_profile_defaults(self):
+        profile = live_profile()
+        assert profile.player.max_buffer == 20.0
+        assert profile.player.live_delay == 20.0
+        assert profile.ladder.levels == 6
+        assert profile.utility == "log"
+        assert profile.player.num_segments == 300
+
+    def test_live_cellular_cuts_ladder(self):
+        profile = live_profile(cellular=True)
+        assert profile.ladder.levels == 4
+        assert profile.ladder.max_bitrate == 12.0
+
+    def test_on_demand_profile(self):
+        profile = on_demand_profile()
+        assert profile.player.live_delay is None
+        assert profile.player.max_buffer == 120.0
+
+    def test_prototype_profile(self):
+        profile = prototype_profile()
+        assert profile.utility == "ssim"
+        assert profile.ssim_model is not None
+        assert profile.player.max_buffer == 15.0
+        assert profile.ladder.max_bitrate == pytest.approx(2.0)
+
+    def test_production_profile(self):
+        profile = production_profile()
+        assert profile.ladder.levels == 10
+        assert profile.player.live_delay == 20.0
+
+    def test_low_latency_profile(self):
+        profile = low_latency_profile(latency=4.0)
+        assert profile.player.max_buffer == 4.0
+        assert profile.ladder.segment_duration == 1.0
+
+    def test_low_latency_validates(self):
+        with pytest.raises(ValueError):
+            low_latency_profile(latency=0.5, segment_duration=1.0)
+
+    def test_session_seconds_scales_segments(self):
+        assert live_profile(session_seconds=60.0).player.num_segments == 30
+
+
+class TestRunDataset:
+    def test_log_and_ssim_utilities_differ(self):
+        profile = prototype_profile(session_seconds=60.0)
+        traces = [ThroughputTrace.constant(1.5, 120.0)]
+        ssim = run_dataset(
+            lambda: BolaController(), traces, profile.ladder, profile.player,
+            utility="ssim", ssim_model=profile.ssim_model,
+        )
+        log = run_dataset(
+            lambda: BolaController(), traces, profile.ladder, profile.player,
+            utility="log",
+        )
+        assert isinstance(ssim[0], QoeMetrics)
+        assert ssim[0].utility != log[0].utility
+
+    def test_custom_qoe_weights(self):
+        profile = live_profile(session_seconds=60.0)
+        traces = [ThroughputTrace.constant(8.0, 120.0)]
+        strict = run_dataset(
+            lambda: SodaController(), traces, profile.ladder, profile.player,
+            qoe_gamma=5.0,
+        )
+        lax = run_dataset(
+            lambda: SodaController(), traces, profile.ladder, profile.player,
+            qoe_gamma=0.0,
+        )
+        assert strict[0].switching_rate == lax[0].switching_rate
+        assert strict[0].qoe <= lax[0].qoe
+
+    def test_fresh_controller_per_session(self):
+        profile = live_profile(session_seconds=60.0)
+        traces = [
+            ThroughputTrace.constant(8.0, 120.0),
+            ThroughputTrace.constant(2.0, 120.0),
+        ]
+        built = []
+
+        def factory():
+            controller = SodaController()
+            built.append(controller)
+            return controller
+
+        run_dataset(factory, traces, profile.ladder, profile.player)
+        assert len(built) == 2
+        assert built[0] is not built[1]
+
+    def test_run_session_attaches_oracle(self):
+        from repro.prediction import OraclePredictor
+
+        profile = live_profile(session_seconds=60.0)
+        trace = ThroughputTrace.constant(8.0, 120.0)
+        controller = SodaController(predictor=OraclePredictor())
+        run_session(controller, trace, profile.ladder, profile.player)
+        assert controller.predictor.trace is trace

@@ -1,0 +1,162 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import SodaController
+from repro.core.objective import SodaConfig
+from repro.core.solver import plan_cost, solve_brute_force, solve_monotonic
+from repro.qoe import qoe_from_session
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, simulate_session
+from repro.sim.video import BitrateLadder
+
+
+@st.composite
+def random_ladders(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    rates = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.2, max_value=30.0),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    # Ensure rungs are distinguishable.
+    assume(all(b / a > 1.05 for a, b in zip(rates, rates[1:])))
+    return BitrateLadder(rates, segment_duration=2.0)
+
+
+@st.composite
+def random_traces(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=2.0, max_value=30.0), min_size=n, max_size=n
+        )
+    )
+    bandwidths = draw(
+        st.lists(
+            st.floats(min_value=0.3, max_value=50.0), min_size=n, max_size=n
+        )
+    )
+    return ThroughputTrace(durations, bandwidths)
+
+
+class TestSessionInvariants:
+    @given(random_ladders(), random_traces(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_soda_session_invariants(self, ladder, trace, seed):
+        """Any SODA session satisfies the core accounting invariants."""
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=15)
+        result = simulate_session(SodaController(), trace, ladder, cfg)
+        assert result.num_segments == 15
+        assert result.rebuffer_time >= 0.0
+        assert result.startup_delay >= 0.0
+        assert all(0.0 <= b <= 20.0 + 1e-6 for b in result.buffer_levels)
+        assert all(dt > 0 for dt in result.download_times)
+        assert all(0 <= q < ladder.levels for q in result.qualities)
+        # Wall time is at least the total download time.
+        assert result.wall_duration >= sum(result.download_times) - 1e-6
+        # Starts are ordered in time.
+        starts = result.download_starts
+        assert all(a <= b + 1e-9 for a, b in zip(starts, starts[1:]))
+
+    @given(random_ladders(), random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_qoe_components_in_range(self, ladder, trace):
+        cfg = PlayerConfig(max_buffer=20.0, num_segments=12)
+        result = simulate_session(SodaController(), trace, ladder, cfg)
+        m = qoe_from_session(result)
+        assert 0.0 <= m.utility <= 1.0
+        assert 0.0 <= m.rebuffer_ratio <= 1.0
+        assert 0.0 <= m.switching_rate <= 1.0
+        assert m.qoe == pytest.approx(
+            m.utility - 10.0 * m.rebuffer_ratio - m.switching_rate
+        )
+
+
+class TestSolverCrossChecks:
+    @given(
+        random_ladders(),
+        st.floats(min_value=0.2, max_value=40.0),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.integers(min_value=0, max_value=5),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=300.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotonic_vs_brute_force(
+        self, ladder, omega, buffer_level, prev, beta, gamma
+    ):
+        prev_quality = min(prev, ladder.levels - 1)
+        cfg = SodaConfig(horizon=3, beta=beta, gamma=gamma, target_buffer=10.0)
+        mono = solve_monotonic(
+            omega, buffer_level, prev_quality, ladder, cfg, max_buffer=20.0
+        )
+        brute = solve_brute_force(
+            omega, buffer_level, prev_quality, ladder, cfg, max_buffer=20.0
+        )
+        # A feasible monotone plan implies a feasible brute-force plan (the
+        # converse can fail: some corners admit only down-then-up plans,
+        # which the controller covers with explicit fallbacks).
+        if mono.feasible:
+            assert brute.feasible
+            # Brute force is the lower envelope; both verify via plan_cost.
+            assert brute.objective <= mono.objective + 1e-9
+            for plan in (mono, brute):
+                assert plan_cost(
+                    plan.sequence, omega, buffer_level, prev_quality,
+                    ladder, cfg, max_buffer=20.0,
+                ) == pytest.approx(plan.objective, rel=1e-9, abs=1e-9)
+
+    @given(
+        random_ladders(),
+        st.floats(min_value=0.5, max_value=30.0),
+        st.floats(min_value=0.0, max_value=18.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_committed_rung_feasible_one_step(self, ladder, omega, buffer_level):
+        """Whatever SODA commits keeps the one-step model buffer in range,
+        or is one of the documented fallbacks."""
+        controller = SodaController()
+        q = controller.decide(omega, buffer_level, None, ladder, max_buffer=20.0)
+        if q is None:
+            return
+        plan = controller.last_plan
+        if plan is not None and plan.feasible:
+            x1 = buffer_level + omega * 2.0 / ladder.bitrate(q) - 2.0
+            assert -1e-6 <= x1 <= 20.0 + 1e-6
+
+
+class TestTraceSessionConservation:
+    @given(random_traces(), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_bits_delivered_match_sizes(self, trace, quality):
+        """The bits the trace delivers during downloads equal segment sizes."""
+        ladder = BitrateLadder([1.0, 2.0, 4.0], segment_duration=2.0)
+
+        from repro.abr.base import AbrController
+
+        class Fixed(AbrController):
+            name = "fixed"
+
+            def select_quality(self, obs):
+                return quality
+
+        cfg = PlayerConfig(max_buffer=30.0, num_segments=8, abandonment=False)
+        result = simulate_session(Fixed(), trace, ladder, cfg)
+        for i, (start, dt) in enumerate(
+            zip(result.download_starts, result.download_times)
+        ):
+            delivered = trace.bits_between(start, start + dt)
+            assert delivered == pytest.approx(
+                ladder.segment_size(quality, i), rel=1e-6, abs=1e-6
+            )

@@ -1,0 +1,214 @@
+"""Tests for the QoE metrics and aggregation (§6 definitions)."""
+
+import math
+
+import pytest
+
+from repro.qoe import (
+    MeanCI,
+    QoeMetrics,
+    QoeSummary,
+    qoe_from_session,
+    split_by_rsd_quartile,
+    summarize,
+)
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import SessionResult
+from repro.sim.video import BitrateLadder, SsimModel
+
+
+def make_result(qualities, ladder, rebuffer=0.0, wall=60.0):
+    r = SessionResult(controller="t", ladder=ladder)
+    r.qualities = list(qualities)
+    r.rebuffer_time = rebuffer
+    r.wall_duration = wall
+    return r
+
+
+class TestQoeFromSession:
+    def test_log_utility_definition(self, ladder):
+        result = make_result([0, 2], ladder)
+        m = qoe_from_session(result)
+        # utilities: 0 and 1 -> mean 0.5
+        assert m.utility == pytest.approx(0.5)
+
+    def test_rebuffer_ratio(self, ladder):
+        result = make_result([0] * 10, ladder, rebuffer=6.0, wall=60.0)
+        m = qoe_from_session(result)
+        assert m.rebuffer_ratio == pytest.approx(0.1)
+
+    def test_switching_rate(self, ladder):
+        result = make_result([0, 1, 1, 2], ladder)
+        m = qoe_from_session(result)
+        assert m.switching_rate == pytest.approx(2.0 / 3.0)
+
+    def test_single_segment_switching(self, ladder):
+        m = qoe_from_session(make_result([1], ladder))
+        assert m.switching_rate == 0.0
+
+    def test_score_weights(self, ladder):
+        result = make_result([2, 2], ladder, rebuffer=3.0, wall=60.0)
+        m = qoe_from_session(result, beta=10.0, gamma=1.0)
+        assert m.qoe == pytest.approx(1.0 - 10.0 * 0.05 - 0.0)
+
+    def test_ssim_utility(self, ladder):
+        model = SsimModel()
+        result = make_result([0, 2], ladder)
+        m = qoe_from_session(result, utility="ssim", ssim_model=model)
+        expected = (model.normalized(1.0) + model.normalized(6.0)) / 2
+        assert m.utility == pytest.approx(expected)
+
+    def test_ssim_requires_model(self, ladder):
+        with pytest.raises(ValueError):
+            qoe_from_session(make_result([0], ladder), utility="ssim")
+
+    def test_unknown_utility(self, ladder):
+        with pytest.raises(ValueError):
+            qoe_from_session(make_result([0], ladder), utility="vmaf")
+
+    def test_empty_session_raises(self, ladder):
+        with pytest.raises(ValueError):
+            qoe_from_session(make_result([], ladder))
+
+
+class TestQoeMetricsValidation:
+    def test_accepts_valid(self):
+        QoeMetrics(utility=0.5, rebuffer_ratio=0.1, switching_rate=0.2, qoe=0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"utility": 1.5},
+            {"utility": -0.1},
+            {"rebuffer_ratio": 1.5},
+            {"switching_rate": 2.0},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        base = dict(utility=0.5, rebuffer_ratio=0.1, switching_rate=0.2, qoe=0.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            QoeMetrics(**base)
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        ci = MeanCI.of([3.0])
+        assert ci.mean == 3.0
+        assert ci.half_width == 0.0
+
+    def test_known_values(self):
+        ci = MeanCI.of([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.half_width == pytest.approx(1.96 * 1.0 / math.sqrt(3), rel=1e-2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MeanCI.of([])
+
+    def test_str(self):
+        assert "±" in str(MeanCI.of([1.0, 2.0]))
+
+
+class TestSummaries:
+    def _metrics(self, n=5):
+        return [
+            QoeMetrics(
+                utility=0.5 + 0.01 * i,
+                rebuffer_ratio=0.01 * i,
+                switching_rate=0.1,
+                qoe=0.4 - 0.01 * i,
+            )
+            for i in range(n)
+        ]
+
+    def test_summary_of(self):
+        s = summarize(self._metrics())
+        assert isinstance(s, QoeSummary)
+        assert s.utility.mean == pytest.approx(0.52)
+        assert s.qoe.n == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestQuartileSplit:
+    def test_split_sizes(self):
+        traces = [
+            ThroughputTrace([1.0] * 10, [5.0 + (i % 7) * j for j in range(10)])
+            for i in range(8)
+        ]
+        quartiles = split_by_rsd_quartile(traces)
+        assert sorted(quartiles) == ["Q1", "Q2", "Q3", "Q4"]
+        assert sum(len(v) for v in quartiles.values()) == 8
+        sizes = [len(v) for v in quartiles.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_ordering_by_rsd(self):
+        flat = ThroughputTrace.constant(5.0, 10.0)
+        wild = ThroughputTrace([1.0] * 10, [1.0, 20.0] * 5)
+        mild = ThroughputTrace([1.0] * 10, [4.0, 6.0] * 5)
+        medium = ThroughputTrace([1.0] * 10, [2.0, 9.0] * 5)
+        quartiles = split_by_rsd_quartile([wild, flat, medium, mild])
+        assert quartiles["Q1"] == [1]  # the constant trace
+        assert quartiles["Q4"] == [0]  # the wild trace
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            split_by_rsd_quartile([])
+
+
+class TestDistributionSummary:
+    def _metrics(self):
+        from repro.qoe import QoeMetrics
+
+        return [
+            QoeMetrics(
+                utility=0.5, rebuffer_ratio=0.0,
+                switching_rate=i / 100.0, qoe=i / 10.0,
+            )
+            for i in range(11)
+        ]
+
+    def test_percentiles_ordered(self):
+        from repro.qoe import distribution
+
+        d = distribution(self._metrics(), "qoe")
+        assert d.p5 <= d.p25 <= d.median <= d.p75 <= d.p95
+        assert d.n == 11
+
+    def test_median_of_uniform(self):
+        from repro.qoe import distribution
+
+        d = distribution(self._metrics(), "qoe")
+        assert d.median == pytest.approx(0.5)
+
+    def test_component_selection(self):
+        from repro.qoe import distribution
+
+        d = distribution(self._metrics(), "switching_rate")
+        assert d.p95 <= 0.1 + 1e-9
+
+    def test_invalid_component(self):
+        from repro.qoe import distribution
+
+        with pytest.raises(ValueError):
+            distribution(self._metrics(), "startup")
+
+    def test_empty_raises(self):
+        from repro.qoe.aggregate import DistributionSummary
+
+        with pytest.raises(ValueError):
+            DistributionSummary.of([])
+
+    def test_single_value(self):
+        from repro.qoe.aggregate import DistributionSummary
+
+        d = DistributionSummary.of([3.0])
+        assert d.p5 == d.p95 == 3.0
+
+    def test_str(self):
+        from repro.qoe.aggregate import DistributionSummary
+
+        assert "med=" in str(DistributionSummary.of([1.0, 2.0]))

@@ -1,0 +1,76 @@
+"""Tests for per-request RTT modelling in the player."""
+
+import pytest
+
+from repro.abr.base import AbrController
+from repro.core.controller import SodaController
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, simulate_session
+from repro.sim.session import run_session
+
+
+class Fixed(AbrController):
+    name = "fixed"
+
+    def __init__(self, quality=0):
+        super().__init__()
+        self.quality = quality
+
+    def select_quality(self, obs):
+        return self.quality
+
+
+class TestRtt:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(rtt=-0.1)
+
+    def test_default_zero_is_unchanged(self, ladder, steady_trace, vod_config):
+        base = simulate_session(Fixed(0), steady_trace, ladder, vod_config)
+        assert all(
+            dt == pytest.approx(2.0 / 8.0) for dt in base.download_times
+        )
+
+    def test_rtt_adds_to_download_time(self, ladder, steady_trace):
+        cfg = PlayerConfig(max_buffer=60.0, num_segments=20, rtt=0.1)
+        result = simulate_session(Fixed(0), steady_trace, ladder, cfg)
+        # 2 Mb at 8 Mb/s = 0.25 s payload + 0.1 s RTT.
+        assert all(
+            dt == pytest.approx(0.35) for dt in result.download_times
+        )
+
+    def test_rtt_lowers_measured_throughput(self, ladder, steady_trace):
+        no_rtt = PlayerConfig(max_buffer=60.0, num_segments=10, rtt=0.0)
+        with_rtt = PlayerConfig(max_buffer=60.0, num_segments=10, rtt=0.2)
+        fast = simulate_session(Fixed(0), steady_trace, ladder, no_rtt)
+        slow = simulate_session(Fixed(0), steady_trace, ladder, with_rtt)
+        assert max(slow.throughputs) < min(fast.throughputs)
+
+    def test_rtt_hurts_small_segments_more(self, steady_trace):
+        """RTT overhead is proportionally larger for low rungs."""
+        from repro.sim.video import BitrateLadder
+
+        ladder = BitrateLadder([1.0, 8.0], segment_duration=2.0)
+        cfg = PlayerConfig(max_buffer=60.0, num_segments=10, rtt=0.2)
+        low = simulate_session(Fixed(0), steady_trace, ladder, cfg)
+        high = simulate_session(Fixed(1), steady_trace, ladder, cfg)
+        # Effective throughput relative to the no-RTT case:
+        low_eff = low.throughputs[0] / 8.0
+        high_eff = high.throughputs[0] / 8.0
+        assert low_eff < high_eff
+
+    def test_soda_session_with_rtt(self, ladder, step_trace):
+        cfg = PlayerConfig(
+            max_buffer=20.0, num_segments=30, live_delay=20.0, rtt=0.08
+        )
+        result = run_session(SodaController(), step_trace, ladder, cfg)
+        assert result.num_segments == 30
+
+    def test_rtt_applies_after_abandonment(self, ladder):
+        trace = ThroughputTrace([30.0, 30.0] * 4, [10.0, 0.2] * 4)
+        cfg = PlayerConfig(
+            max_buffer=20.0, num_segments=30, abandonment=True, rtt=0.1
+        )
+        result = simulate_session(Fixed(2), trace, ladder, cfg)
+        assert result.abandonments > 0
+        assert result.num_segments == 30

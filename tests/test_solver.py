@@ -1,0 +1,199 @@
+"""Tests for Algorithm 1 (monotonic search) vs the brute-force solver."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import SodaConfig
+from repro.core.solver import (
+    plan_cost,
+    solve_brute_force,
+    solve_monotonic,
+)
+from repro.sim.video import BitrateLadder
+
+
+@pytest.fixture
+def cfg():
+    return SodaConfig(horizon=3, beta=0.1, gamma=2.0, target_buffer=10.0,
+                      switch_event_cost=0.0)
+
+
+def is_monotonic(seq, anchor=None):
+    full = list(seq) if anchor is None else [anchor] + list(seq)
+    return all(a <= b for a, b in zip(full, full[1:])) or all(
+        a >= b for a, b in zip(full, full[1:])
+    )
+
+
+class TestMonotonicSolver:
+    def test_returns_feasible_plan(self, ladder, cfg):
+        plan = solve_monotonic(4.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+        assert plan.feasible
+        assert len(plan.sequence) == cfg.horizon
+        assert plan.quality == plan.sequence[0]
+
+    def test_sequence_is_monotonic(self, ladder, cfg):
+        plan = solve_monotonic(4.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+        assert is_monotonic(plan.sequence, anchor=1)
+
+    def test_objective_matches_plan_cost(self, ladder, cfg):
+        plan = solve_monotonic(4.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+        recomputed = plan_cost(
+            plan.sequence, 4.0, 8.0, 1, ladder, cfg, max_buffer=20.0
+        )
+        assert plan.objective == pytest.approx(recomputed)
+
+    def test_no_previous_quality(self, ladder, cfg):
+        plan = solve_monotonic(4.0, 8.0, None, ladder, cfg, max_buffer=20.0)
+        assert plan.feasible
+        assert is_monotonic(plan.sequence)
+
+    def test_infeasible_when_bandwidth_zero_and_empty_buffer(self, ladder, cfg):
+        # With zero throughput, any plan underflows the buffer.
+        plan = solve_monotonic(0.0, 1.0, 0, ladder, cfg, max_buffer=20.0)
+        assert not plan.feasible
+        assert plan.objective == math.inf
+        assert plan.sequence == ()
+
+    def test_infeasible_on_overflow(self, ladder, cfg):
+        # Throughput so high that even the top rung overflows a full buffer.
+        plan = solve_monotonic(1000.0, 19.0, 2, ladder, cfg, max_buffer=20.0)
+        assert not plan.feasible
+
+    def test_first_cap_respected(self, ladder, cfg):
+        free = solve_monotonic(5.0, 10.0, 0, ladder, cfg, max_buffer=50.0)
+        capped = solve_monotonic(
+            5.0, 10.0, 0, ladder, cfg, max_buffer=50.0, first_cap=0
+        )
+        assert capped.quality == 0
+        assert free.objective <= capped.objective + 1e-12
+
+    def test_per_interval_predictions(self, ladder, cfg):
+        plan = solve_monotonic(
+            [6.0, 3.0, 1.0], 8.0, 1, ladder, cfg, max_buffer=20.0
+        )
+        assert plan.feasible
+
+    def test_prediction_length_mismatch(self, ladder, cfg):
+        with pytest.raises(ValueError):
+            solve_monotonic([1.0, 2.0], 8.0, 1, ladder, cfg, max_buffer=20.0)
+
+    def test_negative_prediction_rejected(self, ladder, cfg):
+        with pytest.raises(ValueError):
+            solve_monotonic(-1.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+
+    def test_terminal_weight_steers_to_target(self, ladder, cfg):
+        # With a huge terminal weight the plan must land near the target.
+        strong = solve_monotonic(
+            6.0, 2.0, 0, ladder, cfg, max_buffer=20.0, terminal_weight=100.0
+        )
+        weak = solve_monotonic(
+            6.0, 2.0, 0, ladder, cfg, max_buffer=20.0, terminal_weight=0.0
+        )
+        def landing(seq):
+            x = 2.0
+            for q in seq:
+                x += 6.0 * 2.0 / ladder.bitrate(q) - 2.0
+            return x
+        target = cfg.resolve_target(20.0)
+        assert abs(landing(strong.sequence) - target) <= abs(
+            landing(weak.sequence) - target
+        ) + 1e-9
+
+
+class TestBruteForce:
+    def test_at_least_as_good_as_monotonic(self, ladder, cfg):
+        mono = solve_monotonic(4.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+        brute = solve_brute_force(4.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+        assert brute.objective <= mono.objective + 1e-9
+
+    def test_enumerates_exhaustively(self, ladder, cfg):
+        """Cross-check the brute-force solver against explicit enumeration."""
+        omega, x0, prev = 4.0, 8.0, 1
+        best = math.inf
+        for seq in itertools.product(range(ladder.levels), repeat=cfg.horizon):
+            c = plan_cost(seq, omega, x0, prev, ladder, cfg, max_buffer=20.0)
+            best = min(best, c)
+        plan = solve_brute_force(omega, x0, prev, ladder, cfg, max_buffer=20.0)
+        assert plan.objective == pytest.approx(best)
+
+    def test_evaluation_counts(self, ladder):
+        cfg = SodaConfig(horizon=4, switch_event_cost=0.0)
+        mono = solve_monotonic(4.0, 10.0, 1, ladder, cfg, max_buffer=40.0)
+        brute = solve_brute_force(4.0, 10.0, 1, ladder, cfg, max_buffer=40.0)
+        # Monotone search scores far fewer candidates than |R|^K expansion.
+        assert mono.evaluations < brute.evaluations
+
+
+class TestPlanCost:
+    def test_infeasible_plan_is_inf(self, ladder, cfg):
+        # Quality 2 at zero throughput drains the buffer below zero.
+        cost = plan_cost([2, 2, 2], 0.0, 1.0, 0, ladder, cfg, max_buffer=20.0)
+        assert cost == math.inf
+
+    def test_wrong_length_raises(self, ladder, cfg):
+        with pytest.raises(ValueError):
+            plan_cost([0], 4.0, 8.0, 0, ladder, cfg, max_buffer=20.0)
+
+    def test_switch_costs_anchor_on_prev(self, ladder, cfg):
+        flat = plan_cost([1, 1, 1], 6.0, 8.0, 1, ladder, cfg, max_buffer=20.0)
+        anchored = plan_cost([1, 1, 1], 6.0, 8.0, 0, ladder, cfg, max_buffer=20.0)
+        assert anchored > flat
+
+
+situation = st.tuples(
+    st.floats(min_value=0.5, max_value=40.0),   # omega
+    st.floats(min_value=0.0, max_value=20.0),   # buffer
+    st.integers(min_value=0, max_value=2),      # prev quality
+)
+
+
+class TestSolverProperties:
+    @given(situation)
+    @settings(max_examples=120, deadline=None)
+    def test_monotonic_never_beats_brute_force(self, sit):
+        omega, x0, prev = sit
+        ladder = BitrateLadder([1.0, 3.0, 6.0], segment_duration=2.0)
+        cfg = SodaConfig(horizon=3, beta=0.1, gamma=2.0, target_buffer=10.0)
+        mono = solve_monotonic(omega, x0, prev, ladder, cfg, max_buffer=20.0)
+        brute = solve_brute_force(omega, x0, prev, ladder, cfg, max_buffer=20.0)
+        if mono.feasible:
+            assert brute.feasible
+            assert brute.objective <= mono.objective + 1e-9
+            # The monotone optimum is a valid plan under the true objective.
+            assert plan_cost(
+                mono.sequence, omega, x0, prev, ladder, cfg, max_buffer=20.0
+            ) == pytest.approx(mono.objective)
+
+    @given(situation, st.floats(min_value=10.0, max_value=5000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_high_gamma_recovers_brute_force_decision(self, sit, gamma):
+        """Theorem 4.3: with large γ the approximation matches brute force."""
+        omega, x0, prev = sit
+        ladder = BitrateLadder([1.0, 3.0, 6.0], segment_duration=2.0)
+        cfg = SodaConfig(
+            horizon=3, beta=0.05, gamma=gamma, target_buffer=10.0,
+            switch_event_cost=0.0,
+        )
+        mono = solve_monotonic(omega, x0, prev, ladder, cfg, max_buffer=20.0)
+        brute = solve_brute_force(omega, x0, prev, ladder, cfg, max_buffer=20.0)
+        if brute.feasible and gamma >= 1000.0:
+            assert mono.quality == brute.quality
+
+    @given(situation)
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_plans_respect_buffer_bounds(self, sit):
+        omega, x0, prev = sit
+        ladder = BitrateLadder([1.0, 3.0, 6.0], segment_duration=2.0)
+        cfg = SodaConfig(horizon=3, beta=0.1, gamma=2.0, target_buffer=10.0)
+        plan = solve_monotonic(omega, x0, prev, ladder, cfg, max_buffer=20.0)
+        if plan.feasible:
+            x = x0
+            for k, q in enumerate(plan.sequence):
+                x += omega * 2.0 / ladder.bitrate(q) - 2.0
+                assert -1e-6 <= x <= 20.0 + 1e-6

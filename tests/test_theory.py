@@ -1,0 +1,211 @@
+"""Tests for the theoretical constants and bound calculators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    DecayConstants,
+    StreamingModel,
+    check_assumption_a1,
+    competitive_ratio_bound,
+    decay_constants,
+    error_aggregate,
+    fit_decay_rate,
+    horizon_requirement,
+    monotonic_gamma_requirement,
+    regret_bound_exact,
+    regret_bound_inexact,
+)
+
+
+@pytest.fixture
+def model():
+    """A small, Assumption-A.1-compliant model."""
+    return StreamingModel(
+        omega_min=6.0,
+        omega_max=10.0,
+        r_min=1.5,
+        r_max=12.0,
+        x_max=3.5,
+        target=2.0,
+        beta=1.0,
+        gamma=1.0,
+        epsilon=0.25,
+    )
+
+
+class TestStreamingModel:
+    def test_delta(self, model):
+        assert model.delta == pytest.approx(1.0 - 10.0 / 12.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"omega_min": 0.0},
+            {"omega_min": 11.0},  # > omega_max
+            {"r_min": 12.0},      # = r_max
+            {"x_max": 0.0},
+            {"target": 4.0},      # > x_max
+            {"beta": 0.0},
+            {"epsilon": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            omega_min=6.0, omega_max=10.0, r_min=1.5, r_max=12.0,
+            x_max=3.5, target=2.0, beta=1.0, gamma=1.0, epsilon=0.25,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            StreamingModel(**base)
+
+
+class TestAssumptionA1:
+    def test_holds(self, model):
+        ok, reason = check_assumption_a1(model)
+        assert ok
+        assert "holds" in reason
+
+    def test_fill_fails(self, model):
+        bad = StreamingModel(
+            omega_min=1.0, omega_max=10.0, r_min=1.5, r_max=12.0,
+            x_max=3.5, target=2.0, beta=1.0, gamma=1.0, epsilon=0.25,
+        )
+        ok, reason = check_assumption_a1(bad)
+        assert not ok
+        assert "refill" in reason
+
+    def test_drain_fails(self):
+        bad = StreamingModel(
+            omega_min=6.0, omega_max=15.0, r_min=1.5, r_max=12.0,
+            x_max=3.5, target=2.0, beta=1.0, gamma=1.0, epsilon=0.25,
+        )
+        ok, reason = check_assumption_a1(bad)
+        assert not ok
+        assert "drain" in reason
+
+
+class TestDecayConstants:
+    def test_rho_in_unit_interval(self, model):
+        dc = decay_constants(model)
+        assert 0.0 < dc.rho < 1.0
+        assert dc.c_state > 0
+        assert dc.c_action > 0
+
+    def test_raises_when_drain_impossible(self):
+        bad = StreamingModel(
+            omega_min=6.0, omega_max=20.0, r_min=1.5, r_max=12.0,
+            x_max=3.5, target=2.0, beta=1.0, gamma=1.0, epsilon=0.25,
+        )
+        with pytest.raises(ValueError):
+            decay_constants(bad)
+
+    def test_larger_beta_shrinks_rho(self, model):
+        small = decay_constants(model)
+        steep = decay_constants(
+            StreamingModel(
+                omega_min=6.0, omega_max=10.0, r_min=1.5, r_max=12.0,
+                x_max=3.5, target=2.0, beta=100.0, gamma=1.0, epsilon=0.25,
+            )
+        )
+        assert steep.rho < small.rho
+
+    def test_larger_gamma_grows_rho(self, model):
+        base = decay_constants(model)
+        sticky = decay_constants(
+            StreamingModel(
+                omega_min=6.0, omega_max=10.0, r_min=1.5, r_max=12.0,
+                x_max=3.5, target=2.0, beta=1.0, gamma=50.0, epsilon=0.25,
+            )
+        )
+        assert sticky.rho > base.rho
+
+
+class TestBounds:
+    def test_horizon_requirement_finite(self, model):
+        k = horizon_requirement(decay_constants(model))
+        assert math.isfinite(k)
+        assert k > 0
+
+    def test_regret_decays_in_k(self, model):
+        dc = decay_constants(model)
+        r5 = regret_bound_exact(model, dc, horizon=5, opt_cost=100.0)
+        r10 = regret_bound_exact(model, dc, horizon=10, opt_cost=100.0)
+        assert r10 < r5
+
+    def test_regret_scales_with_opt(self, model):
+        dc = decay_constants(model)
+        assert regret_bound_exact(model, dc, 5, 200.0) == pytest.approx(
+            2 * regret_bound_exact(model, dc, 5, 100.0)
+        )
+
+    def test_cr_approaches_one(self, model):
+        dc = decay_constants(model)
+        crs = [competitive_ratio_bound(model, dc, k) for k in (2, 20, 200)]
+        assert crs[0] > crs[1] > crs[2] > 1.0
+
+    def test_bound_validation(self, model):
+        dc = decay_constants(model)
+        with pytest.raises(ValueError):
+            regret_bound_exact(model, dc, 0, 1.0)
+        with pytest.raises(ValueError):
+            regret_bound_exact(model, dc, 1, -1.0)
+        with pytest.raises(ValueError):
+            competitive_ratio_bound(model, dc, 0)
+
+
+class TestErrorAggregate:
+    def test_formula(self):
+        e = error_aggregate([4.0, 2.0], rho=0.5, horizon=2, n_steps=100)
+        assert e == pytest.approx(0.5**4 * 100 + 0.5 * 4.0 + 0.25 * 2.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            error_aggregate([1.0], rho=0.5, horizon=2, n_steps=10)
+        with pytest.raises(ValueError):
+            error_aggregate([-1.0], rho=0.5, horizon=1, n_steps=10)
+
+    def test_inexact_regret_monotone_in_error(self, model):
+        dc = decay_constants(model)
+        small = regret_bound_inexact(model, dc, 1.0, 100.0)
+        large = regret_bound_inexact(model, dc, 10.0, 100.0)
+        assert 0 < small < large
+
+
+class TestMonotonicGamma:
+    def test_threshold_shrinks_with_tolerance(self, model):
+        tight = monotonic_gamma_requirement(model, 8.0, 5, tolerance=0.01)
+        loose = monotonic_gamma_requirement(model, 8.0, 5, tolerance=0.1)
+        assert tight > loose
+
+    def test_threshold_grows_with_horizon(self, model):
+        short = monotonic_gamma_requirement(model, 8.0, 2, tolerance=0.05)
+        long = monotonic_gamma_requirement(model, 8.0, 8, tolerance=0.05)
+        assert long > short
+
+    def test_validates(self, model):
+        with pytest.raises(ValueError):
+            monotonic_gamma_requirement(model, 8.0, 5, tolerance=0.0)
+        with pytest.raises(ValueError):
+            monotonic_gamma_requirement(model, 8.0, 0, tolerance=0.1)
+
+
+class TestFitDecayRate:
+    def test_recovers_synthetic_rate(self):
+        rho = 0.6
+        distances = [5.0 * rho**t for t in range(12)]
+        assert fit_decay_rate(distances) == pytest.approx(rho, rel=1e-6)
+
+    def test_handles_noise(self):
+        rng = np.random.default_rng(0)
+        rho = 0.7
+        distances = [
+            3.0 * rho**t * math.exp(rng.normal(0, 0.05)) for t in range(15)
+        ]
+        assert fit_decay_rate(distances) == pytest.approx(rho, rel=0.1)
+
+    def test_degenerate_inputs(self):
+        assert fit_decay_rate([0.0, 0.0]) == 0.0
+        assert fit_decay_rate([1.0]) == 0.0

@@ -1,0 +1,191 @@
+"""Tests for synthetic trace generators, loaders, and dataset prep."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sim.network import ThroughputTrace
+from repro.traces import (
+    DATASET_FACTORIES,
+    MarkovLognormalGenerator,
+    Regime,
+    build_synthetic_datasets,
+    fiveg_like,
+    fourg_like,
+    load_bandwidth_csv,
+    load_irish_csv,
+    load_mahimahi,
+    prepare_sessions,
+    puffer_like,
+)
+
+
+class TestRegime:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Regime(multiplier=0.0, mean_dwell=1.0)
+        with pytest.raises(ValueError):
+            Regime(multiplier=1.0, mean_dwell=0.0)
+
+
+class TestGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovLognormalGenerator(target_mean=0.0, target_rsd=0.5)
+        with pytest.raises(ValueError):
+            MarkovLognormalGenerator(target_mean=1.0, target_rsd=-0.5)
+        with pytest.raises(ValueError):
+            MarkovLognormalGenerator(1.0, 0.5, ar_coefficient=1.0)
+        with pytest.raises(ValueError):
+            MarkovLognormalGenerator(1.0, 0.5, step=0.0)
+
+    def test_regimes_exceeding_rsd_rejected(self):
+        with pytest.raises(ValueError, match="exceeds the target RSD"):
+            MarkovLognormalGenerator(
+                target_mean=10.0,
+                target_rsd=0.01,
+                regimes=[Regime(10.0, 10.0), Regime(0.01, 10.0)],
+            )
+
+    def test_generate_duration(self):
+        gen = puffer_like()
+        trace = gen.generate(123.0, seed=1)
+        assert trace.duration == pytest.approx(123.0)
+
+    def test_generate_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            puffer_like().generate(0.0)
+
+    def test_seed_reproducibility(self):
+        gen = fourg_like()
+        a = gen.generate(100.0, seed=42)
+        b = gen.generate(100.0, seed=42)
+        assert np.allclose(a.bandwidths, b.bandwidths)
+
+    def test_seeds_differ(self):
+        gen = fourg_like()
+        a = gen.generate(100.0, seed=1)
+        b = gen.generate(100.0, seed=2)
+        assert not np.allclose(a.bandwidths, b.bandwidths)
+
+    def test_dataset_sessions_distinct(self):
+        traces = puffer_like().dataset(4, duration=60.0, seed=0)
+        assert len(traces) == 4
+        assert not np.allclose(traces[0].bandwidths, traces[1].bandwidths)
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            puffer_like().dataset(0)
+
+    def test_floor_respected(self):
+        gen = fiveg_like()
+        trace = gen.generate(600.0, seed=3)
+        assert float(np.min(trace.bandwidths)) >= gen.floor - 1e-12
+
+    @pytest.mark.parametrize("name", sorted(DATASET_FACTORIES))
+    def test_calibration_matches_figure9(self, name):
+        """Long-run mean and RSD match the paper's Figure 9 statistics."""
+        gen = DATASET_FACTORIES[name]()
+        trace = gen.generate(30000.0, seed=7)
+        stats = trace.stats()
+        assert stats.mean == pytest.approx(gen.target_mean, rel=0.12)
+        assert stats.rsd == pytest.approx(gen.target_rsd, rel=0.2)
+
+
+class TestLoaders:
+    def test_mahimahi_roundtrip(self):
+        # 1500-byte packets: 100 per second = 1.2 Mb/s.
+        lines = []
+        for second in range(3):
+            lines.extend(str(second * 1000 + i * 10) for i in range(100))
+        trace = load_mahimahi(io.StringIO("\n".join(lines)))
+        assert trace.duration == pytest.approx(3.0)
+        assert trace.bandwidths[0] == pytest.approx(1.2)
+
+    def test_mahimahi_empty_raises(self):
+        with pytest.raises(ValueError):
+            load_mahimahi(io.StringIO(""))
+
+    def test_mahimahi_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            load_mahimahi(io.StringIO("5\n3\n"))
+
+    def test_mahimahi_bad_bin_raises(self):
+        with pytest.raises(ValueError):
+            load_mahimahi(io.StringIO("1\n"), bin_seconds=0.0)
+
+    def test_bandwidth_csv(self):
+        csv = "time,bandwidth\n0,4.0\n2,8.0\n3,2.0\n"
+        trace = load_bandwidth_csv(io.StringIO(csv))
+        assert trace.duration == pytest.approx(3.0)
+        assert trace.bandwidth_at(1.0) == pytest.approx(4.0)
+        assert trace.bandwidth_at(2.5) == pytest.approx(8.0)
+
+    def test_bandwidth_csv_scaling(self):
+        csv = "time,bandwidth\n0,4000\n1,8000\n"
+        trace = load_bandwidth_csv(io.StringIO(csv), bandwidth_scale=1e-3)
+        assert trace.bandwidth_at(0.5) == pytest.approx(4.0)
+
+    def test_bandwidth_csv_missing_column(self):
+        with pytest.raises(ValueError, match="lacks column"):
+            load_bandwidth_csv(io.StringIO("t,b\n0,1\n1,2\n"))
+
+    def test_bandwidth_csv_too_short(self):
+        with pytest.raises(ValueError):
+            load_bandwidth_csv(io.StringIO("time,bandwidth\n0,1\n"))
+
+    def test_bandwidth_csv_nonmonotonic(self):
+        csv = "time,bandwidth\n0,1\n0,2\n"
+        with pytest.raises(ValueError, match="strictly increasing"):
+            load_bandwidth_csv(io.StringIO(csv))
+
+    def test_irish_csv(self):
+        csv = "Timestamp,DL_bitrate,UL_bitrate\n1,12000,100\n2,6000,100\n3,-,100\n"
+        trace = load_irish_csv(io.StringIO(csv))
+        assert len(trace) == 3
+        assert trace.bandwidth_at(0.5) == pytest.approx(12.0)
+        assert trace.bandwidth_at(2.5) == 0.0
+
+    def test_irish_csv_missing_column(self):
+        with pytest.raises(ValueError, match="DL_bitrate"):
+            load_irish_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_irish_csv_empty(self):
+        with pytest.raises(ValueError, match="no data rows"):
+            load_irish_csv(io.StringIO("DL_bitrate\n"))
+
+    def test_loader_from_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,bandwidth\n0,4.0\n1,8.0\n")
+        trace = load_bandwidth_csv(path)
+        assert trace.name.endswith("trace.csv")
+
+
+class TestDatasetPrep:
+    def test_prepare_filters_short(self):
+        traces = [
+            ThroughputTrace.constant(1.0, 30.0),
+            ThroughputTrace.constant(2.0, 120.0),
+        ]
+        sessions = prepare_sessions(traces, session_seconds=60.0)
+        assert len(sessions) == 2
+        assert all(s.duration == pytest.approx(60.0) for s in sessions)
+
+    def test_prepare_drops_tail(self):
+        traces = [ThroughputTrace.constant(1.0, 150.0)]
+        sessions = prepare_sessions(traces, session_seconds=60.0)
+        assert len(sessions) == 2
+
+    def test_prepare_validates(self):
+        with pytest.raises(ValueError):
+            prepare_sessions([], session_seconds=0.0)
+
+    def test_build_synthetic_datasets(self):
+        datasets = build_synthetic_datasets(2, session_seconds=30.0, seed=1)
+        assert set(datasets) == {"puffer", "5g", "4g"}
+        assert all(len(v) == 2 for v in datasets.values())
+
+    def test_build_validates(self):
+        with pytest.raises(ValueError):
+            build_synthetic_datasets(0)

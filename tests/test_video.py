@@ -1,0 +1,183 @@
+"""Unit and property tests for ladders, sizes, and quality curves."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.video import (
+    BitrateLadder,
+    SsimModel,
+    prime_video_live_ladder,
+    puffer_news_ladder,
+    youtube_4k_ladder,
+    youtube_hd_ladder,
+)
+
+
+class TestLadderConstruction:
+    def test_sorted(self):
+        ladder = BitrateLadder([6.0, 1.0, 3.0])
+        assert ladder.bitrates == [1.0, 3.0, 6.0]
+        assert ladder.min_bitrate == 1.0
+        assert ladder.max_bitrate == 6.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([0.0, 1.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([1.0, 1.0])
+
+    def test_rejects_bad_segment_duration(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([1.0], segment_duration=0.0)
+
+    def test_rejects_bad_size_variation(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([1.0], size_variation=1.0)
+
+    def test_len(self):
+        assert len(BitrateLadder([1.0, 2.0])) == 2
+
+
+class TestSizesAndLookups:
+    def test_segment_size_cbr(self):
+        ladder = BitrateLadder([2.0], segment_duration=2.0)
+        assert ladder.segment_size(0) == pytest.approx(4.0)
+
+    def test_segment_size_vbr_bounded(self):
+        ladder = BitrateLadder([2.0], segment_duration=2.0, size_variation=0.2)
+        for i in range(50):
+            size = ladder.segment_size(0, i)
+            assert 4.0 * 0.8 - 1e-9 <= size <= 4.0 * 1.2 + 1e-9
+
+    def test_vbr_affects_rungs_identically(self):
+        ladder = BitrateLadder([1.0, 4.0], size_variation=0.3)
+        for i in range(10):
+            ratio = ladder.segment_size(1, i) / ladder.segment_size(0, i)
+            assert ratio == pytest.approx(4.0)
+
+    def test_bitrate_out_of_range(self):
+        ladder = BitrateLadder([1.0, 2.0])
+        with pytest.raises(IndexError):
+            ladder.bitrate(2)
+        with pytest.raises(IndexError):
+            ladder.bitrate(-1)
+
+    def test_quality_for_bitrate(self):
+        ladder = BitrateLadder([1.0, 3.0, 6.0])
+        assert ladder.quality_for_bitrate(0.5) == 0
+        assert ladder.quality_for_bitrate(1.0) == 0
+        assert ladder.quality_for_bitrate(3.5) == 1
+        assert ladder.quality_for_bitrate(100.0) == 2
+
+    def test_ceil_quality_for_bitrate(self):
+        ladder = BitrateLadder([1.0, 3.0, 6.0])
+        assert ladder.ceil_quality_for_bitrate(0.5) == 0
+        assert ladder.ceil_quality_for_bitrate(3.0) == 1
+        assert ladder.ceil_quality_for_bitrate(3.5) == 2
+        assert ladder.ceil_quality_for_bitrate(100.0) == 2
+
+
+class TestUtilities:
+    def test_log_utility_endpoints(self):
+        ladder = BitrateLadder([1.0, 3.0, 6.0])
+        assert ladder.log_utility(0) == pytest.approx(0.0)
+        assert ladder.log_utility(2) == pytest.approx(1.0)
+        assert 0.0 < ladder.log_utility(1) < 1.0
+
+    def test_single_rung_utility(self):
+        assert BitrateLadder([2.0]).log_utility(0) == 1.0
+
+    def test_utilities_increasing(self):
+        utils = youtube_4k_ladder().utilities()
+        assert all(a < b for a, b in zip(utils, utils[1:]))
+
+    def test_without_top(self):
+        hd = youtube_4k_ladder().without_top(2)
+        assert hd.bitrates == youtube_hd_ladder().bitrates
+
+    def test_without_top_rejects_all(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([1.0, 2.0]).without_top(2)
+
+
+class TestStandardLadders:
+    def test_youtube_4k(self):
+        ladder = youtube_4k_ladder()
+        assert ladder.bitrates == [1.5, 4.0, 7.5, 12.0, 24.0, 60.0]
+        assert ladder.segment_duration == 2.0
+
+    def test_prime_video_ladder(self):
+        ladder = prime_video_live_ladder()
+        assert ladder.levels == 10
+        assert ladder.min_bitrate == 0.2
+        assert ladder.max_bitrate == 8.0
+
+    def test_puffer_news_ladder(self):
+        ladder = puffer_news_ladder()
+        assert ladder.levels == 5
+        assert ladder.max_bitrate == pytest.approx(2.0)
+
+
+class TestSsimModel:
+    def test_monotone_increasing(self):
+        model = SsimModel()
+        values = [model.ssim(r) for r in (0.1, 0.5, 1.0, 2.0, 8.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_bounded(self):
+        model = SsimModel()
+        assert model.ssim(0.0) == pytest.approx(model.ssim_max - model.span)
+        assert model.ssim(1e9) <= model.ssim_max + 1e-9
+
+    def test_normalized_at_most_one(self):
+        model = SsimModel()
+        assert model.normalized(1e9) <= 1.0 + 1e-9
+
+    def test_rejects_negative_bitrate(self):
+        with pytest.raises(ValueError):
+            SsimModel().ssim(-1.0)
+
+
+@st.composite
+def ladders(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return BitrateLadder(rates)
+
+
+class TestProperties:
+    @given(ladders())
+    @settings(max_examples=60, deadline=None)
+    def test_utilities_in_unit_interval(self, ladder):
+        for q in range(ladder.levels):
+            u = ladder.log_utility(q)
+            assert -1e-9 <= u <= 1.0 + 1e-9
+
+    @given(ladders(), st.floats(min_value=0.01, max_value=200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_floor_ceil_bracket(self, ladder, bw):
+        lo = ladder.quality_for_bitrate(bw)
+        hi = ladder.ceil_quality_for_bitrate(bw)
+        assert 0 <= lo <= hi or ladder.bitrate(hi) == ladder.max_bitrate
+        # Floor rung is at most the bandwidth unless nothing fits.
+        if ladder.bitrate(lo) > bw:
+            assert lo == 0
+        # Ceil rung is at least the bandwidth unless everything is below.
+        if ladder.bitrate(hi) < bw:
+            assert hi == ladder.levels - 1
