@@ -1,0 +1,67 @@
+"""Extension: QoE degradation under operational download faults.
+
+The paper's robustness analysis stops at prediction error (Thm 4.2,
+§6.1.4); its production deployment (§6.3) also faced failed fetches,
+stalls, timeouts, and corrupted measurements.  This bench sweeps a seeded
+:class:`repro.faults.FaultPlan` intensity over the §6.1.2 controller suite
+and reports the QoE-degradation curves, with and without the
+:class:`repro.abr.ResilientController` wrapper around SODA.
+"""
+
+from conftest import BENCH_SEED, BENCH_SESSIONS, banner, run_once
+
+from repro.abr import ResilientController
+from repro.analysis import format_series, sweep_fault_intensity
+from repro.analysis.harness import standard_controllers
+from repro.sim.profiles import live_profile
+from repro.traces import puffer_like
+
+INTENSITIES = [0.0, 0.1, 0.2, 0.4]
+SESSION_SECONDS = 240.0
+
+
+def test_fault_robustness_curves(benchmark):
+    traces = puffer_like().dataset(
+        max(BENCH_SESSIONS // 2, 2), SESSION_SECONDS, seed=BENCH_SEED
+    )
+    profile = live_profile(session_seconds=SESSION_SECONDS)
+    factories = standard_controllers()
+    factories["soda+resilient"] = (
+        lambda base=factories["soda"]: ResilientController(base())
+    )
+
+    def experiment():
+        return sweep_fault_intensity(
+            traces,
+            profile,
+            factories=factories,
+            intensities=INTENSITIES,
+            seed=BENCH_SEED,
+            dataset_name="puffer",
+        )
+
+    report = run_once(benchmark, experiment)
+
+    print(banner("QoE degradation vs operational fault intensity"))
+    print(report.render())
+    print(
+        format_series(
+            "fault intensity",
+            INTENSITIES,
+            {
+                name: curve.qoe_means
+                for name, curve in report.curves.items()
+            },
+        )
+    )
+
+    # Faults must hurt: QoE degrades (within noise) as intensity rises,
+    # for SODA and every baseline.
+    for name, curve in report.curves.items():
+        assert curve.is_monotone(tolerance=0.15), (
+            f"{name} QoE did not degrade monotonically: {curve.qoe_means}"
+        )
+        assert curve.points[-1].qoe_mean < curve.points[0].qoe_mean
+    # The fault layer actually injected work.
+    assert report.curves["soda"].points[-1].faults_injected > 0
+    assert report.curves["soda"].points[-1].retries > 0

@@ -14,6 +14,8 @@ Quick start::
 Subpackages:
     core:       SODA controller, solvers, offline optimal, theory bounds
     abr:        baseline controllers (HYB, BOLA, Dynamic, MPC, Fugu, RL)
+                and the ResilientController graceful-degradation wrapper
+    faults:     seeded download-fault injection (FaultPlan)
     sim:        player simulator, video models, network traces
     prediction: throughput predictors
     traces:     synthetic dataset generators and real-format parsers
@@ -31,9 +33,11 @@ from .abr import (
     PlayerObservation,
     QTableController,
     RateController,
+    ResilientController,
     RobustMpcController,
     train_q_controller,
 )
+from .faults import FaultDecision, FaultKind, FaultPlan, FaultSpec
 from .core import (
     SodaConfig,
     SodaController,
@@ -56,6 +60,7 @@ from .prediction import (
 from .qoe import QoeMetrics, QoeSummary, qoe_from_session, summarize
 from .sim import (
     BitrateLadder,
+    LivelockError,
     PlayerConfig,
     SessionResult,
     SsimModel,
@@ -97,8 +102,14 @@ __all__ = [
     "MpcController",
     "RobustMpcController",
     "RateController",
+    "ResilientController",
     "QTableController",
     "train_q_controller",
+    # faults
+    "FaultKind",
+    "FaultDecision",
+    "FaultSpec",
+    "FaultPlan",
     # prediction
     "ThroughputPredictor",
     "ThroughputSample",
@@ -113,6 +124,7 @@ __all__ = [
     "ThroughputTrace",
     "BitrateLadder",
     "SsimModel",
+    "LivelockError",
     "PlayerConfig",
     "SessionResult",
     "simulate_session",

@@ -9,6 +9,7 @@ from .hyb import HybController
 from .mpc import MpcController, RobustMpcController
 from .pid import PidController
 from .rate import RateController, rate_rule_quality
+from .resilient import ResilientController
 from .rl import QTableController, train_q_controller
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "RobustMpcController",
     "RateController",
     "rate_rule_quality",
+    "ResilientController",
     "QTableController",
     "train_q_controller",
 ]

@@ -4,6 +4,12 @@ from .engagement import EngagementModel, fit_line
 from .harness import SuiteResult, run_suite, standard_controllers
 from .pareto import OperatingPoint, dominates, pareto_front, sweep_operating_points
 from .report import ReportConfig, generate_report
+from .robustness import (
+    RobustnessCurve,
+    RobustnessPoint,
+    RobustnessReport,
+    sweep_fault_intensity,
+)
 from .production import (
     DEVICE_FAMILIES,
     DeviceFamily,
@@ -22,6 +28,10 @@ __all__ = [
     "sweep_operating_points",
     "ReportConfig",
     "generate_report",
+    "RobustnessPoint",
+    "RobustnessCurve",
+    "RobustnessReport",
+    "sweep_fault_intensity",
     "run_suite",
     "standard_controllers",
     "DEVICE_FAMILIES",

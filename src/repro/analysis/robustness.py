@@ -1,0 +1,211 @@
+"""Operational-robustness sweeps: QoE degradation under injected faults.
+
+Thm 4.2 and §6.1.4 characterise SODA's robustness to *prediction* error;
+this harness measures robustness to *operational* faults — failed fetches,
+stalls, latency spikes, outages, and corrupted throughput samples — by
+sweeping a :class:`repro.faults.FaultPlan` intensity over a controller
+suite and recording how QoE degrades.  Fault streams are seeded per
+(intensity, session) and shared across controllers, so every controller
+faces the same faults and the curves are directly comparable.
+
+Wired into the ``repro robustness`` CLI subcommand and
+``benchmarks/bench_ext_faults.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..abr.resilient import ResilientController
+from ..faults.plan import FaultPlan
+from ..qoe.metrics import qoe_from_session
+from ..sim.network import ThroughputTrace
+from ..sim.profiles import EvaluationProfile
+from ..sim.session import run_session
+from .harness import ControllerFactory, standard_controllers
+from .tables import format_table
+
+__all__ = [
+    "RobustnessPoint",
+    "RobustnessCurve",
+    "RobustnessReport",
+    "sweep_fault_intensity",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Aggregate outcome of one (controller, fault intensity) cell.
+
+    Attributes:
+        intensity: fault-plan intensity in [0, 1].
+        qoe_mean: mean per-session QoE score.
+        qoe_std: standard deviation of per-session QoE.
+        rebuffer_ratio: mean rebuffering ratio.
+        faults_injected: mean faults injected per session.
+        retries: mean download retries per session.
+        fallback_decisions: mean resilient-fallback decisions per session.
+        sessions: number of sessions aggregated.
+    """
+
+    intensity: float
+    qoe_mean: float
+    qoe_std: float
+    rebuffer_ratio: float
+    faults_injected: float
+    retries: float
+    fallback_decisions: float
+    sessions: int
+
+
+@dataclass
+class RobustnessCurve:
+    """QoE vs. fault intensity for one controller."""
+
+    controller: str
+    points: List[RobustnessPoint] = field(default_factory=list)
+
+    @property
+    def intensities(self) -> List[float]:
+        return [p.intensity for p in self.points]
+
+    @property
+    def qoe_means(self) -> List[float]:
+        return [p.qoe_mean for p in self.points]
+
+    def degradation(self) -> List[float]:
+        """QoE drop from the fault-free point, per intensity."""
+        if not self.points:
+            return []
+        base = self.points[0].qoe_mean
+        return [base - p.qoe_mean for p in self.points]
+
+    def is_monotone(self, tolerance: float = 0.0) -> bool:
+        """Whether QoE degrades monotonically with intensity, within
+        ``tolerance`` (absolute QoE units of allowed uphill noise)."""
+        qoe = self.qoe_means
+        return all(b <= a + tolerance for a, b in zip(qoe, qoe[1:]))
+
+
+@dataclass
+class RobustnessReport:
+    """Robustness curves for a controller suite on one dataset."""
+
+    dataset: str
+    profile: str
+    curves: Dict[str, RobustnessCurve] = field(default_factory=dict)
+
+    def curve(self, controller: str) -> RobustnessCurve:
+        return self.curves[controller]
+
+    def render(self) -> str:
+        """ASCII table: rows = controllers, columns = fault intensities."""
+        if not self.curves:
+            return "(empty robustness report)"
+        first = next(iter(self.curves.values()))
+        headers = ["controller"] + [
+            f"qoe@{p.intensity:.2f}" for p in first.points
+        ] + ["drop", "retries", "fallbacks"]
+        rows = []
+        for name, curve in self.curves.items():
+            drop = curve.degradation()[-1] if curve.points else 0.0
+            last = curve.points[-1]
+            rows.append(
+                [name]
+                + [f"{p.qoe_mean:.3f}" for p in curve.points]
+                + [f"{drop:.3f}", f"{last.retries:.1f}",
+                   f"{last.fallback_decisions:.1f}"]
+            )
+        return format_table(headers, rows)
+
+
+def sweep_fault_intensity(
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+    factories: Optional[Mapping[str, ControllerFactory]] = None,
+    intensities: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    seed: int = 0,
+    resilient: bool = False,
+    dataset_name: str = "dataset",
+    qoe_beta: float = 10.0,
+    qoe_gamma: float = 1.0,
+) -> RobustnessReport:
+    """Sweep fault intensity over a controller suite.
+
+    Args:
+        traces: the dataset (one session per trace per cell).
+        profile: evaluation profile (ladder + player config).
+        factories: controller factories; defaults to the §6.1.2 suite
+            (SODA + HYB + BOLA + Dynamic + MPC).
+        intensities: fault-plan intensities to sweep, ascending.
+        seed: base seed; fault streams derive from (seed, intensity,
+            session) only, so all controllers face identical faults.
+        resilient: wrap every controller in
+            :class:`~repro.abr.ResilientController`.
+        dataset_name: label for the report.
+        qoe_beta: rebuffering weight of the QoE score.
+        qoe_gamma: switching weight of the QoE score.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if list(intensities) != sorted(intensities):
+        raise ValueError("intensities must be ascending")
+    factories = factories or standard_controllers()
+
+    report = RobustnessReport(dataset=dataset_name, profile=profile.name)
+    for name, factory in factories.items():
+        curve = RobustnessCurve(controller=name)
+        for level_index, intensity in enumerate(intensities):
+            qoes: List[float] = []
+            rebufs: List[float] = []
+            faults_n: List[int] = []
+            retries_n: List[int] = []
+            fallbacks_n: List[int] = []
+            for session, trace in enumerate(traces):
+                controller = factory()
+                if resilient:
+                    controller = ResilientController(controller)
+                plan = (
+                    None
+                    if intensity == 0.0
+                    else FaultPlan.of_intensity(
+                        intensity,
+                        seed=seed + 7919 * level_index + session,
+                    )
+                )
+                result = run_session(
+                    controller,
+                    trace,
+                    profile.ladder,
+                    profile.player,
+                    faults=plan,
+                )
+                metrics = qoe_from_session(
+                    result,
+                    utility=profile.utility,
+                    ssim_model=profile.ssim_model,
+                    beta=qoe_beta,
+                    gamma=qoe_gamma,
+                )
+                qoes.append(metrics.qoe)
+                rebufs.append(metrics.rebuffer_ratio)
+                faults_n.append(result.faults_injected)
+                retries_n.append(result.retries)
+                fallbacks_n.append(result.fallback_decisions)
+            curve.points.append(
+                RobustnessPoint(
+                    intensity=float(intensity),
+                    qoe_mean=float(np.mean(qoes)),
+                    qoe_std=float(np.std(qoes)),
+                    rebuffer_ratio=float(np.mean(rebufs)),
+                    faults_injected=float(np.mean(faults_n)),
+                    retries=float(np.mean(retries_n)),
+                    fallback_decisions=float(np.mean(fallbacks_n)),
+                    sessions=len(traces),
+                )
+            )
+        report.curves[name] = curve
+    return report

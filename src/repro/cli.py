@@ -7,9 +7,11 @@ Subcommands:
   optional event timeline;
 * ``trace`` — generate a synthetic trace to CSV or summarise a trace file;
 * ``decide`` — a single SODA decision for a (throughput, buffer, prev) situation;
-* ``tune`` — grid-search SODA weights for a dataset.
+* ``tune`` — grid-search SODA weights for a dataset;
+* ``robustness`` — QoE-degradation curves under injected download faults.
 
-Run ``python -m repro.cli <subcommand> --help`` for options.
+Run ``python -m repro.cli <subcommand> --help`` for options.  Operational
+errors (missing files, bad values) exit with code 2 and a one-line message.
 """
 
 from __future__ import annotations
@@ -28,7 +30,12 @@ from .abr import (
     RateController,
     RobustMpcController,
 )
-from .analysis import qoe_table, run_suite, standard_controllers
+from .analysis import (
+    qoe_table,
+    run_suite,
+    standard_controllers,
+    sweep_fault_intensity,
+)
 from .core.controller import SodaController
 from .core.objective import SodaConfig
 from .core.tuning import tune_soda
@@ -109,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write time,bandwidth CSV here")
     p.add_argument("--summarize", help="summarise an existing CSV instead")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "robustness",
+        help="QoE degradation of the controller suite under injected faults",
+    )
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES),
+                   default="puffer")
+    p.add_argument("--sessions", type=int, default=4)
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--intensities", default="0,0.1,0.2,0.4",
+                   help="comma-separated fault intensities, ascending")
+    p.add_argument("--resilient", action="store_true",
+                   help="wrap every controller in ResilientController")
+    p.set_defaults(func=_cmd_robustness)
 
     p = sub.add_parser("decide", help="one SODA decision for a situation")
     p.add_argument("--throughput", type=float, required=True,
@@ -193,6 +215,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    try:
+        intensities = [float(x) for x in args.intensities.split(",") if x]
+    except ValueError:
+        raise ValueError(
+            f"--intensities must be comma-separated numbers, "
+            f"got {args.intensities!r}"
+        )
+    if not intensities:
+        raise ValueError("--intensities must name at least one level")
+    traces = DATASET_FACTORIES[args.dataset]().dataset(
+        args.sessions, args.duration, seed=args.seed
+    )
+    profile = live_profile(
+        session_seconds=args.duration, cellular=args.dataset in ("5g", "4g")
+    )
+    report = sweep_fault_intensity(
+        traces,
+        profile,
+        intensities=sorted(intensities),
+        seed=args.seed,
+        resilient=args.resilient,
+        dataset_name=args.dataset,
+    )
+    mode = " (resilient wrappers)" if args.resilient else ""
+    print(f"=== robustness: {args.dataset} "
+          f"({args.sessions} × {args.duration:.0f}s){mode} ===")
+    print(report.render())
+    return 0
+
+
 def _cmd_decide(args: argparse.Namespace) -> int:
     profile = live_profile()
     controller = SodaController()
@@ -231,7 +284,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        # Operational errors (missing trace file, malformed CSV, bad
+        # argument values) get a one-line message, not a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

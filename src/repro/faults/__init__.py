@@ -1,0 +1,21 @@
+"""Operational fault injection for segment downloads (see DESIGN.md §7)."""
+
+from .plan import (
+    CLEAN,
+    DownloadFaultHook,
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    compose,
+)
+
+__all__ = [
+    "CLEAN",
+    "DownloadFaultHook",
+    "FaultDecision",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "compose",
+]

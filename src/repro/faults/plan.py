@@ -1,0 +1,358 @@
+"""Operational fault model for segment downloads.
+
+The paper's robustness analysis (Thm 4.2, §6.1.4) covers *prediction* error;
+its production deployment (§6.3) additionally faced *operational* faults —
+failed fetches, mid-download stalls, request timeouts, latency spikes,
+transient CDN outages, and corrupted throughput measurements.  This module
+expresses those as a seeded, composable :class:`FaultPlan` that the player
+simulator consults once per download attempt through a small hook protocol:
+
+    ``on_attempt(wall_time, segment_index, attempt, quality) -> FaultDecision``
+
+Any object with that method works as a hook; :func:`compose` merges several
+hooks into one (faults accumulate).  Plans are deterministic under a seed
+and :meth:`FaultPlan.fork` derives independent per-session streams, so
+whole-dataset sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultKind",
+    "FaultDecision",
+    "FaultSpec",
+    "FaultPlan",
+    "DownloadFaultHook",
+    "compose",
+    "CLEAN",
+]
+
+
+class FaultKind(enum.Enum):
+    """The operational fault classes the plan can inject."""
+
+    FAILURE = "failure"          #: the download attempt errors out
+    STALL = "stall"              #: dead time in the middle of the transfer
+    LATENCY_SPIKE = "latency"    #: extra request latency before payload flows
+    OUTAGE = "outage"            #: transient outage window; attempts fail fast
+    CORRUPT_SAMPLE = "corrupt"   #: throughput measurement is garbage
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the fault layer does to one download attempt.
+
+    Attributes:
+        failed: the attempt errors out after ``wasted_time`` seconds and
+            must be retried (or forced through once retries are exhausted).
+        wasted_time: wall-clock seconds the failed attempt consumed.
+        stall_extra: dead seconds inserted mid-transfer (no payload flows).
+        latency_extra: extra request latency in seconds, on top of the
+            player's configured RTT.
+        corrupt_throughput: when set, the throughput value the *controller*
+            observes for this download (NaN, zero, or negative); the real
+            session dynamics are unaffected.
+        kinds: which fault classes fired, for accounting.
+    """
+
+    failed: bool = False
+    wasted_time: float = 0.0
+    stall_extra: float = 0.0
+    latency_extra: float = 0.0
+    corrupt_throughput: Optional[float] = None
+    kinds: Tuple[FaultKind, ...] = ()
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the attempt proceeds completely unmolested."""
+        return not self.kinds
+
+
+#: the no-fault decision, shared to avoid per-attempt allocation
+CLEAN = FaultDecision()
+
+
+class DownloadFaultHook:
+    """Protocol for per-download-attempt fault injection.
+
+    Anything with this method can be passed to the simulators; subclassing
+    is optional.  ``reset()`` (optional) is called at session start.
+    """
+
+    def on_attempt(
+        self,
+        wall_time: float,
+        segment_index: int,
+        attempt: int,
+        quality: int,
+    ) -> FaultDecision:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-attempt fault probabilities and magnitudes.
+
+    Rates are per download attempt in [0, 1]; magnitudes are means of
+    exponential draws, so individual faults vary while the seeded stream
+    stays reproducible.
+
+    Attributes:
+        failure_rate: chance an attempt errors out.
+        failure_wasted_seconds: mean wall time a failed attempt burns.
+        stall_rate: chance of a mid-download stall.
+        stall_seconds: mean stall length.
+        latency_rate: chance of a request-latency spike.
+        latency_seconds: mean spike size.
+        outage_rate: chance an attempt *opens* a transient outage window
+            (attempts inside the window fail fast until it passes).
+        outage_seconds: mean outage window length.
+        corrupt_rate: chance the throughput sample the controller sees is
+            replaced with NaN, zero, or a negative value.
+        max_consecutive_failures: hard bound on failures injected for one
+            segment, so a session always makes progress.
+    """
+
+    failure_rate: float = 0.0
+    failure_wasted_seconds: float = 1.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 2.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.5
+    outage_rate: float = 0.0
+    outage_seconds: float = 4.0
+    corrupt_rate: float = 0.0
+    max_consecutive_failures: int = 8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "failure_rate", "stall_rate", "latency_rate", "outage_rate",
+            "corrupt_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        for name in (
+            "failure_wasted_seconds", "stall_seconds", "latency_seconds",
+            "outage_seconds",
+        ):
+            value = getattr(self, name)
+            if value < 0 or not math.isfinite(value):
+                raise ValueError(f"{name} must be finite and non-negative")
+        if self.max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be at least 1")
+
+    def scaled(self, factor: float) -> "FaultSpec":
+        """A copy with every rate multiplied by ``factor`` (capped at 1)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(
+            self,
+            failure_rate=min(self.failure_rate * factor, 1.0),
+            stall_rate=min(self.stall_rate * factor, 1.0),
+            latency_rate=min(self.latency_rate * factor, 1.0),
+            outage_rate=min(self.outage_rate * factor, 1.0),
+            corrupt_rate=min(self.corrupt_rate * factor, 1.0),
+        )
+
+
+#: the blend of fault classes used by intensity sweeps, at intensity 1.0
+_INTENSITY_BLEND = FaultSpec(
+    failure_rate=0.35,
+    stall_rate=0.25,
+    latency_rate=0.5,
+    outage_rate=0.08,
+    corrupt_rate=0.25,
+)
+
+#: corrupted-throughput values cycled through by the plan
+_CORRUPT_VALUES = (float("nan"), 0.0, -1.0, float("inf"))
+
+
+class FaultPlan(DownloadFaultHook):
+    """A seeded stream of download faults.
+
+    Args:
+        spec: fault probabilities and magnitudes.
+        seed: RNG seed; the same (spec, seed) pair always injects the same
+            faults into the same attempt sequence.
+    """
+
+    def __init__(self, spec: Optional[FaultSpec] = None, seed: int = 0) -> None:
+        self.spec = spec or FaultSpec()
+        self.seed = seed
+        self.injected = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of_intensity(intensity: float, seed: int = 0) -> "FaultPlan":
+        """A plan blending every fault class, scaled by ``intensity``.
+
+        ``intensity`` 0 injects nothing; 1.0 reaches a 35% per-attempt
+        failure rate plus stalls, latency spikes, outages, and corrupted
+        samples.  This is the knob the robustness sweeps turn.
+        """
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return FaultPlan(_INTENSITY_BLEND.scaled(intensity), seed=seed)
+
+    @staticmethod
+    def failures_only(rate: float, seed: int = 0) -> "FaultPlan":
+        """A plan injecting only download failures at ``rate``."""
+        return FaultPlan(FaultSpec(failure_rate=rate), seed=seed)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind the fault stream to the start of a session."""
+        self._rng = np.random.default_rng(self.seed)
+        self._outage_until = -1.0
+        self._segment_failures = 0
+        self._last_segment = -1
+        self._corrupt_cursor = 0
+        self.injected = 0
+
+    def fork(self, stream: int) -> "FaultPlan":
+        """An independent plan for parallel session ``stream``."""
+        return FaultPlan(self.spec, seed=self.seed * 1_000_003 + stream + 1)
+
+    # ------------------------------------------------------------------
+    def on_attempt(
+        self,
+        wall_time: float,
+        segment_index: int,
+        attempt: int,
+        quality: int,
+    ) -> FaultDecision:
+        """Decide the faults afflicting one download attempt."""
+        spec = self.spec
+        rng = self._rng
+        if segment_index != self._last_segment:
+            self._last_segment = segment_index
+            self._segment_failures = 0
+
+        kinds: list = []
+        failed = False
+        wasted = 0.0
+        stall = 0.0
+        latency = 0.0
+        corrupt: Optional[float] = None
+
+        # Transient outages: attempts inside an open window fail fast.
+        if wall_time < self._outage_until:
+            if self._segment_failures < spec.max_consecutive_failures:
+                failed = True
+                wasted = min(self._outage_until - wall_time, 30.0)
+                kinds.append(FaultKind.OUTAGE)
+        elif spec.outage_rate > 0 and rng.random() < spec.outage_rate:
+            window = rng.exponential(spec.outage_seconds)
+            self._outage_until = wall_time + window
+            if self._segment_failures < spec.max_consecutive_failures:
+                failed = True
+                wasted = min(window, 30.0)
+                kinds.append(FaultKind.OUTAGE)
+
+        if (
+            not failed
+            and spec.failure_rate > 0
+            and self._segment_failures < spec.max_consecutive_failures
+            and rng.random() < spec.failure_rate
+        ):
+            failed = True
+            wasted = rng.exponential(spec.failure_wasted_seconds)
+            kinds.append(FaultKind.FAILURE)
+
+        if failed:
+            self._segment_failures += 1
+        else:
+            if spec.stall_rate > 0 and rng.random() < spec.stall_rate:
+                stall = rng.exponential(spec.stall_seconds)
+                kinds.append(FaultKind.STALL)
+            if spec.latency_rate > 0 and rng.random() < spec.latency_rate:
+                latency = rng.exponential(spec.latency_seconds)
+                kinds.append(FaultKind.LATENCY_SPIKE)
+            if spec.corrupt_rate > 0 and rng.random() < spec.corrupt_rate:
+                corrupt = _CORRUPT_VALUES[
+                    self._corrupt_cursor % len(_CORRUPT_VALUES)
+                ]
+                self._corrupt_cursor += 1
+                kinds.append(FaultKind.CORRUPT_SAMPLE)
+
+        if not kinds:
+            return CLEAN
+        self.injected += 1
+        return FaultDecision(
+            failed=failed,
+            wasted_time=wasted,
+            stall_extra=stall,
+            latency_extra=latency,
+            corrupt_throughput=corrupt,
+            kinds=tuple(kinds),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan seed={self.seed} spec={self.spec}>"
+
+
+@dataclass
+class _ComposedHook(DownloadFaultHook):
+    """Merge of several fault hooks; faults accumulate across them."""
+
+    hooks: Sequence[DownloadFaultHook] = field(default_factory=tuple)
+
+    def reset(self) -> None:
+        for hook in self.hooks:
+            reset = getattr(hook, "reset", None)
+            if callable(reset):
+                reset()
+
+    def on_attempt(
+        self,
+        wall_time: float,
+        segment_index: int,
+        attempt: int,
+        quality: int,
+    ) -> FaultDecision:
+        failed = False
+        wasted = 0.0
+        stall = 0.0
+        latency = 0.0
+        corrupt: Optional[float] = None
+        kinds: list = []
+        for hook in self.hooks:
+            d = hook.on_attempt(wall_time, segment_index, attempt, quality)
+            if d.is_clean:
+                continue
+            failed = failed or d.failed
+            wasted = max(wasted, d.wasted_time)
+            stall += d.stall_extra
+            latency += d.latency_extra
+            if corrupt is None:
+                corrupt = d.corrupt_throughput
+            kinds.extend(d.kinds)
+        if not kinds:
+            return CLEAN
+        return FaultDecision(
+            failed=failed,
+            wasted_time=wasted,
+            stall_extra=stall,
+            latency_extra=latency,
+            corrupt_throughput=corrupt,
+            kinds=tuple(kinds),
+        )
+
+
+def compose(*hooks: DownloadFaultHook) -> DownloadFaultHook:
+    """Combine fault hooks into one; each attempt consults all of them."""
+    if not hooks:
+        raise ValueError("compose needs at least one hook")
+    if len(hooks) == 1:
+        return hooks[0]
+    return _ComposedHook(tuple(hooks))

@@ -3,7 +3,7 @@
 from .events import EventKind, SessionEvent, SessionTimeline, TimelineRecorder
 from .multiclient import SharedLinkOutcome, jain_fairness, simulate_shared_link
 from .network import ThroughputTrace, TraceStats
-from .player import PlayerConfig, SessionResult, simulate_session
+from .player import LivelockError, PlayerConfig, SessionResult, simulate_session
 from .profiles import (
     EvaluationProfile,
     live_profile,
@@ -31,6 +31,7 @@ __all__ = [
     "SharedLinkOutcome",
     "jain_fairness",
     "simulate_shared_link",
+    "LivelockError",
     "PlayerConfig",
     "SessionResult",
     "simulate_session",

@@ -28,9 +28,10 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults.plan import DownloadFaultHook
 from ..prediction.base import ThroughputSample
 from .network import ThroughputTrace
-from .player import PlayerConfig, PlayerObservation, SessionResult
+from .player import LivelockError, PlayerConfig, PlayerObservation, SessionResult
 from .video import BitrateLadder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
@@ -97,11 +98,21 @@ class _Client:
         "controller", "result", "segment_index", "buffer", "playing",
         "rebuffering", "history", "prev_quality", "pending_size",
         "pending_received", "pending_start", "pending_quality",
-        "idle_ticks", "done", "wall_time",
+        "idle_ticks", "done", "wall_time", "faults", "attempt",
+        "retry_at", "pending_dead", "pending_corrupt",
     )
 
-    def __init__(self, controller: "AbrController", ladder: BitrateLadder):
+    def __init__(
+        self,
+        controller: "AbrController",
+        ladder: BitrateLadder,
+        faults: Optional[DownloadFaultHook] = None,
+    ):
         controller.reset()
+        if faults is not None:
+            reset = getattr(faults, "reset", None)
+            if callable(reset):
+                reset()
         self.controller = controller
         self.result = SessionResult(controller=controller.name, ladder=ladder)
         self.segment_index = 0
@@ -117,6 +128,11 @@ class _Client:
         self.idle_ticks = 0
         self.done = False
         self.wall_time = 0.0
+        self.faults = faults
+        self.attempt = 0
+        self.retry_at = 0.0
+        self.pending_dead = 0.0
+        self.pending_corrupt: Optional[float] = None
 
     @property
     def downloading(self) -> bool:
@@ -129,6 +145,7 @@ def simulate_shared_link(
     ladder: BitrateLadder,
     config: Optional[PlayerConfig] = None,
     tick: float = _TICK,
+    faults: Optional[Sequence[Optional[DownloadFaultHook]]] = None,
 ) -> SharedLinkOutcome:
     """Simulate N players sharing one bottleneck link.
 
@@ -138,13 +155,19 @@ def simulate_shared_link(
         ladder: encoding ladder shared by all clients.
         config: player parameters (``abandonment`` is ignored here).
         tick: simulation step, seconds.
+        faults: optional per-client download-fault hooks (``None`` entries
+            leave that client fault-free); failed attempts retry with
+            backoff and downshift, latency/stall faults hold the connection
+            without delivering payload, and corrupted samples reach only
+            the controller.
 
     Returns:
         A :class:`SharedLinkOutcome` with per-client session results.
 
     Raises:
-        ValueError: with no clients or a non-positive tick.
-        RuntimeError: if a controller defers indefinitely.
+        ValueError: with no clients, a non-positive tick, or a faults
+            sequence whose length does not match the client count.
+        LivelockError: if a controller defers indefinitely.
     """
     if not controllers:
         raise ValueError("need at least one client")
@@ -152,16 +175,27 @@ def simulate_shared_link(
         raise ValueError("controllers must be distinct instances")
     if tick <= 0:
         raise ValueError("tick must be positive")
+    if faults is not None and len(faults) != len(controllers):
+        raise ValueError("need one fault hook (or None) per client")
     cfg = config or PlayerConfig()
     seg_len = ladder.segment_duration
 
-    clients = [_Client(c, ladder) for c in controllers]
+    clients = [
+        _Client(c, ladder, faults[i] if faults is not None else None)
+        for i, c in enumerate(controllers)
+    ]
     t = 0.0
     delivered = 0.0
     max_time = cfg.num_segments * seg_len * 50 + 300.0  # hard stop
 
     while not all(c.done for c in clients):
         if t > max_time:
+            stuck = max(clients, key=lambda c: c.idle_ticks)
+            if stuck.idle_ticks * tick > 0.5 * max_time:
+                raise LivelockError(
+                    stuck.controller.name, stuck.segment_index,
+                    stuck.idle_ticks,
+                )
             raise RuntimeError("shared-link simulation exceeded its time cap")
         # 1) Ask idle clients for their next action.
         for client in clients:
@@ -170,19 +204,36 @@ def simulate_shared_link(
             _maybe_start_download(client, cfg, ladder, t, seg_len)
 
         # 2) Split capacity among active downloads and advance one tick.
-        active = [c for c in clients if c.downloading]
+        # Clients inside a fault-injected latency spike or stall hold their
+        # connection open but deliver nothing, so they don't take a share.
+        transferring = []
+        for client in clients:
+            if not client.downloading:
+                continue
+            if client.pending_dead > 0.0:
+                client.pending_dead = max(client.pending_dead - tick, 0.0)
+            else:
+                transferring.append(client)
         capacity_bits = link.bits_between(t, t + tick)
-        share = capacity_bits / len(active) if active else 0.0
-        for client in active:
+        share = capacity_bits / len(transferring) if transferring else 0.0
+        for client in transferring:
             client.pending_received += share
             delivered += share
 
-        # 3) Advance playback and finish completed downloads.
+        # 3) Advance playback, time out stuck attempts, finish downloads.
         for client in clients:
             if client.done:
                 continue
             _advance_playback(client, tick, cfg)
             client.wall_time = t + tick
+            if (
+                client.downloading
+                and cfg.download_timeout is not None
+                and client.attempt < cfg.max_retries
+                and t + tick - client.pending_start > cfg.download_timeout
+            ):
+                _abort_attempt(client, t + tick, cfg)
+                continue
             if client.downloading and (
                 client.pending_received >= client.pending_size - 1e-9
             ):
@@ -197,6 +248,9 @@ def simulate_shared_link(
     )
     for client in clients:
         client.result.wall_duration = t
+        client.result.fallback_decisions = int(
+            getattr(client.controller, "fallback_decisions", 0)
+        )
     return outcome
 
 
@@ -210,6 +264,9 @@ def _maybe_start_download(
 ) -> None:
     if client.segment_index >= cfg.num_segments:
         client.done = True
+        return
+    # Retry backoff after a failed or timed-out attempt.
+    if t < client.retry_at - 1e-9:
         return
     # Live availability.
     if cfg.live_delay is not None:
@@ -235,8 +292,8 @@ def _maybe_start_download(
     if quality is None:
         client.idle_ticks += 1
         if client.idle_ticks > _MAX_IDLE_TICKS:
-            raise RuntimeError(
-                f"{client.controller.name} deferred indefinitely"
+            raise LivelockError(
+                client.controller.name, client.segment_index, client.idle_ticks
             )
         return
     if not 0 <= quality < ladder.levels:
@@ -244,10 +301,53 @@ def _maybe_start_download(
             f"{client.controller.name} chose invalid rung {quality!r}"
         )
     client.idle_ticks = 0
+    if cfg.downshift_on_retry and client.attempt > 0:
+        quality = max(quality - client.attempt, 0)
+
+    dead = 0.0
+    client.pending_corrupt = None
+    if client.faults is not None and client.attempt <= cfg.max_retries:
+        decision = client.faults.on_attempt(
+            wall_time=t,
+            segment_index=client.segment_index,
+            attempt=client.attempt,
+            quality=quality,
+        )
+        if not decision.is_clean:
+            client.result.faults_injected += 1
+        if decision.failed and client.attempt < cfg.max_retries:
+            wait = (
+                max(decision.wasted_time, 0.0)
+                + cfg.retry_backoff * (2.0 ** client.attempt)
+            )
+            client.retry_at = t + wait
+            client.result.retries += 1
+            client.attempt += 1
+            return
+        if decision.failed:
+            # Retry budget exhausted: force the lowest rung through.
+            quality = 0
+        else:
+            dead = max(decision.latency_extra, 0.0) + max(
+                decision.stall_extra, 0.0
+            )
+            client.pending_corrupt = decision.corrupt_throughput
+
     client.pending_quality = quality
     client.pending_size = ladder.segment_size(quality, client.segment_index)
     client.pending_received = 0.0
     client.pending_start = t
+    client.pending_dead = dead
+
+
+def _abort_attempt(client: _Client, t: float, cfg: PlayerConfig) -> None:
+    """Cancel an attempt that exceeded the download timeout and back off."""
+    client.pending_size = None
+    client.pending_dead = 0.0
+    client.pending_corrupt = None
+    client.result.retries += 1
+    client.retry_at = t + cfg.retry_backoff * (2.0 ** client.attempt)
+    client.attempt += 1
 
 
 def _advance_playback(client: _Client, dt: float, cfg: PlayerConfig) -> None:
@@ -276,8 +376,17 @@ def _finish_download(
         size=client.pending_size,
         throughput=client.pending_size / duration,
     )
-    client.history.append(sample)
-    client.controller.on_download(sample)
+    # A corrupted measurement reaches the controller, not the QoE record.
+    observed = sample
+    if client.pending_corrupt is not None:
+        observed = ThroughputSample(
+            start=sample.start,
+            duration=sample.duration,
+            size=sample.size,
+            throughput=client.pending_corrupt,
+        )
+    client.history.append(observed)
+    client.controller.on_download(observed)
 
     client.buffer = min(client.buffer + seg_len, cfg.max_buffer)
     client.result.qualities.append(client.pending_quality)
@@ -287,6 +396,9 @@ def _finish_download(
     client.result.buffer_levels.append(client.buffer)
     client.prev_quality = client.pending_quality
     client.pending_size = None
+    client.pending_corrupt = None
+    client.attempt = 0
+    client.retry_at = 0.0
     client.segment_index += 1
 
     if not client.playing and client.buffer >= cfg.startup_threshold:

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from ..faults.plan import CLEAN, DownloadFaultHook, FaultDecision
 from ..prediction.base import ThroughputSample
 from .network import ThroughputTrace
 from .video import BitrateLadder
@@ -24,7 +25,30 @@ from .video import BitrateLadder
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
     from ..abr.base import AbrController
 
-__all__ = ["PlayerConfig", "PlayerObservation", "SessionResult", "simulate_session"]
+__all__ = [
+    "LivelockError",
+    "PlayerConfig",
+    "PlayerObservation",
+    "SessionResult",
+    "simulate_session",
+]
+
+
+class LivelockError(RuntimeError):
+    """A controller deferred so long the session can never progress.
+
+    Attributes:
+        controller: name of the livelocked controller.
+        segment_index: segment the session was stuck on.
+    """
+
+    def __init__(self, controller: str, segment_index: int, steps: int) -> None:
+        super().__init__(
+            f"controller {controller!r} deferred {steps} consecutive times "
+            f"at segment {segment_index} (livelock)"
+        )
+        self.controller = controller
+        self.segment_index = segment_index
 
 
 @dataclass(frozen=True)
@@ -103,6 +127,17 @@ class PlayerConfig:
         rtt: per-request round-trip latency in seconds added before each
             segment download (no payload flows during it).  Default 0 keeps
             strict Sabre-equivalence; realistic values are 0.02–0.2 s.
+        max_retries: how many times a failed or timed-out download attempt
+            is retried before the player forces the segment through at the
+            lowest rung.  Only exercised when faults are injected or
+            ``download_timeout`` is set.
+        retry_backoff: base of the exponential backoff between retries;
+            retry *n* waits ``retry_backoff * 2**n`` extra seconds.
+        download_timeout: per-attempt wall-clock budget in seconds; an
+            attempt projected to exceed it is aborted and retried.  ``None``
+            (the default) disables the timeout.
+        downshift_on_retry: whether each retry drops one rung, the
+            degradation production players apply on fetch errors.
     """
 
     max_buffer: float = 20.0
@@ -114,6 +149,10 @@ class PlayerConfig:
     abandon_check_fraction: float = 0.5
     abandon_threshold: float = 1.0
     rtt: float = 0.0
+    max_retries: int = 3
+    retry_backoff: float = 0.5
+    download_timeout: Optional[float] = None
+    downshift_on_retry: bool = True
 
     def __post_init__(self) -> None:
         if self.max_buffer <= 0:
@@ -130,6 +169,12 @@ class PlayerConfig:
             raise ValueError("abandon_threshold must be non-negative")
         if self.rtt < 0:
             raise ValueError("rtt must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.download_timeout is not None and self.download_timeout <= 0:
+            raise ValueError("download_timeout must be positive when set")
 
 
 @dataclass
@@ -154,6 +199,9 @@ class SessionResult:
     wall_duration: float = 0.0
     idle_time: float = 0.0
     abandonments: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    fallback_decisions: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -196,6 +244,7 @@ def simulate_session(
     trace: ThroughputTrace,
     ladder: BitrateLadder,
     config: Optional[PlayerConfig] = None,
+    faults: Optional[DownloadFaultHook] = None,
 ) -> SessionResult:
     """Run one streaming session and return its full record.
 
@@ -204,16 +253,26 @@ def simulate_session(
         trace: network conditions (loops if shorter than the session).
         ladder: the encoding ladder.
         config: player parameters; defaults to the paper's live setting.
+        faults: optional download-fault hook (e.g. a
+            :class:`repro.faults.FaultPlan`); consulted once per download
+            attempt.  Failed attempts are retried with exponential backoff
+            and optional rung downshift per ``config``; corrupted samples
+            reach the controller but not the QoE record.
 
     Returns:
         A :class:`SessionResult` with per-segment decisions and QoE inputs.
 
     Raises:
-        RuntimeError: if the controller defers forever or the network can
-            never deliver a segment (all-zero trace).
+        LivelockError: if the controller defers forever.
+        RuntimeError: if the network can never deliver a segment
+            (all-zero trace).
     """
     cfg = config or PlayerConfig()
     controller.reset()
+    if faults is not None:
+        reset = getattr(faults, "reset", None)
+        if callable(reset):
+            reset()
 
     result = SessionResult(controller=controller.name, ladder=ladder)
     seg_len = ladder.segment_duration
@@ -267,9 +326,7 @@ def simulate_session(
                 break
             idle_steps += 1
             if idle_steps > _MAX_IDLE_STEPS:
-                raise RuntimeError(
-                    f"{controller.name} deferred {idle_steps} times in a row"
-                )
+                raise LivelockError(controller.name, segment_index, idle_steps)
             t, buffer, playing, rebuffering = _advance(
                 t, buffer, playing, rebuffering, _IDLE_STEP, cfg, result
             )
@@ -281,12 +338,60 @@ def simulate_session(
             )
 
         # ------------------------------------------------------------
-        # Download the segment.
+        # Download the segment (with per-attempt fault injection,
+        # retry + exponential backoff, and rung downshift on retry).
         # ------------------------------------------------------------
-        size = ladder.segment_size(quality, segment_index)
-        dt = cfg.rtt + trace.download_time(size, t + cfg.rtt)
-        if math.isinf(dt):
-            raise RuntimeError("trace can never deliver the segment")
+        attempt = 0
+        decision = CLEAN
+        while True:
+            if faults is not None:
+                decision = faults.on_attempt(
+                    wall_time=t,
+                    segment_index=segment_index,
+                    attempt=attempt,
+                    quality=quality,
+                )
+            if not decision.is_clean:
+                result.faults_injected += 1
+            latency = cfg.rtt + max(decision.latency_extra, 0.0)
+            size = ladder.segment_size(quality, segment_index)
+            dt = latency + trace.download_time(size, t + latency)
+            if math.isinf(dt):
+                raise RuntimeError("trace can never deliver the segment")
+            dt += max(decision.stall_extra, 0.0)
+
+            timed_out = (
+                cfg.download_timeout is not None and dt > cfg.download_timeout
+            )
+            if (decision.failed or timed_out) and attempt < cfg.max_retries:
+                # The attempt burns wall time (partial transfer, error
+                # handshake, or the full timeout budget), then the player
+                # backs off exponentially before the next try.
+                wasted = (
+                    max(decision.wasted_time, 0.0)
+                    if decision.failed
+                    else float(cfg.download_timeout)
+                )
+                wait = wasted + cfg.retry_backoff * (2.0 ** attempt)
+                t, buffer, playing, rebuffering = _advance(
+                    t, buffer, playing, rebuffering, wait, cfg, result
+                )
+                result.retries += 1
+                attempt += 1
+                if cfg.downshift_on_retry and quality > 0:
+                    quality -= 1
+                continue
+            if decision.failed:
+                # Retry budget exhausted: force the segment through at the
+                # lowest rung with no further injection, so a bounded fault
+                # stream can never wedge the session.
+                quality = 0
+                size = ladder.segment_size(quality, segment_index)
+                dt = cfg.rtt + trace.download_time(size, t + cfg.rtt)
+                if math.isinf(dt):
+                    raise RuntimeError("trace can never deliver the segment")
+                decision = CLEAN
+            break
 
         # Abandonment: a download on course to stall playback is cancelled
         # once the player has spent a fraction of its buffer confirming the
@@ -325,8 +430,18 @@ def simulate_session(
         )
         buffer += seg_len
 
-        history.append(sample)
-        controller.on_download(sample)
+        # A corrupted measurement reaches the controller (and its
+        # predictor), but the QoE record keeps the true dynamics.
+        observed = sample
+        if decision.corrupt_throughput is not None:
+            observed = ThroughputSample(
+                start=sample.start,
+                duration=sample.duration,
+                size=sample.size,
+                throughput=decision.corrupt_throughput,
+            )
+        history.append(observed)
+        controller.on_download(observed)
         prev_quality = quality
 
         result.qualities.append(quality)
@@ -339,6 +454,9 @@ def simulate_session(
             playing = True
 
     result.wall_duration = t
+    # Resilient wrappers count their interventions; surface them here so
+    # every analysis layer sees one consistent record.
+    result.fallback_decisions = int(getattr(controller, "fallback_decisions", 0))
     return result
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
+from ..faults.plan import DownloadFaultHook
 from ..qoe.metrics import QoeMetrics, qoe_from_session
 from .network import ThroughputTrace
 from .player import PlayerConfig, SessionResult, simulate_session
@@ -31,17 +32,20 @@ def run_session(
     config: Optional[PlayerConfig] = None,
     utility: str = "log",
     ssim_model: Optional[SsimModel] = None,
+    faults: Optional[DownloadFaultHook] = None,
 ) -> SessionResult:
     """Simulate one session, attaching oracle predictors to the trace.
 
     Any predictor exposing ``attach_trace`` (the oracle family) is pointed
     at the session's ground-truth trace before the run — this is how the
-    perfect/noisy-prediction experiments of §6.1.4 are wired.
+    perfect/noisy-prediction experiments of §6.1.4 are wired.  ``faults``
+    (e.g. a :class:`repro.faults.FaultPlan`) injects download faults into
+    the session.
     """
     predictor = getattr(controller, "predictor", None)
     if predictor is not None and hasattr(predictor, "attach_trace"):
         predictor.attach_trace(trace)
-    return simulate_session(controller, trace, ladder, config)
+    return simulate_session(controller, trace, ladder, config, faults=faults)
 
 
 def run_dataset(
@@ -53,6 +57,7 @@ def run_dataset(
     ssim_model: Optional[SsimModel] = None,
     qoe_beta: float = 10.0,
     qoe_gamma: float = 1.0,
+    fault_factory: Optional[Callable[[int], DownloadFaultHook]] = None,
 ) -> List[QoeMetrics]:
     """Run a fresh controller instance over every trace, returning QoE rows.
 
@@ -66,11 +71,14 @@ def run_dataset(
         ssim_model: SSIM curve used when ``utility="ssim"``.
         qoe_beta: rebuffering weight in the QoE score (paper uses 10).
         qoe_gamma: switching weight in the QoE score (paper uses 1).
+        fault_factory: builds a fault hook per session index (e.g.
+            ``plan.fork``), so fault streams stay independent per trace.
     """
     metrics: List[QoeMetrics] = []
-    for trace in traces:
+    for index, trace in enumerate(traces):
         controller = factory()
-        result = run_session(controller, trace, ladder, config)
+        faults = fault_factory(index) if fault_factory is not None else None
+        result = run_session(controller, trace, ladder, config, faults=faults)
         metrics.append(
             qoe_from_session(
                 result,

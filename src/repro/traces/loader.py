@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from pathlib import Path
 from typing import List, Sequence, TextIO, Union
 
@@ -48,13 +49,25 @@ def load_mahimahi(
         name: label for the resulting trace (defaults to the file name).
 
     Raises:
-        ValueError: on an empty file or non-monotonic timestamps.
+        ValueError: on an empty file, an unparseable line (named by line
+            number), or non-monotonic timestamps.
     """
     if bin_seconds <= 0:
         raise ValueError("bin width must be positive")
     f, should_close = _open(source)
     try:
-        timestamps_ms = [int(line) for line in f if line.strip()]
+        timestamps_ms: List[int] = []
+        for lineno, line in enumerate(f, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                timestamps_ms.append(int(text))
+            except ValueError:
+                raise ValueError(
+                    f"mahimahi trace line {lineno}: expected a millisecond "
+                    f"timestamp, got {text!r}"
+                )
     finally:
         if should_close:
             f.close()
@@ -91,7 +104,10 @@ def load_bandwidth_csv(
         name: trace label.
 
     Raises:
-        ValueError: on missing columns or fewer than two rows.
+        ValueError: on missing columns, fewer than two rows, or a row with
+            an unparseable, NaN, infinite, or negative value — named by
+            line number, so garbage never propagates into a
+            :class:`ThroughputTrace`.
     """
     f, should_close = _open(source)
     try:
@@ -106,16 +122,42 @@ def load_bandwidth_csv(
         if col not in rows[0]:
             raise ValueError(f"CSV lacks column {col!r}")
 
-    times = [float(r[time_column]) for r in rows]
-    bws = [float(r[bandwidth_column]) * bandwidth_scale for r in rows]
+    times: List[float] = []
+    bws: List[float] = []
+    # Row 1 is the header, so data row i is file line i + 2.
+    for i, row in enumerate(rows):
+        lineno = i + 2
+        try:
+            tval = float(row[time_column])
+            bval = float(row[bandwidth_column])
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"bandwidth CSV line {lineno}: unparseable row "
+                f"({row[time_column]!r}, {row[bandwidth_column]!r})"
+            )
+        if not math.isfinite(tval) or not math.isfinite(bval):
+            raise ValueError(
+                f"bandwidth CSV line {lineno}: non-finite value "
+                f"({row[time_column]!r}, {row[bandwidth_column]!r})"
+            )
+        if bval < 0:
+            raise ValueError(
+                f"bandwidth CSV line {lineno}: negative bandwidth {bval!r}"
+            )
+        times.append(tval)
+        bws.append(bval * bandwidth_scale)
+
     durations: List[float] = []
     bandwidths: List[float] = []
     for i in range(len(rows) - 1):
         dt = times[i + 1] - times[i]
         if dt <= 0:
-            raise ValueError("timestamps must be strictly increasing")
+            raise ValueError(
+                f"bandwidth CSV line {i + 3}: timestamps must be strictly "
+                f"increasing"
+            )
         durations.append(dt)
-        bandwidths.append(max(bws[i], 0.0))
+        bandwidths.append(bws[i])
     label = name or (str(source) if isinstance(source, (str, Path)) else "")
     return ThroughputTrace(durations, bandwidths, name=label)
 
@@ -142,6 +184,9 @@ def load_irish_csv(source: Source, name: str = "") -> ThroughputTrace:
             try:
                 kbps = float(raw)
             except ValueError:
+                kbps = 0.0
+            if not math.isfinite(kbps):
+                # NaN/inf sentinel rows are radio gaps, like missing cells.
                 kbps = 0.0
             bandwidths.append(max(kbps, 0.0) / 1000.0)  # kb/s -> Mb/s
     finally:

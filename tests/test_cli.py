@@ -22,6 +22,7 @@ class TestParser:
             ["trace", "--dataset", "4g"],
             ["decide", "--throughput", "5", "--buffer", "10"],
             ["tune", "--dataset", "puffer"],
+            ["robustness", "--dataset", "4g", "--resilient"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
@@ -73,3 +74,46 @@ class TestCommands:
                      "--duration", "60"]) == 0
         out = capsys.readouterr().out
         assert "best:" in out
+
+    def test_robustness_small(self, capsys):
+        assert main(["robustness", "--dataset", "4g", "--sessions", "1",
+                     "--duration", "60", "--intensities", "0,0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "qoe@0.30" in out
+        assert "soda" in out
+
+
+class TestErrorHandling:
+    """Operational errors exit with code 2 and a one-line message."""
+
+    def test_missing_trace_csv(self, capsys):
+        assert main(["session", "soda", "--trace-csv", "/no/such/file.csv"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.count("\n") == 1
+
+    def test_missing_summarize_file(self, capsys):
+        assert main(["trace", "--summarize", "/no/such/file.csv"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_malformed_trace_csv(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("time,bandwidth\n0,4.0\n1,nan\n")
+        assert main(["session", "soda", "--trace-csv", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "line 3" in err
+
+    def test_unwritable_trace_out(self, capsys):
+        assert main(["trace", "--dataset", "4g", "--duration", "30",
+                     "--out", "/no/such/dir/out.csv"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_bad_intensities(self, capsys):
+        assert main(["robustness", "--sessions", "1", "--duration", "30",
+                     "--intensities", "abc"]) == 2
+        assert "intensities" in capsys.readouterr().err
+
+    def test_bad_argument_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["session", "soda", "--duration", "not-a-number"])
+        assert excinfo.value.code == 2

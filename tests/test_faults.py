@@ -1,0 +1,476 @@
+"""Tests for the fault-injection subsystem and the resilient pipeline."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.abr import BolaController, ResilientController
+from repro.abr.base import AbrController
+from repro.faults import (
+    CLEAN,
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    compose,
+)
+from repro.prediction.base import ThroughputPredictor
+from repro.prediction.ema import EmaPredictor
+from repro.sim import (
+    LivelockError,
+    PlayerConfig,
+    ThroughputTrace,
+    simulate_session,
+    simulate_shared_link,
+)
+from repro.sim.video import youtube_hd_ladder
+from repro.analysis import sweep_fault_intensity
+from repro.sim.profiles import EvaluationProfile
+
+
+# ----------------------------------------------------------------------
+# Helper controllers
+# ----------------------------------------------------------------------
+class FixedController(AbrController):
+    name = "fixed"
+
+    def __init__(self, quality: int = 0):
+        super().__init__()
+        self.quality = quality
+
+    def select_quality(self, obs):
+        return self.quality
+
+
+class RecordingController(AbrController):
+    """Remembers every sample and observation it is given."""
+
+    name = "recording"
+
+    def __init__(self):
+        super().__init__()
+        self.samples = []
+        self.observations = []
+
+    def on_download(self, sample):
+        self.samples.append(sample)
+
+    def select_quality(self, obs):
+        self.observations.append(obs)
+        return 0
+
+
+class CrashingController(AbrController):
+    name = "crashing"
+
+    def select_quality(self, obs):
+        raise RuntimeError("solver exploded")
+
+
+class BadRungController(AbrController):
+    name = "badrung"
+
+    def select_quality(self, obs):
+        return 99
+
+
+class NanRungController(AbrController):
+    name = "nanrung"
+
+    def select_quality(self, obs):
+        return float("nan")
+
+
+class DeferForeverController(AbrController):
+    name = "deferforever"
+
+    def select_quality(self, obs):
+        return None
+
+
+class SlowController(AbrController):
+    name = "slow"
+
+    def select_quality(self, obs):
+        time.sleep(0.02)
+        return 0
+
+
+class NanPredictor(ThroughputPredictor):
+    name = "nanpred"
+
+    def predict_scalar(self, now):
+        return float("nan")
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def ladder():
+    return youtube_hd_ladder()
+
+
+@pytest.fixture
+def trace():
+    return ThroughputTrace.from_samples(
+        [4.0 + (i % 5) for i in range(180)], 1.0, name="varied"
+    )
+
+
+@pytest.fixture
+def config():
+    return PlayerConfig(num_segments=40, live_delay=None)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_zero_intensity_is_clean(self):
+        plan = FaultPlan.of_intensity(0.0, seed=1)
+        for i in range(200):
+            assert plan.on_attempt(float(i), i, 0, 0).is_clean
+
+    def test_deterministic_under_seed(self):
+        def stream(seed):
+            plan = FaultPlan.of_intensity(0.6, seed=seed)
+            return [plan.on_attempt(float(i), i, 0, 2) for i in range(300)]
+
+        assert stream(5) == stream(5)
+        assert stream(5) != stream(6)
+
+    def test_reset_rewinds_the_stream(self):
+        plan = FaultPlan.of_intensity(0.6, seed=9)
+        first = [plan.on_attempt(float(i), i, 0, 1) for i in range(100)]
+        plan.reset()
+        again = [plan.on_attempt(float(i), i, 0, 1) for i in range(100)]
+        assert first == again
+
+    def test_fork_gives_independent_streams(self):
+        plan = FaultPlan.of_intensity(0.6, seed=3)
+        a = plan.fork(0)
+        b = plan.fork(1)
+        sa = [a.on_attempt(float(i), i, 0, 1) for i in range(200)]
+        sb = [b.on_attempt(float(i), i, 0, 1) for i in range(200)]
+        assert sa != sb
+
+    def test_failures_bounded_per_segment(self):
+        plan = FaultPlan(FaultSpec(failure_rate=1.0, max_consecutive_failures=4))
+        decisions = [plan.on_attempt(float(i), 7, i, 0) for i in range(10)]
+        assert sum(d.failed for d in decisions) == 4
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(stall_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(max_consecutive_failures=0)
+        with pytest.raises(ValueError):
+            FaultPlan.of_intensity(-0.1)
+
+    def test_compose_merges_faults(self):
+        failures = FaultPlan(FaultSpec(failure_rate=1.0))
+        spikes = FaultPlan(FaultSpec(latency_rate=1.0, latency_seconds=0.2))
+        merged = compose(failures, spikes)
+        d = merged.on_attempt(0.0, 0, 0, 0)
+        assert d.failed
+        assert FaultKind.FAILURE in d.kinds
+        with pytest.raises(ValueError):
+            compose()
+
+    def test_clean_decision(self):
+        assert CLEAN.is_clean
+        assert not FaultDecision(failed=True, kinds=(FaultKind.FAILURE,)).is_clean
+
+
+# ----------------------------------------------------------------------
+# Player under faults
+# ----------------------------------------------------------------------
+class TestPlayerFaults:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_session_never_raises_and_invariants_hold(
+        self, ladder, trace, config, seed
+    ):
+        rng = np.random.default_rng(seed)
+        intensity = float(rng.uniform(0.05, 1.0))
+        plan = FaultPlan.of_intensity(intensity, seed=seed)
+        result = simulate_session(
+            BolaController(), trace, ladder, config, faults=plan
+        )
+        assert result.num_segments == config.num_segments
+        assert min(result.buffer_levels) >= 0.0
+        assert result.rebuffer_time >= 0.0
+        assert result.startup_delay >= 0.0
+        assert all(0 <= q < ladder.levels for q in result.qualities)
+        assert all(dt > 0 for dt in result.download_times)
+
+    def test_failures_trigger_retries_and_downshift(self, ladder, trace):
+        cfg = PlayerConfig(
+            num_segments=20, live_delay=None, max_retries=2, retry_backoff=0.1
+        )
+        plan = FaultPlan(
+            FaultSpec(failure_rate=1.0, failure_wasted_seconds=0.2), seed=0
+        )
+        result = simulate_session(
+            FixedController(3), trace, ladder, cfg, faults=plan
+        )
+        # Every segment exhausts its retry budget and lands on rung 0.
+        assert result.retries == 20 * 2
+        assert result.faults_injected > 0
+        assert all(q == 0 for q in result.qualities)
+
+    def test_downshift_can_be_disabled(self, ladder, trace):
+        cfg = PlayerConfig(
+            num_segments=10, live_delay=None, max_retries=2,
+            retry_backoff=0.1, downshift_on_retry=False, abandonment=False,
+        )
+        # One failure per segment, then clean retries at the original rung.
+        plan = FaultPlan(
+            FaultSpec(failure_rate=1.0, max_consecutive_failures=1), seed=0
+        )
+        result = simulate_session(
+            FixedController(3), trace, ladder, cfg, faults=plan
+        )
+        assert all(q == 3 for q in result.qualities)
+        assert result.retries == 10
+
+    def test_download_timeout_aborts_slow_attempts(self, ladder):
+        slow = ThroughputTrace.constant(0.4, 600.0)
+        cfg = PlayerConfig(
+            num_segments=5, live_delay=None, max_retries=3,
+            retry_backoff=0.1, download_timeout=4.0,
+        )
+        result = simulate_session(
+            FixedController(ladder.levels - 1), slow, ladder, cfg
+        )
+        assert result.retries > 0
+        assert result.num_segments == 5
+
+    def test_corrupt_samples_reach_controller_not_qoe(self, ladder, trace):
+        cfg = PlayerConfig(num_segments=30, live_delay=None)
+        plan = FaultPlan(FaultSpec(corrupt_rate=1.0), seed=2)
+        controller = RecordingController()
+        result = simulate_session(controller, trace, ladder, cfg, faults=plan)
+        observed = [s.throughput for s in controller.samples]
+        assert any(not math.isfinite(v) or v <= 0 for v in observed)
+        # The QoE record keeps the true measured throughputs.
+        assert all(math.isfinite(v) and v > 0 for v in result.throughputs)
+
+    def test_fault_free_run_identical_to_baseline(self, ladder, trace, config):
+        plain = simulate_session(BolaController(), trace, ladder, config)
+        with_plan = simulate_session(
+            BolaController(), trace, ladder, config,
+            faults=FaultPlan.of_intensity(0.0, seed=1),
+        )
+        assert plain.qualities == with_plan.qualities
+        assert plain.rebuffer_time == with_plan.rebuffer_time
+        assert with_plan.faults_injected == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            PlayerConfig(retry_backoff=-0.5)
+        with pytest.raises(ValueError):
+            PlayerConfig(download_timeout=0.0)
+
+    def test_livelock_error_names_controller_and_segment(
+        self, ladder, trace, config
+    ):
+        with pytest.raises(LivelockError) as excinfo:
+            simulate_session(DeferForeverController(), trace, ladder, config)
+        assert excinfo.value.controller == "deferforever"
+        assert excinfo.value.segment_index == 0
+        assert "deferforever" in str(excinfo.value)
+        assert "segment 0" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Shared link under faults
+# ----------------------------------------------------------------------
+class TestSharedLinkFaults:
+    def test_completes_with_per_client_plans(self, ladder):
+        link = ThroughputTrace.constant(20.0, 600.0)
+        cfg = PlayerConfig(num_segments=15, live_delay=None)
+        controllers = [BolaController(), BolaController()]
+        plans = [FaultPlan.of_intensity(0.5, seed=4), None]
+        outcome = simulate_shared_link(
+            controllers, link, ladder, cfg, faults=plans
+        )
+        faulted, clean = outcome.results
+        assert faulted.num_segments == 15 and clean.num_segments == 15
+        assert faulted.faults_injected > 0
+        assert clean.faults_injected == 0
+        for r in outcome.results:
+            assert r.rebuffer_time >= 0.0
+            assert min(r.buffer_levels) >= 0.0
+
+    def test_faults_length_must_match_clients(self, ladder):
+        link = ThroughputTrace.constant(20.0, 600.0)
+        with pytest.raises(ValueError, match="per client"):
+            simulate_shared_link(
+                [BolaController()], link, ladder,
+                PlayerConfig(num_segments=2),
+                faults=[None, None],
+            )
+
+    def test_livelock_error_in_shared_link(self, ladder):
+        link = ThroughputTrace.constant(20.0, 600.0)
+        cfg = PlayerConfig(num_segments=3, live_delay=None)
+        with pytest.raises(LivelockError):
+            simulate_shared_link([DeferForeverController()], link, ladder, cfg)
+
+
+# ----------------------------------------------------------------------
+# ResilientController
+# ----------------------------------------------------------------------
+class TestResilientController:
+    def survives(self, inner, ladder, trace, config, plan=None):
+        controller = ResilientController(inner)
+        result = simulate_session(
+            controller, trace, ladder, config, faults=plan
+        )
+        assert result.num_segments == config.num_segments
+        assert min(result.buffer_levels) >= 0.0
+        return controller, result
+
+    def test_crashing_inner_completes_under_20pct_failures(
+        self, ladder, trace, config
+    ):
+        plan = FaultPlan.failures_only(0.2, seed=13)
+        controller, result = self.survives(
+            CrashingController(), ladder, trace, config, plan
+        )
+        assert controller.caught_exceptions == config.num_segments
+        assert result.fallback_decisions == config.num_segments
+        assert result.faults_injected > 0
+
+    def test_invalid_rung_inner_falls_back(self, ladder, trace, config):
+        controller, result = self.survives(
+            BadRungController(), ladder, trace, config
+        )
+        assert result.fallback_decisions == config.num_segments
+        assert controller.caught_exceptions == 0
+
+    def test_nan_rung_inner_falls_back(self, ladder, trace, config):
+        controller, result = self.survives(
+            NanRungController(), ladder, trace, config
+        )
+        assert result.fallback_decisions == config.num_segments
+
+    def test_defer_storm_guard_prevents_livelock(self, ladder, trace):
+        cfg = PlayerConfig(num_segments=5, live_delay=None)
+        controller = ResilientController(
+            DeferForeverController(), max_consecutive_defers=10
+        )
+        result = simulate_session(controller, trace, ladder, cfg)
+        assert result.num_segments == 5
+        assert result.fallback_decisions == 5
+
+    def test_watchdog_retires_slow_inner(self, ladder, trace):
+        cfg = PlayerConfig(num_segments=10, live_delay=None)
+        controller = ResilientController(
+            SlowController(), solve_timeout=0.001, max_watchdog_trips=3
+        )
+        result = simulate_session(controller, trace, ladder, cfg)
+        assert controller.watchdog_trips == 3
+        assert result.fallback_decisions == 10
+
+    def test_nan_predictions_are_clamped(self, ladder, trace, config):
+        from repro.abr import HybController
+
+        inner = HybController(predictor=NanPredictor())
+        controller, result = self.survives(inner, ladder, trace, config)
+        # The safe predictor collapses NaN to 0, HYB's own floor handles 0.
+        assert all(0 <= q < ladder.levels for q in result.qualities)
+
+    def test_sanitizes_corrupted_samples(self, ladder, trace, config):
+        plan = FaultPlan(FaultSpec(corrupt_rate=1.0), seed=5)
+        inner = RecordingController()
+        controller = ResilientController(inner)
+        simulate_session(controller, trace, ladder, config, faults=plan)
+        # Whatever reached the inner controller is finite and positive.
+        for sample in inner.samples:
+            assert math.isfinite(sample.throughput)
+            assert sample.throughput > 0
+        for obs in inner.observations:
+            for sample in obs.history:
+                assert math.isfinite(sample.throughput)
+        assert controller.sanitized_observations > 0
+
+    def test_healthy_inner_is_untouched(self, ladder, trace, config):
+        plain = simulate_session(BolaController(), trace, ladder, config)
+        wrapped = simulate_session(
+            ResilientController(BolaController()), trace, ladder, config
+        )
+        assert plain.qualities == wrapped.qualities
+        assert wrapped.fallback_decisions == 0
+
+    def test_counters_reset_between_sessions(self, ladder, trace, config):
+        controller = ResilientController(BadRungController())
+        simulate_session(controller, trace, ladder, config)
+        result = simulate_session(controller, trace, ladder, config)
+        assert result.fallback_decisions == config.num_segments
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ResilientController(BolaController(), solve_timeout=0.0)
+        with pytest.raises(ValueError):
+            ResilientController(BolaController(), max_watchdog_trips=0)
+        with pytest.raises(ValueError):
+            ResilientController(BolaController(), max_consecutive_defers=0)
+
+    def test_oracle_attach_passes_through_safe_predictor(self, trace):
+        from repro.prediction.oracle import OraclePredictor
+
+        inner = BolaController()
+        inner.predictor = OraclePredictor()
+        wrapped = ResilientController(inner)
+        assert hasattr(wrapped.predictor, "attach_trace")
+        wrapped.predictor.attach_trace(trace)
+
+
+# ----------------------------------------------------------------------
+# Robustness sweep
+# ----------------------------------------------------------------------
+class TestRobustnessSweep:
+    def test_sweep_structure_and_baseline(self, ladder):
+        traces = [
+            ThroughputTrace.from_samples(
+                [5.0 + (i % 4) for i in range(90)], 1.0
+            )
+            for _ in range(2)
+        ]
+        profile = EvaluationProfile(
+            name="test",
+            ladder=ladder,
+            player=PlayerConfig(num_segments=20, live_delay=None),
+        )
+        factories = {"bola": BolaController, "fixed": lambda: FixedController(1)}
+        report = sweep_fault_intensity(
+            traces, profile, factories=factories,
+            intensities=[0.0, 0.5], seed=3,
+        )
+        assert set(report.curves) == {"bola", "fixed"}
+        for curve in report.curves.values():
+            assert curve.intensities == [0.0, 0.5]
+            assert curve.points[0].faults_injected == 0
+            assert curve.points[1].faults_injected > 0
+        rendered = report.render()
+        assert "bola" in rendered and "qoe@0.50" in rendered
+
+    def test_sweep_rejects_unsorted_intensities(self, ladder):
+        profile = EvaluationProfile(
+            name="test", ladder=ladder,
+            player=PlayerConfig(num_segments=5, live_delay=None),
+        )
+        trace = ThroughputTrace.constant(5.0, 60.0)
+        with pytest.raises(ValueError, match="ascending"):
+            sweep_fault_intensity(
+                [trace], profile, factories={"bola": BolaController},
+                intensities=[0.5, 0.0],
+            )

@@ -140,6 +140,30 @@ class TestLoaders:
         with pytest.raises(ValueError, match="strictly increasing"):
             load_bandwidth_csv(io.StringIO(csv))
 
+    def test_bandwidth_csv_nan_names_line(self):
+        csv = "time,bandwidth\n0,4.0\n1,nan\n2,5.0\n"
+        with pytest.raises(ValueError, match="line 3"):
+            load_bandwidth_csv(io.StringIO(csv))
+
+    def test_bandwidth_csv_negative_names_line(self):
+        csv = "time,bandwidth\n0,4.0\n1,-2.0\n"
+        with pytest.raises(ValueError, match="line 3.*negative"):
+            load_bandwidth_csv(io.StringIO(csv))
+
+    def test_bandwidth_csv_unparseable_names_line(self):
+        csv = "time,bandwidth\n0,4.0\n1,garbage\n"
+        with pytest.raises(ValueError, match="line 3.*unparseable"):
+            load_bandwidth_csv(io.StringIO(csv))
+
+    def test_mahimahi_garbage_line_named(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_mahimahi(io.StringIO("100\nnot-a-timestamp\n"))
+
+    def test_irish_csv_nan_treated_as_gap(self):
+        csv = "DL_bitrate\n12000\nnan\n6000\n"
+        trace = load_irish_csv(io.StringIO(csv))
+        assert trace.bandwidth_at(1.5) == 0.0
+
     def test_irish_csv(self):
         csv = "Timestamp,DL_bitrate,UL_bitrate\n1,12000,100\n2,6000,100\n3,-,100\n"
         trace = load_irish_csv(io.StringIO(csv))
