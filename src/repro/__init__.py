@@ -21,6 +21,8 @@ Subpackages:
     traces:     synthetic dataset generators and real-format parsers
     qoe:        the paper's QoE metrics and aggregation
     analysis:   experiment harness, tables, engagement models
+    runner:     supervised experiment executor (crash containment,
+                journaling, resume, invariant auditing)
 """
 
 from .abr import (
@@ -58,6 +60,16 @@ from .prediction import (
     ThroughputSample,
 )
 from .qoe import QoeMetrics, QoeSummary, qoe_from_session, summarize
+from .runner import (
+    ConfigMismatchError,
+    Journal,
+    JournalError,
+    RunManifest,
+    SessionKey,
+    SessionRecord,
+    audit_session,
+    config_hash,
+)
 from .sim import (
     BitrateLadder,
     LivelockError,
@@ -145,4 +157,13 @@ __all__ = [
     "QoeSummary",
     "qoe_from_session",
     "summarize",
+    # runner
+    "Journal",
+    "JournalError",
+    "ConfigMismatchError",
+    "RunManifest",
+    "SessionKey",
+    "SessionRecord",
+    "audit_session",
+    "config_hash",
 ]

@@ -36,7 +36,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -94,6 +94,9 @@ class ResilientController(AbrController):
             inner controller is retired for the rest of the session.
         max_consecutive_defers: successive ``None`` answers tolerated
             before the fallback decides instead.
+        clock: monotonic time source used by the solve-time watchdog;
+            defaults to :func:`time.monotonic`.  Injectable so watchdog
+            trips are deterministically testable without real sleeps.
     """
 
     name = "resilient"
@@ -105,6 +108,7 @@ class ResilientController(AbrController):
         solve_timeout: float = 1.0,
         max_watchdog_trips: int = 5,
         max_consecutive_defers: int = 200,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if solve_timeout <= 0:
             raise ValueError("solve_timeout must be positive")
@@ -118,6 +122,7 @@ class ResilientController(AbrController):
         self.solve_timeout = solve_timeout
         self.max_watchdog_trips = max_watchdog_trips
         self.max_consecutive_defers = max_consecutive_defers
+        self.clock = clock or time.monotonic
         self.name = f"resilient({inner.name})"
         if inner.predictor is not None and not isinstance(
             inner.predictor, _SafePredictor
@@ -171,13 +176,13 @@ class ResilientController(AbrController):
         if self._inner_retired:
             return self._fallback_decision(obs)
 
-        started = time.perf_counter()
+        started = self.clock()
         try:
             quality = self.inner.select_quality(obs)
         except Exception:
             self.caught_exceptions += 1
             return self._fallback_decision(obs)
-        if time.perf_counter() - started > self.solve_timeout:
+        if self.clock() - started > self.solve_timeout:
             self.watchdog_trips += 1
             if self.watchdog_trips >= self.max_watchdog_trips:
                 self._inner_retired = True

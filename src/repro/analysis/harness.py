@@ -3,10 +3,17 @@
 This is the machinery behind every evaluation bench: build fresh
 controllers per session, stream every trace of a dataset under a profile,
 and aggregate the paper's QoE metrics with confidence intervals.
+
+Execution is delegated to :mod:`repro.runner`: ``jobs=1`` without a journal
+keeps the legacy serial in-process path (exceptions propagate, results are
+byte-identical to running the sessions by hand), while ``jobs > 1`` fans
+sessions out to supervised worker processes with crash containment, and
+``journal``/``resume`` make the run durable and restartable.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -22,29 +29,81 @@ from ..core.controller import SodaController
 from ..core.objective import SodaConfig
 from ..prediction.ema import EmaPredictor
 from ..qoe.aggregate import QoeSummary
-from ..qoe.metrics import QoeMetrics
+from ..qoe.metrics import QoeMetrics, qoe_from_session
+from ..runner import (
+    Journal,
+    SessionKey,
+    SessionRecord,
+    SessionTask,
+    audit_session,
+    config_hash,
+    execute,
+    metrics_to_dict,
+)
 from ..sim.network import ThroughputTrace
 from ..sim.profiles import EvaluationProfile
-from ..sim.session import run_dataset
+from ..sim.session import run_session
 
-__all__ = ["SuiteResult", "run_suite", "standard_controllers"]
+__all__ = ["SuiteResult", "run_suite", "standard_controllers", "trace_label"]
 
 ControllerFactory = Callable[[], AbrController]
 
 
+def trace_label(index: int, trace: ThroughputTrace) -> str:
+    """A stable per-session trace name (falls back to the index)."""
+    return trace.name or f"trace-{index}"
+
+
 @dataclass
 class SuiteResult:
-    """Per-controller QoE metrics for one dataset × profile experiment."""
+    """Per-controller QoE metrics for one dataset × profile experiment.
+
+    ``per_controller`` holds the metrics of every *completed* session
+    (including invariant-flagged ones, which are additionally listed in
+    ``flagged``); sessions whose worker raised, timed out, or crashed are
+    recorded in ``failures`` instead of silently vanishing.
+    """
 
     profile: str
     dataset: str
     per_controller: Dict[str, List[QoeMetrics]] = field(default_factory=dict)
+    failures: Dict[str, List[SessionRecord]] = field(default_factory=dict)
+    flagged: Dict[str, List[SessionRecord]] = field(default_factory=dict)
 
     def summary(self, controller: str) -> QoeSummary:
         return QoeSummary.of(self.per_controller[controller])
 
     def summaries(self) -> Dict[str, QoeSummary]:
-        return {name: self.summary(name) for name in self.per_controller}
+        return {
+            name: self.summary(name)
+            for name, metrics in self.per_controller.items()
+            if metrics
+        }
+
+    @property
+    def failure_count(self) -> int:
+        return sum(len(records) for records in self.failures.values())
+
+    def failure_lines(self) -> List[str]:
+        """One line per controller with failed or flagged sessions."""
+        lines: List[str] = []
+        for name in self.per_controller:
+            failed = self.failures.get(name, ())
+            if failed:
+                err = (failed[0].error or {})
+                lines.append(
+                    f"{name}: {len(failed)} session(s) failed; first: "
+                    f"[{failed[0].key.trace}] {err.get('phase', 'error')}: "
+                    f"{err.get('type', '?')}: {err.get('message', '')}"
+                )
+            bad = self.flagged.get(name, ())
+            if bad:
+                first = bad[0].violations[0] if bad[0].violations else "?"
+                lines.append(
+                    f"{name}: {len(bad)} session(s) flagged by the invariant "
+                    f"auditor; first: [{bad[0].key.trace}] {first}"
+                )
+        return lines
 
     def best_baseline_qoe(self, soda_name: str = "soda") -> float:
         """Highest mean QoE among the non-SODA controllers."""
@@ -97,6 +156,78 @@ def standard_controllers(
     }
 
 
+def suite_spec(
+    factories: Mapping[str, ControllerFactory],
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+    dataset_name: str,
+    qoe_beta: float,
+    qoe_gamma: float,
+) -> Dict[str, object]:
+    """The canonical (JSON-safe) config of one suite run, for hashing."""
+    return {
+        "kind": "suite",
+        "dataset": dataset_name,
+        "profile": profile.name,
+        "utility": profile.utility,
+        "controllers": list(factories.keys()),
+        "traces": [trace_label(i, t) for i, t in enumerate(traces)],
+        "player": dataclasses.asdict(profile.player),
+        "ladder": {
+            "name": profile.ladder.name,
+            "bitrates": list(profile.ladder.bitrates),
+            "segment_duration": profile.ladder.segment_duration,
+            "size_variation": profile.ladder.size_variation,
+        },
+        "qoe": {"beta": qoe_beta, "gamma": qoe_gamma},
+    }
+
+
+def _make_session_thunk(
+    factory: ControllerFactory,
+    trace: ThroughputTrace,
+    profile: EvaluationProfile,
+    qoe_beta: float,
+    qoe_gamma: float,
+    seed: int,
+    fault_factory: Optional[Callable[[], object]] = None,
+) -> Callable[[], Dict[str, object]]:
+    """One session as a runner thunk: simulate, score, audit."""
+
+    def thunk() -> Dict[str, object]:
+        controller = factory()
+        faults = fault_factory() if fault_factory is not None else None
+        result = run_session(
+            controller, trace, profile.ladder, profile.player, faults=faults
+        )
+        metrics = qoe_from_session(
+            result,
+            utility=profile.utility,
+            ssim_model=profile.ssim_model,
+            beta=qoe_beta,
+            gamma=qoe_gamma,
+            seed=seed,
+        )
+        violations = audit_session(
+            result, metrics, config=profile.player, faults=faults
+        )
+        return {
+            "metrics": metrics_to_dict(metrics),
+            "counters": {
+                "segments": result.num_segments,
+                "wall_duration": result.wall_duration,
+                "rebuffer_events": result.rebuffer_events,
+                "abandonments": result.abandonments,
+                "faults_injected": result.faults_injected,
+                "retries": result.retries,
+                "fallback_decisions": result.fallback_decisions,
+            },
+            "violations": violations,
+        }
+
+    return thunk
+
+
 def run_suite(
     factories: Mapping[str, ControllerFactory],
     traces: Sequence[ThroughputTrace],
@@ -104,22 +235,88 @@ def run_suite(
     dataset_name: str = "dataset",
     qoe_beta: float = 10.0,
     qoe_gamma: float = 1.0,
+    *,
+    jobs: int = 1,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    session_timeout: Optional[float] = None,
 ) -> SuiteResult:
-    """Run every controller factory over every trace of a dataset."""
+    """Run every controller factory over every trace of a dataset.
+
+    Args:
+        factories: per-controller session factories.
+        traces: the dataset.
+        profile: evaluation profile (ladder, player config, utility).
+        dataset_name: label used in results and journal keys.
+        qoe_beta: rebuffering weight of the QoE score.
+        qoe_gamma: switching weight of the QoE score.
+        jobs: worker processes; ``1`` (default) runs serially in-process
+            exactly as before, and a session exception propagates.  With
+            ``jobs > 1`` (or a journal) failures are contained as per-session
+            failure records instead.
+        journal: path of a JSONL run journal; every completed session is
+            flushed there atomically.
+        resume: replay ``journal`` and skip sessions already completed
+            under the same config hash (refuses a mismatched config).
+        session_timeout: per-session wall-clock budget in seconds,
+            enforced by killing the worker (``jobs > 1`` only).
+    """
     if not factories:
         raise ValueError("need at least one controller factory")
     if not traces:
         raise ValueError("need at least one trace")
-    result = SuiteResult(profile=profile.name, dataset=dataset_name)
+    if resume and journal is None:
+        raise ValueError("--resume requires a journal path")
+
+    spec = suite_spec(
+        factories, traces, profile, dataset_name, qoe_beta, qoe_gamma
+    )
+    chash = config_hash(spec)
+    run_journal = (
+        Journal.open(journal, spec, resume=resume)
+        if journal is not None
+        else None
+    )
+    contain = jobs > 1 or run_journal is not None
+
+    tasks: List[SessionTask] = []
     for name, factory in factories.items():
-        result.per_controller[name] = run_dataset(
-            factory,
-            traces,
-            profile.ladder,
-            profile.player,
-            utility=profile.utility,
-            ssim_model=profile.ssim_model,
-            qoe_beta=qoe_beta,
-            qoe_gamma=qoe_gamma,
-        )
+        for index, trace in enumerate(traces):
+            key = SessionKey(
+                controller=name,
+                dataset=dataset_name,
+                trace=trace_label(index, trace),
+                seed=index,
+                config_hash=chash,
+            )
+            tasks.append(
+                SessionTask(
+                    key=key,
+                    thunk=_make_session_thunk(
+                        factory, trace, profile, qoe_beta, qoe_gamma, index
+                    ),
+                )
+            )
+
+    records = execute(
+        tasks,
+        jobs=jobs,
+        timeout=session_timeout,
+        contain=contain,
+        journal=run_journal,
+    )
+
+    result = SuiteResult(profile=profile.name, dataset=dataset_name)
+    for name in factories:
+        result.per_controller[name] = []
+    for record in records:
+        name = record.key.controller
+        if record.completed:
+            metrics = record.to_metrics()
+            if metrics is not None:
+                result.per_controller[name].append(metrics)
+            if record.status == "flagged":
+                result.flagged.setdefault(name, []).append(record)
+        else:
+            result.failures.setdefault(name, []).append(record)
     return result

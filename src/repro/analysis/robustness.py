@@ -21,11 +21,22 @@ import numpy as np
 
 from ..abr.resilient import ResilientController
 from ..faults.plan import FaultPlan
-from ..qoe.metrics import qoe_from_session
+from ..runner import (
+    Journal,
+    SessionKey,
+    SessionRecord,
+    SessionTask,
+    config_hash,
+    execute,
+)
 from ..sim.network import ThroughputTrace
 from ..sim.profiles import EvaluationProfile
-from ..sim.session import run_session
-from .harness import ControllerFactory, standard_controllers
+from .harness import (
+    ControllerFactory,
+    _make_session_thunk,
+    standard_controllers,
+    trace_label,
+)
 from .tables import format_table
 
 __all__ = [
@@ -97,9 +108,36 @@ class RobustnessReport:
     dataset: str
     profile: str
     curves: Dict[str, RobustnessCurve] = field(default_factory=dict)
+    failures: Dict[str, List[SessionRecord]] = field(default_factory=dict)
+    flagged: Dict[str, List[SessionRecord]] = field(default_factory=dict)
 
     def curve(self, controller: str) -> RobustnessCurve:
         return self.curves[controller]
+
+    @property
+    def failure_count(self) -> int:
+        return sum(len(records) for records in self.failures.values())
+
+    def failure_lines(self) -> List[str]:
+        """One line per controller with failed or flagged sessions."""
+        lines: List[str] = []
+        for name in self.curves:
+            failed = self.failures.get(name, ())
+            if failed:
+                err = (failed[0].error or {})
+                lines.append(
+                    f"{name}: {len(failed)} session(s) failed; first: "
+                    f"[{failed[0].key.trace}] {err.get('phase', 'error')}: "
+                    f"{err.get('type', '?')}: {err.get('message', '')}"
+                )
+            bad = self.flagged.get(name, ())
+            if bad:
+                first = bad[0].violations[0] if bad[0].violations else "?"
+                lines.append(
+                    f"{name}: {len(bad)} session(s) flagged by the invariant "
+                    f"auditor; first: [{bad[0].key.trace}] {first}"
+                )
+        return lines
 
     def render(self) -> str:
         """ASCII table: rows = controllers, columns = fault intensities."""
@@ -122,6 +160,35 @@ class RobustnessReport:
         return format_table(headers, rows)
 
 
+def _sweep_spec(
+    factories: Mapping[str, ControllerFactory],
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+    intensities: Sequence[float],
+    seed: int,
+    resilient: bool,
+    dataset_name: str,
+    qoe_beta: float,
+    qoe_gamma: float,
+) -> Dict[str, object]:
+    """Canonical (JSON-safe) config of one robustness sweep, for hashing."""
+    import dataclasses
+
+    return {
+        "kind": "robustness",
+        "dataset": dataset_name,
+        "profile": profile.name,
+        "utility": profile.utility,
+        "controllers": list(factories.keys()),
+        "traces": [trace_label(i, t) for i, t in enumerate(traces)],
+        "intensities": [float(x) for x in intensities],
+        "seed": seed,
+        "resilient": resilient,
+        "player": dataclasses.asdict(profile.player),
+        "qoe": {"beta": qoe_beta, "gamma": qoe_gamma},
+    }
+
+
 def sweep_fault_intensity(
     traces: Sequence[ThroughputTrace],
     profile: EvaluationProfile,
@@ -132,6 +199,11 @@ def sweep_fault_intensity(
     dataset_name: str = "dataset",
     qoe_beta: float = 10.0,
     qoe_gamma: float = 1.0,
+    *,
+    jobs: int = 1,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    session_timeout: Optional[float] = None,
 ) -> RobustnessReport:
     """Sweep fault intensity over a controller suite.
 
@@ -148,63 +220,119 @@ def sweep_fault_intensity(
         dataset_name: label for the report.
         qoe_beta: rebuffering weight of the QoE score.
         qoe_gamma: switching weight of the QoE score.
+        jobs: worker processes (see :func:`repro.analysis.run_suite`);
+            ``1`` keeps the serial in-process path.
+        journal: path of a JSONL run journal (atomic per-session flushes).
+        resume: replay ``journal``, skipping completed sessions; refuses a
+            config-hash mismatch.
+        session_timeout: per-session wall-clock budget, enforced by
+            killing the worker (``jobs > 1`` only).
     """
     if not traces:
         raise ValueError("need at least one trace")
     if list(intensities) != sorted(intensities):
         raise ValueError("intensities must be ascending")
+    if resume and journal is None:
+        raise ValueError("--resume requires a journal path")
     factories = factories or standard_controllers()
 
-    report = RobustnessReport(dataset=dataset_name, profile=profile.name)
+    spec = _sweep_spec(
+        factories, traces, profile, intensities, seed, resilient,
+        dataset_name, qoe_beta, qoe_gamma,
+    )
+    chash = config_hash(spec)
+    run_journal = (
+        Journal.open(journal, spec, resume=resume)
+        if journal is not None
+        else None
+    )
+    contain = jobs > 1 or run_journal is not None
+
+    def cell_factory(factory: ControllerFactory) -> ControllerFactory:
+        if not resilient:
+            return factory
+        return lambda: ResilientController(factory())
+
+    tasks: List[SessionTask] = []
+    meta: List[tuple] = []  # (controller, level_index, session)
     for name, factory in factories.items():
-        curve = RobustnessCurve(controller=name)
         for level_index, intensity in enumerate(intensities):
-            qoes: List[float] = []
-            rebufs: List[float] = []
-            faults_n: List[int] = []
-            retries_n: List[int] = []
-            fallbacks_n: List[int] = []
             for session, trace in enumerate(traces):
-                controller = factory()
-                if resilient:
-                    controller = ResilientController(controller)
-                plan = (
+                cell_seed = seed + 7919 * level_index + session
+                fault_factory = (
                     None
                     if intensity == 0.0
-                    else FaultPlan.of_intensity(
-                        intensity,
-                        seed=seed + 7919 * level_index + session,
+                    else (
+                        lambda i=float(intensity), s=cell_seed:
+                            FaultPlan.of_intensity(i, seed=s)
                     )
                 )
-                result = run_session(
-                    controller,
-                    trace,
-                    profile.ladder,
-                    profile.player,
-                    faults=plan,
+                tasks.append(
+                    SessionTask(
+                        key=SessionKey(
+                            controller=name,
+                            dataset=dataset_name,
+                            trace=trace_label(session, trace),
+                            seed=cell_seed,
+                            config_hash=chash,
+                        ),
+                        thunk=_make_session_thunk(
+                            cell_factory(factory),
+                            trace,
+                            profile,
+                            qoe_beta,
+                            qoe_gamma,
+                            cell_seed,
+                            fault_factory=fault_factory,
+                        ),
+                    )
                 )
-                metrics = qoe_from_session(
-                    result,
-                    utility=profile.utility,
-                    ssim_model=profile.ssim_model,
-                    beta=qoe_beta,
-                    gamma=qoe_gamma,
-                )
-                qoes.append(metrics.qoe)
-                rebufs.append(metrics.rebuffer_ratio)
-                faults_n.append(result.faults_injected)
-                retries_n.append(result.retries)
-                fallbacks_n.append(result.fallback_decisions)
+                meta.append((name, level_index, session))
+
+    records = execute(
+        tasks,
+        jobs=jobs,
+        timeout=session_timeout,
+        contain=contain,
+        journal=run_journal,
+    )
+
+    report = RobustnessReport(dataset=dataset_name, profile=profile.name)
+    cells: Dict[tuple, List[SessionRecord]] = {}
+    for (name, level_index, _session), record in zip(meta, records):
+        if record.completed:
+            cells.setdefault((name, level_index), []).append(record)
+            if record.status == "flagged":
+                report.flagged.setdefault(name, []).append(record)
+        else:
+            report.failures.setdefault(name, []).append(record)
+
+    for name in factories:
+        curve = RobustnessCurve(controller=name)
+        for level_index, intensity in enumerate(intensities):
+            cell = cells.get((name, level_index), [])
+            qoes = [r.metrics["qoe"] for r in cell]
+            rebufs = [r.metrics["rebuffer_ratio"] for r in cell]
+            faults_n = [r.counters.get("faults_injected", 0) for r in cell]
+            retries_n = [r.counters.get("retries", 0) for r in cell]
+            fallbacks_n = [
+                r.counters.get("fallback_decisions", 0) for r in cell
+            ]
+            nan = float("nan")
             curve.points.append(
                 RobustnessPoint(
                     intensity=float(intensity),
-                    qoe_mean=float(np.mean(qoes)),
-                    qoe_std=float(np.std(qoes)),
-                    rebuffer_ratio=float(np.mean(rebufs)),
-                    faults_injected=float(np.mean(faults_n)),
-                    retries=float(np.mean(retries_n)),
-                    fallback_decisions=float(np.mean(fallbacks_n)),
-                    sessions=len(traces),
+                    qoe_mean=float(np.mean(qoes)) if qoes else nan,
+                    qoe_std=float(np.std(qoes)) if qoes else nan,
+                    rebuffer_ratio=float(np.mean(rebufs)) if rebufs else nan,
+                    faults_injected=(
+                        float(np.mean(faults_n)) if faults_n else nan
+                    ),
+                    retries=float(np.mean(retries_n)) if retries_n else nan,
+                    fallback_decisions=(
+                        float(np.mean(fallbacks_n)) if fallbacks_n else nan
+                    ),
+                    sessions=len(cell),
                 )
             )
         report.curves[name] = curve

@@ -10,6 +10,12 @@ Subcommands:
 * ``tune`` — grid-search SODA weights for a dataset;
 * ``robustness`` — QoE-degradation curves under injected download faults.
 
+``compare`` and ``robustness`` accept the experiment-runner options
+``--jobs N`` (supervised worker pool with crash containment),
+``--journal out.jsonl`` (atomic JSONL run journal), ``--resume`` (skip
+sessions already journaled under the same config), and
+``--session-timeout`` (per-session wall-clock budget).
+
 Run ``python -m repro.cli <subcommand> --help`` for options.  Operational
 errors (missing files, bad values) exit with code 2 and a one-line message.
 """
@@ -40,6 +46,7 @@ from .core.controller import SodaController
 from .core.objective import SodaConfig
 from .core.tuning import tune_soda
 from .qoe import qoe_from_session
+from .runner import JournalError
 from .sim.events import TimelineRecorder
 from .sim.profiles import live_profile
 from .sim.session import run_session
@@ -84,6 +91,29 @@ _SCENARIOS = {
 }
 
 
+def _add_runner_args(p: argparse.ArgumentParser) -> None:
+    """Experiment-runner options shared by compare/robustness."""
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; >1 fans sessions out to a "
+                        "supervised pool with crash containment")
+    p.add_argument("--journal",
+                   help="JSONL run journal; every completed session is "
+                        "flushed atomically (with --dataset all, the "
+                        "dataset name is appended to the path)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay the journal and skip completed sessions "
+                        "(refuses a config-hash mismatch)")
+    p.add_argument("--session-timeout", type=float, default=None,
+                   help="per-session wall-clock budget in seconds, "
+                        "enforced by killing the worker (--jobs > 1)")
+
+
+def _print_failures(result) -> None:
+    """One-line per-controller failure summary, on stderr."""
+    for line in result.failure_lines():
+        print(f"repro: warning: {line}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -97,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sessions", type=int, default=6)
     p.add_argument("--duration", type=float, default=480.0)
     p.add_argument("--seed", type=int, default=1)
+    _add_runner_args(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("session", help="run one controller on one trace")
@@ -130,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated fault intensities, ascending")
     p.add_argument("--resilient", action="store_true",
                    help="wrap every controller in ResilientController")
+    _add_runner_args(p)
     p.set_defaults(func=_cmd_robustness)
 
     p = sub.add_parser("decide", help="one SODA decision for a situation")
@@ -155,7 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal")
     names = list(DATASET_FACTORIES) if args.dataset == "all" else [args.dataset]
+    failed = 0
     for name in names:
         traces = DATASET_FACTORIES[name]().dataset(
             args.sessions, args.duration, seed=args.seed
@@ -163,10 +198,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         profile = live_profile(
             session_seconds=args.duration, cellular=name in ("5g", "4g")
         )
-        suite = run_suite(standard_controllers(), traces, profile, name)
+        journal = args.journal
+        if journal and len(names) > 1:
+            journal = f"{journal}.{name}"
+        suite = run_suite(
+            standard_controllers(),
+            traces,
+            profile,
+            name,
+            jobs=args.jobs,
+            journal=journal,
+            resume=args.resume,
+            session_timeout=args.session_timeout,
+        )
         print(f"\n=== {name} ({args.sessions} × {args.duration:.0f}s) ===")
-        print(qoe_table(suite.summaries()))
-    return 0
+        summaries = suite.summaries()
+        if summaries:
+            print(qoe_table(summaries))
+        else:
+            print("(every session failed — see the failure summary)")
+        _print_failures(suite)
+        failed += suite.failure_count
+    return 1 if failed else 0
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
@@ -225,6 +278,8 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         )
     if not intensities:
         raise ValueError("--intensities must name at least one level")
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal")
     traces = DATASET_FACTORIES[args.dataset]().dataset(
         args.sessions, args.duration, seed=args.seed
     )
@@ -238,12 +293,17 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         seed=args.seed,
         resilient=args.resilient,
         dataset_name=args.dataset,
+        jobs=args.jobs,
+        journal=args.journal,
+        resume=args.resume,
+        session_timeout=args.session_timeout,
     )
     mode = " (resilient wrappers)" if args.resilient else ""
     print(f"=== robustness: {args.dataset} "
           f"({args.sessions} × {args.duration:.0f}s){mode} ===")
     print(report.render())
-    return 0
+    _print_failures(report)
+    return 1 if report.failure_count else 0
 
 
 def _cmd_decide(args: argparse.Namespace) -> int:
@@ -286,9 +346,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, JournalError) as exc:
         # Operational errors (missing trace file, malformed CSV, bad
-        # argument values) get a one-line message, not a traceback.
+        # argument values, unusable/mismatched journals) get a one-line
+        # message, not a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

@@ -24,7 +24,12 @@ __all__ = ["QoeMetrics", "qoe_from_session"]
 
 @dataclass(frozen=True)
 class QoeMetrics:
-    """The three QoE components and their weighted score for one session."""
+    """The three QoE components and their weighted score for one session.
+
+    The identity fields (``controller``, ``trace``, ``seed``) name the exact
+    session the metrics came from, so journal keys and failure reports can
+    reference it directly instead of a bare list index.
+    """
 
     utility: float
     rebuffer_ratio: float
@@ -32,6 +37,9 @@ class QoeMetrics:
     qoe: float
     beta: float = 10.0
     gamma: float = 1.0
+    controller: str = ""
+    trace: str = ""
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.utility <= 1.0 + 1e-9:
@@ -52,6 +60,7 @@ def qoe_from_session(
     ssim_model: Optional[SsimModel] = None,
     beta: float = 10.0,
     gamma: float = 1.0,
+    seed: Optional[int] = None,
 ) -> QoeMetrics:
     """Compute the paper's QoE metrics for one finished session.
 
@@ -61,6 +70,8 @@ def qoe_from_session(
         ssim_model: required when ``utility="ssim"``.
         beta: rebuffering weight in the score (paper: 10).
         gamma: switching weight in the score (paper: 1).
+        seed: per-session seed recorded on the metrics for identity;
+            controller and trace names are copied from ``result``.
 
     Raises:
         ValueError: on an empty session or a missing SSIM model.
@@ -92,4 +103,7 @@ def qoe_from_session(
         qoe=qoe,
         beta=beta,
         gamma=gamma,
+        controller=result.controller,
+        trace=getattr(result, "trace", ""),
+        seed=seed,
     )

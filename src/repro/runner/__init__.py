@@ -1,0 +1,53 @@
+"""Supervised experiment runner: crash containment, journaling, resume.
+
+``repro.runner`` is the orchestration layer above the session simulator:
+it fans session work out to a pool of forked worker processes with
+per-session wall-clock timeouts and full crash containment, journals every
+completed session to an atomic JSONL ledger, resumes interrupted runs by
+replaying that ledger (refusing mismatched configurations), and audits
+every finished session against the simulator's conservation laws.
+
+The analysis layer (``run_suite``, ``sweep_fault_intensity``) and the
+``compare``/``robustness`` CLI subcommands are wired through this package;
+``jobs=1`` without a journal preserves the legacy serial in-process path.
+"""
+
+from .audit import audit_session
+from .executor import (
+    STATUS_FAILED,
+    STATUS_FLAGGED,
+    STATUS_OK,
+    SessionKey,
+    SessionRecord,
+    SessionTask,
+    execute,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from .journal import (
+    ConfigMismatchError,
+    Journal,
+    JournalError,
+    RunManifest,
+    canonical_json,
+    config_hash,
+)
+
+__all__ = [
+    "audit_session",
+    "STATUS_OK",
+    "STATUS_FLAGGED",
+    "STATUS_FAILED",
+    "SessionKey",
+    "SessionRecord",
+    "SessionTask",
+    "execute",
+    "metrics_to_dict",
+    "metrics_from_dict",
+    "Journal",
+    "JournalError",
+    "ConfigMismatchError",
+    "RunManifest",
+    "canonical_json",
+    "config_hash",
+]

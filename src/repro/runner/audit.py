@@ -1,0 +1,194 @@
+"""Invariant auditor: validate a finished session against conservation laws.
+
+A :class:`~repro.sim.player.SessionResult` is the ground truth every QoE
+number is derived from, so a corrupted one (a buggy controller mutating the
+record, a miscounting fault hook, bit-rot in a resumed journal) silently
+poisons aggregates.  The auditor re-derives what the simulator guarantees
+and reports every violation as a human-readable string; the experiment
+runner journals violations (status ``"flagged"``) instead of silently
+aggregating the session.
+
+Checked invariants:
+
+* **time conservation** — ``startup_delay + rebuffer_time + video_played``
+  equals ``wall_duration``, where ``video_played`` is the buffer drained
+  over the session (``num_segments * segment_duration − final buffer``);
+* **buffer trajectory** — every recorded buffer level is non-negative and
+  (when the player config is known) never exceeds the buffer capacity;
+* **record shape** — the five per-segment series have equal length, rungs
+  lie inside the ladder, download start times are non-decreasing, and
+  durations are non-negative;
+* **QoE recomputability** — the session's QoE score equals
+  ``utility − β·rebuffer_ratio − γ·switching_rate`` for its own components,
+  and the ratio/rate components match the raw session record;
+* **fault accounting** — the session's fault counters agree with the
+  :class:`~repro.faults.FaultPlan` that drove it (``faults_injected`` equals
+  the plan's injection count; without a plan or download timeout there is
+  nothing to retry).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..qoe.metrics import QoeMetrics
+from ..sim.player import PlayerConfig, SessionResult
+
+__all__ = ["audit_session"]
+
+
+def audit_session(
+    result: SessionResult,
+    metrics: Optional[QoeMetrics] = None,
+    config: Optional[PlayerConfig] = None,
+    faults: Optional[object] = None,
+    tolerance: float = 1e-6,
+) -> List[str]:
+    """Return every invariant violated by ``result`` (empty = clean).
+
+    Args:
+        result: the finished session record.
+        metrics: the QoE metrics computed from ``result``, enabling the
+            recomputability check.
+        config: the player configuration the session ran under, enabling
+            the buffer-capacity and retry checks.
+        faults: the fault hook that drove the session (anything exposing an
+            ``injected`` counter, e.g. a :class:`~repro.faults.FaultPlan`).
+        tolerance: relative tolerance for float comparisons.
+    """
+    violations: List[str] = []
+    n = result.num_segments
+
+    # ------------------------------------------------------------------
+    # Record shape.
+    # ------------------------------------------------------------------
+    series = {
+        "download_times": result.download_times,
+        "download_starts": result.download_starts,
+        "throughputs": result.throughputs,
+        "buffer_levels": result.buffer_levels,
+    }
+    for name, values in series.items():
+        if len(values) != n:
+            violations.append(
+                f"series length mismatch: {name} has {len(values)} entries "
+                f"for {n} segments"
+            )
+    levels = result.ladder.levels
+    bad_rungs = [q for q in result.qualities if not 0 <= q < levels]
+    if bad_rungs:
+        violations.append(
+            f"rung(s) outside the {levels}-level ladder: {bad_rungs[:5]}"
+        )
+    if any(dt < 0 or not math.isfinite(dt) for dt in result.download_times):
+        violations.append("negative or non-finite download time")
+    starts = result.download_starts
+    if any(b < a - 1e-9 for a, b in zip(starts, starts[1:])):
+        violations.append("download start times are not non-decreasing")
+
+    for name, value in (
+        ("rebuffer_time", result.rebuffer_time),
+        ("startup_delay", result.startup_delay),
+        ("wall_duration", result.wall_duration),
+        ("idle_time", result.idle_time),
+    ):
+        if value < 0 or not math.isfinite(value):
+            violations.append(f"{name} is negative or non-finite: {value!r}")
+    for name, value in (
+        ("rebuffer_events", result.rebuffer_events),
+        ("abandonments", result.abandonments),
+        ("faults_injected", result.faults_injected),
+        ("retries", result.retries),
+        ("fallback_decisions", result.fallback_decisions),
+    ):
+        if value < 0:
+            violations.append(f"counter {name} is negative: {value!r}")
+    if result.rebuffer_time > 1e-9 and result.rebuffer_events == 0:
+        violations.append(
+            f"rebuffer_time {result.rebuffer_time:.3f}s with zero "
+            f"rebuffer events"
+        )
+
+    # ------------------------------------------------------------------
+    # Buffer trajectory.
+    # ------------------------------------------------------------------
+    if result.buffer_levels:
+        lowest = min(result.buffer_levels)
+        if lowest < -1e-9:
+            violations.append(f"negative buffer level: {lowest:.6f}s")
+        if config is not None:
+            cap = config.max_buffer + tolerance * max(1.0, config.max_buffer)
+            highest = max(result.buffer_levels)
+            if highest > cap:
+                violations.append(
+                    f"buffer level {highest:.6f}s exceeds capacity "
+                    f"{config.max_buffer:.6f}s"
+                )
+
+    # ------------------------------------------------------------------
+    # Time conservation: wall time = startup + rebuffering + video played.
+    # ------------------------------------------------------------------
+    if n > 0 and len(result.buffer_levels) == n:
+        final_buffer = result.buffer_levels[-1]
+        played = n * result.ladder.segment_duration - final_buffer
+        expected_wall = result.startup_delay + result.rebuffer_time + played
+        slack = tolerance * max(1.0, result.wall_duration)
+        if abs(expected_wall - result.wall_duration) > slack:
+            violations.append(
+                f"time conservation: startup {result.startup_delay:.6f} + "
+                f"rebuffer {result.rebuffer_time:.6f} + played "
+                f"{played:.6f} = {expected_wall:.6f}s but wall_duration is "
+                f"{result.wall_duration:.6f}s"
+            )
+
+    # ------------------------------------------------------------------
+    # QoE recomputability.
+    # ------------------------------------------------------------------
+    if metrics is not None:
+        recomputed = (
+            metrics.utility
+            - metrics.beta * metrics.rebuffer_ratio
+            - metrics.gamma * metrics.switching_rate
+        )
+        if abs(recomputed - metrics.qoe) > tolerance * max(1.0, abs(recomputed)):
+            violations.append(
+                f"QoE {metrics.qoe:.9f} does not equal its components "
+                f"(utility − β·rebuf − γ·switch = {recomputed:.9f})"
+            )
+        if n > 0:
+            duration = max(result.session_duration, 1e-9)
+            ratio = min(result.rebuffer_time / duration, 1.0)
+            if abs(ratio - metrics.rebuffer_ratio) > tolerance:
+                violations.append(
+                    f"rebuffer ratio {metrics.rebuffer_ratio:.9f} does not "
+                    f"match the session record ({ratio:.9f})"
+                )
+            rate = result.switch_count / (n - 1) if n > 1 else 0.0
+            if abs(rate - metrics.switching_rate) > tolerance:
+                violations.append(
+                    f"switching rate {metrics.switching_rate:.9f} does not "
+                    f"match the session record ({rate:.9f})"
+                )
+
+    # ------------------------------------------------------------------
+    # Fault accounting.
+    # ------------------------------------------------------------------
+    injected = getattr(faults, "injected", None)
+    if injected is not None and result.faults_injected != injected:
+        violations.append(
+            f"faults_injected {result.faults_injected} disagrees with the "
+            f"fault plan's count {injected}"
+        )
+    if faults is None and result.faults_injected != 0:
+        violations.append(
+            f"faults_injected {result.faults_injected} without a fault plan"
+        )
+    no_timeout = config is not None and config.download_timeout is None
+    if faults is None and no_timeout and result.retries != 0:
+        violations.append(
+            f"{result.retries} retries with no fault plan and no download "
+            f"timeout"
+        )
+
+    return violations

@@ -1,0 +1,466 @@
+"""Supervised session executor: crash-contained, resumable fan-out.
+
+The unit of work is a :class:`SessionTask` — a journal key plus a
+zero-argument thunk that simulates one session and returns a plain mapping
+(``metrics`` / ``counters`` / ``violations``).  :func:`execute` runs a task
+list either serially in-process (``jobs=1``, the default — byte-identical
+to the pre-runner behaviour) or on a pool of forked worker processes
+(``jobs>1``), one process per session, so that a worker that raises,
+hangs past its wall-clock ``timeout``, or dies outright (segfault, OOM
+kill) marks only its own session as failed with a structured error record
+while the rest of the run continues.
+
+Completed sessions stream into an optional :class:`~repro.runner.journal.
+Journal`; on resume, tasks whose keys already carry a terminal ``"ok"`` or
+``"flagged"`` record are served from the journal without re-running (failed
+sessions are retried, since their failure may have been environmental).
+
+Worker processes are started with the ``fork`` start method so thunks may
+close over arbitrary in-process objects (controller factories, traces);
+only the returned record crosses the pipe.  On platforms without ``fork``
+the executor degrades to contained serial execution.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..qoe.metrics import QoeMetrics
+from .journal import Journal
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_FLAGGED",
+    "STATUS_FAILED",
+    "SessionKey",
+    "SessionRecord",
+    "SessionTask",
+    "execute",
+    "metrics_to_dict",
+    "metrics_from_dict",
+]
+
+#: the session completed and its record passed the invariant audit
+STATUS_OK = "ok"
+#: the session completed but violated at least one invariant
+STATUS_FLAGGED = "flagged"
+#: the session raised, timed out, or its worker died
+STATUS_FAILED = "failed"
+
+#: supervisor poll interval while workers are busy, seconds
+_POLL_SECONDS = 0.02
+
+
+@dataclass(frozen=True)
+class SessionKey:
+    """The identity one journal record is keyed by."""
+
+    controller: str
+    dataset: str
+    trace: str
+    seed: int
+    config_hash: str
+
+    def as_tuple(self) -> Tuple[str, str, str, int, str]:
+        return (
+            self.controller, self.dataset, self.trace, self.seed,
+            self.config_hash,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.controller}/{self.dataset}/{self.trace}"
+            f"/s{self.seed}@{self.config_hash[:8]}"
+        )
+
+
+@dataclass
+class SessionRecord:
+    """Outcome of one session: metrics on success, a structured error not.
+
+    Attributes:
+        key: the journal key.
+        status: ``"ok"``, ``"flagged"`` (invariant violation), or
+            ``"failed"``.
+        metrics: QoE metric fields (see :func:`metrics_to_dict`), or
+            ``None`` when the session failed.
+        counters: operational counters copied from the session result
+            (faults injected, retries, rebuffer events, ...), plus any
+            task-specific extras.
+        error: for failed sessions, ``{"phase": "exception" | "timeout" |
+            "crash", "type": ..., "message": ..., "traceback": ...}``.
+        violations: invariant-audit findings for flagged sessions.
+        elapsed: wall seconds the session took (0 for cached records).
+        cached: the record was served from a resumed journal.
+    """
+
+    key: SessionKey
+    status: str = STATUS_OK
+    metrics: Optional[Dict[str, Any]] = None
+    counters: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[Dict[str, Any]] = None
+    violations: Tuple[str, ...] = ()
+    elapsed: float = 0.0
+    cached: bool = False
+
+    @property
+    def completed(self) -> bool:
+        """Whether the session produced usable metrics (ok or flagged)."""
+        return self.status in (STATUS_OK, STATUS_FLAGGED)
+
+    def to_metrics(self) -> Optional[QoeMetrics]:
+        if self.metrics is None:
+            return None
+        return metrics_from_dict(self.metrics)
+
+    def summary_line(self) -> str:
+        """One line naming the session and what happened to it."""
+        if self.status == STATUS_FAILED:
+            err = self.error or {}
+            return (
+                f"{self.key}: failed ({err.get('phase', 'error')}: "
+                f"{err.get('type', '?')}: {err.get('message', '')})"
+            )
+        if self.status == STATUS_FLAGGED:
+            first = self.violations[0] if self.violations else "?"
+            return f"{self.key}: invariant violation ({first})"
+        return f"{self.key}: ok"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "session",
+            "controller": self.key.controller,
+            "dataset": self.key.dataset,
+            "trace": self.key.trace,
+            "seed": self.key.seed,
+            "config_hash": self.key.config_hash,
+            "status": self.status,
+            "metrics": self.metrics,
+            "counters": dict(self.counters),
+            "error": self.error,
+            "violations": list(self.violations),
+            "elapsed": self.elapsed,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "SessionRecord":
+        key = SessionKey(
+            controller=str(data.get("controller", "")),
+            dataset=str(data.get("dataset", "")),
+            trace=str(data.get("trace", "")),
+            seed=int(data.get("seed", 0)),
+            config_hash=str(data.get("config_hash", "")),
+        )
+        metrics = data.get("metrics")
+        return SessionRecord(
+            key=key,
+            status=str(data.get("status", STATUS_FAILED)),
+            metrics=dict(metrics) if metrics is not None else None,
+            counters=dict(data.get("counters", {})),
+            error=(
+                dict(data["error"]) if data.get("error") is not None else None
+            ),
+            violations=tuple(data.get("violations", ())),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class SessionTask:
+    """One unit of work: a journal key plus the thunk that runs it.
+
+    The thunk returns a mapping with keys ``metrics`` (dict, see
+    :func:`metrics_to_dict`), ``counters`` (dict of numbers), and
+    ``violations`` (list of strings from the invariant auditor).
+    """
+
+    key: SessionKey
+    thunk: Callable[[], Mapping[str, Any]]
+
+
+# ----------------------------------------------------------------------
+def metrics_to_dict(metrics: QoeMetrics) -> Dict[str, Any]:
+    """JSON-safe encoding of a :class:`QoeMetrics` (round-trips exactly)."""
+    return {
+        "utility": metrics.utility,
+        "rebuffer_ratio": metrics.rebuffer_ratio,
+        "switching_rate": metrics.switching_rate,
+        "qoe": metrics.qoe,
+        "beta": metrics.beta,
+        "gamma": metrics.gamma,
+        "controller": metrics.controller,
+        "trace": metrics.trace,
+        "seed": metrics.seed,
+    }
+
+
+def metrics_from_dict(data: Mapping[str, Any]) -> QoeMetrics:
+    seed = data.get("seed")
+    return QoeMetrics(
+        utility=float(data["utility"]),
+        rebuffer_ratio=float(data["rebuffer_ratio"]),
+        switching_rate=float(data["switching_rate"]),
+        qoe=float(data["qoe"]),
+        beta=float(data.get("beta", 10.0)),
+        gamma=float(data.get("gamma", 1.0)),
+        controller=str(data.get("controller", "")),
+        trace=str(data.get("trace", "")),
+        seed=int(seed) if seed is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+def _record_from_output(
+    key: SessionKey, output: Mapping[str, Any], elapsed: float
+) -> SessionRecord:
+    violations = tuple(output.get("violations", ()))
+    return SessionRecord(
+        key=key,
+        status=STATUS_FLAGGED if violations else STATUS_OK,
+        metrics=dict(output.get("metrics") or {}) or None,
+        counters=dict(output.get("counters", {})),
+        violations=violations,
+        elapsed=elapsed,
+    )
+
+
+def _failure_record(
+    key: SessionKey,
+    phase: str,
+    exc_type: str,
+    message: str,
+    elapsed: float,
+    tb: Optional[str] = None,
+) -> SessionRecord:
+    return SessionRecord(
+        key=key,
+        status=STATUS_FAILED,
+        error={
+            "phase": phase,
+            "type": exc_type,
+            "message": message,
+            "traceback": tb,
+        },
+        elapsed=elapsed,
+    )
+
+
+def _run_task_inline(task: SessionTask, contain: bool) -> SessionRecord:
+    started = time.monotonic()
+    try:
+        output = task.thunk()
+    except Exception as exc:
+        if not contain:
+            raise
+        return _failure_record(
+            task.key,
+            phase="exception",
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            elapsed=time.monotonic() - started,
+            tb=traceback.format_exc(),
+        )
+    return _record_from_output(task.key, output, time.monotonic() - started)
+
+
+# ----------------------------------------------------------------------
+def _child_main(conn, thunk) -> None:
+    """Worker body: run one thunk, ship the outcome over the pipe."""
+    try:
+        output = thunk()
+        payload = ("ok", dict(output))
+    except BaseException as exc:  # noqa: BLE001 - full containment
+        payload = (
+            "error",
+            {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        )
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _execute_pool(
+    tasks: Sequence[SessionTask],
+    indices: Sequence[int],
+    jobs: int,
+    timeout: Optional[float],
+    on_done: Callable[[int, SessionRecord], None],
+) -> None:
+    """Run ``tasks[i] for i in indices`` on up to ``jobs`` forked workers."""
+    ctx = _fork_context()
+    if ctx is None:  # pragma: no cover - non-POSIX fallback
+        for i in indices:
+            on_done(i, _run_task_inline(tasks[i], contain=True))
+        return
+
+    pending = deque(indices)
+    active: Dict[int, Tuple[Any, Any, float]] = {}
+    try:
+        while pending or active:
+            while pending and len(active) < jobs:
+                i = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main,
+                    args=(child_conn, tasks[i].thunk),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                active[i] = (proc, parent_conn, time.monotonic())
+
+            finished: List[Tuple[int, SessionRecord]] = []
+            now = time.monotonic()
+            for i, (proc, conn, started) in active.items():
+                elapsed = now - started
+                record: Optional[SessionRecord] = None
+                if conn.poll(0):
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        status, payload = None, None
+                    proc.join(timeout=5.0)
+                    if status == "ok":
+                        record = _record_from_output(
+                            tasks[i].key, payload, elapsed
+                        )
+                    elif status == "error":
+                        record = _failure_record(
+                            tasks[i].key,
+                            phase="exception",
+                            exc_type=payload.get("type", "Exception"),
+                            message=payload.get("message", ""),
+                            elapsed=elapsed,
+                            tb=payload.get("traceback"),
+                        )
+                    else:
+                        record = _failure_record(
+                            tasks[i].key,
+                            phase="crash",
+                            exc_type="WorkerCrash",
+                            message="worker closed its pipe without a result",
+                            elapsed=elapsed,
+                        )
+                elif not proc.is_alive():
+                    proc.join(timeout=5.0)
+                    record = _failure_record(
+                        tasks[i].key,
+                        phase="crash",
+                        exc_type="WorkerCrash",
+                        message=(
+                            f"worker died with exit code {proc.exitcode} "
+                            f"before reporting a result"
+                        ),
+                        elapsed=elapsed,
+                    )
+                elif timeout is not None and elapsed > timeout:
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                    record = _failure_record(
+                        tasks[i].key,
+                        phase="timeout",
+                        exc_type="SessionTimeout",
+                        message=(
+                            f"session exceeded its {timeout:.1f}s wall-clock "
+                            f"budget and was killed"
+                        ),
+                        elapsed=elapsed,
+                    )
+                if record is not None:
+                    finished.append((i, record))
+
+            if not finished:
+                time.sleep(_POLL_SECONDS)
+                continue
+            for i, record in finished:
+                proc, conn, _ = active.pop(i)
+                conn.close()
+                on_done(i, record)
+    finally:
+        for proc, conn, _ in active.values():  # pragma: no cover - cleanup
+            proc.kill()
+            proc.join(timeout=5.0)
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+def execute(
+    tasks: Sequence[SessionTask],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    contain: bool = True,
+    journal: Optional[Journal] = None,
+) -> List[SessionRecord]:
+    """Run every task, returning records in task order.
+
+    Args:
+        tasks: the sessions to run.
+        jobs: worker processes; ``1`` runs serially in-process (no fork).
+        timeout: per-session wall-clock budget, enforced (by killing the
+            worker) only when ``jobs > 1``.
+        contain: with ``jobs == 1``, whether a raising thunk becomes a
+            failed record (``True``) or propagates (``False``, the legacy
+            serial behaviour).  Pooled execution always contains.
+        journal: completed sessions are flushed here as they finish; tasks
+            already journaled as ``ok``/``flagged`` are served from it.
+
+    Returns:
+        One :class:`SessionRecord` per task, aligned with ``tasks``.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    records: List[Optional[SessionRecord]] = [None] * len(tasks)
+
+    todo: List[int] = []
+    for i, task in enumerate(tasks):
+        cached = (
+            journal.cached(task.key.as_tuple()) if journal is not None else None
+        )
+        if cached is not None:
+            record = SessionRecord.from_dict(cached)
+            if record.completed:
+                record.cached = True
+                records[i] = record
+                continue
+        todo.append(i)
+
+    def finish(i: int, record: SessionRecord) -> None:
+        records[i] = record
+        if journal is not None:
+            journal.record(record.to_dict())
+
+    if jobs == 1:
+        for i in todo:
+            finish(i, _run_task_inline(tasks[i], contain=contain))
+    elif todo:
+        _execute_pool(tasks, todo, jobs, timeout, finish)
+
+    return [r for r in records if r is not None]

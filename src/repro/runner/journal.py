@@ -1,0 +1,286 @@
+"""Durable run journal: a JSONL ledger of every completed session.
+
+A journal file is a manifest line followed by one JSON line per finished
+session, keyed by ``(controller, dataset, trace, seed, config_hash)``.
+Every flush rewrites the whole file to a temporary sibling, fsyncs it, and
+atomically renames it over the journal path — a crash (including SIGKILL)
+at any instant leaves either the previous complete journal or the new one,
+never a torn line.
+
+The manifest captures the config hash (a SHA-256 digest of the canonical
+JSON of the experiment spec), the package version, and the spec itself
+(which carries the seeds).  ``Journal.open(..., resume=True)`` replays an
+existing journal, refuses a config-hash mismatch with
+:class:`ConfigMismatchError`, and exposes the completed records so the
+executor can skip them.
+
+Test hook: when the environment variable ``REPRO_JOURNAL_KILL_AFTER`` is a
+positive integer *n*, the process SIGKILLs itself immediately after the
+*n*-th session record of the current process has been flushed.  This is how
+the kill-and-resume tests simulate a hard mid-run crash deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "JournalError",
+    "ConfigMismatchError",
+    "RunManifest",
+    "Journal",
+    "canonical_json",
+    "config_hash",
+]
+
+#: test-only crash hook, see module docstring
+_KILL_ENV = "REPRO_JOURNAL_KILL_AFTER"
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable (missing manifest, corrupt line, ...)."""
+
+
+class ConfigMismatchError(JournalError):
+    """``--resume`` was pointed at a journal written under a different config."""
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(spec: Mapping[str, Any]) -> str:
+    """Stable 16-hex-digit digest of an experiment spec."""
+    digest = hashlib.sha256(canonical_json(spec).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _key_tuple(record: Mapping[str, Any]) -> Tuple[str, str, str, int, str]:
+    """The journal key of one session record dict."""
+    return (
+        str(record.get("controller", "")),
+        str(record.get("dataset", "")),
+        str(record.get("trace", "")),
+        int(record.get("seed", 0)),
+        str(record.get("config_hash", "")),
+    )
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identity of one experiment run, written as the journal's first line."""
+
+    config_hash: str
+    version: str
+    created: float
+    spec: Mapping[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def for_spec(
+        spec: Mapping[str, Any], version: Optional[str] = None
+    ) -> "RunManifest":
+        if version is None:
+            from .. import __version__
+
+            version = __version__
+        return RunManifest(
+            config_hash=config_hash(spec),
+            version=version,
+            created=time.time(),
+            spec=dict(spec),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "manifest",
+            "config_hash": self.config_hash,
+            "version": self.version,
+            "created": self.created,
+            "spec": dict(self.spec),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "RunManifest":
+        return RunManifest(
+            config_hash=str(data.get("config_hash", "")),
+            version=str(data.get("version", "")),
+            created=float(data.get("created", 0.0)),
+            spec=dict(data.get("spec", {})),
+        )
+
+
+class Journal:
+    """A crash-safe JSONL ledger of completed session records.
+
+    Use :meth:`open` (or :meth:`fresh`) rather than the constructor.  Records
+    are plain dicts carrying at least the five key fields (``controller``,
+    ``dataset``, ``trace``, ``seed``, ``config_hash``) plus a ``status``;
+    the executor owns their full schema (see
+    :class:`repro.runner.executor.SessionRecord`).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        manifest: RunManifest,
+        records: Optional[Mapping[Tuple, Mapping[str, Any]]] = None,
+    ) -> None:
+        self.path = str(path)
+        self.manifest = manifest
+        self._records: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict(
+            (k, dict(v)) for k, v in (records or {}).items()
+        )
+        self._appended = 0  # session records flushed by THIS process
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(
+        cls,
+        path: str,
+        spec: Mapping[str, Any],
+        version: Optional[str] = None,
+    ) -> "Journal":
+        """Start a new journal, overwriting ``path`` if it exists."""
+        journal = cls(path, RunManifest.for_spec(spec, version))
+        journal.flush()  # the manifest lands on disk before any work runs
+        return journal
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        spec: Mapping[str, Any],
+        resume: bool = False,
+        version: Optional[str] = None,
+    ) -> "Journal":
+        """Open a journal for an experiment described by ``spec``.
+
+        Without ``resume`` (or when ``path`` does not exist yet) a fresh
+        journal is started.  With ``resume`` the existing file is replayed:
+        its manifest must carry the same config hash as ``spec`` or
+        :class:`ConfigMismatchError` is raised, and previously completed
+        records become available through :meth:`cached`.
+        """
+        if not resume or not os.path.exists(path):
+            return cls.fresh(path, spec, version)
+        manifest_dict, record_dicts = cls.load(path)
+        if manifest_dict is None:
+            raise JournalError(f"{path}: no manifest line; cannot resume")
+        want = config_hash(spec)
+        have = str(manifest_dict.get("config_hash", ""))
+        if have != want:
+            raise ConfigMismatchError(
+                f"{path}: journal was written under config {have}, current "
+                f"config is {want}; refusing to resume (use a new journal "
+                f"path or rerun with the original configuration)"
+            )
+        records: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        for record in record_dicts:
+            records[_key_tuple(record)] = dict(record)
+        return cls(path, RunManifest.from_dict(manifest_dict), records)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(
+        path: str,
+    ) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+        """Parse a journal file into ``(manifest, session_records)``.
+
+        A corrupt *final* line is tolerated (dropped): it can only be the
+        product of a non-atomic writer, and resuming past it is safe.  A
+        corrupt line anywhere else raises :class:`JournalError`.
+        """
+        manifest: Optional[Dict[str, Any]] = None
+        records: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn trailing line: drop it
+                raise JournalError(
+                    f"{path}:{lineno}: corrupt journal line: {exc}"
+                ) from exc
+            if data.get("kind") == "manifest":
+                manifest = data
+            else:
+                records.append(data)
+        return manifest, records
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """All session records currently in the journal, oldest first."""
+        return [dict(r) for r in self._records.values()]
+
+    def cached(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        """The journaled record for ``key``, if one exists."""
+        record = self._records.get(tuple(key))
+        return dict(record) if record is not None else None
+
+    def record(self, record: Mapping[str, Any]) -> None:
+        """Append (or replace) one session record and flush atomically."""
+        self._records[_key_tuple(record)] = dict(record)
+        self._appended += 1
+        self.flush()
+        self._maybe_kill()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write-temp-fsync-rename the full journal."""
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(self.manifest.to_dict()) + "\n")
+                for record in self._records.values():
+                    handle.write(json.dumps(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        try:  # make the rename itself durable where the platform allows
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+
+    def _maybe_kill(self) -> None:
+        """Honour the REPRO_JOURNAL_KILL_AFTER test hook (see module doc)."""
+        raw = os.environ.get(_KILL_ENV, "")
+        try:
+            threshold = int(raw) if raw else 0
+        except ValueError:
+            threshold = 0
+        if threshold > 0 and self._appended >= threshold:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Journal {self.path!r} config={self.manifest.config_hash} "
+            f"records={len(self._records)}>"
+        )

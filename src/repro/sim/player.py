@@ -188,6 +188,7 @@ class SessionResult:
 
     controller: str
     ladder: BitrateLadder
+    trace: str = ""
     qualities: List[int] = field(default_factory=list)
     download_times: List[float] = field(default_factory=list)
     download_starts: List[float] = field(default_factory=list)
@@ -274,7 +275,11 @@ def simulate_session(
         if callable(reset):
             reset()
 
-    result = SessionResult(controller=controller.name, ladder=ladder)
+    result = SessionResult(
+        controller=controller.name,
+        ladder=ladder,
+        trace=getattr(trace, "name", None) or "",
+    )
     seg_len = ladder.segment_duration
 
     t = 0.0

@@ -58,8 +58,13 @@ def run_dataset(
     qoe_beta: float = 10.0,
     qoe_gamma: float = 1.0,
     fault_factory: Optional[Callable[[int], DownloadFaultHook]] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> List[QoeMetrics]:
     """Run a fresh controller instance over every trace, returning QoE rows.
+
+    Every returned :class:`QoeMetrics` carries per-session identity
+    (controller name, trace name, seed), so journal keys and failure
+    reports can name the exact session rather than a list index.
 
     Args:
         factory: builds a new controller per session, so per-session state
@@ -73,7 +78,13 @@ def run_dataset(
         qoe_gamma: switching weight in the QoE score (paper uses 1).
         fault_factory: builds a fault hook per session index (e.g.
             ``plan.fork``), so fault streams stay independent per trace.
+        seeds: per-session identity seeds recorded on the metrics; defaults
+            to the session index within ``traces``.
     """
+    if seeds is not None and len(seeds) != len(traces):
+        raise ValueError(
+            f"seeds has {len(seeds)} entries for {len(traces)} traces"
+        )
     metrics: List[QoeMetrics] = []
     for index, trace in enumerate(traces):
         controller = factory()
@@ -86,6 +97,7 @@ def run_dataset(
                 ssim_model=ssim_model,
                 beta=qoe_beta,
                 gamma=qoe_gamma,
+                seed=seeds[index] if seeds is not None else index,
             )
         )
     return metrics

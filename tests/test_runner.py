@@ -1,0 +1,661 @@
+"""Tests for the supervised experiment runner (repro.runner).
+
+Covers the journal (atomic flushes, resume, config-hash refusal), the
+executor (crash containment for raising / hanging / dying workers), the
+invariant auditor, the rewired harness paths, and the headline acceptance
+property: a run SIGKILLed halfway through and resumed via the journal
+produces aggregates identical to an uninterrupted serial run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.abr.bba import BbaController
+from repro.abr.bola import BolaController
+from repro.abr.resilient import ResilientController
+from repro.analysis import run_suite, sweep_fault_intensity
+from repro.faults.plan import FaultPlan
+from repro.qoe.metrics import qoe_from_session
+from repro.runner import (
+    ConfigMismatchError,
+    Journal,
+    JournalError,
+    SessionKey,
+    SessionRecord,
+    SessionTask,
+    audit_session,
+    config_hash,
+    execute,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, simulate_session
+from repro.sim.profiles import EvaluationProfile
+from repro.sim.session import run_dataset, run_session
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def make_key(controller="c", trace="t", seed=0, chash="h" * 16):
+    return SessionKey(
+        controller=controller, dataset="d", trace=trace, seed=seed,
+        config_hash=chash,
+    )
+
+
+def make_output(qoe=0.5):
+    return {
+        "metrics": {
+            "utility": 0.6,
+            "rebuffer_ratio": 0.0,
+            "switching_rate": 0.1,
+            "qoe": qoe,
+            "beta": 10.0,
+            "gamma": 1.0,
+            "controller": "c",
+            "trace": "t",
+            "seed": 0,
+        },
+        "counters": {"retries": 0},
+        "violations": [],
+    }
+
+
+def ok_thunk():
+    return make_output()
+
+
+def raising_thunk():
+    raise RuntimeError("boom")
+
+
+def hanging_thunk():  # pragma: no cover - killed by the supervisor
+    time.sleep(60)
+    return make_output()
+
+
+def suicidal_thunk():  # pragma: no cover - dies before returning
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def tiny_profile(ladder, segments=12):
+    return EvaluationProfile(
+        name="tiny",
+        ladder=ladder,
+        player=PlayerConfig(num_segments=segments, live_delay=None),
+    )
+
+
+def tiny_traces(n=4):
+    return [
+        ThroughputTrace.from_samples(
+            [4.0 + (i + j) % 3 for i in range(60)], 1.0, name=f"tt-{j}"
+        )
+        for j in range(n)
+    ]
+
+
+def suite_qoes(suite):
+    return {
+        name: [m.qoe for m in metrics]
+        for name, metrics in suite.per_controller.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Config hash & journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_config_hash_stable_and_sensitive(self):
+        spec = {"a": 1, "b": [1, 2], "c": {"x": 0.5}}
+        same = {"c": {"x": 0.5}, "b": [1, 2], "a": 1}  # key order irrelevant
+        assert config_hash(spec) == config_hash(same)
+        assert config_hash(spec) != config_hash({**spec, "a": 2})
+        assert len(config_hash(spec)) == 16
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = Journal.fresh(path, {"kind": "test", "seed": 3})
+        record = SessionRecord(key=make_key(), metrics={"qoe": 1.0})
+        journal.record(record.to_dict())
+        manifest, records = Journal.load(path)
+        assert manifest["config_hash"] == config_hash({"kind": "test", "seed": 3})
+        assert manifest["version"]
+        assert manifest["spec"]["seed"] == 3
+        assert len(records) == 1
+        loaded = SessionRecord.from_dict(records[0])
+        assert loaded.key == make_key()
+        assert loaded.status == "ok"
+
+    def test_every_flush_is_a_complete_file(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = Journal.fresh(path, {"k": 1})
+        for i in range(5):
+            journal.record(
+                SessionRecord(key=make_key(seed=i)).to_dict()
+            )
+            # After every flush the on-disk file parses completely: the
+            # atomic rename never exposes a torn line.
+            with open(path) as handle:
+                lines = handle.read().splitlines()
+            parsed = [json.loads(line) for line in lines]
+            assert parsed[0]["kind"] == "manifest"
+            assert len(parsed) == i + 2
+
+    def test_record_replaces_same_key(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = Journal.fresh(path, {"k": 1})
+        journal.record(
+            SessionRecord(key=make_key(), status="failed").to_dict()
+        )
+        journal.record(SessionRecord(key=make_key(), status="ok").to_dict())
+        _, records = Journal.load(path)
+        assert len(records) == 1
+        assert records[0]["status"] == "ok"
+
+    def test_resume_refuses_config_mismatch(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        Journal.fresh(path, {"sessions": 4})
+        with pytest.raises(ConfigMismatchError, match="refusing to resume"):
+            Journal.open(path, {"sessions": 8}, resume=True)
+
+    def test_resume_requires_manifest(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"kind": "session"}\n')
+        with pytest.raises(JournalError, match="no manifest"):
+            Journal.open(path, {"a": 1}, resume=True)
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = Journal.fresh(path, {"k": 1})
+        journal.record(SessionRecord(key=make_key()).to_dict())
+        with open(path, "a") as handle:
+            handle.write('{"kind": "session", "tr')  # torn write
+        manifest, records = Journal.load(path)
+        assert manifest is not None
+        assert len(records) == 1
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = Journal.fresh(path, {"k": 1})
+        journal.record(SessionRecord(key=make_key()).to_dict())
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        lines.insert(1, "not json {")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            Journal.load(path)
+
+
+# ----------------------------------------------------------------------
+# Executor: containment
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def test_serial_matches_thunk_output(self):
+        tasks = [SessionTask(key=make_key(seed=i), thunk=ok_thunk)
+                 for i in range(3)]
+        records = execute(tasks, jobs=1)
+        assert [r.status for r in records] == ["ok"] * 3
+        assert records[0].to_metrics().qoe == 0.5
+
+    def test_serial_uncontained_propagates(self):
+        tasks = [SessionTask(key=make_key(), thunk=raising_thunk)]
+        with pytest.raises(RuntimeError, match="boom"):
+            execute(tasks, jobs=1, contain=False)
+
+    def test_serial_contained_records_failure(self):
+        tasks = [
+            SessionTask(key=make_key(seed=0), thunk=raising_thunk),
+            SessionTask(key=make_key(seed=1), thunk=ok_thunk),
+        ]
+        records = execute(tasks, jobs=1, contain=True)
+        assert records[0].status == "failed"
+        assert records[0].error["type"] == "RuntimeError"
+        assert records[0].error["message"] == "boom"
+        assert "boom" in records[0].error["traceback"]
+        assert records[1].status == "ok"
+
+    def test_pool_contains_raising_worker(self):
+        tasks = [SessionTask(key=make_key(seed=i), thunk=ok_thunk)
+                 for i in range(4)]
+        tasks[1] = SessionTask(key=make_key(seed=1), thunk=raising_thunk)
+        records = execute(tasks, jobs=2)
+        assert [r.status for r in records] == ["ok", "failed", "ok", "ok"]
+        assert records[1].error["phase"] == "exception"
+        assert records[1].error["type"] == "RuntimeError"
+        assert records[1].key.seed == 1
+
+    def test_pool_kills_hanging_worker(self):
+        tasks = [
+            SessionTask(key=make_key(seed=0), thunk=ok_thunk),
+            SessionTask(key=make_key(seed=1), thunk=hanging_thunk),
+            SessionTask(key=make_key(seed=2), thunk=ok_thunk),
+        ]
+        records = execute(tasks, jobs=2, timeout=1.0)
+        assert records[1].status == "failed"
+        assert records[1].error["phase"] == "timeout"
+        assert "wall-clock budget" in records[1].error["message"]
+        assert records[0].status == "ok"
+        assert records[2].status == "ok"
+
+    def test_pool_contains_dying_worker(self):
+        tasks = [
+            SessionTask(key=make_key(seed=0), thunk=suicidal_thunk),
+            SessionTask(key=make_key(seed=1), thunk=ok_thunk),
+        ]
+        records = execute(tasks, jobs=2)
+        assert records[0].status == "failed"
+        assert records[0].error["phase"] == "crash"
+        assert records[1].status == "ok"
+
+    def test_journal_skips_completed_keys(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        spec = {"k": "exec"}
+        tasks = [SessionTask(key=make_key(seed=i), thunk=ok_thunk)
+                 for i in range(3)]
+        journal = Journal.open(path, spec)
+        execute(tasks, jobs=1, journal=journal)
+
+        calls = []
+
+        def counting_thunk():
+            calls.append(1)
+            return make_output()
+
+        resumed = Journal.open(path, spec, resume=True)
+        tasks2 = [SessionTask(key=make_key(seed=i), thunk=counting_thunk)
+                  for i in range(3)]
+        records = execute(tasks2, jobs=1, journal=resumed)
+        assert not calls  # everything came from the journal
+        assert all(r.cached for r in records)
+
+    def test_failed_sessions_are_retried_on_resume(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        spec = {"k": "retry"}
+        journal = Journal.open(path, spec)
+        execute(
+            [SessionTask(key=make_key(), thunk=raising_thunk)],
+            jobs=1, contain=True, journal=journal,
+        )
+        resumed = Journal.open(path, spec, resume=True)
+        records = execute(
+            [SessionTask(key=make_key(), thunk=ok_thunk)],
+            jobs=1, journal=resumed,
+        )
+        assert records[0].status == "ok"
+        assert not records[0].cached
+
+    def test_metrics_dict_roundtrip_is_exact(self, ladder, steady_trace):
+        result = run_session(
+            BolaController(), steady_trace, ladder,
+            PlayerConfig(num_segments=10, live_delay=None),
+        )
+        metrics = qoe_from_session(result, seed=7)
+        rebuilt = metrics_from_dict(
+            json.loads(json.dumps(metrics_to_dict(metrics)))
+        )
+        assert rebuilt == metrics
+
+
+# ----------------------------------------------------------------------
+# Invariant auditor
+# ----------------------------------------------------------------------
+class TestAudit:
+    def run_one(self, ladder, trace, faults=None):
+        config = PlayerConfig(num_segments=15, live_delay=None)
+        result = simulate_session(
+            BolaController(), trace, ladder, config, faults=faults
+        )
+        metrics = qoe_from_session(result)
+        return result, metrics, config
+
+    def test_clean_session_passes(self, ladder, steady_trace):
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        assert audit_session(result, metrics, config=config) == []
+
+    def test_clean_faulted_session_passes(self, ladder, steady_trace):
+        plan = FaultPlan.of_intensity(0.4, seed=5)
+        result, metrics, config = self.run_one(
+            ladder, steady_trace, faults=plan
+        )
+        assert audit_session(
+            result, metrics, config=config, faults=plan
+        ) == []
+
+    def test_negative_buffer_is_caught(self, ladder, steady_trace):
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        result.buffer_levels[3] = -2.0
+        violations = audit_session(result, metrics, config=config)
+        assert any("negative buffer" in v for v in violations)
+
+    def test_time_conservation_violation_is_caught(self, ladder, steady_trace):
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        result.rebuffer_time += 5.0
+        result.rebuffer_events += 1
+        violations = audit_session(result, config=config)
+        assert any("time conservation" in v for v in violations)
+
+    def test_qoe_mismatch_is_caught(self, ladder, steady_trace):
+        import dataclasses
+
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        tampered = dataclasses.replace(metrics, qoe=metrics.qoe + 0.5)
+        violations = audit_session(result, tampered, config=config)
+        assert any("QoE" in v for v in violations)
+
+    def test_fault_counter_mismatch_is_caught(self, ladder, steady_trace):
+        plan = FaultPlan.of_intensity(0.4, seed=5)
+        result, metrics, config = self.run_one(
+            ladder, steady_trace, faults=plan
+        )
+        result.faults_injected += 3
+        violations = audit_session(
+            result, metrics, config=config, faults=plan
+        )
+        assert any("fault plan" in v for v in violations)
+
+    def test_phantom_faults_without_plan_are_caught(self, ladder, steady_trace):
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        result.faults_injected = 2
+        violations = audit_session(result, metrics, config=config)
+        assert any("without a fault plan" in v for v in violations)
+
+    def test_invalid_rung_is_caught(self, ladder, steady_trace):
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        result.qualities[0] = 99
+        violations = audit_session(result, config=config)
+        assert any("ladder" in v for v in violations)
+
+    def test_series_length_mismatch_is_caught(self, ladder, steady_trace):
+        result, metrics, config = self.run_one(ladder, steady_trace)
+        result.download_times.pop()
+        violations = audit_session(result, config=config)
+        assert any("length mismatch" in v for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Harness integration
+# ----------------------------------------------------------------------
+class TestHarnessIntegration:
+    def factories(self):
+        return {"bola": BolaController, "bba": BbaController}
+
+    def test_parallel_equals_serial(self, ladder):
+        traces = tiny_traces(3)
+        profile = tiny_profile(ladder)
+        serial = run_suite(self.factories(), traces, profile, "tiny")
+        pooled = run_suite(
+            self.factories(), traces, profile, "tiny", jobs=2
+        )
+        assert suite_qoes(serial) == suite_qoes(pooled)
+        assert not pooled.failures and not pooled.flagged
+
+    def test_crashing_controller_yields_failure_record(self, ladder):
+        class CrashingController(BolaController):
+            name = "crasher"
+
+            def select_quality(self, obs):
+                raise ValueError("controller exploded")
+
+        factories = {"bola": BolaController, "crash": CrashingController}
+        suite = run_suite(
+            factories, tiny_traces(2), tiny_profile(ladder), "tiny", jobs=2
+        )
+        assert len(suite.per_controller["bola"]) == 2
+        assert suite.per_controller["crash"] == []
+        assert len(suite.failures["crash"]) == 2
+        first = suite.failures["crash"][0]
+        assert first.error["type"] == "ValueError"
+        assert first.key.trace == "tt-0"  # names the exact session
+        lines = suite.failure_lines()
+        assert any("crash" in line and "ValueError" in line for line in lines)
+        # summaries() still works for the healthy controllers
+        assert "bola" in suite.summaries()
+        assert "crash" not in suite.summaries()
+
+    def test_run_dataset_attaches_identity(self, ladder):
+        traces = tiny_traces(2)
+        metrics = run_dataset(
+            BolaController, traces, ladder,
+            PlayerConfig(num_segments=8, live_delay=None),
+            seeds=[11, 22],
+        )
+        assert [m.trace for m in metrics] == ["tt-0", "tt-1"]
+        assert [m.seed for m in metrics] == [11, 22]
+        assert all(m.controller == "bola" for m in metrics)
+
+    def test_run_dataset_default_seed_is_index(self, ladder):
+        metrics = run_dataset(
+            BolaController, tiny_traces(2), ladder,
+            PlayerConfig(num_segments=8, live_delay=None),
+        )
+        assert [m.seed for m in metrics] == [0, 1]
+
+    def test_sweep_parallel_equals_serial(self, ladder):
+        traces = tiny_traces(2)
+        profile = tiny_profile(ladder)
+        serial = sweep_fault_intensity(
+            traces, profile, factories=self.factories(),
+            intensities=[0.0, 0.4], seed=2,
+        )
+        pooled = sweep_fault_intensity(
+            traces, profile, factories=self.factories(),
+            intensities=[0.0, 0.4], seed=2, jobs=2,
+        )
+        for name in serial.curves:
+            assert serial.curves[name].qoe_means == pooled.curves[name].qoe_means
+
+    def test_resume_rejects_changed_config(self, ladder, tmp_path):
+        path = str(tmp_path / "suite.jsonl")
+        traces = tiny_traces(2)
+        profile = tiny_profile(ladder)
+        run_suite(self.factories(), traces, profile, "tiny", journal=path)
+        with pytest.raises(ConfigMismatchError):
+            run_suite(
+                self.factories(), traces[:1], profile, "tiny",
+                journal=path, resume=True,
+            )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: SIGKILL halfway, resume, identical aggregates
+# ----------------------------------------------------------------------
+_KILL_SCRIPT = textwrap.dedent(
+    """
+    from repro.abr.bba import BbaController
+    from repro.abr.bola import BolaController
+    from repro.analysis import run_suite
+    from repro.sim.network import ThroughputTrace
+    from repro.sim.player import PlayerConfig
+    from repro.sim.profiles import EvaluationProfile
+    from repro.sim.video import BitrateLadder
+
+    ladder = BitrateLadder([1.0, 3.0, 6.0], segment_duration=2.0, name="test")
+    traces = [
+        ThroughputTrace.from_samples(
+            [4.0 + (i + j) % 3 for i in range(60)], 1.0, name=f"tt-{j}"
+        )
+        for j in range(4)
+    ]
+    profile = EvaluationProfile(
+        name="tiny",
+        ladder=ladder,
+        player=PlayerConfig(num_segments=12, live_delay=None),
+    )
+    factories = {"bola": BolaController, "bba": BbaController}
+    run_suite(factories, traces, profile, "tiny",
+              jobs=JOBS, journal=JOURNAL, resume=RESUME)
+    print("COMPLETED")
+    """
+)
+
+
+class TestKillAndResume:
+    def run_script(self, journal, jobs, resume, kill_after=None):
+        script = (
+            _KILL_SCRIPT
+            .replace("JOURNAL", repr(str(journal)))
+            .replace("JOBS", str(jobs))
+            .replace("RESUME", str(resume))
+        )
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+        if kill_after is not None:
+            env["REPRO_JOURNAL_KILL_AFTER"] = str(kill_after)
+        else:
+            env.pop("REPRO_JOURNAL_KILL_AFTER", None)
+        return subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+
+    def test_sigkill_midrun_then_resume_matches_serial(self, ladder, tmp_path):
+        journal = tmp_path / "killed.jsonl"
+
+        # 1. Run with the test hook that SIGKILLs the process after the
+        #    4th journal flush — a hard mid-run crash (8 sessions total).
+        proc = self.run_script(journal, jobs=2, resume=False, kill_after=4)
+        assert proc.returncode == -signal.SIGKILL
+        assert "COMPLETED" not in proc.stdout
+
+        manifest, records = Journal.load(str(journal))
+        assert manifest is not None
+        assert len(records) == 4  # exactly the flushed prefix survived
+
+        # 2. Resume: completes the run, reusing the journaled prefix.
+        proc = self.run_script(journal, jobs=2, resume=True)
+        assert proc.returncode == 0, proc.stderr
+        assert "COMPLETED" in proc.stdout
+        _, records = Journal.load(str(journal))
+        assert len(records) == 8
+
+        # 3. The resumed aggregates are identical to an uninterrupted
+        #    jobs=1 serial run.
+        traces = tiny_traces(4)
+        profile = tiny_profile(ladder)
+        factories = {"bola": BolaController, "bba": BbaController}
+        fresh = run_suite(factories, traces, profile, "tiny")
+
+        resumed = run_suite(
+            factories, traces, profile, "tiny",
+            journal=str(journal), resume=True,
+        )
+        assert suite_qoes(fresh) == suite_qoes(resumed)
+        for name, summary in fresh.summaries().items():
+            other = resumed.summary(name)
+            assert summary.qoe == other.qoe
+            assert summary.rebuffer_ratio == other.rebuffer_ratio
+            assert summary.switching_rate == other.switching_rate
+
+
+# ----------------------------------------------------------------------
+# ResilientController: injectable watchdog clock
+# ----------------------------------------------------------------------
+class FakeClock:
+    """A clock advancing a fixed amount per call — no real sleeps."""
+
+    def __init__(self, step):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestWatchdogClock:
+    def obs(self, ladder):
+        from repro.abr.base import PlayerObservation
+
+        return PlayerObservation(
+            wall_time=0.0, segment_index=0, buffer_level=5.0,
+            max_buffer=20.0, previous_quality=None, ladder=ladder,
+            history=(),
+        )
+
+    def test_default_clock_is_monotonic(self):
+        import time as time_mod
+
+        wrapper = ResilientController(BolaController())
+        assert wrapper.clock is time_mod.monotonic
+
+    def test_slow_solver_trips_watchdog_deterministically(self, ladder):
+        clock = FakeClock(step=2.0)  # every decision "takes" 2 s
+        wrapper = ResilientController(
+            BolaController(), solve_timeout=1.0, max_watchdog_trips=3,
+            clock=clock,
+        )
+        wrapper.reset()
+        obs = self.obs(ladder)
+        for _ in range(3):
+            assert wrapper.select_quality(obs) is not None
+        assert wrapper.watchdog_trips == 3
+        assert wrapper._inner_retired
+        assert wrapper.fallback_decisions == 3
+
+    def test_fast_solver_never_trips(self, ladder):
+        clock = FakeClock(step=0.001)
+        wrapper = ResilientController(
+            BolaController(), solve_timeout=1.0, clock=clock
+        )
+        wrapper.reset()
+        for _ in range(5):
+            wrapper.select_quality(self.obs(ladder))
+        assert wrapper.watchdog_trips == 0
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliRunner:
+    def test_compare_with_jobs_and_journal(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = tmp_path / "cli.jsonl"
+        argv = ["compare", "--dataset", "puffer", "--sessions", "2",
+                "--duration", "60", "--jobs", "2",
+                "--journal", str(journal)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "soda" in out
+        assert journal.exists()
+        manifest, records = Journal.load(str(journal))
+        assert manifest is not None
+        assert len(records) == 10  # 5 controllers x 2 sessions
+
+        # Resume is a no-op replay with identical output.
+        assert main(argv + ["--resume"]) == 0
+        out2 = capsys.readouterr().out
+        assert out == out2
+
+    def test_resume_without_journal_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--dataset", "puffer", "--sessions", "1",
+                     "--duration", "60", "--resume"]) == 2
+        assert "requires --journal" in capsys.readouterr().err
+
+    def test_resume_with_changed_config_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = tmp_path / "cli.jsonl"
+        base = ["robustness", "--dataset", "puffer", "--duration", "60",
+                "--intensities", "0,0.2", "--journal", str(journal)]
+        assert main(base + ["--sessions", "1"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--sessions", "2", "--resume"]) == 2
+        assert "refusing to resume" in capsys.readouterr().err
