@@ -1,0 +1,112 @@
+"""Extension: fast-path solver throughput vs the recursive reference.
+
+The ROADMAP's scale target needs per-decision solve cost off the critical
+path.  This bench times ``solve_monotonic`` / ``solve_brute_force`` against
+their vectorized fast-path counterparts on the standard |R|=8 ladder with
+the paper's K=5 horizon, verifies the two backends commit *identical*
+decisions on every timed case, and writes a JSON artifact
+(``solver_perf.json``) with decisions/sec and speedups for CI trend
+tracking.  The fast monotonic path must clear 2x; in practice it lands
+well above that, and the plan cache pushes end-to-end sessions further.
+"""
+
+import json
+import os
+import random
+import time
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.core.fastpath import solve_brute_force_fast, solve_monotonic_fast
+from repro.core.objective import SodaConfig
+from repro.core.solver import solve_brute_force, solve_monotonic
+from repro.sim.video import youtube_4k_ladder
+
+#: decision situations per timed backend
+CASES = int(os.environ.get("REPRO_BENCH_SOLVER_CASES", "600"))
+MAX_BUFFER = 25.0
+ARTIFACT = os.environ.get("REPRO_BENCH_ARTIFACT", "solver_perf.json")
+#: acceptance floor for the monotonic fast path
+REQUIRED_SPEEDUP = 2.0
+
+
+def _situations(ladder, seed=11):
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(CASES):
+        tput = float(rng.uniform(0.2, 30.0))
+        buf = rng.uniform(0.0, MAX_BUFFER)
+        prev = rng.choice([None] + list(range(ladder.levels)))
+        cases.append((np.full(5, tput), buf, prev))
+    return cases
+
+
+def _time_backend(solver, cases, ladder, cfg):
+    decisions = []
+    start = time.perf_counter()
+    for omega, buf, prev in cases:
+        plan = solver(omega, buf, prev, ladder, cfg, MAX_BUFFER)
+        decisions.append(plan.quality)
+    elapsed = time.perf_counter() - start
+    return decisions, len(cases) / elapsed
+
+
+def test_solver_fast_path_speedup(benchmark):
+    ladder = youtube_4k_ladder()
+    assert ladder.levels >= 6
+    cases = _situations(ladder)
+    mono_cfg = SodaConfig(horizon=5)
+    brute_cfg = SodaConfig(horizon=5, use_brute_force=True)
+
+    def experiment():
+        # warm the candidate-bundle caches so steady-state cost is measured
+        for omega, buf, prev in cases[:10]:
+            solve_monotonic_fast(omega, buf, prev, ladder, mono_cfg, MAX_BUFFER)
+            solve_brute_force_fast(omega, buf, prev, ladder, brute_cfg, MAX_BUFFER)
+        out = {}
+        for name, ref, fast, cfg in (
+            ("monotonic", solve_monotonic, solve_monotonic_fast, mono_cfg),
+            ("brute_force", solve_brute_force, solve_brute_force_fast, brute_cfg),
+        ):
+            ref_decisions, ref_rate = _time_backend(ref, cases, ladder, cfg)
+            fast_decisions, fast_rate = _time_backend(fast, cases, ladder, cfg)
+            out[name] = {
+                "reference_decisions_per_sec": round(ref_rate, 1),
+                "fast_decisions_per_sec": round(fast_rate, 1),
+                "speedup": round(fast_rate / ref_rate, 2),
+                "identical_decisions": ref_decisions == fast_decisions,
+                "cases": len(cases),
+            }
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    print(banner("Solver throughput: reference recursion vs fast path"))
+    print(f"{'solver':<12} {'reference/s':>12} {'fast/s':>12} {'speedup':>8}")
+    for name, row in results.items():
+        print(
+            f"{name:<12} {row['reference_decisions_per_sec']:>12.0f} "
+            f"{row['fast_decisions_per_sec']:>12.0f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+
+    artifact = {
+        "ladder": ladder.name,
+        "levels": ladder.levels,
+        "horizon": 5,
+        "results": results,
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as f:
+        json.dump(artifact, f, indent=2)
+        f.write("\n")
+    print(f"wrote {ARTIFACT}")
+
+    for name, row in results.items():
+        assert row["identical_decisions"], (
+            f"{name}: fast path committed different decisions"
+        )
+    assert results["monotonic"]["speedup"] >= REQUIRED_SPEEDUP, (
+        f"monotonic fast path below {REQUIRED_SPEEDUP}x: "
+        f"{results['monotonic']['speedup']}x"
+    )

@@ -142,6 +142,17 @@ class ResilientController(AbrController):
         self._defer_streak = 0
         self._inner_retired = False
 
+    # The wrapped controller's predictor gets a ``__getattr__`` shim, but
+    # the wrapper itself does not — surface the inner controller's plan
+    # cache counters explicitly so ``simulate_session`` finds them here too.
+    @property
+    def plan_cache_hits(self) -> int:
+        return int(getattr(self.inner, "plan_cache_hits", 0))
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return int(getattr(self.inner, "plan_cache_misses", 0))
+
     def reset(self) -> None:
         self._zero_counters()
         try:

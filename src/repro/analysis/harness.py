@@ -221,6 +221,8 @@ def _make_session_thunk(
                 "faults_injected": result.faults_injected,
                 "retries": result.retries,
                 "fallback_decisions": result.fallback_decisions,
+                "plan_cache_hits": result.plan_cache_hits,
+                "plan_cache_misses": result.plan_cache_misses,
             },
             "violations": violations,
         }

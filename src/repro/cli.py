@@ -127,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sessions", type=int, default=6)
     p.add_argument("--duration", type=float, default=480.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--solver-backend", choices=["reference", "fast"],
+                   default="fast",
+                   help="SODA horizon solver: the vectorized fast path "
+                        "(default) or the recursive reference")
     _add_runner_args(p)
     p.set_defaults(func=_cmd_compare)
 
@@ -169,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="predicted throughput, Mb/s")
     p.add_argument("--buffer", type=float, required=True,
                    help="buffer level, seconds")
+    p.add_argument("--solver-backend", choices=["reference", "fast"],
+                   default="fast",
+                   help="horizon solver backend for this decision")
     p.add_argument("--prev", type=int, default=None,
                    help="previous rung index (omit at session start)")
     p.add_argument("--max-buffer", type=float, default=20.0)
@@ -202,7 +209,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if journal and len(names) > 1:
             journal = f"{journal}.{name}"
         suite = run_suite(
-            standard_controllers(),
+            standard_controllers(
+                soda_config=SodaConfig(solver_backend=args.solver_backend)
+            ),
             traces,
             profile,
             name,
@@ -308,7 +317,9 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
 
 def _cmd_decide(args: argparse.Namespace) -> int:
     profile = live_profile()
-    controller = SodaController()
+    controller = SodaController(
+        config=SodaConfig(solver_backend=args.solver_backend)
+    )
     decision = controller.decide(
         args.throughput, args.buffer, args.prev, profile.ladder,
         args.max_buffer,

@@ -1,6 +1,16 @@
 """SODA core: objective, solvers, controller, offline optimal, theory."""
 
 from .controller import SodaController
+from .fastpath import (
+    PlanCache,
+    monotone_candidate_count,
+    monotone_candidates,
+    product_candidates,
+    solve_brute_force_batch,
+    solve_brute_force_fast,
+    solve_monotonic_batch,
+    solve_monotonic_fast,
+)
 from .lookup import DecisionTable
 from .objective import (
     DistortionFunction,
@@ -43,6 +53,14 @@ __all__ = [
     "plan_cost",
     "solve_monotonic",
     "solve_brute_force",
+    "PlanCache",
+    "monotone_candidates",
+    "monotone_candidate_count",
+    "product_candidates",
+    "solve_monotonic_fast",
+    "solve_brute_force_fast",
+    "solve_monotonic_batch",
+    "solve_brute_force_batch",
     "OfflineSolution",
     "RolloutResult",
     "offline_optimal",

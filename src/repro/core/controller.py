@@ -16,10 +16,19 @@ import numpy as np
 from ..abr.base import AbrController, PlayerObservation
 from ..prediction.base import ThroughputPredictor
 from ..prediction.moving_average import SlidingWindowPredictor
+from .fastpath import PlanCache, solve_brute_force_fast, solve_monotonic_fast
 from .objective import SodaConfig
 from .solver import PlanResult, solve_brute_force, solve_monotonic
 
 __all__ = ["SodaController"]
+
+#: (backend, brute-force?) → solver entry point
+_SOLVERS = {
+    ("reference", False): solve_monotonic,
+    ("reference", True): solve_brute_force,
+    ("fast", False): solve_monotonic_fast,
+    ("fast", True): solve_brute_force_fast,
+}
 
 
 class SodaController(AbrController):
@@ -47,6 +56,33 @@ class SodaController(AbrController):
         self.config = config or SodaConfig()
         #: last plan produced, for diagnostics and the decision-diagram bench
         self.last_plan: Optional[PlanResult] = None
+        # The plan cache only serves the fast backend: "reference" exists to
+        # reproduce the recursive solver's behaviour exactly, which a
+        # quantized-state cache would perturb.
+        self._plan_cache: Optional[PlanCache] = None
+        if self.config.plan_cache and self.config.solver_backend == "fast":
+            self._plan_cache = PlanCache(
+                buffer_quantum=self.config.cache_buffer_quantum,
+                tput_quantum=self.config.cache_tput_quantum,
+                max_entries=self.config.plan_cache_size,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def plan_cache_hits(self) -> int:
+        """Decisions answered by the per-session plan cache."""
+        return 0 if self._plan_cache is None else self._plan_cache.hits
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Decisions that required a fresh horizon solve."""
+        return 0 if self._plan_cache is None else self._plan_cache.misses
+
+    def reset(self) -> None:
+        """Reset predictor state and start a fresh per-session plan cache."""
+        super().reset()
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
 
     # ------------------------------------------------------------------
     def select_quality(self, obs: PlayerObservation) -> Optional[int]:
@@ -106,6 +142,30 @@ class SodaController(AbrController):
             omega, buffer_level, prev_quality, ladder, max_buffer, cfg, dt,
             first_cap,
         )
+        return self._finalize(
+            plan, omega, buffer_level, prev_quality, ladder, max_buffer,
+            first_cap,
+        )
+
+    def _finalize(
+        self,
+        plan: PlanResult,
+        omega: np.ndarray,
+        buffer_level: float,
+        prev_quality: Optional[int],
+        ladder,
+        max_buffer: float,
+        first_cap: Optional[int],
+    ) -> Optional[int]:
+        """Fallback rules turning a solved plan into a committed rung.
+
+        Split out of :meth:`_select` so batch consumers (the FastMPC-style
+        :class:`~repro.core.lookup.DecisionTable` build) can solve many
+        situations in one kernel call and still apply byte-identical
+        post-processing per cell.
+        """
+        cfg = self.config
+        dt = ladder.segment_duration
         if plan.quality is None and cfg.horizon > 1:
             # The model sees no feasible K-step plan (e.g. a deep throughput
             # drop makes future underflow unavoidable); degrade gracefully to
@@ -192,8 +252,18 @@ class SodaController(AbrController):
         dt: float,
         first_cap: Optional[int],
     ) -> PlanResult:
-        solver = solve_brute_force if cfg.use_brute_force else solve_monotonic
-        return solver(
+        cache = self._plan_cache
+        key = None
+        if cache is not None:
+            key = cache.key(
+                omega, buffer_level, prev_quality, ladder, max_buffer, dt,
+                first_cap,
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        solver = _SOLVERS[(cfg.solver_backend, cfg.use_brute_force)]
+        plan = solver(
             omega,
             buffer_level,
             prev_quality,
@@ -203,6 +273,9 @@ class SodaController(AbrController):
             dt=dt,
             first_cap=first_cap,
         )
+        if cache is not None:
+            cache.put(key, plan)
+        return plan
 
     def _predict_vector(self, obs: PlayerObservation, horizon: int) -> np.ndarray:
         """Per-interval predictions with safe cold-start fallbacks."""

@@ -1,0 +1,530 @@
+"""NumPy-vectorized fast path for the horizon solvers (drop-in).
+
+The reference solvers in :mod:`repro.core.solver` walk the candidate tree
+with a Python recursion — clear, but the per-decision cost dominates
+large-scale sweeps.  This module replaces the recursion with three pieces:
+
+* **candidate enumeration caches** — all monotonic rung sequences for a
+  given (available levels, horizon, direction) are enumerated once, in the
+  exact lexicographic order the reference DFS visits them, and memoised as
+  index matrices (:func:`monotone_candidates` / :func:`product_candidates`);
+* **a batch scorer** — everything that does not depend on the live
+  (prediction, buffer) state — candidate matrices, per-candidate distortion
+  values, and the full switching-cost term — is precomputed per
+  (ladder, config, previous rung) into a :class:`_Bundle`, so a decision
+  reduces to ~a dozen vectorized operations over the whole candidate set:
+  one buffer recursion via ``cumsum``, feasibility bounds, and the
+  Equation 2 cost of every candidate at once;
+* **a per-session plan cache** (:class:`PlanCache`) keyed by quantized
+  (buffer, previous rung, prediction vector) state, consulted by
+  :class:`~repro.core.controller.SodaController` before solving.
+
+``solve_monotonic_fast`` / ``solve_brute_force_fast`` mirror the reference
+signatures.  Objectives agree with the reference up to floating-point
+association (the vectorized kernel sums the same terms in a different
+order), which the differential suite bounds at the solver tolerance; the
+candidate sets and the first-found-minimum tie-breaking are identical, so
+committed decisions match the reference except at exact cost ties between
+distinct sequences.
+
+On the fast path :attr:`PlanResult.evaluations` reports the number of
+candidate *sequences* scored (the §5.3 C(|R|+K, K) quantity, see
+:func:`monotone_candidate_count`), whereas the reference recursion counts
+feasible node expansions; per-backend the number is meaningful, across
+backends it is not comparable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.video import BitrateLadder
+from .objective import _DISTORTIONS, SodaConfig
+from .solver import _TOL, PlanResult
+
+__all__ = [
+    "monotone_candidates",
+    "product_candidates",
+    "monotone_candidate_count",
+    "solve_monotonic_fast",
+    "solve_brute_force_fast",
+    "solve_monotonic_batch",
+    "solve_brute_force_batch",
+    "PlanCache",
+]
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration (cached per (levels, horizon) shape)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def monotone_candidates(levels: int, horizon: int) -> np.ndarray:
+    """All non-decreasing sequences of ``horizon`` values in [0, levels).
+
+    Rows are in lexicographic order — the order the reference SearchUp DFS
+    reaches its leaves — so first-occurrence ``argmin`` reproduces the
+    reference tie-breaking.  Shape ``(C(levels+horizon-1, horizon), horizon)``.
+    """
+    if levels < 1 or horizon < 1:
+        raise ValueError("need at least one level and one interval")
+    rows = list(itertools.combinations_with_replacement(range(levels), horizon))
+    out = np.asarray(rows, dtype=np.int64)
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=None)
+def product_candidates(levels: int, horizon: int) -> np.ndarray:
+    """All ``levels**horizon`` sequences, in the brute-force DFS order."""
+    if levels < 1 or horizon < 1:
+        raise ValueError("need at least one level and one interval")
+    if levels ** horizon > 4_000_000:
+        raise ValueError(
+            f"brute-force candidate set {levels}^{horizon} is too large"
+        )
+    rows = list(itertools.product(range(levels), repeat=horizon))
+    out = np.asarray(rows, dtype=np.int64)
+    out.setflags(write=False)
+    return out
+
+
+def monotone_candidate_count(
+    levels: int, horizon: int, prev_quality: Optional[int]
+) -> int:
+    """Sequences the fast monotonic solver scores for one situation.
+
+    From anchor ``a`` that is ``C(|R|-a+K-1, K)`` non-decreasing plus
+    ``C(a+K, K)`` non-increasing sequences (the constant plan appears in
+    both, exactly as the reference searches it twice); with no anchor both
+    directions span the full ladder.  With an anchor the total is bounded
+    by the paper's C(|R|+K, K).
+    """
+    if prev_quality is None:
+        return 2 * math.comb(levels + horizon - 1, horizon)
+    up = math.comb(levels - prev_quality + horizon - 1, horizon)
+    down = math.comb(prev_quality + horizon, horizon)
+    return up + down
+
+
+@lru_cache(maxsize=256)
+def _ladder_arrays(
+    bitrates: Tuple[float, ...], distortion: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(rates, v) arrays for a ladder signature, memoised across calls."""
+    fn = _DISTORTIONS[distortion]
+    rates = np.asarray(bitrates, dtype=float)
+    v = np.asarray(
+        [fn(r, bitrates[0], bitrates[-1]) for r in bitrates], dtype=float
+    )
+    rates.setflags(write=False)
+    v.setflags(write=False)
+    return rates, v
+
+
+# ----------------------------------------------------------------------
+# Per-(ladder, config, anchor) candidate bundles
+# ----------------------------------------------------------------------
+class _Bundle:
+    """Everything about a candidate set that the live state cannot change.
+
+    Holds the concatenated candidate matrix (SearchUp rows before
+    SearchDown rows, each block in reference DFS order), per-candidate
+    per-interval ``dt/r`` factors and distortion values, the fully
+    precomputed switching-cost row sums ``Σ_k γ·c(r_k, r_{k-1})``, and the
+    candidate sequences as Python tuples ready to return.
+    """
+
+    __slots__ = (
+        "candidates", "first_rungs", "max_first_rung", "gain_base",
+        "cum_gain_base", "vq", "dist_row_base", "switch_row", "dt_ramp",
+        "count", "sequences",
+    )
+
+    def __init__(
+        self,
+        candidates: np.ndarray,
+        cfg: SodaConfig,
+        rates: np.ndarray,
+        v: np.ndarray,
+        dt: float,
+        anchor_v: Optional[float],
+    ) -> None:
+        horizon = candidates.shape[1]
+        self.candidates = candidates
+        self.first_rungs = np.ascontiguousarray(candidates[:, 0])
+        self.max_first_rung = int(self.first_rungs.max())
+        self.gain_base = dt / rates[candidates]
+        # Prefix sums and distortion row sums let a *constant* prediction —
+        # the common case online — skip the per-call cumsum and one einsum:
+        # with ω_k ≡ ω the trajectory is ω·cumsum(Δt/r) - k·Δt and the
+        # distortion term is ω·Σ_k v_k·Δt/r_k.
+        self.cum_gain_base = np.cumsum(self.gain_base, axis=1)
+        self.vq = v[candidates]
+        self.dist_row_base = np.einsum("nk,nk->n", self.vq, self.gain_base)
+        d = np.empty_like(self.vq)
+        d[:, 1:] = self.vq[:, 1:] - self.vq[:, :-1]
+        d[:, 0] = 0.0 if anchor_v is None else self.vq[:, 0] - anchor_v
+        switch = d * d
+        if cfg.switch_event_cost > 0:
+            switch += cfg.switch_event_cost * (np.abs(d) > 1e-12)
+        if anchor_v is None:
+            switch[:, 0] = 0.0
+        self.switch_row = cfg.gamma * switch.sum(axis=1)
+        self.dt_ramp = dt * np.arange(1, horizon + 1)
+        self.count = candidates.shape[0]
+        self.sequences = [tuple(int(q) for q in row) for row in candidates]
+
+
+@lru_cache(maxsize=4096)
+def _monotone_bundle(
+    bitrates: Tuple[float, ...],
+    cfg: SodaConfig,
+    prev_quality: Optional[int],
+    dt: float,
+) -> _Bundle:
+    """SearchUp ∪ SearchDown candidates for one anchored situation."""
+    rates, v = _ladder_arrays(bitrates, cfg.distortion)
+    levels = len(bitrates)
+    if prev_quality is None:
+        up = monotone_candidates(levels, cfg.horizon)
+        down = (levels - 1) - monotone_candidates(levels, cfg.horizon)
+        anchor_v = None
+    else:
+        up = prev_quality + monotone_candidates(
+            levels - prev_quality, cfg.horizon
+        )
+        down = prev_quality - monotone_candidates(
+            prev_quality + 1, cfg.horizon
+        )
+        anchor_v = float(v[prev_quality])
+    candidates = np.concatenate([up, down], axis=0)
+    return _Bundle(candidates, cfg, rates, v, dt, anchor_v)
+
+
+@lru_cache(maxsize=4096)
+def _brute_bundle(
+    bitrates: Tuple[float, ...],
+    cfg: SodaConfig,
+    prev_quality: Optional[int],
+    dt: float,
+) -> _Bundle:
+    """All |R|^K candidates for one anchored situation."""
+    rates, v = _ladder_arrays(bitrates, cfg.distortion)
+    candidates = product_candidates(len(bitrates), cfg.horizon)
+    anchor_v = None if prev_quality is None else float(v[prev_quality])
+    return _Bundle(candidates, cfg, rates, v, dt, anchor_v)
+
+
+# ----------------------------------------------------------------------
+# The vectorized scoring kernel
+# ----------------------------------------------------------------------
+def _pred(omega, horizon: int):
+    """Normalise a prediction to a scalar (constant ω) or a K-vector.
+
+    Mirrors the validation of :func:`repro.core.solver._prepare`, but
+    collapses constant vectors to a scalar so the kernel can use the
+    bundle's precomputed prefix sums.
+    """
+    if np.ndim(omega) == 0:
+        w = float(omega)
+        if w < 0:
+            raise ValueError("throughput predictions must be non-negative")
+        return w
+    arr = np.atleast_1d(np.asarray(omega, dtype=float))
+    if arr.size == 1:
+        w = float(arr[0])
+        if w < 0:
+            raise ValueError("throughput predictions must be non-negative")
+        return w
+    if arr.size != horizon:
+        raise ValueError(
+            f"prediction length {arr.size} does not match horizon {horizon}"
+        )
+    if np.any(arr < 0):
+        raise ValueError("throughput predictions must be non-negative")
+    w = float(arr[0])
+    if np.all(arr == w):
+        return w
+    return arr
+
+
+def _solve_bundle(
+    bundle: _Bundle,
+    omega,
+    buffer_level: float,
+    cfg: SodaConfig,
+    target: float,
+    max_buffer: float,
+    first_cap: Optional[int],
+    terminal_weight: float,
+) -> PlanResult:
+    """Score every candidate of ``bundle`` for one live state, pick the best.
+
+    ``omega`` is a scalar (constant prediction, precomputed prefix-sum
+    path) or a per-interval vector.  ``argmin`` takes the first occurrence,
+    and rows are ordered exactly as the reference DFS visits sequences
+    (SearchUp block first), so exact ties resolve the same way the
+    recursion resolves them.
+    """
+    if isinstance(omega, float):
+        # Constant prediction: trajectory and distortion from prefix sums.
+        x = omega * bundle.cum_gain_base
+        x += buffer_level - bundle.dt_ramp                # buffer trajectory
+        total = omega * bundle.dist_row_base              # distortion term
+    else:
+        gain = omega * bundle.gain_base                   # ω_k·Δt/r_k
+        x = np.cumsum(gain, axis=1)
+        x += buffer_level - bundle.dt_ramp
+        total = np.einsum("nk,nk->n", bundle.vq, gain)
+    feasible = (x.min(axis=1) >= -_TOL) & (x.max(axis=1) <= max_buffer + _TOL)
+
+    dev = target - x
+    dev *= dev                                            # (x̄ - x_k)²
+    weight = np.where(x <= target, cfg.beta, cfg.beta * cfg.epsilon)
+    total += np.einsum("nk,nk->n", dev, weight)           # β·b(x) term
+    total += bundle.switch_row                            # γ·c(·,·) term
+    if terminal_weight > 0:
+        t_dev = x[:, -1] - target
+        total += (terminal_weight * t_dev) * t_dev
+
+    evaluations = bundle.count
+    if first_cap is not None and first_cap < bundle.max_first_rung:
+        allowed = bundle.first_rungs <= first_cap
+        evaluations = int(np.count_nonzero(allowed))
+        feasible &= allowed
+    total = np.where(feasible, total, math.inf)
+
+    best = int(np.argmin(total))
+    objective = float(total[best])
+    if not math.isfinite(objective):
+        return PlanResult(None, math.inf, (), evaluations)
+    seq = bundle.sequences[best]
+    return PlanResult(seq[0], objective, seq, evaluations)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def solve_monotonic_fast(
+    omega: Sequence[float] | float,
+    buffer_level: float,
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+    first_cap: Optional[int] = None,
+    terminal_weight: float = 0.0,
+) -> PlanResult:
+    """Vectorized drop-in for :func:`repro.core.solver.solve_monotonic`."""
+    dt = ladder.segment_duration if dt is None else dt
+    pred = _pred(omega, cfg.horizon)
+    bundle = _monotone_bundle(tuple(ladder.bitrates), cfg, prev_quality, dt)
+    return _solve_bundle(
+        bundle, pred, float(buffer_level), cfg, cfg.resolve_target(max_buffer),
+        max_buffer, first_cap, terminal_weight,
+    )
+
+
+def solve_brute_force_fast(
+    omega: Sequence[float] | float,
+    buffer_level: float,
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+    first_cap: Optional[int] = None,
+    terminal_weight: float = 0.0,
+) -> PlanResult:
+    """Vectorized drop-in for :func:`repro.core.solver.solve_brute_force`."""
+    dt = ladder.segment_duration if dt is None else dt
+    pred = _pred(omega, cfg.horizon)
+    bundle = _brute_bundle(tuple(ladder.bitrates), cfg, prev_quality, dt)
+    return _solve_bundle(
+        bundle, pred, float(buffer_level), cfg, cfg.resolve_target(max_buffer),
+        max_buffer, first_cap, terminal_weight,
+    )
+
+
+def _solve_batch(
+    bundle_fn,
+    omega: Sequence[float] | float,
+    buffer_levels: Sequence[float],
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float],
+    first_caps,
+    terminal_weight: float,
+) -> List[PlanResult]:
+    dt = ladder.segment_duration if dt is None else dt
+    pred = _pred(omega, cfg.horizon)
+    bundle = bundle_fn(tuple(ladder.bitrates), cfg, prev_quality, dt)
+    target = cfg.resolve_target(max_buffer)
+    x0s = np.atleast_1d(np.asarray(buffer_levels, dtype=float))
+    if first_caps is None:
+        caps = [None] * x0s.shape[0]
+    else:
+        caps = list(first_caps)
+        if len(caps) != x0s.shape[0]:
+            raise ValueError("first_caps length must match buffer_levels")
+    return [
+        _solve_bundle(
+            bundle, pred, float(x0), cfg, target, max_buffer, cap,
+            terminal_weight,
+        )
+        for x0, cap in zip(x0s, caps)
+    ]
+
+
+def solve_monotonic_batch(
+    omega: Sequence[float] | float,
+    buffer_levels: Sequence[float],
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+    first_caps=None,
+    terminal_weight: float = 0.0,
+) -> List[PlanResult]:
+    """Algorithm 1 for one (ω, previous rung) across many buffer levels.
+
+    The candidate bundle (enumeration, distortion, switching costs) is
+    built once and shared by every buffer level — this is the scorer the
+    FastMPC-style :class:`~repro.core.lookup.DecisionTable` builds tables
+    with.  ``first_caps`` may be ``None`` or a per-buffer sequence of
+    optional first-rung caps.
+    """
+    return _solve_batch(
+        _monotone_bundle, omega, buffer_levels, prev_quality, ladder, cfg,
+        max_buffer, dt, first_caps, terminal_weight,
+    )
+
+
+def solve_brute_force_batch(
+    omega: Sequence[float] | float,
+    buffer_levels: Sequence[float],
+    prev_quality: Optional[int],
+    ladder: BitrateLadder,
+    cfg: SodaConfig,
+    max_buffer: float,
+    dt: Optional[float] = None,
+    first_caps=None,
+    terminal_weight: float = 0.0,
+) -> List[PlanResult]:
+    """Exhaustive |R|^K search, batched over buffer levels."""
+    return _solve_batch(
+        _brute_bundle, omega, buffer_levels, prev_quality, ladder, cfg,
+        max_buffer, dt, first_caps, terminal_weight,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-session plan cache
+# ----------------------------------------------------------------------
+class PlanCache:
+    """LRU cache of solved plans keyed by quantized decision state.
+
+    The key quantizes the buffer level and each entry of the prediction
+    vector to configurable quanta, so nearby states share one solve.  Two
+    states mapping to the same key differ by at most half a quantum per
+    component — the *correctness envelope*: the cached plan is the exact
+    optimum of a state within that distance, not necessarily of the queried
+    state.  A quantum of 0 disables rounding (exact-state hits only).  The
+    key also carries the ladder signature, horizon (via the prediction
+    length), Δt, buffer cap, previous rung, and first-rung cap, so a hit
+    can never cross sessions with different geometry.
+
+    Attributes:
+        hits: lookups answered from the cache since the last :meth:`clear`.
+        misses: lookups that fell through to the solver.
+    """
+
+    def __init__(
+        self,
+        buffer_quantum: float = 0.05,
+        tput_quantum: float = 0.05,
+        max_entries: int = 4096,
+    ) -> None:
+        if buffer_quantum < 0 or tput_quantum < 0:
+            raise ValueError("cache quanta must be non-negative")
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one plan")
+        self.buffer_quantum = float(buffer_quantum)
+        self.tput_quantum = float(tput_quantum)
+        self.max_entries = int(max_entries)
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (new session)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        omega: np.ndarray,
+        buffer_level: float,
+        prev_quality: Optional[int],
+        ladder: BitrateLadder,
+        max_buffer: float,
+        dt: float,
+        first_cap: Optional[int],
+    ) -> tuple:
+        qb = self.buffer_quantum
+        qt = self.tput_quantum
+        # Non-finite components (corrupted throughput samples under fault
+        # injection) cannot be rounded; key them by repr so the lookup is a
+        # guaranteed miss instead of a crash.
+        if qb > 0 and math.isfinite(buffer_level):
+            buf = round(buffer_level / qb)
+        else:
+            buf = buffer_level
+        def _q(w: float):
+            if qt > 0 and math.isfinite(w):
+                return round(w / qt)
+            return repr(w)
+        if isinstance(omega, float):
+            pred = (_q(omega),)
+        else:
+            pred = tuple(_q(float(w)) for w in omega)
+        return (
+            tuple(ladder.bitrates),
+            dt,
+            max_buffer,
+            prev_quality,
+            first_cap,
+            buf,
+            pred,
+        )
+
+    def get(self, key: tuple) -> Optional[PlanResult]:
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return plan
+
+    def put(self, key: tuple, plan: PlanResult) -> None:
+        if key in self._entries:
+            self._entries[key] = plan
+            return
+        if len(self._entries) >= self.max_entries:
+            # dicts iterate in insertion order: evict the oldest plan.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = plan

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..sim.video import BitrateLadder
 from .controller import SodaController
+from .fastpath import solve_brute_force_batch, solve_monotonic_batch
 from .objective import SodaConfig
 
 __all__ = ["DecisionTable"]
@@ -103,23 +104,66 @@ class DecisionTable:
     def _build(self) -> TableStats:
         start = time.perf_counter()
         controller = SodaController(config=self.config)
-        for ti, tput in enumerate(self._tput_grid):
-            for bi, buf in enumerate(self._buffer_grid):
-                for prev_axis in range(self.ladder.levels + 1):
-                    prev = None if prev_axis == 0 else prev_axis - 1
-                    decision = controller.decide(
-                        float(tput), float(buf), prev, self.ladder,
-                        self.max_buffer,
-                    )
-                    self._table[ti, bi, prev_axis] = (
-                        _DEFER if decision is None else decision
-                    )
+        if self.config.solver_backend == "fast":
+            self._build_batched(controller)
+        else:
+            for ti, tput in enumerate(self._tput_grid):
+                for bi, buf in enumerate(self._buffer_grid):
+                    for prev_axis in range(self.ladder.levels + 1):
+                        prev = None if prev_axis == 0 else prev_axis - 1
+                        decision = controller.decide(
+                            float(tput), float(buf), prev, self.ladder,
+                            self.max_buffer,
+                        )
+                        self._table[ti, bi, prev_axis] = (
+                            _DEFER if decision is None else decision
+                        )
         elapsed = time.perf_counter() - start
         return TableStats(
             cells=int(self._table.size),
             build_seconds=elapsed,
             memory_bytes=int(self._table.nbytes),
         )
+
+    def _build_batched(self, controller: SodaController) -> None:
+        """Fast-backend build: one batch solve per (throughput, prev) pair.
+
+        The candidate bundle is shared across the whole buffer axis, so the
+        expensive part of each cell shrinks to one vectorized scoring pass;
+        the per-cell fallback rules are applied by the very same
+        ``SodaController._finalize`` the online path uses, keeping the table
+        cell-for-cell identical to the per-cell ``decide`` loop.
+        """
+        cfg = self.config
+        solve_batch = (
+            solve_brute_force_batch if cfg.use_brute_force
+            else solve_monotonic_batch
+        )
+        buffers = [float(b) for b in self._buffer_grid]
+        for ti, tput in enumerate(self._tput_grid):
+            omega = np.full(cfg.horizon, max(float(tput), 0.0))
+            caps = [
+                controller._first_step_cap(
+                    float(omega[0]), buf, self.max_buffer, self.ladder, cfg
+                )
+                for buf in buffers
+            ]
+            for prev_axis in range(self.ladder.levels + 1):
+                prev = None if prev_axis == 0 else prev_axis - 1
+                plans = solve_batch(
+                    omega, buffers, prev, self.ladder, cfg, self.max_buffer,
+                    first_caps=caps,
+                )
+                for bi, (plan, buf, cap) in enumerate(
+                    zip(plans, buffers, caps)
+                ):
+                    decision = controller._finalize(
+                        plan, omega, buf, prev, self.ladder,
+                        self.max_buffer, cap,
+                    )
+                    self._table[ti, bi, prev_axis] = (
+                        _DEFER if decision is None else decision
+                    )
 
     # ------------------------------------------------------------------
     def lookup(

@@ -107,6 +107,22 @@ class SodaConfig:
             Set to 0 to disable.
         use_brute_force: replace Algorithm 1 by exhaustive search (used for
             Figure 8 and ablations; exponential in K).
+        solver_backend: "fast" (default) runs the NumPy-vectorized batch
+            solver of :mod:`repro.core.fastpath`, which scores the same
+            candidate set as the recursive reference with identical
+            tie-breaking (objectives agree up to floating-point
+            association); "reference" keeps the recursive solvers of
+            :mod:`repro.core.solver` (and disables the plan cache) for
+            differential testing and debugging.
+        plan_cache: let the controller reuse plans across decisions whose
+            quantized (buffer, previous rung, prediction) state matches
+            (fast backend only).  See :class:`repro.core.fastpath.PlanCache`
+            for the correctness envelope.
+        cache_buffer_quantum: buffer quantization step (seconds) of the
+            plan-cache key; 0 requires exact-state matches.
+        cache_tput_quantum: per-entry prediction quantization step (Mb/s)
+            of the plan-cache key; 0 requires exact-state matches.
+        plan_cache_size: maximum cached plans per session (LRU beyond it).
     """
 
     horizon: int = 5
@@ -119,6 +135,11 @@ class SodaConfig:
     cap_one_rung_above: bool = False
     download_safety: float = 0.5
     use_brute_force: bool = False
+    solver_backend: str = "fast"
+    plan_cache: bool = True
+    cache_buffer_quantum: float = 0.05
+    cache_tput_quantum: float = 0.05
+    plan_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -138,6 +159,15 @@ class SodaConfig:
             raise ValueError("download_safety must be non-negative")
         if self.switch_event_cost < 0:
             raise ValueError("switch_event_cost must be non-negative")
+        if self.solver_backend not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown solver backend {self.solver_backend!r}; "
+                "choose 'reference' or 'fast'"
+            )
+        if self.cache_buffer_quantum < 0 or self.cache_tput_quantum < 0:
+            raise ValueError("plan-cache quanta must be non-negative")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be at least 1")
 
     # ------------------------------------------------------------------
     def with_(self, **changes) -> "SodaConfig":

@@ -203,6 +203,8 @@ class SessionResult:
     faults_injected: int = 0
     retries: int = 0
     fallback_decisions: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -462,6 +464,8 @@ def simulate_session(
     # Resilient wrappers count their interventions; surface them here so
     # every analysis layer sees one consistent record.
     result.fallback_decisions = int(getattr(controller, "fallback_decisions", 0))
+    result.plan_cache_hits = int(getattr(controller, "plan_cache_hits", 0))
+    result.plan_cache_misses = int(getattr(controller, "plan_cache_misses", 0))
     return result
 
 

@@ -2,6 +2,16 @@
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current implementation "
+             "instead of comparing against them",
+    )
+
 from repro.sim.network import ThroughputTrace
 from repro.sim.player import PlayerConfig
 from repro.sim.video import BitrateLadder, youtube_4k_ladder, youtube_hd_ladder

@@ -1,0 +1,142 @@
+"""Golden-trace regression fixtures.
+
+Each golden pins the full per-interval decision sequence and the QoE
+summary of one (controller, deterministic synthetic trace) pair.  Any
+refactor that changes controller behaviour — however slightly — shows up
+as a failing diff here instead of silently shifting benchmark numbers.
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen-goldens
+
+then review the JSON diff like any other code change.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.abr.bola import BolaController
+from repro.abr.mpc import RobustMpcController
+from repro.core.controller import SodaController
+from repro.core.objective import SodaConfig
+from repro.qoe import qoe_from_session
+from repro.sim.player import PlayerConfig
+from repro.sim.session import run_session
+from repro.sim.video import BitrateLadder
+from repro.traces import scenarios
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: decisions are exact; float metrics tolerate cross-platform rounding
+_METRIC_TOL = 1e-6
+
+_LADDER = BitrateLadder(
+    [0.5, 1.2, 2.5, 4.0, 8.0, 16.0], segment_duration=2.0, name="golden"
+)
+_PLAYER = PlayerConfig(
+    max_buffer=25.0,
+    num_segments=40,
+    startup_threshold=2.0,
+    live_delay=None,
+)
+
+_CONTROLLERS = {
+    "soda": lambda: SodaController(),
+    "bola": lambda: BolaController(),
+    "mpc": lambda: RobustMpcController(),
+}
+
+_TRACES = {
+    "step_down": lambda: scenarios.step_down(
+        high=9.0, low=1.5, at=30.0, duration=120.0
+    ),
+    "oscillation": lambda: scenarios.oscillation(
+        period=20.0, low=1.0, high=7.0, duration=120.0
+    ),
+}
+
+
+def _case_id(controller_name: str, trace_name: str) -> str:
+    return f"{controller_name}__{trace_name}"
+
+
+def _run_case(controller_name: str, trace_name: str) -> dict:
+    controller = _CONTROLLERS[controller_name]()
+    trace = _TRACES[trace_name]()
+    result = run_session(controller, trace, _LADDER, _PLAYER)
+    metrics = qoe_from_session(result)
+    return {
+        "controller": controller_name,
+        "trace": trace_name,
+        "qualities": list(result.qualities),
+        "rebuffer_time": round(result.rebuffer_time, 9),
+        "startup_delay": round(result.startup_delay, 9),
+        "switches": result.switch_count,
+        "qoe": round(metrics.qoe, 9),
+        "utility": round(metrics.utility, 9),
+        "rebuffer_ratio": round(metrics.rebuffer_ratio, 9),
+        "switching_rate": round(metrics.switching_rate, 9),
+    }
+
+
+_CASES = [
+    (c, t) for c in sorted(_CONTROLLERS) for t in sorted(_TRACES)
+]
+
+
+@pytest.mark.parametrize(
+    "controller_name,trace_name", _CASES,
+    ids=[_case_id(c, t) for c, t in _CASES],
+)
+def test_golden_trace(request, controller_name, trace_name):
+    path = GOLDEN_DIR / f"{_case_id(controller_name, trace_name)}.json"
+    actual = _run_case(controller_name, trace_name)
+
+    if request.config.getoption("--regen-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2) + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+
+    assert path.exists(), (
+        f"missing golden {path.name}; run with --regen-goldens to create it"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+
+    assert actual["qualities"] == expected["qualities"], (
+        f"{controller_name} on {trace_name}: decision sequence changed"
+    )
+    assert actual["switches"] == expected["switches"]
+    for key in (
+        "rebuffer_time", "startup_delay", "qoe", "utility",
+        "rebuffer_ratio", "switching_rate",
+    ):
+        assert math.isclose(
+            actual[key], expected[key], rel_tol=0, abs_tol=_METRIC_TOL
+        ), f"{controller_name} on {trace_name}: {key} drifted"
+
+
+def test_goldens_cover_every_case():
+    """A stale goldens directory (deleted case, renamed controller) fails
+    loudly rather than silently shrinking coverage."""
+    expected = {f"{_case_id(c, t)}.json" for c, t in _CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+def test_soda_golden_matches_reference_backend():
+    """The checked-in SODA goldens are backend-independent: replaying with
+    the recursive reference solver commits the identical rung sequence."""
+    controller = SodaController(config=SodaConfig(solver_backend="reference"))
+    for trace_name, make_trace in _TRACES.items():
+        trace = make_trace()
+        result = run_session(controller, trace, _LADDER, _PLAYER)
+        golden = json.loads(
+            (GOLDEN_DIR / f"{_case_id('soda', trace_name)}.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert list(result.qualities) == golden["qualities"]
+        controller.reset()
