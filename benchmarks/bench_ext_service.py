@@ -1,0 +1,136 @@
+"""Extension: decision-service throughput and tail latency.
+
+The serving layer (:mod:`repro.service`) promises every session an answer
+within a hard per-decision deadline while many sessions share one
+instance.  This bench drives the service — no chaos, the clean steady
+workload — from concurrent client threads on the 6-rung ladder and gates
+
+* aggregate throughput of at least ``REQUIRED_DECISIONS_PER_SEC``
+  decisions/sec, and
+* p99 decision latency under the configured deadline,
+
+then writes a JSON artifact (``service_perf.json``) with the rates, the
+latency percentiles, and the tier mix for CI trend tracking.
+"""
+
+import json
+import os
+import threading
+import time
+
+from conftest import banner, run_once
+
+from repro.service import DecisionService
+from repro.sim.player import PlayerObservation
+from repro.sim.video import youtube_4k_ladder
+
+#: decisions per worker thread in the timed section
+DECISIONS_PER_THREAD = int(
+    os.environ.get("REPRO_BENCH_SERVICE_DECISIONS", "2000")
+)
+THREADS = int(os.environ.get("REPRO_BENCH_SERVICE_THREADS", "4"))
+DEADLINE = 0.05
+MAX_BUFFER = 20.0
+ARTIFACT = os.environ.get("REPRO_BENCH_SERVICE_ARTIFACT", "service_perf.json")
+#: acceptance floor for aggregate decision throughput
+REQUIRED_DECISIONS_PER_SEC = 1000.0
+
+
+def _drive(service, ladder, thread_index, decisions):
+    """One synthetic client: a fixed session asking back-to-back."""
+    session_id = f"bench-{thread_index}"
+    prev = None
+    buffer_level = 8.0
+    for segment in range(decisions):
+        obs = PlayerObservation(
+            wall_time=2.0 * segment,
+            segment_index=segment,
+            buffer_level=buffer_level,
+            max_buffer=MAX_BUFFER,
+            previous_quality=prev,
+            ladder=ladder,
+            history=(),
+        )
+        decision = service.decide(session_id, obs)
+        prev = decision.quality
+        # A gentle buffer walk keeps the solver off trivial fixed points.
+        buffer_level = 4.0 + (buffer_level + 1.7) % 12.0
+
+
+def test_service_throughput_and_tail_latency(benchmark):
+    ladder = youtube_4k_ladder()
+    assert ladder.levels >= 6
+    service = DecisionService(
+        ladder,
+        MAX_BUFFER,
+        deadline=DEADLINE,
+        max_in_flight=max(THREADS * 2, 8),
+        max_sessions=max(THREADS * 2, 8),
+        table_points=16,
+    )
+
+    def experiment():
+        # Warm each session's solver and plan cache off the clock.
+        for i in range(THREADS):
+            _drive(service, ladder, i, 50)
+        started = time.perf_counter()
+        workers = [
+            threading.Thread(
+                target=_drive,
+                args=(service, ladder, i, DECISIONS_PER_THREAD),
+            )
+            for i in range(THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - started
+        return elapsed
+
+    elapsed = run_once(benchmark, experiment)
+    timed = THREADS * DECISIONS_PER_THREAD
+    rate = timed / elapsed
+    snapshot = service.health()
+    stats = snapshot.stats
+    latency = snapshot.latency
+
+    print(banner("Decision-service throughput and tail latency"))
+    print(f"{'threads':>8} {'decisions':>10} {'rate/s':>10} "
+          f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}")
+    print(f"{THREADS:>8} {timed:>10} {rate:>10.0f} "
+          f"{latency['p50'] * 1e3:>8.3f} {latency['p95'] * 1e3:>8.3f} "
+          f"{latency['p99'] * 1e3:>8.3f}")
+    print(f"tier mix: solver={stats.tier0_decisions} "
+          f"table={stats.tier1_decisions} rule={stats.tier2_decisions} "
+          f"shed={stats.shed}")
+
+    artifact = {
+        "ladder": ladder.name,
+        "levels": ladder.levels,
+        "threads": THREADS,
+        "decisions_timed": timed,
+        "decisions_per_sec": round(rate, 1),
+        "deadline_seconds": DEADLINE,
+        "latency_seconds": {k: round(v, 6) for k, v in latency.items()},
+        "latency_max_seconds": round(snapshot.latency_max, 6),
+        "tier0_decisions": stats.tier0_decisions,
+        "tier1_decisions": stats.tier1_decisions,
+        "tier2_decisions": stats.tier2_decisions,
+        "shed": stats.shed,
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as f:
+        json.dump(artifact, f, indent=2)
+        f.write("\n")
+    print(f"wrote {ARTIFACT}")
+
+    assert rate >= REQUIRED_DECISIONS_PER_SEC, (
+        f"service below {REQUIRED_DECISIONS_PER_SEC:.0f} decisions/sec: "
+        f"{rate:.0f}/s"
+    )
+    assert latency["p99"] < DEADLINE, (
+        f"p99 latency {latency['p99'] * 1e3:.1f} ms at or above the "
+        f"{DEADLINE * 1e3:.0f} ms deadline"
+    )
+    # The clean workload must be answered by the solver, not by shedding.
+    assert stats.tier0_decisions > 0.9 * stats.decisions

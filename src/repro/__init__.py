@@ -23,6 +23,8 @@ Subpackages:
     analysis:   experiment harness, tables, engagement models
     runner:     supervised experiment executor (crash containment,
                 journaling, resume, invariant auditing)
+    service:    deadline-aware decision service (degradation ladder,
+                circuit breaker, admission control, chaos-soak harness)
 """
 
 from .abr import (
@@ -69,6 +71,14 @@ from .runner import (
     SessionRecord,
     audit_session,
     config_hash,
+)
+from .service import (
+    CircuitBreaker,
+    DecisionService,
+    HealthSnapshot,
+    ServiceStats,
+    SoakConfig,
+    run_soak,
 )
 from .sim import (
     BitrateLadder,
@@ -166,4 +176,11 @@ __all__ = [
     "SessionRecord",
     "audit_session",
     "config_hash",
+    # service
+    "CircuitBreaker",
+    "DecisionService",
+    "HealthSnapshot",
+    "ServiceStats",
+    "SoakConfig",
+    "run_soak",
 ]

@@ -9,7 +9,12 @@ from .hyb import HybController
 from .mpc import MpcController, RobustMpcController
 from .pid import PidController
 from .rate import RateController, rate_rule_quality
-from .resilient import ResilientController
+from .resilient import (
+    ResilientController,
+    sanitize_observation,
+    sanitize_sample,
+    validate_rung,
+)
 from .rl import QTableController, train_q_controller
 
 __all__ = [
@@ -27,6 +32,9 @@ __all__ = [
     "RateController",
     "rate_rule_quality",
     "ResilientController",
+    "sanitize_observation",
+    "sanitize_sample",
+    "validate_rung",
     "QTableController",
     "train_q_controller",
 ]

@@ -44,7 +44,97 @@ from ..prediction.base import ThroughputPredictor, ThroughputSample
 from .base import AbrController, PlayerObservation
 from .bba import BbaController
 
-__all__ = ["ResilientController"]
+__all__ = [
+    "ResilientController",
+    "sanitize_observation",
+    "sanitize_sample",
+    "validate_rung",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared armor helpers.  These are module-level (not methods) because the
+# decision service (:mod:`repro.service`) applies the same sanitizing and
+# rung validation per request without instantiating a wrapper controller.
+# ----------------------------------------------------------------------
+def validate_rung(quality, levels: int) -> Optional[int]:
+    """Return ``quality`` as a checked int rung, or ``None`` if unusable.
+
+    Rejects non-integers, non-finite floats, floats with a fractional
+    part, and anything outside ``[0, levels)``.
+    """
+    try:
+        rung = int(quality)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if isinstance(quality, float):
+        if not math.isfinite(quality) or quality != rung:
+            return None
+    if not 0 <= rung < levels:
+        return None
+    return rung
+
+
+def sanitize_sample(sample: ThroughputSample) -> Optional[ThroughputSample]:
+    """Repair a corrupted download sample, or drop a hopeless one.
+
+    Non-finite timings/sizes are unrecoverable (``None``); a NaN/inf/zero/
+    negative throughput is recomputed from the transfer itself, which the
+    client SDK always knows.
+    """
+    if (
+        not math.isfinite(sample.start)
+        or not math.isfinite(sample.duration)
+        or not math.isfinite(sample.size)
+        or sample.duration <= 0
+        or sample.size < 0
+    ):
+        return None
+    if math.isfinite(sample.throughput) and sample.throughput > 0:
+        return sample
+    rebuilt = sample.size / sample.duration
+    if not math.isfinite(rebuilt) or rebuilt <= 0:
+        return None
+    return ThroughputSample(
+        start=sample.start,
+        duration=sample.duration,
+        size=sample.size,
+        throughput=rebuilt,
+    )
+
+
+def sanitize_observation(obs: PlayerObservation) -> PlayerObservation:
+    """Clamp non-finite scalars and strip garbage history samples.
+
+    Returns ``obs`` itself when nothing needed repair, so callers can
+    count interventions with an identity check.
+    """
+    changes = {}
+    if not math.isfinite(obs.buffer_level) or obs.buffer_level < 0:
+        changes["buffer_level"] = 0.0
+    elif obs.buffer_level > obs.max_buffer > 0:
+        changes["buffer_level"] = obs.max_buffer
+    if not math.isfinite(obs.wall_time) or obs.wall_time < 0:
+        changes["wall_time"] = 0.0
+    if not math.isfinite(obs.rebuffer_time) or obs.rebuffer_time < 0:
+        changes["rebuffer_time"] = 0.0
+
+    clean_history = []
+    dropped = False
+    for sample in obs.history:
+        clean = sanitize_sample(sample)
+        if clean is None:
+            dropped = True
+            continue
+        if clean is not sample:
+            dropped = True
+        clean_history.append(clean)
+    if dropped:
+        changes["history"] = tuple(clean_history)
+
+    if not changes:
+        return obs
+    return dataclasses.replace(obs, **changes)
 
 
 class _SafePredictor(ThroughputPredictor):
@@ -216,16 +306,7 @@ class ResilientController(AbrController):
         self, quality, obs: PlayerObservation
     ) -> Optional[int]:
         """Return a checked int rung, or ``None`` when it is unusable."""
-        try:
-            rung = int(quality)
-        except (TypeError, ValueError):
-            return None
-        if isinstance(quality, float):
-            if not math.isfinite(quality) or quality != rung:
-                return None
-        if not 0 <= rung < obs.ladder.levels:
-            return None
-        return rung
+        return validate_rung(quality, obs.ladder.levels)
 
     def _fallback_decision(self, obs: PlayerObservation) -> int:
         self.fallback_decisions += 1
@@ -245,54 +326,11 @@ class ResilientController(AbrController):
         sample: ThroughputSample,
     ) -> Optional[ThroughputSample]:
         """Repair a corrupted download sample, or drop a hopeless one."""
-        if (
-            not math.isfinite(sample.start)
-            or not math.isfinite(sample.duration)
-            or not math.isfinite(sample.size)
-            or sample.duration <= 0
-            or sample.size < 0
-        ):
-            return None
-        if math.isfinite(sample.throughput) and sample.throughput > 0:
-            return sample
-        # NaN/inf/zero/negative throughput: recompute it from the transfer
-        # itself, which the client SDK always knows.
-        rebuilt = sample.size / sample.duration
-        if not math.isfinite(rebuilt) or rebuilt <= 0:
-            return None
-        return ThroughputSample(
-            start=sample.start,
-            duration=sample.duration,
-            size=sample.size,
-            throughput=rebuilt,
-        )
+        return sanitize_sample(sample)
 
     def _sanitize_observation(self, obs: PlayerObservation) -> PlayerObservation:
         """Clamp non-finite scalars and strip garbage history samples."""
-        changes = {}
-        if not math.isfinite(obs.buffer_level) or obs.buffer_level < 0:
-            changes["buffer_level"] = 0.0
-        elif obs.buffer_level > obs.max_buffer > 0:
-            changes["buffer_level"] = obs.max_buffer
-        if not math.isfinite(obs.wall_time) or obs.wall_time < 0:
-            changes["wall_time"] = 0.0
-        if not math.isfinite(obs.rebuffer_time) or obs.rebuffer_time < 0:
-            changes["rebuffer_time"] = 0.0
-
-        clean_history = []
-        dropped = False
-        for sample in obs.history:
-            clean = self._sanitize_sample(sample)
-            if clean is None:
-                dropped = True
-                continue
-            if clean is not sample:
-                dropped = True
-            clean_history.append(clean)
-        if dropped:
-            changes["history"] = tuple(clean_history)
-
-        if not changes:
-            return obs
-        self.sanitized_observations += 1
-        return dataclasses.replace(obs, **changes)
+        clean = sanitize_observation(obs)
+        if clean is not obs:
+            self.sanitized_observations += 1
+        return clean

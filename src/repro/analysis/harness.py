@@ -84,6 +84,11 @@ class SuiteResult:
     def failure_count(self) -> int:
         return sum(len(records) for records in self.failures.values())
 
+    @property
+    def flagged_count(self) -> int:
+        """Completed sessions the invariant auditor flagged."""
+        return sum(len(records) for records in self.flagged.values())
+
     def failure_lines(self) -> List[str]:
         """One line per controller with failed or flagged sessions."""
         lines: List[str] = []

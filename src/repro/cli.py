@@ -8,13 +8,18 @@ Subcommands:
 * ``trace`` — generate a synthetic trace to CSV or summarise a trace file;
 * ``decide`` — a single SODA decision for a (throughput, buffer, prev) situation;
 * ``tune`` — grid-search SODA weights for a dataset;
-* ``robustness`` — QoE-degradation curves under injected download faults.
+* ``robustness`` — QoE-degradation curves under injected download faults;
+* ``serve`` — the multi-session decision service under a clean synthetic
+  workload, with a health-snapshot report;
+* ``soak`` — the chaos-soak harness: the same service under injected
+  solver and observation faults, gated on its serving invariants.
 
 ``compare`` and ``robustness`` accept the experiment-runner options
 ``--jobs N`` (supervised worker pool with crash containment),
 ``--journal out.jsonl`` (atomic JSONL run journal), ``--resume`` (skip
-sessions already journaled under the same config), and
-``--session-timeout`` (per-session wall-clock budget).
+sessions already journaled under the same config), ``--session-timeout``
+(per-session wall-clock budget), and ``--strict-audit`` (exit 2 when any
+completed session is flagged by the invariant auditor).
 
 Run ``python -m repro.cli <subcommand> --help`` for options.  Operational
 errors (missing files, bad values) exit with code 2 and a one-line message.
@@ -106,6 +111,9 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--session-timeout", type=float, default=None,
                    help="per-session wall-clock budget in seconds, "
                         "enforced by killing the worker (--jobs > 1)")
+    p.add_argument("--strict-audit", action="store_true",
+                   help="exit 2 when any completed session is flagged "
+                        "by the invariant auditor")
 
 
 def _print_failures(result) -> None:
@@ -189,7 +197,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_tune)
 
+    p = sub.add_parser(
+        "serve",
+        help="drive the decision service with a clean synthetic workload",
+    )
+    _add_service_args(p)
+    p.set_defaults(func=_cmd_serve, chaos=False)
+
+    p = sub.add_parser(
+        "soak",
+        help="chaos-soak the decision service and check its invariants",
+    )
+    _add_service_args(p)
+    p.add_argument("--intensity", type=float, default=0.3,
+                   help="observation fault-plan intensity, 0..1")
+    p.add_argument("--crash-rate", type=float, default=0.02,
+                   help="random tier-0 crash probability")
+    p.add_argument("--slow-rate", type=float, default=0.02,
+                   help="random over-deadline tier-0 sleep probability")
+    p.add_argument("--burst-at", type=int, default=200,
+                   help="tier-0 call count at which the crash burst "
+                        "starts (trips the breaker once)")
+    p.set_defaults(func=_cmd_serve, chaos=True)
+
     return parser
+
+
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    """Workload/service options shared by serve/soak."""
+    p.add_argument("--sessions", type=int, default=200,
+                   help="synthetic streaming sessions to drive")
+    p.add_argument("--segments", type=int, default=30,
+                   help="decisions per session")
+    p.add_argument("--threads", type=int, default=8,
+                   help="concurrent client worker threads")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=0.05,
+                   help="per-decision budget, seconds")
+    p.add_argument("--table-points", type=int, default=12,
+                   help="tier-1 decision-table grid points per axis "
+                        "(0 disables the table)")
+    p.add_argument("--max-sessions", type=int, default=64,
+                   help="resident-session cap (LRU eviction beyond it)")
+    p.add_argument("--max-in-flight", type=int, default=4,
+                   help="concurrent decision slots before load shedding")
+    p.add_argument("--health-json",
+                   help="write the final health snapshot JSON here")
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +251,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         raise ValueError("--resume requires --journal")
     names = list(DATASET_FACTORIES) if args.dataset == "all" else [args.dataset]
     failed = 0
+    flagged = 0
     for name in names:
         traces = DATASET_FACTORIES[name]().dataset(
             args.sessions, args.duration, seed=args.seed
@@ -228,6 +282,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print("(every session failed — see the failure summary)")
         _print_failures(suite)
         failed += suite.failure_count
+        flagged += suite.flagged_count
+    if args.strict_audit and flagged:
+        raise ValueError(
+            f"--strict-audit: {flagged} session(s) flagged by the "
+            f"invariant auditor"
+        )
     return 1 if failed else 0
 
 
@@ -312,6 +372,11 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
           f"({args.sessions} × {args.duration:.0f}s){mode} ===")
     print(report.render())
     _print_failures(report)
+    if args.strict_audit and report.flagged_count:
+        raise ValueError(
+            f"--strict-audit: {report.flagged_count} session(s) flagged "
+            f"by the invariant auditor"
+        )
     return 1 if report.failure_count else 0
 
 
@@ -349,6 +414,67 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     best = result.best.config
     print(f"\nbest: beta={best.beta} gamma={best.gamma} "
           f"kappa={best.switch_event_cost} target={best.target_buffer}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Shared implementation of ``serve`` (clean) and ``soak`` (chaos)."""
+    from .service import SoakConfig, run_soak
+
+    if not 0 <= getattr(args, "intensity", 0.0) <= 1.0:
+        raise ValueError("--intensity must be in [0, 1]")
+    cfg = SoakConfig(
+        sessions=args.sessions,
+        segments_per_session=args.segments,
+        threads=args.threads,
+        seed=args.seed,
+        chaos=args.chaos,
+        deadline=args.deadline,
+        max_in_flight=args.max_in_flight,
+        max_sessions=args.max_sessions,
+        table_points=args.table_points,
+        fault_intensity=getattr(args, "intensity", 0.0),
+        crash_rate=getattr(args, "crash_rate", 0.0),
+        slow_rate=getattr(args, "slow_rate", 0.0),
+        burst_at=getattr(args, "burst_at", 200),
+    )
+    report = run_soak(cfg, progress=lambda line: print(f"  {line}"))
+    snapshot = report.snapshot
+    stats = snapshot.stats
+    mode = "soak" if args.chaos else "serve"
+    print(f"\n=== {mode}: {report.decisions} decisions in "
+          f"{report.elapsed:.2f}s "
+          f"({report.decisions_per_second():.0f}/s) ===")
+    print(f"tiers: solver={stats.tier0_decisions} "
+          f"table={stats.tier1_decisions} rule={stats.tier2_decisions} "
+          f"(shed={stats.shed}, {stats.shed_rate():.1%})")
+    print(f"armor: solver_errors={stats.solver_errors} "
+          f"overruns={stats.deadline_overruns} "
+          f"sanitized={stats.sanitized_observations} "
+          f"deferrals={stats.deferrals_resolved}")
+    print(f"sessions: created={stats.sessions_created} "
+          f"evicted={stats.sessions_evicted} "
+          f"high-water={stats.max_sessions_seen}")
+    print(f"breaker: state={snapshot.breaker_state} "
+          f"opened={snapshot.breaker_times_opened} "
+          f"full_cycles={snapshot.breaker_full_cycles}")
+    lat = snapshot.latency
+    print(f"latency: p50={lat['p50'] * 1e3:.2f}ms "
+          f"p95={lat['p95'] * 1e3:.2f}ms p99={lat['p99'] * 1e3:.2f}ms "
+          f"max={snapshot.latency_max * 1e3:.1f}ms "
+          f"(deadline {args.deadline * 1e3:.0f}ms)")
+    if args.health_json:
+        with open(args.health_json, "w", encoding="utf-8") as f:
+            f.write(snapshot.to_json())
+            f.write("\n")
+        print(f"wrote {args.health_json}")
+    if report.violations:
+        print(f"\n{len(report.violations)} invariant violation(s):",
+              file=sys.stderr)
+        for line in report.violations[:20]:
+            print(f"repro: violation: {line}", file=sys.stderr)
+        return 1
+    print("\nall serving invariants held")
     return 0
 
 

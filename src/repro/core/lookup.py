@@ -183,6 +183,20 @@ class DecisionTable:
         decision = int(self._table[ti, bi, prev_axis])
         return None if decision == _DEFER else decision
 
+    def lookup_observation(self, obs) -> Optional[int]:
+        """Answer a :class:`~repro.sim.player.PlayerObservation` lookup.
+
+        Maps the observation onto the table axes (last measured
+        throughput, buffer level, previous rung); with no history yet the
+        throughput axis clamps to the grid minimum, which the table
+        resolves exactly like FastMPC's cold start.  This is the tier-1
+        entry point of the decision service (:mod:`repro.service`).
+        """
+        throughput = obs.last_throughput
+        if throughput is None:
+            throughput = float(self._tput_grid[0])
+        return self.lookup(throughput, obs.buffer_level, obs.previous_quality)
+
     def agreement_with_solver(
         self, samples: int = 2000, seed: int = 0
     ) -> float:

@@ -1,0 +1,53 @@
+"""The long-lived multi-session ABR decision service.
+
+``repro.service`` turns the package's controllers into an operable
+serving layer: :class:`DecisionService` answers
+``decide(session_id, observation)`` for many concurrent sessions under a
+hard per-decision deadline, degrading gracefully (full solve → table
+lookup → buffer rule) instead of ever erroring, with a circuit breaker
+around the solver, admission control with load shedding, LRU-bounded
+session state, and a pollable health surface.  The chaos-soak harness
+(:func:`run_soak`, ``repro soak``) proves those properties under injected
+faults.
+"""
+
+from .admission import AdmissionGate, SessionEntry, SessionTable
+from .breaker import BreakerOpenError, BreakerState, CircuitBreaker
+from .degrade import (
+    TIER_RULE,
+    TIER_SOLVER,
+    TIER_TABLE,
+    DegradationLadder,
+    ServiceStats,
+    StatsCounters,
+    TierDecision,
+)
+from .health import HealthSnapshot, LatencyRing, build_snapshot
+from .service import Decision, DecisionService, SessionState
+from .soak import ChaosSolver, SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "AdmissionGate",
+    "SessionEntry",
+    "SessionTable",
+    "BreakerOpenError",
+    "BreakerState",
+    "CircuitBreaker",
+    "TIER_SOLVER",
+    "TIER_TABLE",
+    "TIER_RULE",
+    "DegradationLadder",
+    "ServiceStats",
+    "StatsCounters",
+    "TierDecision",
+    "HealthSnapshot",
+    "LatencyRing",
+    "build_snapshot",
+    "Decision",
+    "DecisionService",
+    "SessionState",
+    "ChaosSolver",
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
+]

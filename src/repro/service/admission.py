@@ -1,0 +1,183 @@
+"""Admission control: bounded concurrency and bounded session memory.
+
+Two resources of a long-lived decision service must be capped or heavy
+traffic will eventually exhaust them:
+
+* **in-flight decisions** — :class:`AdmissionGate` hands out a fixed
+  number of slots; a request that finds none is *shed*, which means it is
+  answered by the tier-2 floor rule (load shedding degrades quality, it
+  never errors);
+* **resident sessions** — :class:`SessionTable` keeps per-session solver
+  state in an LRU-ordered map with a hard capacity; creating a session
+  beyond the cap evicts the least-recently-used *idle* session (one with
+  no decision in flight), so memory stays bounded no matter how many
+  distinct viewers show up.
+
+Both are plain ``threading`` primitives — the service runs decisions on a
+thread pool, and every operation here is O(1) amortized.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterator, Optional, Tuple, TypeVar
+
+__all__ = ["AdmissionGate", "SessionEntry", "SessionTable"]
+
+T = TypeVar("T")
+
+
+class AdmissionGate:
+    """A non-blocking semaphore over in-flight decision slots.
+
+    Args:
+        max_in_flight: concurrent decisions allowed before shedding.
+
+    Raises:
+        ValueError: on a non-positive slot count.
+    """
+
+    def __init__(self, max_in_flight: int) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = max_in_flight
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.shed = 0
+        self.max_in_flight_seen = 0
+
+    def try_acquire(self) -> bool:
+        """Claim a slot without blocking; ``False`` means shed the request."""
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                self.shed += 1
+                return False
+            self._in_flight += 1
+            if self._in_flight > self.max_in_flight_seen:
+                self.max_in_flight_seen = self._in_flight
+            return True
+
+    def release(self) -> None:
+        """Return a slot claimed by :meth:`try_acquire`."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release without a matching acquire")
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+
+class SessionEntry:
+    """One resident session: caller-owned state plus an in-use latch.
+
+    Attributes:
+        session_id: the key this entry is stored under.
+        state: opaque per-session state built by the table's factory
+            (the service stores its solver + sample bookkeeping here).
+        lock: serializes decisions for this session.
+        in_use: set while a decision holds the entry, which exempts it
+            from LRU eviction.
+    """
+
+    __slots__ = ("session_id", "state", "lock", "in_use")
+
+    def __init__(self, session_id: str, state: object) -> None:
+        self.session_id = session_id
+        self.state = state
+        self.lock = threading.Lock()
+        self.in_use = False
+
+
+class SessionTable:
+    """An LRU-bounded map of :class:`SessionEntry` objects.
+
+    Args:
+        max_sessions: hard cap on resident sessions; creating one more
+            evicts the least-recently-used idle entry first.
+
+    Raises:
+        ValueError: on a non-positive capacity.
+    """
+
+    def __init__(self, max_sessions: int) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        self.created = 0
+        self.evicted = 0
+        self.max_size_seen = 0
+
+    # ------------------------------------------------------------------
+    def checkout(
+        self, session_id: str, factory: Callable[[], T]
+    ) -> Tuple[SessionEntry, bool]:
+        """Fetch (or create) a session and mark it in use.
+
+        Returns ``(entry, created)``.  The caller must hold
+        ``entry.lock`` while touching ``entry.state`` and call
+        :meth:`checkin` when the decision completes.  When the table is
+        full of busy sessions, the cap still holds: the *new* session is
+        created but the oldest idle entry is evicted as soon as one
+        exists (eviction is retried on every checkout).
+        """
+        with self._lock:
+            entry = self._entries.get(session_id)
+            created = entry is None
+            if entry is None:
+                entry = SessionEntry(session_id, factory())
+                self._entries[session_id] = entry
+                self.created += 1
+            else:
+                self._entries.move_to_end(session_id)
+            entry.in_use = True
+            self._evict_over_cap()
+            size = len(self._entries)
+            if size > self.max_size_seen:
+                self.max_size_seen = size
+            return entry, created
+
+    def checkin(self, entry: SessionEntry) -> None:
+        """Release an entry checked out by :meth:`checkout`."""
+        with self._lock:
+            entry.in_use = False
+            self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        """Drop LRU idle entries until the cap holds (lock held)."""
+        while len(self._entries) > self.max_sessions:
+            victim_id = None
+            for session_id, entry in self._entries.items():
+                if not entry.in_use:
+                    victim_id = session_id
+                    break
+            if victim_id is None:
+                # Every resident session has a decision in flight; the
+                # next checkin retries.  max_in_flight bounds the excess.
+                return
+            del self._entries[victim_id]
+            self.evicted += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._entries
+
+    def ids(self) -> Iterator[str]:
+        """Resident session ids, LRU first (snapshot)."""
+        with self._lock:
+            return iter(list(self._entries.keys()))
+
+    def peek(self, session_id: str) -> Optional[SessionEntry]:
+        """Fetch an entry without touching LRU order or the latch."""
+        with self._lock:
+            return self._entries.get(session_id)

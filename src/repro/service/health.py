@@ -1,0 +1,158 @@
+"""Health surface of the decision service: liveness, readiness, latency.
+
+Operations needs three answers from a long-lived decision service, each
+cheap enough to poll every second:
+
+* **live?** — the process is up and the stats lock is responsive;
+* **ready?** — the service should receive traffic: the breaker is not
+  stuck open and the recent shed rate is below a threshold;
+* **how is it doing?** — a :class:`HealthSnapshot` bundling the counter
+  snapshot, breaker state, and p50/p95/p99 decision latency from a
+  fixed-size ring buffer, serializable to JSON for dashboards and the
+  chaos-soak artifact.
+
+The latency ring keeps the last N observations only — a service that ran
+for a week should report *current* latency, not its lifetime average.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .breaker import CircuitBreaker
+from .degrade import ServiceStats
+
+__all__ = ["LatencyRing", "HealthSnapshot", "build_snapshot"]
+
+
+class LatencyRing:
+    """A fixed-capacity ring of recent decision latencies (seconds).
+
+    Args:
+        capacity: number of most-recent samples retained.
+
+    Raises:
+        ValueError: on a non-positive capacity.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: List[float] = [0.0] * capacity
+        self._next = 0
+        self._count = 0
+        self.total_recorded = 0
+        self.max_seen = 0.0
+
+    def record(self, latency: float) -> None:
+        """Append one latency observation, evicting the oldest at capacity."""
+        with self._lock:
+            self._samples[self._next] = latency
+            self._next = (self._next + 1) % self.capacity
+            if self._count < self.capacity:
+                self._count += 1
+            self.total_recorded += 1
+            if latency > self.max_seen:
+                self.max_seen = latency
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentiles(
+        self, points: Tuple[float, ...] = (0.50, 0.95, 0.99)
+    ) -> Dict[str, float]:
+        """Nearest-rank percentiles over the retained window.
+
+        Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (keys derived
+        from ``points``); all zeros when no sample has been recorded.
+        """
+        with self._lock:
+            window = sorted(self._samples[: self._count])
+        result = {}
+        for point in points:
+            key = f"p{int(round(point * 100))}"
+            if not window:
+                result[key] = 0.0
+                continue
+            rank = max(0, min(len(window) - 1, int(point * len(window))))
+            result[key] = window[rank]
+        return result
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """One observable moment of the service, JSON-serializable.
+
+    Attributes:
+        live: the service answered its own stats poll.
+        ready: the service should receive traffic (breaker not open,
+            shed rate under the readiness threshold).
+        breaker_state: ``closed`` / ``open`` / ``half-open``.
+        breaker_times_opened: lifetime trips.
+        breaker_full_cycles: completed open → half-open → closed cycles.
+        stats: the frozen counter snapshot.
+        latency: p50/p95/p99 over the recent-latency ring, seconds.
+        latency_max: worst latency ever observed, seconds.
+        latency_samples: lifetime count of recorded latencies.
+        deadline: the configured per-decision budget, seconds.
+    """
+
+    live: bool
+    ready: bool
+    breaker_state: str
+    breaker_times_opened: int
+    breaker_full_cycles: int
+    stats: ServiceStats
+    latency: Dict[str, float]
+    latency_max: float
+    latency_samples: int
+    deadline: float
+
+    def to_dict(self) -> dict:
+        """A plain-dict view (stats flattened) suitable for JSON."""
+        payload = dataclasses.asdict(self)
+        payload["stats"] = dataclasses.asdict(self.stats)
+        payload["stats"]["shed_rate"] = self.stats.shed_rate()
+        payload["stats"]["degraded_decisions"] = self.stats.degraded_decisions
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def build_snapshot(
+    stats: ServiceStats,
+    breaker: CircuitBreaker,
+    ring: LatencyRing,
+    deadline: float,
+    max_shed_rate: float = 0.5,
+) -> HealthSnapshot:
+    """Assemble a :class:`HealthSnapshot` from the live components.
+
+    Readiness is conservative: an *open* breaker means the optimizer is
+    quarantined and quality is degraded, so the instance reports not-ready
+    (half-open counts as recovering, hence ready); a shed rate above
+    ``max_shed_rate`` means admission control is refusing a majority of
+    traffic and the instance needs relief.
+    """
+    state = breaker.state.value
+    ready = state != "open" and stats.shed_rate() <= max_shed_rate
+    return HealthSnapshot(
+        live=True,
+        ready=ready,
+        breaker_state=state,
+        breaker_times_opened=breaker.times_opened,
+        breaker_full_cycles=breaker.full_cycles(),
+        stats=stats,
+        latency=ring.percentiles(),
+        latency_max=ring.max_seen,
+        latency_samples=ring.total_recorded,
+        deadline=deadline,
+    )

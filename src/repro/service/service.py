@@ -1,0 +1,283 @@
+"""The multi-session ABR decision service.
+
+:class:`DecisionService` is the long-lived front end the rest of the
+package's pieces were built for: many concurrent streaming sessions, each
+asking ``decide(session_id, observation)`` and each owed an answer within a
+hard deadline.  One instance composes
+
+* an :class:`~repro.service.admission.AdmissionGate` (bounded in-flight
+  decisions; overload is shed to the tier-2 floor, never errored),
+* a :class:`~repro.service.admission.SessionTable` (LRU-bounded per-session
+  solver state),
+* a :class:`~repro.service.breaker.CircuitBreaker` guarding the tier-0
+  solver,
+* a :class:`~repro.service.degrade.DegradationLadder` choosing between the
+  full SODA solve, the precomputed
+  :class:`~repro.core.lookup.DecisionTable`, and the stateless BBA rule by
+  remaining deadline budget, and
+* a :class:`~repro.service.health.LatencyRing` feeding the health snapshot.
+
+Per-session state is a :class:`SodaController` (fast backend) plus sample
+bookkeeping; the shared decision table and BBA rule are immutable after
+construction and therefore safe to read from every worker thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..abr.base import PlayerObservation
+from ..abr.bba import BbaController
+from ..abr.resilient import sanitize_observation
+from ..core.controller import SodaController
+from ..core.lookup import DecisionTable
+from ..core.objective import SodaConfig
+from ..sim.video import BitrateLadder
+from .admission import AdmissionGate, SessionTable
+from .breaker import CircuitBreaker
+from .degrade import (
+    TIER_RULE,
+    DegradationLadder,
+    ServiceStats,
+    StatsCounters,
+    TierDecision,
+)
+from .health import HealthSnapshot, LatencyRing, build_snapshot
+
+__all__ = ["Decision", "DecisionService", "SessionState"]
+
+#: a per-session tier-0 solver: obs -> rung or None (defer)
+Tier0 = Callable[[PlayerObservation], Optional[int]]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The service's answer to one ``decide`` call.
+
+    Attributes:
+        session_id: the session the answer belongs to.
+        quality: the committed rung, always inside the ladder.
+        tier: which degradation tier produced it (0/1/2).
+        deferred: the tier answered "defer" and the previous rung is held.
+        solver_error: the tier-0 solver raised and the ladder degraded.
+        overran: the tier-0 solve finished past the deadline.
+        shed: admission control refused a slot; the answer is the
+            tier-2 floor.
+        sanitized: the observation needed repair before deciding.
+        latency: wall seconds this call took inside the service.
+    """
+
+    session_id: str
+    quality: int
+    tier: int
+    deferred: bool = False
+    solver_error: bool = False
+    overran: bool = False
+    shed: bool = False
+    sanitized: bool = False
+    latency: float = 0.0
+
+
+class SessionState:
+    """Per-session solver state stored in the admission table."""
+
+    __slots__ = ("controller", "tier0", "last_fed", "decisions")
+
+    def __init__(self, controller: SodaController, tier0: Tier0) -> None:
+        self.controller = controller
+        self.tier0 = tier0
+        #: start time of the newest history sample already fed to the
+        #: predictor, so repeated observations do not double-count.
+        self.last_fed = float("-inf")
+        self.decisions = 0
+
+
+class DecisionService:
+    """Deadline-aware, multi-session ABR decision service.
+
+    Args:
+        ladder: the encoding ladder all sessions share.
+        max_buffer: client buffer capacity, seconds.
+        config: SODA tuning; defaults to the fast solver backend (the
+            reference backend is ~40× slower and would starve the
+            deadline).
+        deadline: per-decision wall-clock budget, seconds.
+        max_in_flight: concurrent decisions before load shedding.
+        max_sessions: resident-session cap (LRU eviction beyond it).
+        table_points: decision-table grid size per axis; ``0`` skips the
+            table entirely (tier 1 disabled — degradation jumps from the
+            solver straight to the buffer rule).
+        breaker: pre-built circuit breaker; a default one (5 consecutive
+            failures, 1 s cooldown) is created when omitted.
+        tier0_factory: ``(session_id, controller) -> tier0`` hook that
+            builds the per-session solver callable.  The default calls
+            ``controller.select_quality``; the chaos-soak harness swaps
+            in slow/crashing wrappers here.
+        clock: injectable monotonic time source shared by the ladder and
+            breaker (deterministic tests use a fake clock).
+
+    Raises:
+        ValueError: on a non-positive deadline (other bounds are
+            validated by the composed components).
+    """
+
+    def __init__(
+        self,
+        ladder: BitrateLadder,
+        max_buffer: float,
+        config: Optional[SodaConfig] = None,
+        deadline: float = 0.05,
+        max_in_flight: int = 64,
+        max_sessions: int = 1024,
+        table_points: int = 32,
+        breaker: Optional[CircuitBreaker] = None,
+        tier0_factory: Optional[
+            Callable[[str, SodaController], Tier0]
+        ] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.ladder = ladder
+        self.max_buffer = max_buffer
+        self.config = config or SodaConfig(solver_backend="fast")
+        self.deadline = deadline
+        self.clock = clock or time.monotonic
+
+        self.table: Optional[DecisionTable] = None
+        if table_points:
+            self.table = DecisionTable(
+                ladder,
+                max_buffer,
+                config=self.config,
+                throughput_points=table_points,
+                buffer_points=table_points,
+            )
+
+        self.breaker = breaker or CircuitBreaker(clock=self.clock)
+        self._rule = BbaController()  # stateless given obs: shareable
+        self.degradation = DegradationLadder(
+            tier1=(
+                self.table.lookup_observation
+                if self.table is not None
+                else None
+            ),
+            tier2=self._rule.select_quality,
+            breaker=self.breaker,
+            deadline=deadline,
+            clock=self.clock,
+        )
+
+        self.gate = AdmissionGate(max_in_flight)
+        self.sessions = SessionTable(max_sessions)
+        self.counters = StatsCounters()
+        self.latencies = LatencyRing()
+        self._tier0_factory = tier0_factory or (
+            lambda session_id, controller: controller.select_quality
+        )
+
+    # ------------------------------------------------------------------
+    def _new_session(self, session_id: str) -> SessionState:
+        controller = SodaController(config=self.config)
+        return SessionState(
+            controller, self._tier0_factory(session_id, controller)
+        )
+
+    def _feed_history(
+        self, state: SessionState, obs: PlayerObservation
+    ) -> None:
+        """Forward history samples the predictor has not seen yet."""
+        for sample in obs.history:
+            if sample.start > state.last_fed:
+                state.controller.on_download(sample)
+                state.last_fed = sample.start
+
+    # ------------------------------------------------------------------
+    def decide(self, session_id: str, obs: PlayerObservation) -> Decision:
+        """Answer one session's request; never raises, never blocks long.
+
+        The deadline clock starts here.  An observation that arrives
+        corrupted is repaired first (the repair is counted); a request
+        that finds no free decision slot is shed straight to the tier-2
+        floor without touching session state.
+        """
+        started = self.clock()
+        deadline_at = started + self.deadline
+
+        clean = sanitize_observation(obs)
+        sanitized = clean is not obs
+        if sanitized:
+            self.counters.bump("sanitized_observations")
+
+        if not self.gate.try_acquire():
+            tier = TierDecision(
+                quality=self.degradation.floor_quality(clean), tier=TIER_RULE
+            )
+            self.counters.bump("shed")
+            return self._finish(
+                session_id, tier, started, shed=True, sanitized=sanitized
+            )
+
+        try:
+            entry, _created = self.sessions.checkout(
+                session_id, lambda: self._new_session(session_id)
+            )
+            try:
+                with entry.lock:
+                    state: SessionState = entry.state
+                    self._feed_history(state, clean)
+                    tier = self.degradation.decide(
+                        clean, state.tier0, deadline_at
+                    )
+                    state.decisions += 1
+            finally:
+                self.sessions.checkin(entry)
+        finally:
+            self.gate.release()
+        return self._finish(
+            session_id, tier, started, shed=False, sanitized=sanitized
+        )
+
+    def _finish(
+        self,
+        session_id: str,
+        tier: TierDecision,
+        started: float,
+        shed: bool,
+        sanitized: bool,
+    ) -> Decision:
+        latency = self.clock() - started
+        self.counters.record_tier(tier)
+        self.counters.set_sessions(len(self.sessions))
+        self.latencies.record(latency)
+        return Decision(
+            session_id=session_id,
+            quality=tier.quality,
+            tier=tier.tier,
+            deferred=tier.deferred,
+            solver_error=tier.solver_error,
+            overran=tier.overran,
+            shed=shed,
+            sanitized=sanitized,
+            latency=latency,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Counter snapshot with session-table figures folded in."""
+        return dataclasses.replace(
+            self.counters.snapshot(),
+            sessions_created=self.sessions.created,
+            sessions_evicted=self.sessions.evicted,
+            sessions_active=len(self.sessions),
+            max_sessions_seen=self.sessions.max_size_seen,
+        )
+
+    def health(self) -> HealthSnapshot:
+        """Liveness/readiness/latency snapshot for pollers and artifacts."""
+        return build_snapshot(
+            self.stats(), self.breaker, self.latencies, self.deadline
+        )

@@ -1,0 +1,452 @@
+"""Chaos-soak harness for the decision service.
+
+``repro soak`` drives thousands of short synthetic sessions through one
+:class:`~repro.service.service.DecisionService` from a pool of worker
+threads while injecting faults at two layers:
+
+* **observation faults** — each session carries a seeded PR-1
+  :class:`~repro.faults.plan.FaultPlan`; a fault on a segment corrupts the
+  throughput sample the service sees (NaN/inf/zero/negative), exercising
+  the sanitizer exactly like a hostile client SDK would;
+* **solver faults** — a seeded :class:`ChaosSolver` wraps every session's
+  tier-0 solver with random crashes, random over-deadline sleeps, random
+  NaN answers, and one *deterministic* burst of consecutive crashes sized
+  to trip the circuit breaker, so every soak provably exercises the full
+  open → half-open → closed cycle.
+
+Throughout, the harness checks the service's externally observable
+invariants (every answer an in-range rung; latency bounded; session table
+capped; overruns accounted to the breaker; breaker cycled) and reports
+violations — a clean soak is the acceptance gate for the serving layer.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..abr.base import PlayerObservation
+from ..core.controller import SodaController
+from ..faults.plan import FaultPlan
+from ..prediction.base import ThroughputSample
+from ..sim.video import BitrateLadder
+from .degrade import TIER_SOLVER
+from .health import HealthSnapshot
+from .service import DecisionService, Tier0
+
+__all__ = ["ChaosSolver", "SoakConfig", "SoakReport", "run_soak"]
+
+#: scheduler headroom granted to non-solver answers before a latency is
+#: called a violation: threads on a busy box can sit runnable for tens of
+#: milliseconds through no fault of the service.  The *semantic* deadline
+#: contract is verified deterministically (fake clock) in the unit tests.
+SCHEDULING_SLACK = 0.25
+
+
+class ChaosSolver:
+    """A misbehaving wrapper around one session's tier-0 solver.
+
+    All randomness comes from a shared seeded generator and the burst
+    schedule from a shared decision counter, so a soak with a fixed seed
+    is reproducible call-for-call under the same thread interleaving.
+
+    Args:
+        inner: the real per-session solver.
+        rng: shared seeded generator (guarded by ``lock``).
+        lock: guards ``rng`` and ``counter`` across worker threads.
+        counter: shared mutable call counter (single-element list).
+        crash_rate: probability a call raises.
+        slow_rate: probability a call sleeps past the deadline first.
+        nan_rate: probability a call answers NaN (an unusable rung).
+        slow_seconds: sleep length of a slow call.
+        burst: predicate on the global call index; while it holds, the
+            call raises unconditionally.  The soak uses "index past the
+            burst start *and* the breaker has not opened yet", which
+            guarantees exactly one deterministic trip per burst no
+            matter how calls interleave.
+    """
+
+    def __init__(
+        self,
+        inner: Tier0,
+        rng: random.Random,
+        lock: threading.Lock,
+        counter: List[int],
+        crash_rate: float,
+        slow_rate: float,
+        nan_rate: float,
+        slow_seconds: float,
+        burst: Callable[[int], bool],
+    ) -> None:
+        self.inner = inner
+        self.rng = rng
+        self.lock = lock
+        self.counter = counter
+        self.crash_rate = crash_rate
+        self.slow_rate = slow_rate
+        self.nan_rate = nan_rate
+        self.slow_seconds = slow_seconds
+        self.burst = burst
+
+    def __call__(self, obs: PlayerObservation) -> Optional[float]:
+        with self.lock:
+            index = self.counter[0]
+            self.counter[0] += 1
+            roll = self.rng.random()
+        if self.burst(index):
+            raise RuntimeError(f"chaos: burst crash at call {index}")
+        if roll < self.crash_rate:
+            raise RuntimeError(f"chaos: random crash at call {index}")
+        if roll < self.crash_rate + self.slow_rate:
+            time.sleep(self.slow_seconds)
+            return self.inner(obs)
+        if roll < self.crash_rate + self.slow_rate + self.nan_rate:
+            return float("nan")
+        return self.inner(obs)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Tuning of one chaos soak.
+
+    The defaults make the required outcomes deterministic: the crash
+    burst trips the breaker; the short cooldown lets it half-open and
+    close while traffic still flows (tier-1 answers while open); slow
+    solver calls hold admission slots long enough that other workers
+    shed to tier 2.
+
+    Attributes:
+        sessions: synthetic sessions to run.
+        segments_per_session: decisions per session.
+        threads: worker threads driving sessions concurrently.
+        seed: master seed for traffic, faults, and chaos.
+        chaos: inject faults and require the chaos outcomes (breaker
+            cycle, tier-1/tier-2 degradations).  ``False`` turns the
+            harness into a clean steady-workload driver (``repro
+            serve``): no solver faults, no observation corruption, and
+            only the universal invariants are checked.
+        deadline: per-decision budget handed to the service, seconds.
+        think_seconds: mean per-segment pause of a client between
+            requests (uniform on ``[0, 2 * think_seconds]``).  Zero
+            turns the workload into a pure stampede, which sheds nearly
+            everything and starves the solver tiers.
+        max_in_flight: admission slots (small, to provoke shedding).
+        max_sessions: session-table cap (smaller than ``sessions`` so
+            LRU eviction is exercised).
+        table_points: decision-table grid per axis (small: soaks build
+            fast and tier-1 behaviour is identical at any grid size).
+        fault_intensity: PR-1 fault-plan intensity for observation
+            corruption, 0..1.
+        crash_rate: random tier-0 crash probability.
+        slow_rate: random tier-0 slow-call probability.
+        nan_rate: random tier-0 NaN-answer probability.
+        slow_seconds: slow-call sleep; must exceed ``deadline`` to count
+            as an overrun.
+        burst_at: global solver-call index where the deterministic crash
+            burst starts; it lasts until the breaker opens.
+        breaker_threshold: consecutive failures that trip the breaker.
+        breaker_cooldown: seconds before an open breaker half-opens.
+    """
+
+    sessions: int = 200
+    segments_per_session: int = 30
+    threads: int = 8
+    seed: int = 0
+    chaos: bool = True
+    deadline: float = 0.05
+    think_seconds: float = 0.001
+    max_in_flight: int = 4
+    max_sessions: int = 64
+    table_points: int = 12
+    fault_intensity: float = 0.3
+    crash_rate: float = 0.02
+    slow_rate: float = 0.02
+    nan_rate: float = 0.01
+    slow_seconds: float = 0.08
+    burst_at: int = 200
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 0.3
+
+
+@dataclass
+class SoakReport:
+    """Everything a soak run observed.
+
+    Attributes:
+        config: the configuration that produced the run.
+        decisions: total ``decide`` calls answered.
+        elapsed: wall seconds the soak took.
+        violations: invariant violations (empty means the soak passed).
+        snapshot: the service's final health snapshot.
+    """
+
+    config: SoakConfig
+    decisions: int
+    elapsed: float
+    violations: List[str] = field(default_factory=list)
+    snapshot: Optional[HealthSnapshot] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def decisions_per_second(self) -> float:
+        return self.decisions / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def _session_worker(
+    service: DecisionService,
+    cfg: SoakConfig,
+    queue: List[int],
+    queue_lock: threading.Lock,
+    violations: List[str],
+    violations_lock: threading.Lock,
+) -> None:
+    """Pull session indices off the queue and stream each one."""
+    levels = service.ladder.levels
+    while True:
+        with queue_lock:
+            if not queue:
+                return
+            index = queue.pop()
+        session_id = f"soak-{index}"
+        rng = random.Random((cfg.seed << 20) ^ index)
+        intensity = cfg.fault_intensity if cfg.chaos else 0.0
+        plan = FaultPlan.of_intensity(intensity, seed=cfg.seed).fork(index)
+        bad: List[str] = []
+
+        history: List[ThroughputSample] = []
+        prev: Optional[int] = None
+        buffer_level = 0.0
+        wall = 0.0
+        for segment in range(cfg.segments_per_session):
+            if cfg.think_seconds > 0:
+                time.sleep(rng.uniform(0.0, 2.0 * cfg.think_seconds))
+            # Synthesize the download the client just finished, letting
+            # the fault plan corrupt the throughput the service will see.
+            true_tput = max(0.3, rng.lognormvariate(1.0, 0.6))
+            fault = plan.on_attempt(wall, segment, 1, prev or 0)
+            seen_tput = true_tput
+            if fault.corrupt_throughput is not None:
+                seen_tput = fault.corrupt_throughput
+            duration = 0.4 + rng.random() * 1.2
+            history.append(
+                ThroughputSample(
+                    start=wall,
+                    duration=duration,
+                    size=true_tput * duration,
+                    throughput=seen_tput,
+                )
+            )
+            if len(history) > 12:
+                history.pop(0)
+            wall += duration
+            buffer_level = min(
+                service.max_buffer,
+                max(0.0, buffer_level + rng.uniform(-2.0, 3.0)),
+            )
+
+            obs = PlayerObservation(
+                wall_time=wall,
+                segment_index=segment,
+                buffer_level=buffer_level,
+                max_buffer=service.max_buffer,
+                previous_quality=prev,
+                ladder=service.ladder,
+                history=tuple(history),
+            )
+            decision = service.decide(session_id, obs)
+
+            # ---- per-call invariants --------------------------------
+            if not (
+                isinstance(decision.quality, int)
+                and 0 <= decision.quality < levels
+            ):
+                bad.append(
+                    f"{session_id}#{segment}: rung {decision.quality!r} "
+                    f"outside [0, {levels})"
+                )
+            if not math.isfinite(decision.latency) or decision.latency < 0:
+                bad.append(
+                    f"{session_id}#{segment}: non-finite latency "
+                    f"{decision.latency!r}"
+                )
+            elif decision.tier != TIER_SOLVER and not decision.overran:
+                # Degraded answers must land within the budget (plus
+                # scheduler slack); only a tier-0 solve may overrun, and
+                # each overrun is charged to the breaker (checked
+                # globally after the run).
+                if decision.latency > cfg.deadline + SCHEDULING_SLACK:
+                    bad.append(
+                        f"{session_id}#{segment}: tier-{decision.tier} "
+                        f"latency {decision.latency * 1e3:.1f} ms exceeds "
+                        f"deadline {cfg.deadline * 1e3:.0f} ms + slack"
+                    )
+            prev = decision.quality
+        if bad:
+            with violations_lock:
+                violations.extend(bad)
+
+
+def run_soak(
+    cfg: SoakConfig,
+    ladder: Optional[BitrateLadder] = None,
+    max_buffer: float = 20.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SoakReport:
+    """Run one chaos soak and collect invariant violations.
+
+    Args:
+        cfg: soak tuning.
+        ladder: encoding ladder; defaults to the 6-rung YouTube 4K
+            ladder the benches use.
+        max_buffer: client buffer capacity, seconds.
+        progress: optional line sink for phase messages.
+
+    Returns:
+        A :class:`SoakReport`; ``report.passed`` is the gate.
+    """
+    if ladder is None:
+        from ..sim.video import youtube_4k_ladder
+
+        ladder = youtube_4k_ladder()
+    say = progress or (lambda line: None)
+
+    from .breaker import CircuitBreaker
+
+    breaker = CircuitBreaker(
+        failure_threshold=cfg.breaker_threshold,
+        cooldown=cfg.breaker_cooldown,
+    )
+    chaos_lock = threading.Lock()
+    chaos_rng = random.Random(cfg.seed)
+    chaos_counter = [0]
+
+    def burst(index: int) -> bool:
+        # Crash every solver call from burst_at until the breaker trips:
+        # one guaranteed full trip regardless of thread interleaving, and
+        # recovery probes see healthy calls again immediately after.
+        return index >= cfg.burst_at and breaker.times_opened == 0
+
+    def tier0_factory(session_id: str, controller: SodaController) -> Tier0:
+        if not cfg.chaos:
+            return controller.select_quality
+        return ChaosSolver(
+            controller.select_quality,
+            rng=chaos_rng,
+            lock=chaos_lock,
+            counter=chaos_counter,
+            crash_rate=cfg.crash_rate,
+            slow_rate=cfg.slow_rate,
+            nan_rate=cfg.nan_rate,
+            slow_seconds=cfg.slow_seconds,
+            burst=burst,
+        )
+
+    say(
+        f"building service (table {cfg.table_points}x{cfg.table_points}, "
+        f"deadline {cfg.deadline * 1e3:.0f} ms) ..."
+    )
+    service = DecisionService(
+        ladder,
+        max_buffer,
+        deadline=cfg.deadline,
+        max_in_flight=cfg.max_in_flight,
+        max_sessions=cfg.max_sessions,
+        table_points=cfg.table_points,
+        breaker=breaker,
+        tier0_factory=tier0_factory,
+    )
+
+    queue = list(range(cfg.sessions))
+    queue_lock = threading.Lock()
+    violations: List[str] = []
+    violations_lock = threading.Lock()
+
+    say(
+        f"driving {cfg.sessions} sessions x {cfg.segments_per_session} "
+        f"segments on {cfg.threads} threads ..."
+    )
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(
+            target=_session_worker,
+            args=(
+                service, cfg, queue, queue_lock, violations, violations_lock,
+            ),
+            name=f"soak-worker-{i}",
+            daemon=True,
+        )
+        for i in range(cfg.threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+    # ---- drain phase: let the breaker finish its recovery cycle ------
+    # Short soaks can outrun the cooldown (the burst trips the breaker
+    # but traffic ends before it may half-open).  Trickle probe traffic
+    # until the cycle completes; the burst is over, so probes succeed.
+    drained = 0
+    if service.breaker.times_opened > 0:
+        say("draining until the breaker closes ...")
+        drain_deadline = time.perf_counter() + 4 * cfg.breaker_cooldown + 2.0
+        probe_obs = PlayerObservation(
+            wall_time=0.0,
+            segment_index=0,
+            buffer_level=max_buffer / 2,
+            max_buffer=max_buffer,
+            previous_quality=None,
+            ladder=ladder,
+            history=(),
+        )
+        while (
+            service.breaker.full_cycles() < 1
+            and time.perf_counter() < drain_deadline
+        ):
+            service.decide("soak-drain", probe_obs)
+            drained += 1
+            time.sleep(cfg.breaker_cooldown / 10)
+    elapsed = time.perf_counter() - started
+
+    stats = service.stats()
+
+    # ---- global invariants -------------------------------------------
+    if stats.max_sessions_seen > cfg.max_sessions:
+        violations.append(
+            f"session table high-water {stats.max_sessions_seen} exceeds "
+            f"cap {cfg.max_sessions}"
+        )
+    if stats.deadline_overruns > service.breaker.failures_recorded:
+        violations.append(
+            f"{stats.deadline_overruns} overruns but only "
+            f"{service.breaker.failures_recorded} breaker failures recorded"
+        )
+    expected = cfg.sessions * cfg.segments_per_session + drained
+    if stats.decisions != expected:
+        violations.append(
+            f"answered {stats.decisions} decisions, expected {expected}"
+        )
+    if cfg.chaos:
+        if service.breaker.full_cycles() < 1:
+            violations.append(
+                "breaker never completed an open -> half-open -> closed cycle"
+            )
+        if stats.tier1_decisions == 0:
+            violations.append("chaos produced no tier-1 degradations")
+        if stats.tier2_decisions == 0:
+            violations.append("chaos produced no tier-2 degradations")
+
+    snapshot = service.health()
+    return SoakReport(
+        config=cfg,
+        decisions=stats.decisions,
+        elapsed=elapsed,
+        violations=violations,
+        snapshot=snapshot,
+    )

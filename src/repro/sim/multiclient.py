@@ -46,13 +46,19 @@ _MAX_IDLE_TICKS = 200_000
 
 
 def jain_fairness(values: Sequence[float]) -> float:
-    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 means perfectly fair."""
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 means perfectly fair.
+
+    The index is formally undefined when every allocation is zero (0/0).
+    A nonempty all-zero allocation means *nobody* received anything —
+    reporting it as perfectly fair would hide a dead link behind the best
+    possible score — so this implementation defines it as 0.0.
+    """
     x = np.asarray(values, dtype=float)
     if x.size == 0:
         raise ValueError("fairness of an empty set is undefined")
     denom = x.size * float(np.sum(x * x))
     if denom <= 0:
-        return 1.0
+        return 0.0
     return float(np.sum(x)) ** 2 / denom
 
 
@@ -246,10 +252,22 @@ def simulate_shared_link(
         delivered_megabits=delivered,
         duration=t,
     )
+    trace_name = getattr(link, "name", None) or ""
     for client in clients:
-        client.result.wall_duration = t
+        # Per-client accounting mirrors simulate_session's: the session
+        # ends when *this* client finishes (not when the slowest one
+        # does), and the controller's armor/cache counters are copied so
+        # shared-link results audit identically to single-player ones.
+        client.result.trace = trace_name
+        client.result.wall_duration = client.wall_time
         client.result.fallback_decisions = int(
             getattr(client.controller, "fallback_decisions", 0)
+        )
+        client.result.plan_cache_hits = int(
+            getattr(client.controller, "plan_cache_hits", 0)
+        )
+        client.result.plan_cache_misses = int(
+            getattr(client.controller, "plan_cache_misses", 0)
         )
     return outcome
 

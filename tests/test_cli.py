@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main
 
 
@@ -23,11 +26,19 @@ class TestParser:
             ["decide", "--throughput", "5", "--buffer", "10"],
             ["tune", "--dataset", "puffer"],
             ["robustness", "--dataset", "4g", "--resilient"],
+            ["robustness", "--dataset", "4g", "--strict-audit"],
+            ["compare", "--dataset", "puffer", "--strict-audit"],
+            ["serve", "--sessions", "10", "--deadline", "0.05"],
+            ["soak", "--intensity", "0.4", "--crash-rate", "0.05"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
         assert callable(args.func)
+
+    def test_serve_and_soak_chaos_flag(self):
+        assert build_parser().parse_args(["serve"]).chaos is False
+        assert build_parser().parse_args(["soak"]).chaos is True
 
 
 class TestCommands:
@@ -81,6 +92,79 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "qoe@0.30" in out
         assert "soda" in out
+
+    def test_serve_small(self, capsys, tmp_path):
+        health = tmp_path / "health.json"
+        assert main(["serve", "--sessions", "8", "--segments", "5",
+                     "--threads", "4", "--table-points", "0",
+                     "--max-in-flight", "8", "--max-sessions", "16",
+                     "--health-json", str(health)]) == 0
+        out = capsys.readouterr().out
+        assert "=== serve:" in out
+        assert "all serving invariants held" in out
+        payload = json.loads(health.read_text())
+        assert payload["live"] is True
+        assert payload["stats"]["decisions"] == 40
+
+    def test_soak_small(self, capsys, tmp_path):
+        health = tmp_path / "health.json"
+        assert main(["soak", "--sessions", "30", "--segments", "10",
+                     "--threads", "6", "--seed", "3", "--table-points", "8",
+                     "--max-in-flight", "2", "--max-sessions", "16",
+                     "--burst-at", "10",
+                     "--health-json", str(health)]) == 0
+        out = capsys.readouterr().out
+        assert "=== soak:" in out
+        assert "breaker:" in out
+        payload = json.loads(health.read_text())
+        assert payload["breaker_full_cycles"] >= 1
+        assert payload["stats"]["tier2_decisions"] > 0
+
+
+class _StubSuite:
+    """Minimal stand-in for a SuiteResult in strict-audit tests."""
+
+    def __init__(self, flagged_count):
+        self.flagged_count = flagged_count
+        self.failure_count = 0
+
+    def summaries(self):
+        return []
+
+    def failure_lines(self):
+        return []
+
+
+class TestStrictAudit:
+    def _patch_suite(self, monkeypatch, flagged_count):
+        monkeypatch.setattr(
+            cli, "run_suite",
+            lambda *a, **k: _StubSuite(flagged_count),
+        )
+
+    def test_compare_flagged_sessions_exit_2(self, monkeypatch, capsys):
+        self._patch_suite(monkeypatch, flagged_count=3)
+        assert main(["compare", "--dataset", "4g", "--sessions", "1",
+                     "--duration", "30", "--strict-audit"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "--strict-audit" in err and "3 session(s)" in err
+
+    def test_compare_flagged_without_flag_exit_0(self, monkeypatch, capsys):
+        self._patch_suite(monkeypatch, flagged_count=3)
+        assert main(["compare", "--dataset", "4g", "--sessions", "1",
+                     "--duration", "30"]) == 0
+
+    def test_compare_clean_with_flag_exit_0(self, monkeypatch, capsys):
+        self._patch_suite(monkeypatch, flagged_count=0)
+        assert main(["compare", "--dataset", "4g", "--sessions", "1",
+                     "--duration", "30", "--strict-audit"]) == 0
+
+    def test_robustness_strict_audit_end_to_end(self, capsys):
+        # A clean sweep has nothing flagged: strict audit must not trip.
+        assert main(["robustness", "--dataset", "4g", "--sessions", "1",
+                     "--duration", "60", "--intensities", "0",
+                     "--strict-audit"]) == 0
 
 
 class TestErrorHandling:

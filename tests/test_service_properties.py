@@ -1,0 +1,233 @@
+"""Property tests: the degradation ladder under adversarial solvers.
+
+Satellite of the serving PR — Hypothesis drives the ladder with tier-0
+solvers that are slow, raise, emit NaN, defer, or answer out of range,
+under arbitrary remaining deadline budgets, and asserts the two serving
+invariants that everything else is built on:
+
+* the ladder **always** returns a rung inside the ladder, and
+* the deadline budget is honored — tier 0 is only ever *started* when at
+  least ``tier0_budget`` seconds remain, so any time burned past the
+  deadline is attributable to a single in-flight solve (which the
+  breaker then charges), never to the ladder descending.
+
+Time is a fake monotonic clock, so "slow" is deterministic: a solver
+that advances the clock by more than the remaining budget has overrun.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    TIER_SOLVER,
+    CircuitBreaker,
+    DegradationLadder,
+)
+from repro.sim.player import PlayerObservation
+from repro.sim.video import BitrateLadder
+
+# Hypothesis examples can't use function-scoped fixtures; one immutable
+# module-level ladder is shared by every example.
+LADDER = BitrateLadder([1.0, 3.0, 6.0, 12.0], segment_duration=2.0,
+                       name="prop")
+DEADLINE = 0.05
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 100.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# --- adversarial tier-0 behaviours -----------------------------------
+# Each example draws a *behaviour spec*; the solver is rebuilt fresh so
+# examples never share state.
+solver_behaviours = st.one_of(
+    st.tuples(st.just("answer"), st.integers(min_value=-6, max_value=9)),
+    st.tuples(st.just("nan"), st.just(0)),
+    st.tuples(st.just("inf"), st.just(0)),
+    st.tuples(st.just("raise"), st.just(0)),
+    st.tuples(st.just("defer"), st.just(0)),
+    st.tuples(
+        st.just("slow"),
+        st.floats(min_value=0.0, max_value=4.0 * DEADLINE,
+                  allow_nan=False, allow_infinity=False),
+    ),
+)
+
+previous_qualities = st.one_of(
+    st.none(), st.integers(min_value=-3, max_value=LADDER.levels + 2)
+)
+
+remaining_budgets = st.floats(
+    min_value=-DEADLINE, max_value=2.0 * DEADLINE,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def make_solver(spec, clock):
+    kind, value = spec
+    calls = []
+
+    def solver(obs):
+        calls.append(1)
+        if kind == "answer":
+            return value
+        if kind == "nan":
+            return float("nan")
+        if kind == "inf":
+            return float("inf")
+        if kind == "raise":
+            raise RuntimeError("adversarial solver")
+        if kind == "defer":
+            return None
+        clock.advance(value)  # "slow"
+        return 1
+
+    return solver, calls
+
+
+def make_obs(prev, buffer_level):
+    return PlayerObservation(
+        wall_time=50.0,
+        segment_index=7,
+        buffer_level=buffer_level,
+        max_buffer=20.0,
+        previous_quality=prev,
+        ladder=LADDER,
+        history=(),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    spec=solver_behaviours,
+    prev=previous_qualities,
+    remaining=remaining_budgets,
+    buffer_level=st.floats(min_value=0.0, max_value=20.0,
+                           allow_nan=False, allow_infinity=False),
+    tier1_kind=st.sampled_from(["table", "raise", "defer", "disabled"]),
+)
+def test_ladder_always_returns_in_range_and_honors_budget(
+    spec, prev, remaining, buffer_level, tier1_kind
+):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=1.0, clock=clock)
+    if tier1_kind == "table":
+        tier1 = lambda obs: 1  # noqa: E731
+    elif tier1_kind == "raise":
+        tier1 = lambda obs: (_ for _ in ()).throw(KeyError("x"))  # noqa: E731
+    elif tier1_kind == "defer":
+        tier1 = lambda obs: None  # noqa: E731
+    else:
+        tier1 = None
+    ladder = DegradationLadder(
+        tier1=tier1,
+        tier2=lambda obs: 0,
+        breaker=breaker,
+        deadline=DEADLINE,
+        clock=clock,
+    )
+    solver, calls = make_solver(spec, clock)
+    obs = make_obs(prev, buffer_level)
+    started = clock()
+    deadline_at = started + remaining
+
+    decision = ladder.decide(obs, solver, deadline_at)
+
+    # Invariant 1: always an in-range rung, whatever tier 0 did.
+    assert isinstance(decision.quality, int)
+    assert 0 <= decision.quality < LADDER.levels
+    assert not isinstance(decision.quality, bool)
+    assert math.isfinite(decision.quality)
+
+    # Invariant 2: tier 0 is started only with at least tier0_budget left.
+    if calls:
+        assert remaining >= ladder.tier0_budget
+    if remaining < ladder.tier0_budget:
+        assert not calls
+        assert decision.tier != TIER_SOLVER
+
+    # Anything served from tier 0 past the deadline is flagged as an
+    # overrun and charged to the breaker; the ladder itself never burns
+    # time (only the 'slow' solver advances the fake clock), so time
+    # past the deadline implies the solver ran slow.
+    if calls and clock() > deadline_at:
+        assert spec[0] == "slow"
+        assert decision.overran or decision.tier != TIER_SOLVER
+        assert breaker.failures_recorded >= 1
+
+    # Breaker accounting is consistent: failures only from errors,
+    # overruns, or adversarial answers — never from clean fast answers.
+    if spec[0] == "answer" and 0 <= spec[1] < LADDER.levels and calls:
+        assert breaker.failures_recorded == 0
+        assert decision.quality == spec[1]
+        assert decision.tier == TIER_SOLVER
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    prev=previous_qualities,
+    buffer_level=st.floats(min_value=-5.0, max_value=40.0,
+                           allow_nan=False, allow_infinity=False),
+)
+def test_floor_quality_is_total(prev, buffer_level):
+    """Tier 2 never raises and always lands inside the ladder."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(clock=clock)
+    ladder = DegradationLadder(
+        tier1=None,
+        tier2=lambda obs: (_ for _ in ()).throw(RuntimeError("rule down")),
+        breaker=breaker,
+        deadline=DEADLINE,
+        clock=clock,
+    )
+    rung = ladder.floor_quality(make_obs(prev, max(0.0, buffer_level)))
+    assert 0 <= rung < LADDER.levels
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    specs=st.lists(solver_behaviours, min_size=5, max_size=40),
+)
+def test_breaker_eventually_shields_a_failing_solver(specs):
+    """A run of consecutive tier-0 failures stops reaching the solver."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=clock)
+    ladder = DegradationLadder(
+        tier1=lambda obs: 1,
+        tier2=lambda obs: 0,
+        breaker=breaker,
+        deadline=DEADLINE,
+        clock=clock,
+    )
+    obs = make_obs(1, 8.0)
+    opened_at_call = None
+    for i, spec in enumerate(specs):
+        solver, calls = make_solver(spec, clock)
+        was_open = breaker.times_opened > 0 and not breaker.allow()
+        decision = ladder.decide(obs, solver, clock() + DEADLINE)
+        assert 0 <= decision.quality < LADDER.levels
+        if was_open:
+            # While open (within the cooldown) tier 0 is never probed.
+            assert not calls
+            assert decision.tier != TIER_SOLVER
+        if breaker.times_opened and opened_at_call is None:
+            opened_at_call = i
+        clock.advance(1.0)  # step wall time, < cooldown
+    # Three consecutive hard failures anywhere in the run must trip it.
+    streak = 0
+    for spec in specs[: opened_at_call + 1 if opened_at_call is not None
+                      else len(specs)]:
+        streak = streak + 1 if spec[0] == "raise" else 0
+        if streak >= 3:
+            assert breaker.times_opened >= 1
+            break
