@@ -2,26 +2,43 @@
 
 The serving layer (:mod:`repro.service`) promises every session an answer
 within a hard per-decision deadline while many sessions share one
-instance.  This bench drives the service — no chaos, the clean steady
-workload — from concurrent client threads on the 6-rung ladder and gates
+instance.  Two benches live here:
 
-* aggregate throughput of at least ``REQUIRED_DECISIONS_PER_SEC``
-  decisions/sec, and
-* p99 decision latency under the configured deadline,
+* the single-process bench drives one :class:`DecisionService` from
+  concurrent client threads on the 6-rung ladder and gates aggregate
+  throughput of at least ``REQUIRED_DECISIONS_PER_SEC`` decisions/sec
+  with p99 decision latency under the configured deadline, and
+* the sharded bench drives a :class:`ShardedDecisionService` fleet over
+  the columnar ``decide_many`` batch path and gates
+  ``REQUIRED_SHARD_DECISIONS_PER_SEC`` aggregate decisions/sec with p99
+  batch latency under the shard deadline.
 
-then writes a JSON artifact (``service_perf.json``) with the rates, the
-latency percentiles, and the tier mix for CI trend tracking.
+Both write JSON artifacts for CI trend tracking: the single-process
+bench a snapshot (``service_perf.json``), the sharded bench a run entry
+appended to the root-level ``BENCH_service.json`` perf journal.  Run
+``python benchmarks/bench_ext_service.py --shards N --out
+BENCH_service.json`` to invoke the sharded bench standalone.
 """
 
 import json
 import os
+import sys
 import threading
 import time
 
-from conftest import banner, run_once
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without PYTHONPATH=src
+    sys.path.insert(
+        0,
+        os.path.abspath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+        ),
+    )
 
-from repro.service import DecisionService
+from repro.service import DecisionService, ShardedDecisionService
 from repro.sim.player import PlayerObservation
+from repro.prediction.base import ThroughputSample
 from repro.sim.video import youtube_4k_ladder
 
 #: decisions per worker thread in the timed section
@@ -34,6 +51,16 @@ MAX_BUFFER = 20.0
 ARTIFACT = os.environ.get("REPRO_BENCH_SERVICE_ARTIFACT", "service_perf.json")
 #: acceptance floor for aggregate decision throughput
 REQUIRED_DECISIONS_PER_SEC = 1000.0
+
+#: sharded bench knobs — the batch path must clear 100k decisions/sec
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "2"))
+SHARD_BATCH = int(os.environ.get("REPRO_BENCH_SHARD_BATCH", "4096"))
+SHARD_DEADLINE = float(os.environ.get("REPRO_BENCH_SHARD_DEADLINE", "0.05"))
+SHARD_SECONDS = float(os.environ.get("REPRO_BENCH_SHARD_SECONDS", "3.0"))
+REQUIRED_SHARD_DECISIONS_PER_SEC = float(
+    os.environ.get("REPRO_BENCH_SHARD_REQUIRED", "100000")
+)
+JOURNAL = os.environ.get("REPRO_BENCH_SERVICE_JOURNAL", "BENCH_service.json")
 
 
 def _drive(service, ladder, thread_index, decisions):
@@ -57,7 +84,115 @@ def _drive(service, ladder, thread_index, decisions):
         buffer_level = 4.0 + (buffer_level + 1.7) % 12.0
 
 
+def _shard_requests(ladder, count):
+    """A batch of single-sample observations spread over throughputs."""
+    requests = []
+    for i in range(count):
+        tput = 1.0e6 + 3.3e4 * (i % 29)
+        requests.append((
+            f"bench-shard-{i}",
+            PlayerObservation(
+                wall_time=float(i),
+                segment_index=i,
+                buffer_level=4.0 + (i * 1.7) % 12.0,
+                max_buffer=MAX_BUFFER,
+                previous_quality=i % ladder.levels,
+                ladder=ladder,
+                history=(
+                    ThroughputSample(
+                        start=0.0, duration=1.0, size=tput, throughput=tput
+                    ),
+                ),
+            ),
+        ))
+    return requests
+
+
+def run_shard_bench(shards=SHARDS, seconds=SHARD_SECONDS, batch=SHARD_BATCH):
+    """Drive the columnar batch path across a shard fleet; return metrics."""
+    ladder = youtube_4k_ladder()
+    service = ShardedDecisionService(
+        ladder=ladder,
+        max_buffer=MAX_BUFFER,
+        shards=shards,
+        deadline=SHARD_DEADLINE,
+        tier0_budget=0.9 * SHARD_DEADLINE,
+        max_in_flight=64,
+    )
+    try:
+        requests = _shard_requests(ladder, batch)
+        service.decide_many(requests)  # warm worker caches off the clock
+        total = 0
+        failovers = 0
+        latencies = []
+        started = time.perf_counter()
+        while time.perf_counter() - started < seconds:
+            t0 = time.perf_counter()
+            decisions = service.decide_many(requests)
+            latencies.append(time.perf_counter() - t0)
+            total += len(decisions)
+            failovers += sum(1 for d in decisions if d.failover)
+        elapsed = time.perf_counter() - started
+    finally:
+        fleet = service.close()
+    latencies.sort()
+    rate = total / elapsed
+
+    def _pct(q):
+        return latencies[min(len(latencies) - 1, int(q * (len(latencies) - 1)))]
+
+    return {
+        "mode": "sharded-batch",
+        "shards": shards,
+        "ladder": ladder.name,
+        "batch": batch,
+        "decisions_timed": total,
+        "decisions_per_second": round(rate, 1),
+        "deadline_seconds": SHARD_DEADLINE,
+        "failovers": failovers,
+        "worker_restarts": fleet.worker_restarts,
+        "latency": {
+            "p50_seconds": round(_pct(0.50), 6),
+            "p95_seconds": round(_pct(0.95), 6),
+            "p99_seconds": round(_pct(0.99), 6),
+            "max_seconds": round(latencies[-1], 6),
+        },
+    }
+
+
+def _print_shard_entry(entry):
+    from conftest import banner
+
+    latency = entry["latency"]
+    print(banner("Sharded decision-service batch throughput"))
+    print(f"{'shards':>8} {'batch':>8} {'decisions':>10} {'rate/s':>10} "
+          f"{'p50 ms':>8} {'p99 ms':>8}")
+    print(f"{entry['shards']:>8} {entry['batch']:>8} "
+          f"{entry['decisions_timed']:>10} "
+          f"{entry['decisions_per_second']:>10.0f} "
+          f"{latency['p50_seconds'] * 1e3:>8.2f} "
+          f"{latency['p99_seconds'] * 1e3:>8.2f}")
+    print(f"failovers={entry['failovers']} "
+          f"worker_restarts={entry['worker_restarts']}")
+
+
+def _assert_shard_gates(entry):
+    rate = entry["decisions_per_second"]
+    p99 = entry["latency"]["p99_seconds"]
+    assert rate >= REQUIRED_SHARD_DECISIONS_PER_SEC, (
+        f"sharded batch path below "
+        f"{REQUIRED_SHARD_DECISIONS_PER_SEC:,.0f} decisions/sec: {rate:,.0f}/s"
+    )
+    assert p99 < SHARD_DEADLINE, (
+        f"sharded batch p99 {p99 * 1e3:.1f} ms at or above the "
+        f"{SHARD_DEADLINE * 1e3:.0f} ms deadline"
+    )
+    assert entry["failovers"] == 0, "clean workload hit the failover floor"
+
+
 def test_service_throughput_and_tail_latency(benchmark):
+    from conftest import banner, run_once
+
     ladder = youtube_4k_ladder()
     assert ladder.levels >= 6
     service = DecisionService(
@@ -134,3 +269,48 @@ def test_service_throughput_and_tail_latency(benchmark):
     )
     # The clean workload must be answered by the solver, not by shedding.
     assert stats.tier0_decisions > 0.9 * stats.decisions
+
+
+def test_sharded_batch_throughput(benchmark):
+    from conftest import run_once
+    from repro.cli import _append_perf_entry
+
+    entry = run_once(benchmark, run_shard_bench)
+    _print_shard_entry(entry)
+    _append_perf_entry(JOURNAL, entry)
+    print(f"appended run to {JOURNAL}")
+    _assert_shard_gates(entry)
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.cli import _append_perf_entry
+
+    parser = argparse.ArgumentParser(
+        description="Sharded decision-service batch throughput bench"
+    )
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    parser.add_argument("--batch", type=int, default=SHARD_BATCH)
+    parser.add_argument(
+        "--seconds", type=float, default=SHARD_SECONDS,
+        help="length of the timed section",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="perf journal to append this run to (e.g. BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+    entry = run_shard_bench(
+        shards=args.shards, seconds=args.seconds, batch=args.batch
+    )
+    _print_shard_entry(entry)
+    if args.out:
+        _append_perf_entry(args.out, entry)
+        print(f"appended run to {args.out}")
+    _assert_shard_gates(entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

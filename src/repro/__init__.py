@@ -75,8 +75,10 @@ from .runner import (
 from .service import (
     CircuitBreaker,
     DecisionService,
+    FleetHealth,
     HealthSnapshot,
     ServiceStats,
+    ShardedDecisionService,
     SoakConfig,
     run_soak,
 )
@@ -179,8 +181,10 @@ __all__ = [
     # service
     "CircuitBreaker",
     "DecisionService",
+    "FleetHealth",
     "HealthSnapshot",
     "ServiceStats",
+    "ShardedDecisionService",
     "SoakConfig",
     "run_soak",
 ]

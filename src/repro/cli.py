@@ -12,7 +12,10 @@ Subcommands:
 * ``serve`` — the multi-session decision service under a clean synthetic
   workload, with a health-snapshot report;
 * ``soak`` — the chaos-soak harness: the same service under injected
-  solver and observation faults, gated on its serving invariants.
+  solver and observation faults, gated on its serving invariants; with
+  ``--shards N`` the sharded fleet instead, where chaos SIGKILLs a
+  worker mid-run and the gate adds re-homing and restart;
+* ``table`` — build a memory-mapped decision table file or inspect one.
 
 ``compare`` and ``robustness`` accept the experiment-runner options
 ``--jobs N`` (supervised worker pool with crash containment),
@@ -218,7 +221,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--burst-at", type=int, default=200,
                    help="tier-0 call count at which the crash burst "
                         "starts (trips the breaker once)")
+    p.add_argument("--kill-at", type=int, default=None,
+                   help="with --shards: decision count at which a live "
+                        "worker is SIGKILLed (default: half the run)")
     p.set_defaults(func=_cmd_serve, chaos=True)
+
+    p = sub.add_parser(
+        "table",
+        help="build or inspect a memory-mapped decision table file",
+    )
+    tsub = p.add_subparsers(dest="table_command", required=True)
+    tp = tsub.add_parser("build", help="precompute a table and publish it")
+    tp.add_argument("out", help="destination .sodatbl file")
+    tp.add_argument("--table-points", type=int, default=32,
+                    help="grid points per axis")
+    tp.add_argument("--max-buffer", type=float, default=20.0,
+                    help="client buffer capacity, seconds")
+    tp.add_argument("--solver-backend", choices=["reference", "fast"],
+                    default="fast")
+    tp.set_defaults(func=_cmd_table_build)
+    tp = tsub.add_parser("inspect", help="validate and summarise a table file")
+    tp.add_argument("path", help=".sodatbl file to inspect")
+    tp.set_defaults(func=_cmd_table_inspect)
 
     return parser
 
@@ -241,8 +265,15 @@ def _add_service_args(p: argparse.ArgumentParser) -> None:
                    help="resident-session cap (LRU eviction beyond it)")
     p.add_argument("--max-in-flight", type=int, default=4,
                    help="concurrent decision slots before load shedding")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve from a sharded fleet of this many worker "
+                        "processes (0: one in-process service)")
     p.add_argument("--health-json",
-                   help="write the final health snapshot JSON here")
+                   help="write the final health snapshot JSON here "
+                        "(the fleet health with --shards)")
+    p.add_argument("--out",
+                   help="append a perf summary entry (decisions/sec, "
+                        "latency percentiles) to this JSON file")
 
 
 # ----------------------------------------------------------------------
@@ -423,6 +454,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if not 0 <= getattr(args, "intensity", 0.0) <= 1.0:
         raise ValueError("--intensity must be in [0, 1]")
+    if args.shards < 0:
+        raise ValueError("--shards must be non-negative")
     cfg = SoakConfig(
         sessions=args.sessions,
         segments_per_session=args.segments,
@@ -437,37 +470,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         crash_rate=getattr(args, "crash_rate", 0.0),
         slow_rate=getattr(args, "slow_rate", 0.0),
         burst_at=getattr(args, "burst_at", 200),
+        shards=args.shards,
+        kill_at=getattr(args, "kill_at", None),
     )
     report = run_soak(cfg, progress=lambda line: print(f"  {line}"))
-    snapshot = report.snapshot
-    stats = snapshot.stats
     mode = "soak" if args.chaos else "serve"
     print(f"\n=== {mode}: {report.decisions} decisions in "
           f"{report.elapsed:.2f}s "
           f"({report.decisions_per_second():.0f}/s) ===")
-    print(f"tiers: solver={stats.tier0_decisions} "
-          f"table={stats.tier1_decisions} rule={stats.tier2_decisions} "
-          f"(shed={stats.shed}, {stats.shed_rate():.1%})")
-    print(f"armor: solver_errors={stats.solver_errors} "
-          f"overruns={stats.deadline_overruns} "
-          f"sanitized={stats.sanitized_observations} "
-          f"deferrals={stats.deferrals_resolved}")
-    print(f"sessions: created={stats.sessions_created} "
-          f"evicted={stats.sessions_evicted} "
-          f"high-water={stats.max_sessions_seen}")
-    print(f"breaker: state={snapshot.breaker_state} "
-          f"opened={snapshot.breaker_times_opened} "
-          f"full_cycles={snapshot.breaker_full_cycles}")
-    lat = snapshot.latency
+    if report.fleet is not None:
+        fleet = report.fleet
+        print(f"fleet: shards={fleet.shards} "
+              f"deaths={fleet.worker_deaths} "
+              f"restarts={fleet.worker_restarts} "
+              f"rehomed={fleet.sessions_rehomed} "
+              f"failovers={fleet.failovers}")
+        rollup = fleet.rollup
+        print(f"rollup: tiers solver={rollup.get('tier0_decisions', 0):.0f} "
+              f"table={rollup.get('tier1_decisions', 0):.0f} "
+              f"rule={rollup.get('tier2_decisions', 0):.0f} "
+              f"(evictions={rollup.get('evictions', 0):.0f}, "
+              f"sheds={rollup.get('sheds', 0):.0f})")
+        lat = fleet.latency
+        latency_max = fleet.latency_max
+        health_json = fleet.to_json()
+    else:
+        snapshot = report.snapshot
+        stats = snapshot.stats
+        print(f"tiers: solver={stats.tier0_decisions} "
+              f"table={stats.tier1_decisions} rule={stats.tier2_decisions} "
+              f"(shed={stats.shed}, {stats.shed_rate():.1%})")
+        print(f"armor: solver_errors={stats.solver_errors} "
+              f"overruns={stats.deadline_overruns} "
+              f"sanitized={stats.sanitized_observations} "
+              f"deferrals={stats.deferrals_resolved}")
+        print(f"sessions: created={stats.sessions_created} "
+              f"evicted={stats.sessions_evicted} "
+              f"high-water={stats.max_sessions_seen}")
+        print(f"breaker: state={snapshot.breaker_state} "
+              f"opened={snapshot.breaker_times_opened} "
+              f"full_cycles={snapshot.breaker_full_cycles}")
+        lat = snapshot.latency
+        latency_max = snapshot.latency_max
+        health_json = snapshot.to_json()
     print(f"latency: p50={lat['p50'] * 1e3:.2f}ms "
           f"p95={lat['p95'] * 1e3:.2f}ms p99={lat['p99'] * 1e3:.2f}ms "
-          f"max={snapshot.latency_max * 1e3:.1f}ms "
+          f"max={latency_max * 1e3:.1f}ms "
           f"(deadline {args.deadline * 1e3:.0f}ms)")
     if args.health_json:
         with open(args.health_json, "w", encoding="utf-8") as f:
-            f.write(snapshot.to_json())
+            f.write(health_json)
             f.write("\n")
         print(f"wrote {args.health_json}")
+    if args.out:
+        _append_perf_entry(args.out, {
+            "mode": mode,
+            "shards": args.shards,
+            "decisions": report.decisions,
+            "elapsed": report.elapsed,
+            "decisions_per_second": report.decisions_per_second(),
+            "latency": dict(lat),
+            "latency_max": latency_max,
+            "deadline": args.deadline,
+            "violations": len(report.violations),
+        })
+        print(f"appended perf entry to {args.out}")
     if report.violations:
         print(f"\n{len(report.violations)} invariant violation(s):",
               file=sys.stderr)
@@ -475,6 +542,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"repro: violation: {line}", file=sys.stderr)
         return 1
     print("\nall serving invariants held")
+    return 0
+
+
+def _append_perf_entry(path: str, entry: dict) -> None:
+    """Append one run entry to a ``{"runs": [...]}`` perf-trajectory file."""
+    import json
+    import time as _time
+
+    entry = dict(entry)
+    entry["timestamp"] = _time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", _time.gmtime()
+    )
+    runs = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            existing = json.load(f)
+        runs = list(existing.get("runs", []))
+    except FileNotFoundError:
+        pass
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"--out file {path} is not a perf journal: {exc}")
+    runs.append(entry)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"runs": runs}, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def _cmd_table_build(args: argparse.Namespace) -> int:
+    from .core.lookup import DecisionTable
+    from .sim.profiles import live_profile as _profile
+
+    if args.table_points < 2:
+        raise ValueError("--table-points must be at least 2")
+    ladder = _profile().ladder
+    table = DecisionTable(
+        ladder,
+        args.max_buffer,
+        config=SodaConfig(solver_backend=args.solver_backend),
+        throughput_points=args.table_points,
+        buffer_points=args.table_points,
+    )
+    table.save_mmap(args.out)
+    shape = table.shape
+    print(f"wrote {args.out}: {shape[0]}x{shape[1]} grid, "
+          f"{shape[2]} prev slots, built in {table.stats.build_seconds:.2f}s")
+    return 0
+
+
+def _cmd_table_inspect(args: argparse.Namespace) -> int:
+    from .core.lookup import DecisionTable
+
+    table = DecisionTable.load_mmap(args.path)
+    shape = table.shape
+    print(f"{args.path}: valid decision table")
+    print(f"  grid: {shape[0]} throughput x {shape[1]} buffer points, "
+          f"{shape[2]} prev slots, {table.ladder.levels} rungs")
+    print(f"  throughput range: {table.tput_grid[0]:.2f}"
+          f"-{table.tput_grid[-1]:.2f} Mb/s; "
+          f"buffer 0-{table.buffer_grid[-1]:.1f}s")
+    print(f"  originally built in {table.stats.build_seconds:.2f}s")
     return 0
 
 

@@ -16,10 +16,14 @@ on-the-fly solve.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
+import os
+import struct
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,10 +32,21 @@ from .controller import SodaController
 from .fastpath import solve_brute_force_batch, solve_monotonic_batch
 from .objective import SodaConfig
 
-__all__ = ["DecisionTable"]
+__all__ = ["DecisionTable", "TableFormatError"]
 
 #: table cell meaning "defer / no download"
 _DEFER = -1
+
+#: file magic of the memory-mapped table format (version byte included)
+_MMAP_MAGIC = b"SODATBL\x01"
+
+
+class TableFormatError(ValueError):
+    """A decision-table file is missing, corrupt, or truncated.
+
+    Subclasses :class:`ValueError` so the CLI's operational-error handler
+    turns it into a one-line exit-2 message instead of a traceback.
+    """
 
 
 @dataclass(frozen=True)
@@ -166,6 +181,21 @@ class DecisionTable:
                     )
 
     # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Table dimensions: (throughput, buffer, prev-rung) axes."""
+        return tuple(self._table.shape)
+
+    @property
+    def tput_grid(self) -> np.ndarray:
+        """The throughput axis, Mb/s (read-only view)."""
+        return self._tput_grid
+
+    @property
+    def buffer_grid(self) -> np.ndarray:
+        """The buffer axis, seconds (read-only view)."""
+        return self._buffer_grid
+
     def lookup(
         self,
         throughput: float,
@@ -196,6 +226,186 @@ class DecisionTable:
         if throughput is None:
             throughput = float(self._tput_grid[0])
         return self.lookup(throughput, obs.buffer_level, obs.previous_quality)
+
+    def lookup_batch(
+        self,
+        throughputs: np.ndarray,
+        buffer_levels: np.ndarray,
+        prev_qualities: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized nearest-neighbour lookup over aligned arrays.
+
+        Args:
+            throughputs: measured throughputs, Mb/s; non-finite or
+                non-positive entries clamp to the grid minimum (the same
+                cold-start rule as :meth:`lookup_observation`).
+            buffer_levels: buffer levels, seconds; clipped into
+                ``[0, max_buffer]`` (non-finite treated as empty).
+            prev_qualities: previous rung per entry, ``-1`` meaning "no
+                previous rung"; out-of-range entries are treated as -1.
+
+        Returns:
+            An int array of decisions aligned with the inputs, ``-1``
+            encoding defer.  Cell-for-cell identical to calling
+            :meth:`lookup` per entry.
+        """
+        tput = np.asarray(throughputs, dtype=float).copy()
+        bad = ~np.isfinite(tput) | (tput <= 0)
+        tput[bad] = float(self._tput_grid[0])
+        buf = np.nan_to_num(
+            np.asarray(buffer_levels, dtype=float), nan=0.0,
+            posinf=self.max_buffer, neginf=0.0,
+        )
+        buf = np.clip(buf, 0.0, self.max_buffer)
+        ti = self._nearest(np.log(self._tput_grid), np.log(tput))
+        bi = self._nearest(self._buffer_grid, buf)
+        prev = np.asarray(prev_qualities, dtype=np.int64)
+        prev = np.where(
+            (prev < 0) | (prev >= self.ladder.levels), -1, prev
+        )
+        return self._table[ti, bi, prev + 1].astype(np.int64)
+
+    @staticmethod
+    def _nearest(grid: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Indices of the grid points nearest to ``values`` (ties low,
+        matching ``np.argmin`` over absolute distances)."""
+        idx = np.searchsorted(grid, values)
+        lo = np.clip(idx - 1, 0, len(grid) - 1)
+        hi = np.clip(idx, 0, len(grid) - 1)
+        pick_lo = (values - grid[lo]) <= (grid[hi] - values)
+        return np.where(pick_lo, lo, hi)
+
+    # ------------------------------------------------------------------
+    def save_mmap(self, path: str) -> None:
+        """Publish the table as a single memory-mappable file.
+
+        Layout: an 8-byte magic, a big-endian ``uint64`` header length, a
+        JSON header (ladder, grids, config, shape), then the raw ``int8``
+        decision array.  The write is atomic (temp file + rename) so a
+        crashed publisher never leaves a half-written table where workers
+        may find it.
+        """
+        header = {
+            "version": 1,
+            "ladder": {
+                "bitrates": list(self.ladder.bitrates),
+                "segment_duration": self.ladder.segment_duration,
+                "name": self.ladder.name,
+                "size_variation": self.ladder.size_variation,
+            },
+            "max_buffer": self.max_buffer,
+            "config": dataclasses.asdict(self.config),
+            "tput_grid": [float(x) for x in self._tput_grid],
+            "buffer_grid": [float(x) for x in self._buffer_grid],
+            "shape": list(self._table.shape),
+            "build_seconds": self.stats.build_seconds,
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
+            f.write(_MMAP_MAGIC)
+            f.write(struct.pack(">Q", len(blob)))
+            f.write(blob)
+            f.write(np.ascontiguousarray(self._table, dtype=np.int8).tobytes())
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load_mmap(cls, path: str) -> "DecisionTable":
+        """Open a published table read-only with zero build cost.
+
+        The decision array is memory-mapped, so N worker processes opening
+        the same file share one copy of the pages.  Any structural problem
+        (bad magic, unparsable header, truncated array, out-of-range
+        cells) raises :class:`TableFormatError` with a one-line message.
+
+        Raises:
+            TableFormatError: the file is not a usable decision table.
+        """
+        try:
+            size = os.path.getsize(path)
+            with open(path, "rb") as f:
+                magic = f.read(len(_MMAP_MAGIC))
+                if magic != _MMAP_MAGIC:
+                    raise TableFormatError(
+                        f"{path}: not a decision-table file (bad magic)"
+                    )
+                (hlen,) = struct.unpack(">Q", f.read(8))
+                if hlen <= 0 or hlen > size:
+                    raise TableFormatError(
+                        f"{path}: corrupt decision-table header length"
+                    )
+                try:
+                    header = json.loads(f.read(hlen).decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise TableFormatError(
+                        f"{path}: corrupt decision-table header ({exc})"
+                    ) from None
+        except OSError as exc:
+            raise TableFormatError(
+                f"{path}: cannot read decision table ({exc})"
+            ) from None
+
+        try:
+            shape = tuple(int(x) for x in header["shape"])
+            ladder_spec = header["ladder"]
+            ladder = BitrateLadder(
+                ladder_spec["bitrates"],
+                segment_duration=ladder_spec["segment_duration"],
+                name=ladder_spec.get("name", ""),
+                size_variation=ladder_spec.get("size_variation", 0.0),
+            )
+            config = SodaConfig(**header["config"])
+            tput_grid = np.asarray(header["tput_grid"], dtype=float)
+            buffer_grid = np.asarray(header["buffer_grid"], dtype=float)
+            max_buffer = float(header["max_buffer"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TableFormatError(
+                f"{path}: corrupt decision-table header ({exc})"
+            ) from None
+
+        offset = len(_MMAP_MAGIC) + 8 + hlen
+        cells = int(np.prod(shape))
+        if len(shape) != 3 or cells <= 0:
+            raise TableFormatError(
+                f"{path}: corrupt decision-table shape {shape}"
+            )
+        if size != offset + cells:
+            raise TableFormatError(
+                f"{path}: truncated decision table "
+                f"(expected {offset + cells} bytes, found {size})"
+            )
+        if (
+            shape[0] != len(tput_grid)
+            or shape[1] != len(buffer_grid)
+            or shape[2] != ladder.levels + 1
+        ):
+            raise TableFormatError(
+                f"{path}: decision-table shape {shape} does not match "
+                f"its grids"
+            )
+        table = np.memmap(
+            path, dtype=np.int8, mode="r", offset=offset, shape=shape
+        )
+        if int(table.min()) < _DEFER or int(table.max()) >= ladder.levels:
+            raise TableFormatError(
+                f"{path}: decision table holds out-of-range cells"
+            )
+
+        self = cls.__new__(cls)
+        self.ladder = ladder
+        self.max_buffer = max_buffer
+        self.config = config
+        self._tput_grid = tput_grid
+        self._buffer_grid = buffer_grid
+        self._table = table
+        self.stats = TableStats(
+            cells=cells,
+            build_seconds=float(header.get("build_seconds", 0.0)),
+            memory_bytes=int(table.nbytes),
+        )
+        return self
 
     def agreement_with_solver(
         self, samples: int = 2000, seed: int = 0

@@ -21,8 +21,10 @@ from .executor import (
     SessionRecord,
     SessionTask,
     execute,
+    fork_context,
     metrics_from_dict,
     metrics_to_dict,
+    spawn_worker,
 )
 from .journal import (
     ConfigMismatchError,
@@ -42,6 +44,8 @@ __all__ = [
     "SessionRecord",
     "SessionTask",
     "execute",
+    "fork_context",
+    "spawn_worker",
     "metrics_to_dict",
     "metrics_from_dict",
     "Journal",

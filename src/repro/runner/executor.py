@@ -49,8 +49,10 @@ __all__ = [
     "SessionRecord",
     "SessionTask",
     "execute",
+    "fork_context",
     "metrics_to_dict",
     "metrics_from_dict",
+    "spawn_worker",
 ]
 
 #: the session completed and its record passed the invariant audit
@@ -298,13 +300,46 @@ def _child_main(conn, thunk) -> None:
         conn.close()
 
 
-def _fork_context():
+def fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` without one.
+
+    ``fork`` is what lets workers close over arbitrary in-process objects
+    (controller factories, decision tables, traces) — nothing is pickled
+    at spawn time.  Both this executor and the sharded decision service
+    (:mod:`repro.service.shard`) build their process pools on it.
+    """
     import multiprocessing
 
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
+
+
+def spawn_worker(main, args=(), duplex: bool = False):
+    """Fork one daemon worker wired to this process by a pipe.
+
+    Args:
+        main: worker entry point; called as ``main(conn, *args)`` in the
+            child with the child end of the pipe.
+        args: extra positional arguments (inherited via fork, not
+            pickled — closures over live objects are fine).
+        duplex: whether the pipe is bidirectional (request/response
+            workers) or child-to-parent only (one-shot result workers).
+
+    Returns:
+        ``(process, parent_conn)``, or ``None`` when the platform has no
+        ``fork`` start method and the caller must degrade to in-process
+        execution.
+    """
+    ctx = fork_context()
+    if ctx is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    parent_conn, child_conn = ctx.Pipe(duplex=duplex)
+    proc = ctx.Process(target=main, args=(child_conn, *args), daemon=True)
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn
 
 
 def _execute_pool(
@@ -315,8 +350,7 @@ def _execute_pool(
     on_done: Callable[[int, SessionRecord], None],
 ) -> None:
     """Run ``tasks[i] for i in indices`` on up to ``jobs`` forked workers."""
-    ctx = _fork_context()
-    if ctx is None:  # pragma: no cover - non-POSIX fallback
+    if fork_context() is None:  # pragma: no cover - non-POSIX fallback
         for i in indices:
             on_done(i, _run_task_inline(tasks[i], contain=True))
         return
@@ -327,14 +361,9 @@ def _execute_pool(
         while pending or active:
             while pending and len(active) < jobs:
                 i = pending.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_child_main,
-                    args=(child_conn, tasks[i].thunk),
-                    daemon=True,
+                proc, parent_conn = spawn_worker(
+                    _child_main, (tasks[i].thunk,)
                 )
-                proc.start()
-                child_conn.close()
                 active[i] = (proc, parent_conn, time.monotonic())
 
             finished: List[Tuple[int, SessionRecord]] = []

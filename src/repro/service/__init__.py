@@ -6,9 +6,14 @@ serving layer: :class:`DecisionService` answers
 hard per-decision deadline, degrading gracefully (full solve → table
 lookup → buffer rule) instead of ever erroring, with a circuit breaker
 around the solver, admission control with load shedding, LRU-bounded
-session state, and a pollable health surface.  The chaos-soak harness
-(:func:`run_soak`, ``repro soak``) proves those properties under injected
-faults.
+session state, and a pollable health surface.  :class:`ShardedDecisionService`
+scales that out: N supervised worker processes (heartbeats, bounded-backoff
+restarts) behind a session-hashing front end sharing one memory-mapped
+decision table, with session re-homing off dead shards, a columnar
+``decide_many`` batch path, and fleet-level health rollups.  The chaos-soak
+harness (:func:`run_soak`, ``repro soak``, ``--shards N`` for the fleet
+variant with a mid-run worker SIGKILL) proves those properties under
+injected faults.
 """
 
 from .admission import AdmissionGate, SessionEntry, SessionTable
@@ -24,7 +29,9 @@ from .degrade import (
 )
 from .health import HealthSnapshot, LatencyRing, build_snapshot
 from .service import Decision, DecisionService, SessionState
+from .shard import FleetHealth, ShardDecision, ShardedDecisionService
 from .soak import ChaosSolver, SoakConfig, SoakReport, run_soak
+from .supervisor import RestartPolicy, Supervisor
 
 __all__ = [
     "AdmissionGate",
@@ -46,6 +53,11 @@ __all__ = [
     "Decision",
     "DecisionService",
     "SessionState",
+    "FleetHealth",
+    "ShardDecision",
+    "ShardedDecisionService",
+    "RestartPolicy",
+    "Supervisor",
     "ChaosSolver",
     "SoakConfig",
     "SoakReport",

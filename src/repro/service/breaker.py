@@ -15,7 +15,11 @@ front of every production ABR decision path):
   moves the breaker to half-open;
 * **half-open** — a limited number of probe requests reach the solver;
   ``half_open_successes`` consecutive successes close the breaker, any
-  failure re-opens it and restarts the cooldown.
+  failure re-opens it and restarts the cooldown.  At most
+  ``half_open_successes`` probes may be *in flight* at once: when N
+  threads race :meth:`CircuitBreaker.allow` at the open → half-open
+  edge, exactly that many win the probe slots and everyone else keeps
+  degrading until the probes report back.
 
 The clock is injectable so tests (and the chaos-soak harness) can drive
 transitions deterministically, and every transition is recorded so the
@@ -79,6 +83,7 @@ class CircuitBreaker:
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._probe_successes = 0
+        self._probes_in_flight = 0
         self._opened_at = 0.0
         #: (from, to) state transitions in order, for the health snapshot
         self.transitions: List[Tuple[str, str]] = []
@@ -103,7 +108,11 @@ class CircuitBreaker:
 
         An open breaker whose cooldown has elapsed transitions to
         half-open here (permission checks are the only place the service
-        observes time passing while the solver is idle).
+        observes time passing while the solver is idle).  Half-open
+        grants at most ``half_open_successes`` concurrent probe slots;
+        every granted slot must be paid back with exactly one
+        :meth:`record_success` or :meth:`record_failure` (the degradation
+        ladder guarantees this on every code path).
         """
         with self._lock:
             if self._state is BreakerState.CLOSED:
@@ -111,16 +120,23 @@ class CircuitBreaker:
             if self._state is BreakerState.OPEN:
                 if self.clock() - self._opened_at >= self.cooldown:
                     self._probe_successes = 0
+                    self._probes_in_flight = 1
                     self._move(BreakerState.HALF_OPEN)
                     return True
                 return False
-            return True  # half-open: probes may flow
+            # half-open: only the limited probe slots may flow
+            if self._probes_in_flight < self.half_open_successes:
+                self._probes_in_flight += 1
+                return True
+            return False
 
     def record_success(self) -> None:
         """Note a successful solver call."""
         with self._lock:
             self._consecutive_failures = 0
             if self._state is BreakerState.HALF_OPEN:
+                if self._probes_in_flight > 0:
+                    self._probes_in_flight -= 1
                 self._probe_successes += 1
                 if self._probe_successes >= self.half_open_successes:
                     self._move(BreakerState.CLOSED)
@@ -142,6 +158,7 @@ class CircuitBreaker:
     def _trip(self) -> None:
         """Open the breaker and start the cooldown (lock held)."""
         self._consecutive_failures = 0
+        self._probes_in_flight = 0
         self._opened_at = self.clock()
         self.times_opened += 1
         self._move(BreakerState.OPEN)

@@ -154,6 +154,27 @@ class StatsCounters:
             if decision.overran:
                 self.deadline_overruns += 1
 
+    def record_batch(
+        self, tier: int, count: int, deferred: int = 0
+    ) -> None:
+        """Account ``count`` same-tier answers in one lock trip.
+
+        The vectorized batch path produces whole runs of tier-1/tier-2
+        answers at once; per-answer locking would cost more than the
+        answers themselves.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.decisions += count
+            if tier == TIER_SOLVER:
+                self.tier0_decisions += count
+            elif tier == TIER_TABLE:
+                self.tier1_decisions += count
+            else:
+                self.tier2_decisions += count
+            self.deferrals_resolved += deferred
+
     def set_sessions(self, active: int) -> None:
         """Track the resident-session count and its high-water mark."""
         with self._lock:

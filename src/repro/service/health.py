@@ -61,6 +61,23 @@ class LatencyRing:
             if latency > self.max_seen:
                 self.max_seen = latency
 
+    def record_many(self, latency: float, count: int) -> None:
+        """Record one latency for ``count`` decisions in a single lock trip.
+
+        The batch path answers many decisions at one instant; paying one
+        lock acquisition per decision would dominate the batch itself.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            for _ in range(min(count, self.capacity)):
+                self._samples[self._next] = latency
+                self._next = (self._next + 1) % self.capacity
+            self._count = min(self.capacity, self._count + count)
+            self.total_recorded += count
+            if latency > self.max_seen:
+                self.max_seen = latency
+
     def __len__(self) -> int:
         with self._lock:
             return self._count
@@ -102,6 +119,10 @@ class HealthSnapshot:
         latency_max: worst latency ever observed, seconds.
         latency_samples: lifetime count of recorded latencies.
         deadline: the configured per-decision budget, seconds.
+        evictions: sessions LRU-evicted by the session table — surfaced
+            as a top-level counter so a fleet rollup can sum shards
+            without digging into ``stats``.
+        sheds: requests refused an in-flight slot, likewise top-level.
     """
 
     live: bool
@@ -114,6 +135,8 @@ class HealthSnapshot:
     latency_max: float
     latency_samples: int
     deadline: float
+    evictions: int = 0
+    sheds: int = 0
 
     def to_dict(self) -> dict:
         """A plain-dict view (stats flattened) suitable for JSON."""
@@ -155,4 +178,6 @@ def build_snapshot(
         latency_max=ring.max_seen,
         latency_samples=ring.total_recorded,
         deadline=deadline,
+        evictions=stats.sessions_evicted,
+        sheds=stats.shed,
     )

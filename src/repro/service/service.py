@@ -27,7 +27,9 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..abr.base import PlayerObservation
 from ..abr.bba import BbaController
@@ -35,11 +37,13 @@ from ..abr.resilient import sanitize_observation
 from ..core.controller import SodaController
 from ..core.lookup import DecisionTable
 from ..core.objective import SodaConfig
+from ..prediction.base import ThroughputSample
 from ..sim.video import BitrateLadder
 from .admission import AdmissionGate, SessionTable
 from .breaker import CircuitBreaker
 from .degrade import (
     TIER_RULE,
+    TIER_TABLE,
     DegradationLadder,
     ServiceStats,
     StatsCounters,
@@ -110,6 +114,14 @@ class DecisionService:
         table_points: decision-table grid size per axis; ``0`` skips the
             table entirely (tier 1 disabled — degradation jumps from the
             solver straight to the buffer rule).
+        table: a pre-built (typically memory-mapped, see
+            :meth:`~repro.core.lookup.DecisionTable.load_mmap`) decision
+            table to serve tier 1 from; overrides ``table_points`` so
+            shard workers pay zero build cost.
+        tier0_budget: minimum remaining deadline budget to attempt the
+            tier-0 solver (default half the deadline).  Batch serving
+            lowers the solver share by raising this toward the deadline.
+        tier1_budget: minimum remaining budget for the table lookup.
         breaker: pre-built circuit breaker; a default one (5 consecutive
             failures, 1 s cooldown) is created when omitted.
         tier0_factory: ``(session_id, controller) -> tier0`` hook that
@@ -133,6 +145,9 @@ class DecisionService:
         max_in_flight: int = 64,
         max_sessions: int = 1024,
         table_points: int = 32,
+        table: Optional[DecisionTable] = None,
+        tier0_budget: Optional[float] = None,
+        tier1_budget: Optional[float] = None,
         breaker: Optional[CircuitBreaker] = None,
         tier0_factory: Optional[
             Callable[[str, SodaController], Tier0]
@@ -147,8 +162,8 @@ class DecisionService:
         self.deadline = deadline
         self.clock = clock or time.monotonic
 
-        self.table: Optional[DecisionTable] = None
-        if table_points:
+        self.table: Optional[DecisionTable] = table
+        if table is None and table_points:
             self.table = DecisionTable(
                 ladder,
                 max_buffer,
@@ -168,6 +183,8 @@ class DecisionService:
             tier2=self._rule.select_quality,
             breaker=self.breaker,
             deadline=deadline,
+            tier0_budget=tier0_budget,
+            tier1_budget=tier1_budget,
             clock=self.clock,
         )
 
@@ -196,16 +213,24 @@ class DecisionService:
                 state.last_fed = sample.start
 
     # ------------------------------------------------------------------
-    def decide(self, session_id: str, obs: PlayerObservation) -> Decision:
+    def decide(
+        self,
+        session_id: str,
+        obs: PlayerObservation,
+        deadline_at: Optional[float] = None,
+    ) -> Decision:
         """Answer one session's request; never raises, never blocks long.
 
-        The deadline clock starts here.  An observation that arrives
-        corrupted is repaired first (the repair is counted); a request
-        that finds no free decision slot is shed straight to the tier-2
-        floor without touching session state.
+        The deadline clock starts here unless the caller supplies an
+        absolute ``deadline_at`` — a shard worker does, so budget spent
+        in transit on the pipe still counts against the answer.  An
+        observation that arrives corrupted is repaired first (the repair
+        is counted); a request that finds no free decision slot is shed
+        straight to the tier-2 floor without touching session state.
         """
         started = self.clock()
-        deadline_at = started + self.deadline
+        if deadline_at is None:
+            deadline_at = started + self.deadline
 
         clean = sanitize_observation(obs)
         sanitized = clean is not obs
@@ -222,23 +247,357 @@ class DecisionService:
             )
 
         try:
-            entry, _created = self.sessions.checkout(
-                session_id, lambda: self._new_session(session_id)
-            )
-            try:
-                with entry.lock:
-                    state: SessionState = entry.state
-                    self._feed_history(state, clean)
-                    tier = self.degradation.decide(
-                        clean, state.tier0, deadline_at
-                    )
-                    state.decisions += 1
-            finally:
-                self.sessions.checkin(entry)
+            tier = self._decide_admitted(session_id, clean, deadline_at)
         finally:
             self.gate.release()
         return self._finish(
             session_id, tier, started, shed=False, sanitized=sanitized
+        )
+
+    def _decide_admitted(
+        self,
+        session_id: str,
+        clean: PlayerObservation,
+        deadline_at: float,
+    ) -> TierDecision:
+        """Ladder descent for one admitted, already-sanitized request."""
+        entry, _created = self.sessions.checkout(
+            session_id, lambda: self._new_session(session_id)
+        )
+        try:
+            with entry.lock:
+                state: SessionState = entry.state
+                self._feed_history(state, clean)
+                tier = self.degradation.decide(
+                    clean, state.tier0, deadline_at
+                )
+                state.decisions += 1
+        finally:
+            self.sessions.checkin(entry)
+        return tier
+
+    # ------------------------------------------------------------------
+    def decide_many(
+        self,
+        requests: Sequence[Tuple[str, PlayerObservation]],
+        deadline_at: Optional[float] = None,
+    ) -> List[Decision]:
+        """Answer a batch of requests under one shared deadline.
+
+        Every request in the batch owes its answer by the *same*
+        ``deadline_at`` (defaulting to now + the per-decision deadline),
+        so the batch degrades exactly like a queue draining under load:
+        requests at the front get full tier-0 solves while at least
+        ``tier0_budget`` remains, and the moment the budget thins, the
+        **entire remaining batch** is answered in one vectorized tier-1
+        pass over the decision table (one NumPy gather instead of
+        per-request solves), falling to the tier-2 floor when even the
+        lookup budget is gone.  This is what makes 100k+ decisions/sec
+        aggregate serving honest: the contract (in-range rung, within
+        deadline) is identical to :meth:`decide`, only the quality tier
+        rides the offered load.
+
+        The batch claims a single admission slot; a shed batch is
+        answered entirely from the floor.  Per-session solver state is
+        touched only by the tier-0 prefix — the vectorized tiers are
+        stateless, so the monotone history-feed invariant is preserved.
+        """
+        started = self.clock()
+        if deadline_at is None:
+            deadline_at = started + self.deadline
+        n = len(requests)
+        if n == 0:
+            return []
+
+        if not self.gate.try_acquire():
+            self.counters.bump("shed", n)
+            decisions = [
+                self._floor_decision(sid, obs, started, shed=True)
+                for sid, obs in requests
+            ]
+            self.counters.record_batch(TIER_RULE, n)
+            self.latencies.record_many(self.clock() - started, n)
+            return decisions
+
+        try:
+            decisions: List[Optional[Decision]] = [None] * n
+            solved = 0
+            tier0_budget = self.degradation.tier0_budget
+            # ---- tier-0 prefix: full per-request path while budget lasts
+            while (
+                solved < n
+                and deadline_at - self.clock() >= tier0_budget
+            ):
+                sid, obs = requests[solved]
+                clean = sanitize_observation(obs)
+                sanitized = clean is not obs
+                if sanitized:
+                    self.counters.bump("sanitized_observations")
+                tier = self._decide_admitted(sid, clean, deadline_at)
+                decisions[solved] = self._finish(
+                    sid, tier, started, shed=False, sanitized=sanitized
+                )
+                solved += 1
+            if solved < n:
+                rest = requests[solved:]
+                tail = self._decide_vectorized(rest, started, deadline_at)
+                decisions[solved:] = tail
+        finally:
+            self.gate.release()
+        return decisions  # type: ignore[return-value]
+
+    def _decide_vectorized(
+        self,
+        requests: Sequence[Tuple[str, PlayerObservation]],
+        started: float,
+        deadline_at: float,
+    ) -> List[Decision]:
+        """Answer ``requests`` in one tier-1 table gather (tier-2 floor
+        when the table or its budget is gone)."""
+        n = len(requests)
+        use_table = (
+            self.table is not None
+            and deadline_at - self.clock() >= self.degradation.tier1_budget
+        )
+        if not use_table:
+            decisions = [
+                self._floor_decision(sid, obs, started, shed=False)
+                for sid, obs in requests
+            ]
+            self.counters.record_batch(TIER_RULE, n)
+            self.latencies.record_many(self.clock() - started, n)
+            return decisions
+
+        tputs = np.empty(n)
+        buffers = np.empty(n)
+        prevs = np.empty(n, dtype=np.int64)
+        for i, (_sid, obs) in enumerate(requests):
+            history = obs.history
+            tputs[i] = history[-1].throughput if history else -1.0
+            buffers[i] = obs.buffer_level
+            prev = obs.previous_quality
+            prevs[i] = -1 if prev is None else prev
+        rungs = self.table.lookup_batch(tputs, buffers, prevs)
+        # lookup_batch treats out-of-range prev as "no previous rung" for
+        # indexing; keep the raw value for defer resolution below.
+        levels = self.ladder.levels
+        valid_prev = (prevs >= 0) & (prevs < levels)
+
+        latency = self.clock() - started
+        decisions: List[Decision] = []
+        deferred_count = 0
+        floor_count = 0
+        for i, (sid, obs) in enumerate(requests):
+            rung = int(rungs[i])
+            deferred = False
+            tier = TIER_TABLE
+            if rung < 0:
+                if valid_prev[i]:
+                    rung = int(prevs[i])
+                    deferred = True
+                    deferred_count += 1
+                else:
+                    # Defer with nothing to hold: descend to the floor.
+                    rung = self.degradation.floor_quality(obs)
+                    tier = TIER_RULE
+                    floor_count += 1
+            decisions.append(
+                Decision(
+                    session_id=sid,
+                    quality=rung,
+                    tier=tier,
+                    deferred=deferred,
+                    latency=latency,
+                )
+            )
+        self.counters.record_batch(
+            TIER_TABLE, n - floor_count, deferred=deferred_count
+        )
+        self.counters.record_batch(TIER_RULE, floor_count)
+        self.latencies.record_many(latency, n)
+        return decisions
+
+    def decide_columns(
+        self,
+        session_ids: Sequence[str],
+        throughputs: np.ndarray,
+        buffers: np.ndarray,
+        prevs: np.ndarray,
+        deadline_at: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Answer a batch given only the decision-table axes.
+
+        The columnar twin of :meth:`decide_many` for high-volume
+        ingestion: each request is ``(last throughput, buffer level,
+        previous rung)`` — exactly what the vectorized tiers consume — so
+        a batch crosses process boundaries as three NumPy arrays instead
+        of N observation objects.  Semantics match :meth:`decide_many`
+        except that the tier-0 prefix sees a synthetic one-sample history
+        (the reported throughput) rather than the client's full download
+        log.  Non-finite or out-of-range inputs are clamped exactly like
+        :meth:`~repro.core.lookup.DecisionTable.lookup_batch` — the
+        sanitizer behaviour falls out of the table lookup itself.
+
+        Args:
+            session_ids: aligned session identifiers.
+            throughputs: last measured throughput per request, Mb/s
+                (``<= 0`` or non-finite meaning "no history yet").
+            buffers: buffer level per request, seconds.
+            prevs: previous rung per request, ``-1`` for none.
+            deadline_at: absolute clock() value the answers are due by.
+
+        Returns:
+            ``(rungs, tiers, deferred)`` aligned int64/int8/bool arrays;
+            every rung is inside the ladder.
+        """
+        started = self.clock()
+        if deadline_at is None:
+            deadline_at = started + self.deadline
+        n = len(session_ids)
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int8),
+            np.empty(0, dtype=bool),
+        )
+        if n == 0:
+            return empty
+        tputs = np.asarray(throughputs, dtype=float)
+        bufs = np.asarray(buffers, dtype=float)
+        prev_arr = np.asarray(prevs, dtype=np.int64)
+        rungs = np.empty(n, dtype=np.int64)
+        tiers = np.empty(n, dtype=np.int8)
+        deferred = np.zeros(n, dtype=bool)
+
+        if not self.gate.try_acquire():
+            self.counters.bump("shed", n)
+            for i in range(n):
+                rungs[i] = self._floor_from_columns(bufs[i], prev_arr[i])
+            tiers[:] = TIER_RULE
+            self.counters.record_batch(TIER_RULE, n)
+            self.latencies.record_many(self.clock() - started, n)
+            return rungs, tiers, deferred
+
+        try:
+            solved = 0
+            tier0_budget = self.degradation.tier0_budget
+            while (
+                solved < n
+                and deadline_at - self.clock() >= tier0_budget
+            ):
+                obs = self._obs_from_columns(
+                    tputs[solved], bufs[solved], prev_arr[solved]
+                )
+                tier = self._decide_admitted(
+                    session_ids[solved], obs, deadline_at
+                )
+                self.counters.record_tier(tier)
+                rungs[solved] = tier.quality
+                tiers[solved] = tier.tier
+                deferred[solved] = tier.deferred
+                solved += 1
+            if solved < n:
+                self._columns_vectorized(
+                    tputs, bufs, prev_arr, rungs, tiers, deferred,
+                    solved, deadline_at,
+                )
+        finally:
+            self.gate.release()
+        self.latencies.record_many(self.clock() - started, n)
+        return rungs, tiers, deferred
+
+    def _columns_vectorized(
+        self,
+        tputs: np.ndarray,
+        bufs: np.ndarray,
+        prevs: np.ndarray,
+        rungs: np.ndarray,
+        tiers: np.ndarray,
+        deferred: np.ndarray,
+        start: int,
+        deadline_at: float,
+    ) -> None:
+        """Fill ``[start:]`` of the output arrays in one table gather."""
+        n = len(tputs)
+        use_table = (
+            self.table is not None
+            and deadline_at - self.clock() >= self.degradation.tier1_budget
+        )
+        if not use_table:
+            for i in range(start, n):
+                rungs[i] = self._floor_from_columns(bufs[i], prevs[i])
+            tiers[start:] = TIER_RULE
+            self.counters.record_batch(TIER_RULE, n - start)
+            return
+        looked = self.table.lookup_batch(
+            tputs[start:], bufs[start:], prevs[start:]
+        )
+        levels = self.ladder.levels
+        valid_prev = (prevs[start:] >= 0) & (prevs[start:] < levels)
+        hold = (looked < 0) & valid_prev
+        floor = (looked < 0) & ~valid_prev
+        looked = np.where(hold, prevs[start:], looked)
+        floor_indices = np.nonzero(floor)[0]
+        for j in floor_indices:
+            looked[j] = self._floor_from_columns(
+                bufs[start + j], prevs[start + j]
+            )
+        rungs[start:] = looked
+        tiers[start:] = np.where(floor, TIER_RULE, TIER_TABLE)
+        deferred[start:] = hold
+        floor_count = int(floor.sum())
+        self.counters.record_batch(
+            TIER_TABLE, n - start - floor_count,
+            deferred=int(hold.sum()),
+        )
+        self.counters.record_batch(TIER_RULE, floor_count)
+
+    def _obs_from_columns(
+        self, tput: float, buffer_level: float, prev: int
+    ) -> PlayerObservation:
+        """A minimal observation carrying the three column values."""
+        now = self.clock()
+        if np.isfinite(tput) and tput > 0:
+            history: Tuple[ThroughputSample, ...] = (
+                ThroughputSample(
+                    start=now, duration=1.0, size=float(tput),
+                    throughput=float(tput),
+                ),
+            )
+        else:
+            history = ()
+        if not np.isfinite(buffer_level):
+            buffer_level = 0.0
+        levels = self.ladder.levels
+        return PlayerObservation(
+            wall_time=now,
+            segment_index=0,
+            buffer_level=float(min(max(buffer_level, 0.0), self.max_buffer)),
+            max_buffer=self.max_buffer,
+            previous_quality=int(prev) if 0 <= prev < levels else None,
+            ladder=self.ladder,
+            history=history,
+        )
+
+    def _floor_from_columns(self, buffer_level: float, prev: int) -> int:
+        return self.degradation.floor_quality(
+            self._obs_from_columns(-1.0, buffer_level, prev)
+        )
+
+    def _floor_decision(
+        self,
+        session_id: str,
+        obs: PlayerObservation,
+        started: float,
+        shed: bool,
+    ) -> Decision:
+        """A tier-2 answer built outside the counter/ring bookkeeping
+        (the batch paths account in bulk)."""
+        return Decision(
+            session_id=session_id,
+            quality=self.degradation.floor_quality(obs),
+            tier=TIER_RULE,
+            shed=shed,
+            latency=self.clock() - started,
         )
 
     def _finish(

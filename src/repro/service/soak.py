@@ -1,18 +1,21 @@
 """Chaos-soak harness for the decision service.
 
-``repro soak`` drives thousands of short synthetic sessions through one
-:class:`~repro.service.service.DecisionService` from a pool of worker
-threads while injecting faults at two layers:
+``repro soak`` drives thousands of short synthetic sessions through the
+serving layer from a pool of worker threads while injecting faults:
 
 * **observation faults** — each session carries a seeded PR-1
   :class:`~repro.faults.plan.FaultPlan`; a fault on a segment corrupts the
   throughput sample the service sees (NaN/inf/zero/negative), exercising
   the sanitizer exactly like a hostile client SDK would;
-* **solver faults** — a seeded :class:`ChaosSolver` wraps every session's
-  tier-0 solver with random crashes, random over-deadline sleeps, random
-  NaN answers, and one *deterministic* burst of consecutive crashes sized
-  to trip the circuit breaker, so every soak provably exercises the full
-  open → half-open → closed cycle.
+* **solver faults** (single-process mode) — a seeded :class:`ChaosSolver`
+  wraps every session's tier-0 solver with random crashes, random
+  over-deadline sleeps, random NaN answers, and one *deterministic* burst
+  of consecutive crashes sized to trip the circuit breaker, so every soak
+  provably exercises the full open → half-open → closed cycle;
+* **process faults** (sharded mode, ``shards > 0``) — the soak SIGKILLs a
+  live shard worker mid-run and requires the fleet to re-home the dead
+  shard's sessions onto survivors, restart the worker, and keep every
+  answer inside the serving contract across the kill/re-home boundary.
 
 Throughout, the harness checks the service's externally observable
 invariants (every answer an in-range rung; latency bounded; session table
@@ -23,7 +26,9 @@ violations — a clean soak is the acceptance gate for the serving layer.
 from __future__ import annotations
 
 import math
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -37,6 +42,7 @@ from ..sim.video import BitrateLadder
 from .degrade import TIER_SOLVER
 from .health import HealthSnapshot
 from .service import DecisionService, Tier0
+from .shard import FleetHealth, ShardedDecisionService
 
 __all__ = ["ChaosSolver", "SoakConfig", "SoakReport", "run_soak"]
 
@@ -150,6 +156,12 @@ class SoakConfig:
             burst starts; it lasts until the breaker opens.
         breaker_threshold: consecutive failures that trip the breaker.
         breaker_cooldown: seconds before an open breaker half-opens.
+        shards: ``0`` soaks one in-process service; ``> 0`` soaks a
+            :class:`~repro.service.shard.ShardedDecisionService` with
+            that many worker processes.  Sharded chaos swaps solver
+            faults for process faults: a worker is SIGKILLed mid-run.
+        kill_at: front-end decision count at which the sharded soak
+            kills a live worker; defaults to half the expected total.
     """
 
     sessions: int = 200
@@ -170,6 +182,8 @@ class SoakConfig:
     burst_at: int = 200
     breaker_threshold: int = 5
     breaker_cooldown: float = 0.3
+    shards: int = 0
+    kill_at: Optional[int] = None
 
 
 @dataclass
@@ -181,7 +195,10 @@ class SoakReport:
         decisions: total ``decide`` calls answered.
         elapsed: wall seconds the soak took.
         violations: invariant violations (empty means the soak passed).
-        snapshot: the service's final health snapshot.
+        snapshot: the service's final health snapshot (single-process
+            soaks; ``None`` for sharded runs).
+        fleet: the final fleet health (sharded soaks; ``None`` for
+            single-process runs).
     """
 
     config: SoakConfig
@@ -189,6 +206,7 @@ class SoakReport:
     elapsed: float
     violations: List[str] = field(default_factory=list)
     snapshot: Optional[HealthSnapshot] = None
+    fleet: Optional[FleetHealth] = None
 
     @property
     def passed(self) -> bool:
@@ -199,14 +217,21 @@ class SoakReport:
 
 
 def _session_worker(
-    service: DecisionService,
+    service,
     cfg: SoakConfig,
     queue: List[int],
     queue_lock: threading.Lock,
     violations: List[str],
     violations_lock: threading.Lock,
+    latency_slack: float = SCHEDULING_SLACK,
 ) -> None:
-    """Pull session indices off the queue and stream each one."""
+    """Pull session indices off the queue and stream each one.
+
+    ``service`` is anything with ``ladder`` / ``max_buffer`` / ``decide``
+    — the in-process :class:`DecisionService` or the sharded front end
+    (which needs a larger ``latency_slack``: a request that catches a
+    worker dying pays up to two pipe round trips before its answer).
+    """
     levels = service.ladder.levels
     while True:
         with queue_lock:
@@ -280,7 +305,7 @@ def _session_worker(
                 # scheduler slack); only a tier-0 solve may overrun, and
                 # each overrun is charged to the breaker (checked
                 # globally after the run).
-                if decision.latency > cfg.deadline + SCHEDULING_SLACK:
+                if decision.latency > cfg.deadline + latency_slack:
                     bad.append(
                         f"{session_id}#{segment}: tier-{decision.tier} "
                         f"latency {decision.latency * 1e3:.1f} ms exceeds "
@@ -315,6 +340,9 @@ def run_soak(
 
         ladder = youtube_4k_ladder()
     say = progress or (lambda line: None)
+
+    if cfg.shards > 0:
+        return _run_shard_soak(cfg, ladder, max_buffer, say)
 
     from .breaker import CircuitBreaker
 
@@ -412,6 +440,39 @@ def run_soak(
             service.decide("soak-drain", probe_obs)
             drained += 1
             time.sleep(cfg.breaker_cooldown / 10)
+
+    # ---- deterministic shed probe ------------------------------------
+    # Shedding normally needs genuine slot contention (slow solver calls
+    # pinning admission slots while other threads arrive), which thread
+    # scheduling does not guarantee on every box.  If the run produced no
+    # shed, manufacture one: hold every admission slot and issue a single
+    # decision, which must be refused a slot and answered from the tier-2
+    # floor.  This makes the "chaos exercises shedding" outcome a
+    # deterministic property of the harness, like the breaker burst.
+    if cfg.chaos and service.stats().tier2_decisions == 0:
+        say("forcing one load-shed probe ...")
+        held = 0
+        while service.gate.try_acquire():
+            held += 1
+        try:
+            shed_obs = PlayerObservation(
+                wall_time=0.0,
+                segment_index=0,
+                buffer_level=max_buffer / 2,
+                max_buffer=max_buffer,
+                previous_quality=None,
+                ladder=ladder,
+                history=(),
+            )
+            probe = service.decide("soak-shed-probe", shed_obs)
+            drained += 1
+            if not probe.shed:
+                violations.append(
+                    "shed probe was admitted with every slot held"
+                )
+        finally:
+            for _ in range(held):
+                service.gate.release()
     elapsed = time.perf_counter() - started
 
     stats = service.stats()
@@ -449,4 +510,165 @@ def run_soak(
         elapsed=elapsed,
         violations=violations,
         snapshot=snapshot,
+    )
+
+
+# ----------------------------------------------------------------------
+def _run_shard_soak(
+    cfg: SoakConfig,
+    ladder: BitrateLadder,
+    max_buffer: float,
+    say: Callable[[str], None],
+) -> SoakReport:
+    """Soak a sharded fleet, SIGKILLing one worker mid-run.
+
+    Chaos here is process-level: observation faults still flow through
+    the fault plans, but solver chaos stays off (each worker owns its
+    breaker, so the deterministic burst guarantee does not compose) and
+    the headline fault is a worker killed -9 while serving.  The run
+    passes when every answer stayed inside the serving contract across
+    the kill, at least one session was re-homed onto a survivor, and the
+    supervisor restarted the dead slot.
+    """
+    say(
+        f"building {cfg.shards}-shard fleet (table "
+        f"{cfg.table_points}x{cfg.table_points}, deadline "
+        f"{cfg.deadline * 1e3:.0f} ms) ..."
+    )
+    service = ShardedDecisionService(
+        ladder,
+        max_buffer,
+        shards=cfg.shards,
+        deadline=cfg.deadline,
+        max_in_flight=max(cfg.max_in_flight, 8),
+        max_sessions=cfg.max_sessions,
+        table_points=cfg.table_points,
+        heartbeat_interval=0.05,
+    )
+    # A request that catches the worker dying pays up to two full pipe
+    # round trips (timeout on the dying shard, then the survivor).
+    latency_slack = SCHEDULING_SLACK + 2.0 * (
+        cfg.deadline + service.request_slack
+    )
+
+    queue = list(range(cfg.sessions))
+    queue_lock = threading.Lock()
+    violations: List[str] = []
+    violations_lock = threading.Lock()
+    expected_total = cfg.sessions * cfg.segments_per_session
+    kill_at = cfg.kill_at if cfg.kill_at is not None else expected_total // 2
+    killed: List[int] = []
+
+    def killer() -> None:
+        """SIGKILL one live worker once ``kill_at`` decisions are out."""
+        if not cfg.chaos:
+            return
+        while service.decisions < kill_at:
+            if service.decisions >= expected_total:
+                return
+            time.sleep(0.002)
+        live = service.live_shards()
+        if not live:
+            return
+        slot = live[0]
+        pid = service.worker_pids()[slot]
+        if pid is None:
+            return
+        say(f"chaos: SIGKILL shard {slot} worker (pid {pid}) ...")
+        os.kill(pid, signal.SIGKILL)
+        killed.append(slot)
+
+    say(
+        f"driving {cfg.sessions} sessions x {cfg.segments_per_session} "
+        f"segments on {cfg.threads} threads ..."
+    )
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(
+            target=_session_worker,
+            args=(
+                service, cfg, queue, queue_lock, violations, violations_lock,
+            ),
+            kwargs={"latency_slack": latency_slack},
+            name=f"soak-worker-{i}",
+            daemon=True,
+        )
+        for i in range(cfg.threads)
+    ]
+    chaos_thread = threading.Thread(target=killer, name="soak-killer",
+                                    daemon=True)
+    for worker in workers:
+        worker.start()
+    chaos_thread.start()
+    for worker in workers:
+        worker.join()
+    chaos_thread.join(timeout=5.0)
+
+    probes = 0
+    if cfg.chaos and killed:
+        # ---- post-restart probe: the killed slot must serve again ----
+        slot = killed[0]
+        say(f"waiting for shard {slot} to restart ...")
+        wait_until = time.perf_counter() + 10.0
+        while (
+            slot not in service.live_shards()
+            and time.perf_counter() < wait_until
+        ):
+            time.sleep(0.05)
+        if slot not in service.live_shards():
+            violations.append(
+                f"killed shard {slot} was not restarted within 10 s"
+            )
+        else:
+            probe_obs = PlayerObservation(
+                wall_time=0.0,
+                segment_index=0,
+                buffer_level=max_buffer / 2,
+                max_buffer=max_buffer,
+                previous_quality=None,
+                ladder=ladder,
+                history=(),
+            )
+            probe_sid = next(
+                f"soak-probe-{k}"
+                for k in range(10_000)
+                if service.home_shard(f"soak-probe-{k}") == slot
+            )
+            probe = service.decide(probe_sid, probe_obs)
+            probes += 1
+            if probe.failover or probe.shard != slot:
+                violations.append(
+                    f"post-restart probe on shard {slot} answered from "
+                    f"shard {probe.shard} (failover={probe.failover})"
+                )
+    elapsed = time.perf_counter() - started
+
+    # ---- fleet invariants --------------------------------------------
+    if service.decisions != expected_total + probes:
+        violations.append(
+            f"answered {service.decisions} decisions, expected "
+            f"{expected_total + probes}"
+        )
+    if cfg.chaos:
+        if not killed:
+            violations.append(
+                f"chaos never killed a worker (kill_at={kill_at})"
+            )
+        fleet_counters = service.supervisor.counters()
+        if fleet_counters["worker_deaths"] < 1:
+            violations.append("worker SIGKILL was never observed as a death")
+        if fleet_counters["worker_restarts"] < 1:
+            violations.append("supervisor never restarted a worker")
+        if service.sessions_rehomed < 1:
+            violations.append(
+                "no session was re-homed off the killed shard"
+            )
+
+    fleet = service.close()
+    return SoakReport(
+        config=cfg,
+        decisions=service.decisions,
+        elapsed=elapsed,
+        violations=violations,
+        fleet=fleet,
     )

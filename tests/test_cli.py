@@ -30,6 +30,10 @@ class TestParser:
             ["compare", "--dataset", "puffer", "--strict-audit"],
             ["serve", "--sessions", "10", "--deadline", "0.05"],
             ["soak", "--intensity", "0.4", "--crash-rate", "0.05"],
+            ["soak", "--shards", "2", "--kill-at", "40"],
+            ["serve", "--out", "BENCH_service.json"],
+            ["table", "build", "out.sodatbl", "--table-points", "24"],
+            ["table", "inspect", "out.sodatbl"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
@@ -119,6 +123,89 @@ class TestCommands:
         payload = json.loads(health.read_text())
         assert payload["breaker_full_cycles"] >= 1
         assert payload["stats"]["tier2_decisions"] > 0
+
+    def test_sharded_soak_kills_and_rehomes(self, capsys, tmp_path):
+        health = tmp_path / "fleet.json"
+        perf = tmp_path / "bench.json"
+        assert main(["soak", "--shards", "2", "--sessions", "12",
+                     "--segments", "8", "--threads", "4", "--seed", "7",
+                     "--table-points", "8", "--deadline", "0.25",
+                     "--health-json", str(health),
+                     "--out", str(perf)]) == 0
+        out = capsys.readouterr().out
+        assert "=== soak:" in out
+        assert "fleet: shards=2" in out
+        assert "all serving invariants held" in out
+        fleet = json.loads(health.read_text())
+        assert fleet["shards"] == 2
+        assert fleet["worker_deaths"] >= 1
+        assert fleet["worker_restarts"] >= 1
+        assert fleet["sessions_rehomed"] >= 1
+        assert "evictions" in fleet["rollup"]
+        runs = json.loads(perf.read_text())["runs"]
+        assert len(runs) == 1
+        assert runs[0]["mode"] == "soak"
+        assert runs[0]["shards"] == 2
+        assert runs[0]["violations"] == 0
+        assert "timestamp" in runs[0]
+
+    def test_out_appends_to_existing_journal(self, capsys, tmp_path):
+        perf = tmp_path / "bench.json"
+        argv = ["serve", "--sessions", "4", "--segments", "3",
+                "--threads", "2", "--table-points", "0",
+                "--out", str(perf)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        runs = json.loads(perf.read_text())["runs"]
+        assert len(runs) == 2
+        assert all(run["mode"] == "serve" for run in runs)
+
+    def test_out_rejects_non_journal_file(self, capsys, tmp_path):
+        perf = tmp_path / "bench.json"
+        perf.write_text("this is not json\n")
+        assert main(["serve", "--sessions", "4", "--segments", "3",
+                     "--threads", "2", "--table-points", "0",
+                     "--out", str(perf)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "not a perf journal" in err
+
+
+class TestTableCommand:
+    def test_build_then_inspect(self, capsys, tmp_path):
+        path = tmp_path / "table.sodatbl"
+        assert main(["table", "build", str(path),
+                     "--table-points", "6"]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+        assert main(["table", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid decision table" in out
+        assert "6 throughput x 6 buffer points" in out
+
+    def test_inspect_missing_file_exits_2(self, capsys):
+        assert main(["table", "inspect", "/no/such/table.sodatbl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.count("\n") == 1
+
+    def test_inspect_corrupt_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "table.sodatbl"
+        assert main(["table", "build", str(path),
+                     "--table-points", "6"]) == 0
+        capsys.readouterr()
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-9])  # truncate inside the decision array
+        assert main(["table", "inspect", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "truncated" in err
+        assert err.count("\n") == 1
+
+    def test_build_validation(self, capsys):
+        assert main(["table", "build", "/tmp/t.sodatbl",
+                     "--table-points", "1"]) == 2
+        assert "--table-points" in capsys.readouterr().err
 
 
 class _StubSuite:

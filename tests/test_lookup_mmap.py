@@ -1,0 +1,137 @@
+"""The memory-mapped decision-table file format.
+
+Sharded serving publishes one :class:`DecisionTable` to N forked workers
+through a single mapped file (``save_mmap`` / ``load_mmap``), so the
+format carries real operational weight: a loaded table must answer
+cell-for-cell identically to the in-memory original, and any structural
+damage — bad magic, mangled header, truncation, out-of-range cells —
+must fail loudly with a one-line :class:`TableFormatError` instead of
+serving garbage rungs.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.lookup import DecisionTable, TableFormatError
+from repro.core.objective import SodaConfig
+from repro.sim.video import BitrateLadder
+
+LADDER = BitrateLadder([1.0, 2.5, 5.0, 8.0], segment_duration=2.0,
+                       name="mmap-test")
+MAX_BUFFER = 25.0
+
+
+@pytest.fixture(scope="module")
+def table():
+    return DecisionTable(
+        LADDER,
+        MAX_BUFFER,
+        config=SodaConfig(solver_backend="fast"),
+        throughput_points=12,
+        buffer_points=10,
+    )
+
+
+@pytest.fixture()
+def table_path(table, tmp_path):
+    path = tmp_path / "table.sodatbl"
+    table.save_mmap(str(path))
+    return path
+
+
+class TestRoundTrip:
+    def test_every_cell_survives(self, table, table_path):
+        loaded = DecisionTable.load_mmap(str(table_path))
+        assert loaded.shape == table.shape
+        np.testing.assert_array_equal(
+            np.asarray(loaded._table), np.asarray(table._table)
+        )
+        np.testing.assert_allclose(loaded.tput_grid, table.tput_grid)
+        np.testing.assert_allclose(loaded.buffer_grid, table.buffer_grid)
+
+    def test_lookups_agree_off_grid(self, table, table_path):
+        loaded = DecisionTable.load_mmap(str(table_path))
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            tput = float(rng.uniform(0.1, 40.0))
+            buf = float(rng.uniform(0.0, MAX_BUFFER))
+            prev_axis = int(rng.integers(0, LADDER.levels + 1))
+            prev = None if prev_axis == 0 else prev_axis - 1
+            assert loaded.lookup(tput, buf, prev) == table.lookup(
+                tput, buf, prev
+            )
+
+    def test_metadata_survives(self, table, table_path):
+        loaded = DecisionTable.load_mmap(str(table_path))
+        assert loaded.ladder.bitrates == LADDER.bitrates
+        assert loaded.ladder.name == LADDER.name
+        assert loaded.max_buffer == MAX_BUFFER
+        assert loaded.config == table.config
+        assert loaded.stats.cells == table.stats.cells
+        assert loaded.stats.build_seconds == pytest.approx(
+            table.stats.build_seconds
+        )
+
+    def test_loaded_array_is_read_only_mapping(self, table_path):
+        loaded = DecisionTable.load_mmap(str(table_path))
+        assert isinstance(loaded._table, np.memmap)
+        with pytest.raises(ValueError):
+            loaded._table[0, 0, 0] = 3
+
+
+class TestCorruption:
+    """Every damage mode fails with a one-line TableFormatError."""
+
+    def _assert_rejects(self, path, needle):
+        with pytest.raises(TableFormatError) as err:
+            DecisionTable.load_mmap(str(path))
+        message = str(err.value)
+        assert needle in message
+        assert "\n" not in message  # one line, CLI-printable as-is
+
+    def test_missing_file(self, tmp_path):
+        self._assert_rejects(tmp_path / "nope.sodatbl", "cannot read")
+
+    def test_bad_magic(self, table_path):
+        blob = table_path.read_bytes()
+        table_path.write_bytes(b"NOTATBL!" + blob[8:])
+        self._assert_rejects(table_path, "bad magic")
+
+    def test_header_length_past_eof(self, table_path):
+        blob = bytearray(table_path.read_bytes())
+        blob[8:16] = struct.pack(">Q", 2**40)
+        table_path.write_bytes(bytes(blob))
+        self._assert_rejects(table_path, "header length")
+
+    def test_unparsable_header(self, table_path):
+        blob = bytearray(table_path.read_bytes())
+        (hlen,) = struct.unpack(">Q", blob[8:16])
+        blob[16:16 + hlen] = b"{" * hlen
+        table_path.write_bytes(bytes(blob))
+        self._assert_rejects(table_path, "corrupt decision-table header")
+
+    def test_truncated_array(self, table_path):
+        blob = table_path.read_bytes()
+        table_path.write_bytes(blob[:-17])
+        self._assert_rejects(table_path, "truncated")
+
+    def test_shape_grid_mismatch(self, table_path):
+        blob = table_path.read_bytes()
+        (hlen,) = struct.unpack(">Q", blob[8:16])
+        header = json.loads(blob[16:16 + hlen])
+        header["tput_grid"] = header["tput_grid"][:-1]
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        table_path.write_bytes(
+            blob[:8] + struct.pack(">Q", len(new_header)) + new_header
+            + blob[16 + hlen:]
+        )
+        self._assert_rejects(table_path, "does not match")
+
+    def test_out_of_range_cells(self, table_path):
+        blob = bytearray(table_path.read_bytes())
+        blob[-1] = LADDER.levels + 3  # a rung the ladder does not have
+        table_path.write_bytes(bytes(blob))
+        self._assert_rejects(table_path, "out-of-range")

@@ -406,6 +406,26 @@ class TestHealth:
         assert payload["stats"]["decisions"] == 1
         assert set(payload["latency"]) == {"p50", "p95", "p99"}
 
+    def test_snapshot_surfaces_evictions_and_sheds_top_level(self, ladder):
+        """Fleet rollups read ``evictions``/``sheds`` without digging into
+        the stats block — they must mirror the underlying counters."""
+        service = DecisionService(
+            ladder, 20.0, table_points=0, max_sessions=2, max_in_flight=1
+        )
+        for i in range(5):
+            service.decide(f"s{i}", make_obs(ladder))  # 3 LRU evictions
+        assert service.gate.try_acquire()
+        service.decide("overload", make_obs(ladder))  # 1 shed
+        service.gate.release()
+        snapshot = service.health()
+        assert snapshot.evictions == 3
+        assert snapshot.evictions == snapshot.stats.sessions_evicted
+        assert snapshot.sheds == 1
+        assert snapshot.sheds == snapshot.stats.shed
+        payload = json.loads(snapshot.to_json())
+        assert payload["evictions"] == 3
+        assert payload["sheds"] == 1
+
 
 # ----------------------------------------------------------------------
 class TestDecisionService:

@@ -16,6 +16,7 @@ that advances the clock by more than the remaining budget has overrun.
 """
 
 import math
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -231,3 +232,74 @@ def test_breaker_eventually_shields_a_failing_solver(specs):
         if streak >= 3:
             assert breaker.times_opened >= 1
             break
+
+
+class TestHalfOpenContention:
+    """True thread contention at the open → half-open edge.
+
+    The state machine promises that when N threads race ``allow()`` the
+    instant the cooldown elapses, exactly ``half_open_successes`` of
+    them win probe slots and everyone else keeps degrading.  A barrier
+    releases all racers at once so the race is real, not sequential.
+    """
+
+    THREADS = 12
+    ROUNDS = 20
+
+    @staticmethod
+    def _tripped_breaker(clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown=1.0, clock=clock
+        )
+        breaker.record_failure()  # closed -> open
+        clock.advance(1.5)  # cooldown elapsed; next allow() half-opens
+        return breaker
+
+    def _race_allow(self, breaker):
+        barrier = threading.Barrier(self.THREADS)
+        admitted = []
+        admitted_lock = threading.Lock()
+
+        def racer():
+            barrier.wait()
+            if breaker.allow():
+                with admitted_lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [
+            threading.Thread(target=racer) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return admitted
+
+    def test_exactly_one_probe_admitted_under_contention(self):
+        for _ in range(self.ROUNDS):
+            clock = FakeClock()
+            breaker = self._tripped_breaker(clock)
+            admitted = self._race_allow(breaker)
+            # Exactly one racer holds the probe slot; the rest degrade.
+            assert len(admitted) == 1
+            assert breaker.state.value == "half-open"
+            # Until the probe reports back, nobody else gets through.
+            assert not breaker.allow()
+            # The winning probe's success closes the breaker for all.
+            breaker.record_success()
+            assert breaker.state.value == "closed"
+            assert breaker.allow()
+            assert breaker.full_cycles() == 1
+
+    def test_probe_failure_reopens_and_relocks_under_contention(self):
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        admitted = self._race_allow(breaker)
+        assert len(admitted) == 1
+        breaker.record_failure()  # the probe failed: back to open
+        assert breaker.state.value == "open"
+        # A second stampede inside the new cooldown is fully refused.
+        assert self._race_allow(breaker) == []
+        # ... and after the next cooldown, again exactly one wins.
+        clock.advance(1.5)
+        assert len(self._race_allow(breaker)) == 1

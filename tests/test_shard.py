@@ -1,0 +1,276 @@
+"""The sharded decision service: supervision, re-homing, drain.
+
+These tests run the real thing — forked worker processes behind the
+front end, a decision table published through a memory-mapped file, a
+supervisor heartbeating the fleet — and exercise the robustness story
+end to end: a worker SIGKILLed mid-serving must cost its shard only
+(sessions re-home onto survivors, the supervisor restarts the corpse),
+and a drained fleet must keep answering from the floor rather than
+dropping requests.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.prediction.base import ThroughputSample
+from repro.service import ShardedDecisionService
+from repro.service.shard import (
+    FleetHealth,
+    _roll_up,
+    decode_observation,
+    encode_observation,
+)
+from repro.sim.player import PlayerObservation
+from repro.sim.video import BitrateLadder
+
+LADDER = BitrateLadder([1.0, 2.5, 5.0, 8.0], segment_duration=2.0,
+                       name="shard-test")
+MAX_BUFFER = 25.0
+DEADLINE = 0.25
+
+
+def make_obs(segment=3, buffer_level=12.0, prev=2, tput=4.0e6):
+    history = ()
+    if tput is not None:
+        history = (
+            ThroughputSample(start=0.0, duration=1.0, size=tput,
+                             throughput=tput),
+        )
+    return PlayerObservation(
+        wall_time=2.0 * segment,
+        segment_index=segment,
+        buffer_level=buffer_level,
+        max_buffer=MAX_BUFFER,
+        previous_quality=prev,
+        ladder=LADDER,
+        history=history,
+    )
+
+
+def session_homed_on(service, shard, tag="s"):
+    """A session id whose CRC-32 home is the given shard."""
+    for i in range(10_000):
+        sid = f"{tag}-{i}"
+        if service.home_shard(sid) == shard:
+            return sid
+    raise AssertionError(f"no session hashed onto shard {shard}")
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture
+def fleet():
+    service = ShardedDecisionService(
+        ladder=LADDER,
+        max_buffer=MAX_BUFFER,
+        shards=2,
+        deadline=DEADLINE,
+        table_points=10,
+        heartbeat_interval=0.05,
+    )
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+class TestWireCodec:
+    def test_observation_round_trips(self):
+        obs = make_obs(segment=9, buffer_level=7.5, prev=1)
+        rebuilt = decode_observation(encode_observation(obs), LADDER)
+        assert rebuilt == obs
+
+    def test_history_round_trips_as_samples(self):
+        obs = make_obs()
+        rebuilt = decode_observation(encode_observation(obs), LADDER)
+        assert rebuilt.history == obs.history
+        assert isinstance(rebuilt.history[0], ThroughputSample)
+
+
+class TestServing:
+    def test_decide_answers_from_the_home_shard(self, fleet):
+        for shard in range(fleet.shards):
+            sid = session_homed_on(fleet, shard)
+            decision = fleet.decide(sid, make_obs())
+            assert decision.shard == shard
+            assert not decision.rehomed
+            assert not decision.failover
+            assert 0 <= decision.quality < LADDER.levels
+
+    def test_decide_many_columnar_matches_full_history(self, fleet):
+        requests = [
+            (f"batch-{i}", make_obs(segment=i, buffer_level=4.0 + i % 15,
+                                    prev=i % LADDER.levels,
+                                    tput=1.0e6 + 2.0e5 * (i % 11)))
+            for i in range(64)
+        ]
+        columnar = fleet.decide_many(requests)
+        full = fleet.decide_many(requests, full_history=True)
+        assert [d.quality for d in columnar] == [d.quality for d in full]
+        assert [d.shard for d in columnar] == [d.shard for d in full]
+        assert all(not d.failover for d in columnar)
+        # Each decision went to its session's home shard.
+        for (sid, _obs), decision in zip(requests, columnar):
+            assert decision.shard == fleet.home_shard(sid)
+            assert decision.session_id == sid
+
+    def test_decide_many_empty_batch(self, fleet):
+        assert fleet.decide_many([]) == []
+
+    def test_fleet_counts_every_answer(self, fleet):
+        fleet.decide("count-a", make_obs())
+        fleet.decide_many([("count-b", make_obs()), ("count-c", make_obs())])
+        assert fleet.decisions == 3
+        assert fleet.failovers == 0
+
+
+class TestKillAndRehome:
+    def test_sigkill_rehomes_then_restarts(self, fleet):
+        victim = 0
+        survivor = 1
+        sid = session_homed_on(fleet, victim, tag="victim")
+        assert fleet.decide(sid, make_obs()).shard == victim
+
+        os.kill(fleet.worker_pids()[victim], signal.SIGKILL)
+
+        # The very next request for the orphaned session is re-homed onto
+        # the survivor — at worst the request that discovers the death
+        # makes a second routing attempt, never a floored answer.
+        decision = fleet.decide(sid, make_obs())
+        assert decision.shard == survivor
+        assert decision.rehomed
+        assert not decision.failover
+        assert sid in fleet.rehomed_sessions()
+        assert fleet.sessions_rehomed >= 1
+
+        # The supervisor restarts the corpse with a fresh generation...
+        assert wait_until(lambda: fleet.supervisor.is_alive(victim))
+        counters = fleet.supervisor.counters()
+        assert counters["worker_deaths"] >= 1
+        assert counters["worker_restarts"] >= 1
+
+        # ... and the restarted shard serves new sessions immediately,
+        # while the re-homed session stays sticky on the survivor.
+        fresh = session_homed_on(fleet, victim, tag="fresh")
+        assert wait_until(
+            lambda: fleet.decide(fresh, make_obs()).shard == victim
+        )
+        assert fleet.decide(sid, make_obs()).shard == survivor
+
+    def test_batch_spanning_a_dead_shard_rehomes_it(self, fleet):
+        victim = 1
+        os.kill(fleet.worker_pids()[victim], signal.SIGKILL)
+        requests = [(f"span-{i}", make_obs(segment=i)) for i in range(32)]
+        # First batch may discover the death (those answers floor); once
+        # the slot is marked dead, every batch re-homes cleanly.
+        fleet.decide_many(requests)
+        assert wait_until(
+            lambda: not fleet.supervisor.is_alive(victim)
+            or fleet.supervisor.counters()["worker_deaths"] >= 1
+        )
+        decisions = fleet.decide_many(requests)
+        assert all(not d.failover for d in decisions)
+        for (sid, _obs), decision in zip(requests, decisions):
+            if fleet.home_shard(sid) == victim:
+                assert decision.rehomed
+                assert decision.shard != victim
+
+    def test_all_shards_dead_serves_the_floor(self):
+        service = ShardedDecisionService(
+            ladder=LADDER,
+            max_buffer=MAX_BUFFER,
+            shards=1,
+            deadline=DEADLINE,
+            table_points=10,
+            heartbeat_interval=0.05,
+        )
+        try:
+            service.supervisor.stop_monitor()  # no restarts: stay dead
+            os.kill(service.worker_pids()[0], signal.SIGKILL)
+            decision = service.decide("orphan", make_obs())
+            assert decision.failover
+            assert decision.shard == -1
+            assert 0 <= decision.quality < LADDER.levels
+            assert service.failovers >= 1
+        finally:
+            service.close()
+
+
+class TestDrain:
+    def test_close_returns_final_fleet_health(self, fleet):
+        fleet.decide("drain-a", make_obs())
+        final = fleet.close()
+        assert isinstance(final, FleetHealth)
+        assert final.decisions >= 1
+        assert not final.ready
+        # Worker finals were collected over the stop handshake.
+        assert sum(1 for s in final.per_shard if s.get("live")) == 2
+        assert final.rollup.get("decisions", 0) >= 1
+
+    def test_requests_after_close_hit_the_floor_not_the_void(self, fleet):
+        fleet.close()
+        decision = fleet.decide("late", make_obs())
+        assert decision.failover
+        assert 0 <= decision.quality < LADDER.levels
+        batch = fleet.decide_many([("late-b", make_obs())])
+        assert batch[0].failover
+
+    def test_close_is_idempotent(self, fleet):
+        first = fleet.close()
+        assert fleet.close() is first
+
+    def test_close_removes_the_published_table(self, fleet):
+        path = fleet.table_path
+        assert os.path.exists(path)
+        fleet.close()
+        assert not os.path.exists(path)
+
+
+class TestFleetHealth:
+    def test_snapshot_shape(self, fleet):
+        fleet.decide("health-a", make_obs())
+        health = fleet.health()
+        assert health.shards == 2
+        assert health.live_shards == 2
+        assert health.ready
+        assert health.decisions == 1
+        assert len(health.per_shard) == 2
+        assert health.rollup["decisions"] == 1
+        payload = health.to_dict()
+        assert payload["per_shard"][0]["live"]
+        assert "latency" in payload
+
+    def test_rollup_sums_counters_across_live_shards_only(self):
+        per_shard = [
+            {"live": True, "evictions": 2, "sheds": 1,
+             "stats": {"decisions": 10, "tier2_decisions": 3,
+                       "degraded": False}},
+            {"live": True, "evictions": 1, "sheds": 4,
+             "stats": {"decisions": 5, "tier2_decisions": 0,
+                       "degraded": True}},
+            {"live": False, "shard": 2},  # dead: contributes nothing
+        ]
+        rollup = _roll_up(per_shard)
+        assert rollup["decisions"] == 15
+        assert rollup["tier2_decisions"] == 3
+        assert rollup["evictions"] == 3
+        assert rollup["sheds"] == 5
+        assert "degraded" not in rollup  # booleans are not counters
+
+    def test_dead_shard_appears_as_not_live(self, fleet):
+        fleet.supervisor.stop_monitor()  # hold the corpse down
+        os.kill(fleet.worker_pids()[0], signal.SIGKILL)
+        fleet.decide(session_homed_on(fleet, 0), make_obs())  # detect death
+        health = fleet.health()
+        assert health.live_shards == 1
+        assert health.per_shard[0] == {"live": False, "shard": 0}
