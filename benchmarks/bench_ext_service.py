@@ -11,13 +11,20 @@ instance.  Two benches live here:
 * the sharded bench drives a :class:`ShardedDecisionService` fleet over
   the columnar ``decide_many`` batch path and gates
   ``REQUIRED_SHARD_DECISIONS_PER_SEC`` aggregate decisions/sec with p99
-  batch latency under the shard deadline.
+  batch latency under the shard deadline, and
+* the overload bench pins a deliberately slow solver behind the
+  adaptive admission gate, measures sustained capacity closed-loop,
+  then offers at least twice that load and gates p99 latency still
+  under the deadline — overload is absorbed by shedding to the floor
+  rule (recorded as a shed rate), never by queueing past the budget.
 
-Both write JSON artifacts for CI trend tracking: the single-process
-bench a snapshot (``service_perf.json``), the sharded bench a run entry
-appended to the root-level ``BENCH_service.json`` perf journal.  Run
+All write JSON artifacts for CI trend tracking: the single-process
+bench a snapshot (``service_perf.json``); the sharded and overload
+benches append run entries (modes ``sharded-batch`` and ``overload``)
+to the root-level ``BENCH_service.json`` perf journal.  Run
 ``python benchmarks/bench_ext_service.py --shards N --out
-BENCH_service.json`` to invoke the sharded bench standalone.
+BENCH_service.json`` for the sharded bench standalone, or add
+``--overload`` for the overload bench.
 """
 
 import json
@@ -61,6 +68,17 @@ REQUIRED_SHARD_DECISIONS_PER_SEC = float(
     os.environ.get("REPRO_BENCH_SHARD_REQUIRED", "100000")
 )
 JOURNAL = os.environ.get("REPRO_BENCH_SERVICE_JOURNAL", "BENCH_service.json")
+
+#: overload bench knobs — a slow solver bounds capacity so 2x load is cheap
+OVERLOAD_DEADLINE = 0.05
+OVERLOAD_SOLVE_SECONDS = 0.002
+OVERLOAD_BASE_THREADS = int(
+    os.environ.get("REPRO_BENCH_OVERLOAD_THREADS", "4")
+)
+OVERLOAD_FACTOR = int(os.environ.get("REPRO_BENCH_OVERLOAD_FACTOR", "4"))
+OVERLOAD_DECISIONS = int(
+    os.environ.get("REPRO_BENCH_OVERLOAD_DECISIONS", "300")
+)
 
 
 def _drive(service, ladder, thread_index, decisions):
@@ -190,6 +208,159 @@ def _assert_shard_gates(entry):
     assert entry["failovers"] == 0, "clean workload hit the failover floor"
 
 
+def _slow_tier0_factory(session_id, controller):
+    """A solver that takes ~OVERLOAD_SOLVE_SECONDS: caps capacity low."""
+    inner = controller.select_quality
+
+    def solve(*args, **kwargs):
+        time.sleep(OVERLOAD_SOLVE_SECONDS)
+        return inner(*args, **kwargs)
+
+    return solve
+
+
+def _overload_drive(service, ladder, session_id, decisions, out):
+    """Closed-loop client timing every call; appends latencies to out."""
+    prev = None
+    buffer_level = 8.0
+    latencies = []
+    for segment in range(decisions):
+        obs = PlayerObservation(
+            wall_time=2.0 * segment,
+            segment_index=segment,
+            buffer_level=buffer_level,
+            max_buffer=MAX_BUFFER,
+            previous_quality=prev,
+            ladder=ladder,
+            history=(),
+        )
+        t0 = time.perf_counter()
+        decision = service.decide(session_id, obs)
+        latencies.append(time.perf_counter() - t0)
+        prev = decision.quality
+        buffer_level = 4.0 + (buffer_level + 1.7) % 12.0
+    out.append(latencies)
+
+
+def _overload_phase(service, ladder, session_ids, decisions):
+    """Run one closed-loop phase; return (rate, p99, all_latencies)."""
+    buckets = []
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(
+            target=_overload_drive,
+            args=(service, ladder, sid, decisions, buckets),
+        )
+        for sid in session_ids
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    latencies = sorted(lat for bucket in buckets for lat in bucket)
+    rate = len(latencies) / elapsed
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * (len(latencies) - 1)))]
+    return rate, p99, latencies
+
+
+def run_overload_bench(
+    base_threads=OVERLOAD_BASE_THREADS,
+    factor=OVERLOAD_FACTOR,
+    decisions=OVERLOAD_DECISIONS,
+):
+    """Measure capacity, then offer >= 2x and verify shed-not-queue."""
+    ladder = youtube_4k_ladder()
+    service = DecisionService(
+        ladder,
+        MAX_BUFFER,
+        deadline=OVERLOAD_DEADLINE,
+        max_in_flight=base_threads,
+        max_sessions=base_threads * factor * 2,
+        table_points=16,
+        tier0_factory=_slow_tier0_factory,
+    )
+    established = [f"ovl-{i}" for i in range(base_threads)]
+    # Establish the baseline sessions (and warm their solvers) off the
+    # clock so phase 1 measures steady-state capacity, not cold starts.
+    for sid in established:
+        _overload_drive(service, ladder, sid, 20, [])
+    shed_before = service.health().stats.shed
+
+    capacity, p99_base, _ = _overload_phase(
+        service, ladder, established, decisions
+    )
+    shed_base = service.health().stats.shed - shed_before
+
+    # Phase 2: the established sessions keep asking while factor-1 times
+    # as many brand-new arrivals pile on — offered load is a closed loop
+    # over factor * base_threads clients against a base_threads-wide gate.
+    arrivals = [f"ovl-new-{i}" for i in range((factor - 1) * base_threads)]
+    offered, p99_over, latencies = _overload_phase(
+        service, ladder, established + arrivals, decisions
+    )
+    snapshot = service.health()
+    shed_over = snapshot.stats.shed - shed_base - shed_before
+    answered = (factor * base_threads) * decisions
+
+    return {
+        "mode": "overload",
+        "threads_base": base_threads,
+        "threads_overload": factor * base_threads,
+        "decisions_per_thread": decisions,
+        "deadline_seconds": OVERLOAD_DEADLINE,
+        "solver_seconds": OVERLOAD_SOLVE_SECONDS,
+        "capacity_per_second": round(capacity, 1),
+        "offered_per_second": round(offered, 1),
+        "overload_ratio": round(offered / capacity, 2) if capacity else 0.0,
+        "answered": answered,
+        "shed_baseline": shed_base,
+        "shed_overload": shed_over,
+        "shed_rate_overload": round(shed_over / answered, 4),
+        "latency": {
+            "p99_baseline_seconds": round(p99_base, 6),
+            "p99_overload_seconds": round(p99_over, 6),
+            "max_overload_seconds": round(latencies[-1], 6),
+        },
+        "admission": snapshot.admission,
+    }
+
+
+def _print_overload_entry(entry):
+    from conftest import banner
+
+    latency = entry["latency"]
+    print(banner("Decision-service overload shedding"))
+    print(f"capacity {entry['capacity_per_second']:,.0f}/s "
+          f"({entry['threads_base']} threads) -> offered "
+          f"{entry['offered_per_second']:,.0f}/s "
+          f"({entry['threads_overload']} threads, "
+          f"{entry['overload_ratio']:.1f}x)")
+    print(f"p99 baseline {latency['p99_baseline_seconds'] * 1e3:.2f} ms, "
+          f"overload {latency['p99_overload_seconds'] * 1e3:.2f} ms "
+          f"(deadline {entry['deadline_seconds'] * 1e3:.0f} ms)")
+    print(f"shed: baseline={entry['shed_baseline']} "
+          f"overload={entry['shed_overload']} "
+          f"({entry['shed_rate_overload']:.1%} of overload requests)")
+
+
+def _assert_overload_gates(entry):
+    latency = entry["latency"]
+    assert entry["overload_ratio"] >= 2.0, (
+        f"overload phase offered only {entry['overload_ratio']:.1f}x "
+        f"sustained capacity; the bench needs >= 2x to say anything"
+    )
+    assert latency["p99_overload_seconds"] < entry["deadline_seconds"], (
+        f"p99 {latency['p99_overload_seconds'] * 1e3:.1f} ms at or above "
+        f"the {entry['deadline_seconds'] * 1e3:.0f} ms deadline under "
+        f"{entry['overload_ratio']:.1f}x load"
+    )
+    assert entry["shed_overload"] > 0, (
+        "overload phase shed nothing — the gate never engaged, so the "
+        "load was not actually past capacity"
+    )
+
+
 def test_service_throughput_and_tail_latency(benchmark):
     from conftest import banner, run_once
 
@@ -282,6 +453,17 @@ def test_sharded_batch_throughput(benchmark):
     _assert_shard_gates(entry)
 
 
+def test_overload_shedding(benchmark):
+    from conftest import run_once
+    from repro.cli import _append_perf_entry
+
+    entry = run_once(benchmark, run_overload_bench)
+    _print_overload_entry(entry)
+    _append_perf_entry(JOURNAL, entry)
+    print(f"appended run to {JOURNAL}")
+    _assert_overload_gates(entry)
+
+
 def main(argv=None):
     import argparse
 
@@ -300,7 +482,19 @@ def main(argv=None):
         "--out", default=None,
         help="perf journal to append this run to (e.g. BENCH_service.json)",
     )
+    parser.add_argument(
+        "--overload", action="store_true",
+        help="run the overload-shedding bench instead of the sharded one",
+    )
     args = parser.parse_args(argv)
+    if args.overload:
+        entry = run_overload_bench()
+        _print_overload_entry(entry)
+        if args.out:
+            _append_perf_entry(args.out, entry)
+            print(f"appended run to {args.out}")
+        _assert_overload_gates(entry)
+        return 0
     entry = run_shard_bench(
         shards=args.shards, seconds=args.seconds, batch=args.batch
     )

@@ -14,8 +14,12 @@ Subcommands:
 * ``soak`` — the chaos-soak harness: the same service under injected
   solver and observation faults, gated on its serving invariants; with
   ``--shards N`` the sharded fleet instead, where chaos SIGKILLs a
-  worker mid-run and the gate adds re-homing and restart;
-* ``table`` — build a memory-mapped decision table file or inspect one.
+  worker mid-run and the gate adds re-homing and restart; with
+  ``--rollout`` the double-fault rollout soak, where a poisoned table is
+  canaried while a baseline worker is SIGKILLed and the gate adds
+  automatic rollback, version convergence, and cell identity;
+* ``table`` — build a memory-mapped decision table file (versioned,
+  checksummed) or inspect one.
 
 ``compare`` and ``robustness`` accept the experiment-runner options
 ``--jobs N`` (supervised worker pool with crash containment),
@@ -224,6 +228,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kill-at", type=int, default=None,
                    help="with --shards: decision count at which a live "
                         "worker is SIGKILLed (default: half the run)")
+    p.add_argument("--rollout", action="store_true",
+                   help="with --shards >= 2: roll out a poisoned table "
+                        "mid-run (plus a baseline worker SIGKILL) and "
+                        "gate on automatic canary rollback")
+    p.add_argument("--rollout-at", type=int, default=None,
+                   help="decision count at which the rollout starts "
+                        "(default: a third of the run)")
+    p.add_argument("--rollout-report",
+                   help="write the rollout/rollback report JSON here")
     p.set_defaults(func=_cmd_serve, chaos=True)
 
     p = sub.add_parser(
@@ -239,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="client buffer capacity, seconds")
     tp.add_argument("--solver-backend", choices=["reference", "fast"],
                     default="fast")
+    tp.add_argument("--table-version", type=int, default=None,
+                    help="monotonic table version to stamp into the header "
+                         "(default: 1)")
     tp.set_defaults(func=_cmd_table_build)
     tp = tsub.add_parser("inspect", help="validate and summarise a table file")
     tp.add_argument("path", help=".sodatbl file to inspect")
@@ -456,6 +472,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ValueError("--intensity must be in [0, 1]")
     if args.shards < 0:
         raise ValueError("--shards must be non-negative")
+    if getattr(args, "rollout", False) and args.shards < 2:
+        raise ValueError("--rollout needs --shards >= 2 (canary + baseline)")
     cfg = SoakConfig(
         sessions=args.sessions,
         segments_per_session=args.segments,
@@ -472,6 +490,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         burst_at=getattr(args, "burst_at", 200),
         shards=args.shards,
         kill_at=getattr(args, "kill_at", None),
+        rollout=getattr(args, "rollout", False),
+        rollout_at=getattr(args, "rollout_at", None),
     )
     report = run_soak(cfg, progress=lambda line: print(f"  {line}"))
     mode = "soak" if args.chaos else "serve"
@@ -485,6 +505,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"restarts={fleet.worker_restarts} "
               f"rehomed={fleet.sessions_rehomed} "
               f"failovers={fleet.failovers}")
+        print(f"fleet: table_versions={fleet.table_versions} "
+              f"per-shard restarts="
+              f"{[s.get('restarts', 0) for s in fleet.per_shard]} "
+              f"retries granted={fleet.retries_granted} "
+              f"denied={fleet.retries_denied}")
+        if report.rollout_report is not None:
+            roll = report.rollout_report
+            outcome = "committed" if roll.committed else (
+                "rolled back" if roll.rolled_back else "aborted"
+            )
+            print(f"rollout: v{roll.previous_version} -> "
+                  f"v{roll.target_version} {outcome} ({roll.reason})")
         rollup = fleet.rollup
         print(f"rollup: tiers solver={rollup.get('tier0_decisions', 0):.0f} "
               f"table={rollup.get('tier1_decisions', 0):.0f} "
@@ -522,6 +554,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f.write(health_json)
             f.write("\n")
         print(f"wrote {args.health_json}")
+    rollout_report_path = getattr(args, "rollout_report", None)
+    if rollout_report_path:
+        if report.rollout_report is None:
+            print(f"repro: warning: no rollout ran; skipping "
+                  f"{rollout_report_path}", file=sys.stderr)
+        else:
+            with open(rollout_report_path, "w", encoding="utf-8") as f:
+                f.write(report.rollout_report.to_json())
+                f.write("\n")
+            print(f"wrote {rollout_report_path}")
     if args.out:
         _append_perf_entry(args.out, {
             "mode": mode,
@@ -546,7 +588,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _append_perf_entry(path: str, entry: dict) -> None:
-    """Append one run entry to a ``{"runs": [...]}`` perf-trajectory file."""
+    """Append one run entry to a ``{"runs": [...]}`` perf-trajectory file.
+
+    The journal is long-lived and hand-edited in practice, so a
+    malformed prior file (or malformed entries inside it) must not cost
+    the run that just finished: bad content is skipped with a stderr
+    warning and the fresh entry is still appended.
+    """
     import json
     import time as _time
 
@@ -558,11 +606,27 @@ def _append_perf_entry(path: str, entry: dict) -> None:
     try:
         with open(path, "r", encoding="utf-8") as f:
             existing = json.load(f)
-        runs = list(existing.get("runs", []))
     except FileNotFoundError:
-        pass
+        existing = {"runs": []}
     except (OSError, ValueError) as exc:
-        raise ValueError(f"--out file {path} is not a perf journal: {exc}")
+        print(f"repro: warning: --out file {path} is not a perf journal "
+              f"({exc}); starting a fresh one", file=sys.stderr)
+        existing = {"runs": []}
+    prior = existing.get("runs", []) if isinstance(existing, dict) else None
+    if prior is None:
+        print(f"repro: warning: --out file {path} has no 'runs' list; "
+              f"starting a fresh one", file=sys.stderr)
+        prior = []
+    elif not isinstance(prior, list):
+        print(f"repro: warning: --out file {path} 'runs' is not a list; "
+              f"starting a fresh one", file=sys.stderr)
+        prior = []
+    for i, run in enumerate(prior):
+        if isinstance(run, dict):
+            runs.append(run)
+        else:
+            print(f"repro: warning: skipping malformed entry {i} in "
+                  f"{path} ({type(run).__name__})", file=sys.stderr)
     runs.append(entry)
     with open(path, "w", encoding="utf-8") as f:
         json.dump({"runs": runs}, f, indent=2, sort_keys=True)
@@ -583,9 +647,9 @@ def _cmd_table_build(args: argparse.Namespace) -> int:
         throughput_points=args.table_points,
         buffer_points=args.table_points,
     )
-    table.save_mmap(args.out)
+    table.save_mmap(args.out, version=args.table_version)
     shape = table.shape
-    print(f"wrote {args.out}: {shape[0]}x{shape[1]} grid, "
+    print(f"wrote {args.out}: v{table.version}, {shape[0]}x{shape[1]} grid, "
           f"{shape[2]} prev slots, built in {table.stats.build_seconds:.2f}s")
     return 0
 
@@ -594,8 +658,11 @@ def _cmd_table_inspect(args: argparse.Namespace) -> int:
     from .core.lookup import DecisionTable
 
     table = DecisionTable.load_mmap(args.path)
+    header, _, _ = DecisionTable._read_header(args.path)
     shape = table.shape
     print(f"{args.path}: valid decision table")
+    print(f"  table version: {table.version}, "
+          f"crc32: {header.get('crc32', 0):#010x} (verified)")
     print(f"  grid: {shape[0]} throughput x {shape[1]} buffer points, "
           f"{shape[2]} prev slots, {table.ladder.levels} rungs")
     print(f"  throughput range: {table.tput_grid[0]:.2f}"

@@ -17,13 +17,16 @@ on-the-fly solve.
 from __future__ import annotations
 
 import dataclasses
+import glob
 import json
 import math
 import os
+import shutil
 import struct
 import time
+import zlib
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +35,7 @@ from .controller import SodaController
 from .fastpath import solve_brute_force_batch, solve_monotonic_batch
 from .objective import SodaConfig
 
-__all__ = ["DecisionTable", "TableFormatError"]
+__all__ = ["DecisionTable", "TableFormatError", "TablePublisher"]
 
 #: table cell meaning "defer / no download"
 _DEFER = -1
@@ -88,14 +91,19 @@ class DecisionTable:
         throughput_points: int = 48,
         buffer_points: int = 48,
         throughput_range: Optional[Sequence[float]] = None,
+        version: int = 1,
     ) -> None:
         if throughput_points < 2 or buffer_points < 2:
             raise ValueError("grids need at least two points per axis")
         if max_buffer <= 0:
             raise ValueError("max_buffer must be positive")
+        if version < 1:
+            raise ValueError("table version must be at least 1")
         self.ladder = ladder
         self.max_buffer = max_buffer
         self.config = config or SodaConfig()
+        #: monotonic publish version; rollouts compare these across shards
+        self.version = version
 
         if throughput_range is None:
             throughput_range = (
@@ -275,18 +283,43 @@ class DecisionTable:
         pick_lo = (values - grid[lo]) <= (grid[hi] - values)
         return np.where(pick_lo, lo, hi)
 
+    def probe_cells(self, seed: int, count: int) -> List[int]:
+        """A deterministic sample of raw cells for canary comparison.
+
+        The same ``(seed, count)`` against the same table shape always
+        reads the same cells, so two probes are comparable: a canary
+        shard on a candidate table versus a baseline shard on the live
+        one (defer-fraction delta), or the same shard before and after a
+        rollback (cell identity).  Values are raw — ``-1`` is defer.
+        """
+        if count <= 0:
+            return []
+        rng = np.random.default_rng(seed)
+        flat = rng.integers(0, self._table.size, size=count)
+        return [int(c) for c in self._table.reshape(-1)[flat]]
+
     # ------------------------------------------------------------------
-    def save_mmap(self, path: str) -> None:
+    def save_mmap(self, path: str, version: Optional[int] = None) -> None:
         """Publish the table as a single memory-mappable file.
 
         Layout: an 8-byte magic, a big-endian ``uint64`` header length, a
-        JSON header (ladder, grids, config, shape), then the raw ``int8``
-        decision array.  The write is atomic (temp file + rename) so a
-        crashed publisher never leaves a half-written table where workers
-        may find it.
+        JSON header (ladder, grids, config, shape, monotonic table
+        version, CRC-32 payload checksum), then the raw ``int8`` decision
+        array.  The write is atomic (temp file + rename) so a crashed
+        publisher never leaves a half-written table where workers may
+        find it.  ``version`` overrides (and updates) the table's own
+        publish version — :class:`TablePublisher` stamps the next
+        monotonic one here.
         """
+        if version is not None:
+            if version < 1:
+                raise ValueError("table version must be at least 1")
+            self.version = version
+        payload = np.ascontiguousarray(self._table, dtype=np.int8).tobytes()
         header = {
-            "version": 1,
+            "version": 2,
+            "table_version": self.version,
+            "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
             "ladder": {
                 "bitrates": list(self.ladder.bitrates),
                 "segment_duration": self.ladder.segment_duration,
@@ -306,22 +339,18 @@ class DecisionTable:
             f.write(_MMAP_MAGIC)
             f.write(struct.pack(">Q", len(blob)))
             f.write(blob)
-            f.write(np.ascontiguousarray(self._table, dtype=np.int8).tobytes())
+            f.write(payload)
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
 
-    @classmethod
-    def load_mmap(cls, path: str) -> "DecisionTable":
-        """Open a published table read-only with zero build cost.
-
-        The decision array is memory-mapped, so N worker processes opening
-        the same file share one copy of the pages.  Any structural problem
-        (bad magic, unparsable header, truncated array, out-of-range
-        cells) raises :class:`TableFormatError` with a one-line message.
+    @staticmethod
+    def _read_header(path: str) -> Tuple[dict, int, int]:
+        """Parse the file header; returns ``(header, offset, file_size)``.
 
         Raises:
-            TableFormatError: the file is not a usable decision table.
+            TableFormatError: bad magic, unreadable file, or a header
+                that does not parse.
         """
         try:
             size = os.path.getsize(path)
@@ -346,6 +375,37 @@ class DecisionTable:
             raise TableFormatError(
                 f"{path}: cannot read decision table ({exc})"
             ) from None
+        return header, len(_MMAP_MAGIC) + 8 + hlen, size
+
+    @classmethod
+    def peek_version(cls, path: str) -> int:
+        """The published table version of a file, without mapping it.
+
+        Raises:
+            TableFormatError: the file is not a decision table.
+        """
+        header, _offset, _size = cls._read_header(path)
+        try:
+            return int(header.get("table_version", 1))
+        except (TypeError, ValueError):
+            raise TableFormatError(
+                f"{path}: corrupt decision-table version"
+            ) from None
+
+    @classmethod
+    def load_mmap(cls, path: str) -> "DecisionTable":
+        """Open a published table read-only with zero build cost.
+
+        The decision array is memory-mapped, so N worker processes opening
+        the same file share one copy of the pages.  Any structural problem
+        (bad magic, unparsable header, truncated array, out-of-range
+        cells, a payload that fails its CRC-32 checksum) raises
+        :class:`TableFormatError` with a one-line message.
+
+        Raises:
+            TableFormatError: the file is not a usable decision table.
+        """
+        header, offset, size = cls._read_header(path)
 
         try:
             shape = tuple(int(x) for x in header["shape"])
@@ -360,12 +420,12 @@ class DecisionTable:
             tput_grid = np.asarray(header["tput_grid"], dtype=float)
             buffer_grid = np.asarray(header["buffer_grid"], dtype=float)
             max_buffer = float(header["max_buffer"])
+            version = int(header.get("table_version", 1))
         except (KeyError, TypeError, ValueError) as exc:
             raise TableFormatError(
                 f"{path}: corrupt decision-table header ({exc})"
             ) from None
 
-        offset = len(_MMAP_MAGIC) + 8 + hlen
         cells = int(np.prod(shape))
         if len(shape) != 3 or cells <= 0:
             raise TableFormatError(
@@ -388,6 +448,15 @@ class DecisionTable:
         table = np.memmap(
             path, dtype=np.int8, mode="r", offset=offset, shape=shape
         )
+        expected_crc = header.get("crc32")
+        if expected_crc is not None:
+            actual = zlib.crc32(table.tobytes()) & 0xFFFFFFFF
+            if actual != int(expected_crc):
+                raise TableFormatError(
+                    f"{path}: decision-table payload checksum mismatch "
+                    f"(expected {int(expected_crc):#010x}, "
+                    f"found {actual:#010x})"
+                )
         if int(table.min()) < _DEFER or int(table.max()) >= ladder.levels:
             raise TableFormatError(
                 f"{path}: decision table holds out-of-range cells"
@@ -397,6 +466,7 @@ class DecisionTable:
         self.ladder = ladder
         self.max_buffer = max_buffer
         self.config = config
+        self.version = version
         self._tput_grid = tput_grid
         self._buffer_grid = buffer_grid
         self._table = table
@@ -430,7 +500,96 @@ class DecisionTable:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<DecisionTable {self._table.shape} "
+            f"<DecisionTable v{self.version} {self._table.shape} "
             f"{self.stats.memory_bytes / 1024:.0f} KiB "
             f"built in {self.stats.build_seconds:.2f}s>"
         )
+
+
+class TablePublisher:
+    """Publishes versioned decision-table files beside the live one.
+
+    The *live* file is whatever the serving fleet currently memory-maps.
+    :meth:`publish` never touches it: each new table lands at
+    ``<live>.v<N>`` (atomic temp-file + rename via
+    :meth:`DecisionTable.save_mmap`) under the next monotonic version, so
+    a rollout can canary the new file on one shard and roll back by
+    simply pointing workers at the old path again.  :meth:`promote`
+    atomically replaces the live file once a rollout completes, so worker
+    restarts pick up the new version.
+
+    Args:
+        live_path: the table file the fleet serves from; it does not
+            need to exist yet (publishing beside a missing live file
+            starts at version 1).
+    """
+
+    def __init__(self, live_path: str) -> None:
+        if not live_path:
+            raise ValueError("live_path must be a non-empty path")
+        self.live_path = live_path
+
+    # ------------------------------------------------------------------
+    def live_version(self) -> int:
+        """Version of the live file; ``0`` when there is none."""
+        try:
+            return DecisionTable.peek_version(self.live_path)
+        except TableFormatError:
+            return 0
+
+    def published(self) -> Dict[int, str]:
+        """Map of published version → path among ``<live>.v*`` siblings.
+
+        Files that are not parseable decision tables are skipped — a
+        crashed publisher's leftovers never wedge the next rollout.
+        """
+        versions: Dict[int, str] = {}
+        for path in glob.glob(glob.escape(self.live_path) + ".v*"):
+            suffix = path[len(self.live_path) + 2:]
+            if not suffix.isdigit():
+                continue
+            try:
+                versions[DecisionTable.peek_version(path)] = path
+            except TableFormatError:
+                continue
+        return versions
+
+    def next_version(self) -> int:
+        """The next monotonic version across the live file and siblings."""
+        return max([self.live_version(), *self.published().keys()], default=0) + 1
+
+    # ------------------------------------------------------------------
+    def publish(self, table: DecisionTable) -> Tuple[str, int]:
+        """Write ``table`` beside the live file under the next version.
+
+        Returns ``(path, version)``.  The write is atomic and the live
+        file is untouched — nothing serves the new table until a rollout
+        swaps workers onto the returned path.
+        """
+        version = self.next_version()
+        path = f"{self.live_path}.v{version}"
+        table.save_mmap(path, version=version)
+        return path, version
+
+    def promote(self, path: str) -> None:
+        """Atomically make a published file the live one.
+
+        Uses a hard link + rename (same-directory, so never cross-device)
+        with a copy fallback; workers already mapping the old inode keep
+        their pages, while every future open — worker restarts included —
+        sees the promoted version.
+        """
+        DecisionTable.peek_version(path)  # refuse to promote a non-table
+        tmp = f"{self.live_path}.promote.{os.getpid()}"
+        try:
+            os.link(path, tmp)
+        except OSError:
+            shutil.copy2(path, tmp)
+        os.replace(tmp, self.live_path)
+
+    def unpublish(self, path: str) -> None:
+        """Best-effort removal of a published (e.g. rolled-back) file."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -16,7 +16,13 @@ variant with a mid-run worker SIGKILL) proves those properties under
 injected faults.
 """
 
-from .admission import AdmissionGate, SessionEntry, SessionTable
+from .admission import (
+    AdaptiveGate,
+    AdmissionGate,
+    RetryBudget,
+    SessionEntry,
+    SessionTable,
+)
 from .breaker import BreakerOpenError, BreakerState, CircuitBreaker
 from .degrade import (
     TIER_RULE,
@@ -29,12 +35,19 @@ from .degrade import (
 )
 from .health import HealthSnapshot, LatencyRing, build_snapshot
 from .service import Decision, DecisionService, SessionState
-from .shard import FleetHealth, ShardDecision, ShardedDecisionService
+from .shard import (
+    FleetHealth,
+    RolloutReport,
+    ShardDecision,
+    ShardedDecisionService,
+)
 from .soak import ChaosSolver, SoakConfig, SoakReport, run_soak
 from .supervisor import RestartPolicy, Supervisor
 
 __all__ = [
+    "AdaptiveGate",
     "AdmissionGate",
+    "RetryBudget",
     "SessionEntry",
     "SessionTable",
     "BreakerOpenError",
@@ -54,6 +67,7 @@ __all__ = [
     "DecisionService",
     "SessionState",
     "FleetHealth",
+    "RolloutReport",
     "ShardDecision",
     "ShardedDecisionService",
     "RestartPolicy",

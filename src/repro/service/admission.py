@@ -1,19 +1,27 @@
 """Admission control: bounded concurrency and bounded session memory.
 
-Two resources of a long-lived decision service must be capped or heavy
+Three resources of a long-lived decision service must be capped or heavy
 traffic will eventually exhaust them:
 
 * **in-flight decisions** — :class:`AdmissionGate` hands out a fixed
   number of slots; a request that finds none is *shed*, which means it is
   answered by the tier-2 floor rule (load shedding degrades quality, it
-  never errors);
+  never errors).  :class:`AdaptiveGate` replaces the fixed limit with an
+  AIMD controller driven by measured tail latency against the decision
+  deadline, and sheds *new arrivals* before established sessions — a new
+  viewer can safely start on the BBA floor, while yanking the solver away
+  from a mid-stream session costs visible quality switches;
 * **resident sessions** — :class:`SessionTable` keeps per-session solver
   state in an LRU-ordered map with a hard capacity; creating a session
   beyond the cap evicts the least-recently-used *idle* session (one with
   no decision in flight), so memory stays bounded no matter how many
-  distinct viewers show up.
+  distinct viewers show up;
+* **retries** — :class:`RetryBudget` caps re-route attempts to a small
+  fraction of recent traffic (plus a burst floor), so a dead shard turns
+  into a trickle of re-homes instead of a retry storm that doubles the
+  load on the survivors.
 
-Both are plain ``threading`` primitives — the service runs decisions on a
+All are plain ``threading`` primitives — the service runs decisions on a
 thread pool, and every operation here is O(1) amortized.
 """
 
@@ -21,9 +29,15 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Iterator, Optional, Tuple, TypeVar
+from typing import Callable, Iterator, List, Optional, Tuple, TypeVar
 
-__all__ = ["AdmissionGate", "SessionEntry", "SessionTable"]
+__all__ = [
+    "AdaptiveGate",
+    "AdmissionGate",
+    "RetryBudget",
+    "SessionEntry",
+    "SessionTable",
+]
 
 T = TypeVar("T")
 
@@ -45,13 +59,27 @@ class AdmissionGate:
         self._lock = threading.Lock()
         self._in_flight = 0
         self.shed = 0
+        self.shed_new = 0
         self.max_in_flight_seen = 0
 
-    def try_acquire(self) -> bool:
-        """Claim a slot without blocking; ``False`` means shed the request."""
+    def _limit_for(self, established: bool) -> int:
+        """The in-flight bound applied to this request's priority class."""
+        return self.max_in_flight
+
+    def try_acquire(self, established: bool = True) -> bool:
+        """Claim a slot without blocking; ``False`` means shed the request.
+
+        Args:
+            established: the request belongs to a session the service
+                already holds state for.  New arrivals (``False``) are
+                held to a tighter bound under pressure — they can start
+                on the tier-2 floor without a visible quality switch.
+        """
         with self._lock:
-            if self._in_flight >= self.max_in_flight:
+            if self._in_flight >= self._limit_for(established):
                 self.shed += 1
+                if not established:
+                    self.shed_new += 1
                 return False
             self._in_flight += 1
             if self._in_flight > self.max_in_flight_seen:
@@ -65,10 +93,210 @@ class AdmissionGate:
                 raise RuntimeError("release without a matching acquire")
             self._in_flight -= 1
 
+    def observe(self, latency: float) -> None:
+        """Feed one served-decision latency back (no-op for the fixed gate)."""
+
+    @property
+    def limit(self) -> int:
+        """The current in-flight bound for established sessions."""
+        return self.max_in_flight
+
+    def snapshot(self) -> dict:
+        """Counters for the health surface."""
+        with self._lock:
+            return {
+                "limit": self.max_in_flight,
+                "in_flight": self._in_flight,
+                "shed": self.shed,
+                "shed_new": self.shed_new,
+            }
+
     @property
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight
+
+
+class AdaptiveGate(AdmissionGate):
+    """An AIMD concurrency controller over the admission gate.
+
+    The fixed ``max_in_flight`` becomes a *ceiling*; the effective limit
+    moves inside ``[min_in_flight, max_in_flight]`` driven by the tail of
+    measured decision latencies against the deadline the degradation
+    ladder is defending:
+
+    * every ``window`` served decisions, the window's p99 is compared to
+      the deadline: at or above ``high_ratio * deadline`` the limit is cut
+      **multiplicatively** (fast back-off under queueing collapse), while
+      below ``low_ratio * deadline`` it grows **additively** (slow
+      recovery, the classic AIMD asymmetry);
+    * new arrivals are held to ``new_headroom`` of the current limit, so
+      sustained overload sheds sessions that have not started yet before
+      it touches sessions mid-stream.
+
+    Args:
+        max_in_flight: the concurrency ceiling (the old fixed limit).
+        deadline: per-decision budget the p99 is compared against.
+        min_in_flight: the floor the multiplicative decrease stops at.
+        window: served decisions per AIMD adjustment round.
+        increase: additive step per healthy window.
+        decrease: multiplicative factor per unhealthy window, in (0, 1).
+        high_ratio: fraction of the deadline the window p99 must reach to
+            count as unhealthy.
+        low_ratio: fraction of the deadline the window p99 must stay
+            under to count as healthy (between the two, the limit holds).
+        new_headroom: fraction of the current limit available to
+            not-yet-established sessions.
+
+    Raises:
+        ValueError: on inconsistent bounds or ratios.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        deadline: float,
+        min_in_flight: int = 1,
+        window: int = 64,
+        increase: float = 1.0,
+        decrease: float = 0.5,
+        high_ratio: float = 1.0,
+        low_ratio: float = 0.5,
+        new_headroom: float = 0.75,
+    ) -> None:
+        super().__init__(max_in_flight)
+        if not 1 <= min_in_flight <= max_in_flight:
+            raise ValueError("need 1 <= min_in_flight <= max_in_flight")
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if increase <= 0 or not 0 < decrease < 1:
+            raise ValueError("need increase > 0 and 0 < decrease < 1")
+        if not 0 < low_ratio <= high_ratio:
+            raise ValueError("need 0 < low_ratio <= high_ratio")
+        if not 0 < new_headroom <= 1:
+            raise ValueError("need 0 < new_headroom <= 1")
+        self.deadline = deadline
+        self.min_in_flight = min_in_flight
+        self.window = window
+        self.increase = increase
+        self.decrease = decrease
+        self.high_ratio = high_ratio
+        self.low_ratio = low_ratio
+        self.new_headroom = new_headroom
+        self._level = float(max_in_flight)
+        self._latencies: List[float] = []
+        self.limit_increases = 0
+        self.limit_decreases = 0
+        self.min_limit_seen = max_in_flight
+
+    def _limit_for(self, established: bool) -> int:
+        limit = max(self.min_in_flight, int(self._level))
+        if established:
+            return limit
+        return max(self.min_in_flight, int(self._level * self.new_headroom))
+
+    @property
+    def limit(self) -> int:
+        with self._lock:
+            return max(self.min_in_flight, int(self._level))
+
+    def observe(self, latency: float) -> None:
+        """Feed one served-decision latency into the AIMD controller."""
+        with self._lock:
+            self._latencies.append(latency)
+            if len(self._latencies) < self.window:
+                return
+            samples = sorted(self._latencies)
+            self._latencies.clear()
+            p99 = samples[min(len(samples) - 1, int(0.99 * len(samples)))]
+            if p99 >= self.high_ratio * self.deadline:
+                self._level = max(
+                    float(self.min_in_flight), self._level * self.decrease
+                )
+                self.limit_decreases += 1
+            elif p99 < self.low_ratio * self.deadline:
+                if self._level < self.max_in_flight:
+                    self._level = min(
+                        float(self.max_in_flight),
+                        self._level + self.increase,
+                    )
+                    self.limit_increases += 1
+            limit = max(self.min_in_flight, int(self._level))
+            if limit < self.min_limit_seen:
+                self.min_limit_seen = limit
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "limit": max(self.min_in_flight, int(self._level)),
+                "ceiling": self.max_in_flight,
+                "in_flight": self._in_flight,
+                "shed": self.shed,
+                "shed_new": self.shed_new,
+                "limit_increases": self.limit_increases,
+                "limit_decreases": self.limit_decreases,
+                "min_limit_seen": self.min_limit_seen,
+            }
+
+
+class RetryBudget:
+    """A token bucket bounding retries to a fraction of real traffic.
+
+    Every first-attempt request deposits ``ratio`` of a token; every
+    retry withdraws a whole one.  The bucket is capped at ``burst`` (and
+    starts full), so isolated failures retry instantly while a dead shard
+    under sustained load can add at most ``ratio`` extra traffic — the
+    difference between a re-home trickle and a retry storm.
+
+    Args:
+        ratio: long-run retries allowed per request, e.g. ``0.1``.
+        burst: token cap (and initial balance).
+
+    Raises:
+        ValueError: on a non-positive ratio or burst.
+    """
+
+    def __init__(self, ratio: float = 0.1, burst: float = 10.0) -> None:
+        if ratio <= 0 or burst < 1:
+            raise ValueError("need ratio > 0 and burst >= 1")
+        self.ratio = ratio
+        self.burst = burst
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self.retries_granted = 0
+        self.retries_denied = 0
+
+    def record_request(self, count: int = 1) -> None:
+        """Deposit for ``count`` first-attempt requests."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._tokens = min(self.burst, self._tokens + self.ratio * count)
+
+    def try_retry(self) -> bool:
+        """Withdraw one retry token; ``False`` means give up now."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.retries_granted += 1
+                return True
+            self.retries_denied += 1
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tokens": self._tokens,
+                "retries_granted": self.retries_granted,
+                "retries_denied": self.retries_denied,
+            }
 
 
 class SessionEntry:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .breaker import CircuitBreaker
@@ -123,6 +123,12 @@ class HealthSnapshot:
             as a top-level counter so a fleet rollup can sum shards
             without digging into ``stats``.
         sheds: requests refused an in-flight slot, likewise top-level.
+        table_version: version of the live tier-1 decision table
+            (``0`` when tier 1 is disabled) — during a rollout a mixed
+            fleet is observable through this field.
+        admission: the admission gate's counter snapshot (current limit,
+            in-flight, sheds by class; the adaptive gate adds its AIMD
+            trajectory counters).
     """
 
     live: bool
@@ -137,6 +143,8 @@ class HealthSnapshot:
     deadline: float
     evictions: int = 0
     sheds: int = 0
+    table_version: int = 0
+    admission: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """A plain-dict view (stats flattened) suitable for JSON."""
@@ -156,6 +164,8 @@ def build_snapshot(
     ring: LatencyRing,
     deadline: float,
     max_shed_rate: float = 0.5,
+    table_version: int = 0,
+    admission: Optional[Dict[str, float]] = None,
 ) -> HealthSnapshot:
     """Assemble a :class:`HealthSnapshot` from the live components.
 
@@ -180,4 +190,6 @@ def build_snapshot(
         deadline=deadline,
         evictions=stats.sessions_evicted,
         sheds=stats.shed,
+        table_version=table_version,
+        admission=dict(admission) if admission else {},
     )

@@ -39,7 +39,7 @@ from ..core.lookup import DecisionTable
 from ..core.objective import SodaConfig
 from ..prediction.base import ThroughputSample
 from ..sim.video import BitrateLadder
-from .admission import AdmissionGate, SessionTable
+from .admission import AdaptiveGate, AdmissionGate, SessionTable
 from .breaker import CircuitBreaker
 from .degrade import (
     TIER_RULE,
@@ -124,6 +124,13 @@ class DecisionService:
         tier1_budget: minimum remaining budget for the table lookup.
         breaker: pre-built circuit breaker; a default one (5 consecutive
             failures, 1 s cooldown) is created when omitted.
+        gate: pre-built admission gate; by default an
+            :class:`~repro.service.admission.AdaptiveGate` whose AIMD
+            limit starts at ``max_in_flight`` (so clean load behaves
+            exactly like the fixed gate) and backs off when the measured
+            p99 approaches the deadline.  Pass a plain
+            :class:`~repro.service.admission.AdmissionGate` to pin the
+            limit.
         tier0_factory: ``(session_id, controller) -> tier0`` hook that
             builds the per-session solver callable.  The default calls
             ``controller.select_quality``; the chaos-soak harness swaps
@@ -149,6 +156,7 @@ class DecisionService:
         tier0_budget: Optional[float] = None,
         tier1_budget: Optional[float] = None,
         breaker: Optional[CircuitBreaker] = None,
+        gate: Optional[AdmissionGate] = None,
         tier0_factory: Optional[
             Callable[[str, SodaController], Tier0]
         ] = None,
@@ -188,7 +196,7 @@ class DecisionService:
             clock=self.clock,
         )
 
-        self.gate = AdmissionGate(max_in_flight)
+        self.gate = gate or AdaptiveGate(max_in_flight, deadline)
         self.sessions = SessionTable(max_sessions)
         self.counters = StatsCounters()
         self.latencies = LatencyRing()
@@ -237,7 +245,7 @@ class DecisionService:
         if sanitized:
             self.counters.bump("sanitized_observations")
 
-        if not self.gate.try_acquire():
+        if not self.gate.try_acquire(established=session_id in self.sessions):
             tier = TierDecision(
                 quality=self.degradation.floor_quality(clean), tier=TIER_RULE
             )
@@ -344,6 +352,7 @@ class DecisionService:
                 decisions[solved:] = tail
         finally:
             self.gate.release()
+        self.gate.observe(self.clock() - started)
         return decisions  # type: ignore[return-value]
 
     def _decide_vectorized(
@@ -502,7 +511,9 @@ class DecisionService:
                 )
         finally:
             self.gate.release()
-        self.latencies.record_many(self.clock() - started, n)
+        latency = self.clock() - started
+        self.latencies.record_many(latency, n)
+        self.gate.observe(latency)
         return rungs, tiers, deferred
 
     def _columns_vectorized(
@@ -612,6 +623,8 @@ class DecisionService:
         self.counters.record_tier(tier)
         self.counters.set_sessions(len(self.sessions))
         self.latencies.record(latency)
+        if not shed:
+            self.gate.observe(latency)
         return Decision(
             session_id=session_id,
             quality=tier.quality,
@@ -623,6 +636,28 @@ class DecisionService:
             sanitized=sanitized,
             latency=latency,
         )
+
+    # ------------------------------------------------------------------
+    @property
+    def table_version(self) -> int:
+        """The live decision table's version (``0`` with tier 1 disabled)."""
+        return self.table.version if self.table is not None else 0
+
+    def set_table(self, table: Optional[DecisionTable]) -> int:
+        """Swap the tier-1 decision table in place; returns its version.
+
+        The table and its lookup closure are the only shared state the
+        degradation ladder reads, and rebinding two attributes is atomic
+        enough under the GIL: a request in flight keeps using whichever
+        table object it already resolved, then the next request sees the
+        new one — there is no partially-swapped state.  ``None`` disables
+        tier 1 (the ladder jumps from the solver to the floor rule).
+        """
+        self.table = table
+        self.degradation.tier1 = (
+            table.lookup_observation if table is not None else None
+        )
+        return self.table_version
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
@@ -638,5 +673,10 @@ class DecisionService:
     def health(self) -> HealthSnapshot:
         """Liveness/readiness/latency snapshot for pollers and artifacts."""
         return build_snapshot(
-            self.stats(), self.breaker, self.latencies, self.deadline
+            self.stats(),
+            self.breaker,
+            self.latencies,
+            self.deadline,
+            table_version=self.table_version,
+            admission=self.gate.snapshot(),
         )

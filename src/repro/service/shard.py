@@ -49,11 +49,12 @@ import numpy as np
 from ..abr.base import PlayerObservation
 from ..abr.bba import BbaController
 from ..abr.resilient import validate_rung
-from ..core.lookup import DecisionTable
+from ..core.lookup import DecisionTable, TablePublisher
 from ..core.objective import SodaConfig
 from ..prediction.base import ThroughputSample
 from ..runner.executor import spawn_worker
 from ..sim.video import BitrateLadder
+from .admission import RetryBudget
 from .degrade import TIER_RULE
 from .health import LatencyRing
 from .service import Decision, DecisionService
@@ -61,6 +62,7 @@ from .supervisor import RestartPolicy, Supervisor
 
 __all__ = [
     "FleetHealth",
+    "RolloutReport",
     "ShardDecision",
     "ShardedDecisionService",
     "WorkerSpec",
@@ -219,6 +221,30 @@ def _worker_main(conn, spec: WorkerSpec, slot: int, generation: int) -> None:
                 ))
             elif tag == "health":
                 conn.send(("health", service.health().to_dict()))
+            elif tag == "table":
+                # Swap the tier-1 table in place: map the new file, then
+                # rebind — the worker keeps serving throughout.  A bad
+                # file is answered as an error and the old table stays.
+                _, path = msg
+                try:
+                    new_table = (
+                        DecisionTable.load_mmap(path)
+                        if path is not None
+                        else None
+                    )
+                    conn.send(("ok", service.set_table(new_table)))
+                except Exception as exc:
+                    conn.send(("error", f"table swap failed: {exc}"))
+            elif tag == "tableprobe":
+                _, seed, count = msg
+                current = service.table
+                if current is None:
+                    conn.send(("ok", (0, [])))
+                else:
+                    conn.send((
+                        "ok",
+                        (current.version, current.probe_cells(seed, count)),
+                    ))
             elif tag == "ping":
                 conn.send(("pong", slot, generation))
             elif tag == "stop":
@@ -253,7 +279,14 @@ class FleetHealth:
         rollup: per-shard counter snapshots summed across live shards
             (``decisions``, ``evictions``, ``sheds``, tier counts, ...).
         per_shard: each shard's own health dict (``{"live": False}`` for
-            a dead slot).
+            a dead slot); each entry carries its slot's ``restarts``
+            count and, when live, the ``table_version`` it serves.
+        table_versions: per-slot decision-table version (``-1`` for a
+            dead or unreachable slot) — a mixed fleet mid-rollout is
+            observable here.
+        retries_granted: re-route attempts the retry budget allowed.
+        retries_denied: re-route attempts the retry budget refused
+            (the request fell to the front-end floor instead).
     """
 
     shards: int
@@ -271,12 +304,91 @@ class FleetHealth:
     deadline: float
     rollup: Dict[str, float]
     per_shard: List[dict]
+    table_versions: List[int] = dataclasses.field(default_factory=list)
+    retries_granted: int = 0
+    retries_denied: int = 0
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class RolloutReport:
+    """The outcome of one :meth:`ShardedDecisionService.rollout`.
+
+    Attributes:
+        target_version: version of the candidate table.
+        previous_version: version the fleet served before the rollout.
+        committed: the candidate was promoted fleet-wide.
+        rolled_back: the rollout was reverted (``reason`` says why).
+        reason: human-readable verdict ("committed" on success).
+        canary_shard: the slot that served the canary.
+        waves: shard indices swapped per wave (the canary is wave 0).
+        stages: the state machine's visited stages, in order.
+        probe_seed / probe_count: the deterministic cell-probe identity,
+            so an operator can reproduce the comparison.
+        baseline_defer_fraction: defer fraction of the probe against the
+            live table before the canary swap.
+        canary_defer_fraction: defer fraction of the same probe against
+            the candidate on the canary (``-1`` if never measured).
+        final_versions: per-slot table version after the rollout settled
+            (``-1`` for a dead slot).
+    """
+
+    target_version: int
+    previous_version: int
+    committed: bool
+    rolled_back: bool
+    reason: str
+    canary_shard: int
+    waves: List[List[int]]
+    stages: List[str]
+    probe_seed: int
+    probe_count: int
+    baseline_defer_fraction: float
+    canary_defer_fraction: float
+    final_versions: List[int]
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _defer_fraction(cells: Sequence[int]) -> float:
+    """Fraction of probed cells that are defer (``-1``) — the canary
+    comparison's floor-rate proxy (an all-defer table probes as 1.0)."""
+    if not cells:
+        return -1.0
+    return sum(1 for c in cells if c < 0) / len(cells)
+
+
+def _stat_window(
+    before: Optional[dict], after: Optional[dict]
+) -> Optional[Dict[str, float]]:
+    """Windowed per-shard rates between two health snapshots; ``None``
+    when the shard was dead at either end or served nothing between."""
+    if not before or not after:
+        return None
+    if not before.get("live") or not after.get("live"):
+        return None
+    b, a = before.get("stats", {}), after.get("stats", {})
+    decisions = a.get("decisions", 0) - b.get("decisions", 0)
+    if decisions <= 0:
+        return None
+    return {
+        "decisions": float(decisions),
+        "floor_rate": (
+            a.get("tier2_decisions", 0) - b.get("tier2_decisions", 0)
+        ) / decisions,
+        "error_rate": (
+            a.get("solver_errors", 0) - b.get("solver_errors", 0)
+        ) / decisions,
+    }
 
 
 def _roll_up(per_shard: Sequence[dict]) -> Dict[str, float]:
@@ -320,6 +432,10 @@ class ShardedDecisionService:
             waits for a worker's answer before declaring it wedged.
         heartbeat_interval / restart_policy: supervision tuning.
         max_rehomes: bound on the sticky re-home map (oldest evicted).
+        retry_ratio / retry_burst: the re-route retry budget — long-run
+            retries per request and the burst floor (see
+            :class:`~repro.service.admission.RetryBudget`); a dead shard
+            re-homes as a bounded trickle, never a retry storm.
 
     Raises:
         ValueError: on a non-positive shard count.
@@ -344,6 +460,8 @@ class ShardedDecisionService:
         heartbeat_interval: float = 0.1,
         restart_policy: Optional[RestartPolicy] = None,
         max_rehomes: int = 4096,
+        retry_ratio: float = 0.1,
+        retry_burst: float = 10.0,
         clock=None,
     ) -> None:
         if shards < 1:
@@ -404,6 +522,8 @@ class ShardedDecisionService:
         self._rehomes: "OrderedDict[str, int]" = OrderedDict()
         self._rehomed_total = 0
         self._max_rehomes = max_rehomes
+        self.retry_budget = RetryBudget(ratio=retry_ratio, burst=retry_burst)
+        self._rollout_lock = threading.Lock()
         self._closing = False
         self._closed = False
         self._final_health: Optional[FleetHealth] = None
@@ -500,12 +620,16 @@ class ShardedDecisionService:
         started = self.clock()
         rehomed = False
         if not self._closing:
+            self.retry_budget.record_request()
             payload = ("decide", session_id, encode_observation(obs), started)
             # Two routing attempts: a request that catches a shard dying
             # is re-routed once — by then the slot is marked dead, so the
             # second _route re-homes onto a survivor immediately instead
-            # of burning the request on the floor.
-            for _attempt in range(2):
+            # of burning the request on the floor.  The second attempt
+            # spends a retry token: when a dead shard pushes the retry
+            # rate past the budget, the overflow falls to the floor
+            # instead of doubling the load on the survivors.
+            for attempt in range(2):
                 slot_index, rehomed = self._route(session_id)
                 if slot_index is None:
                     break
@@ -514,6 +638,8 @@ class ShardedDecisionService:
                     return self._from_wire(
                         session_id, data, slot_index, rehomed, started
                     )
+                if attempt == 0 and not self.retry_budget.try_retry():
+                    break
         return self._failover(session_id, obs, started, rehomed)
 
     def _request(
@@ -759,6 +885,324 @@ class ShardedDecisionService:
         self.latencies.record_many(latency, count)
 
     # ------------------------------------------------------------------
+    # live table rollout
+    # ------------------------------------------------------------------
+    def table_probe(
+        self, slot_index: int, seed: int, count: int
+    ) -> Optional[Tuple[int, List[int]]]:
+        """One shard's ``(table_version, probed cells)``; ``None`` when
+        the shard is dead or unreachable.
+
+        The probe is deterministic (see
+        :meth:`~repro.core.lookup.DecisionTable.probe_cells`), so the
+        same ``(seed, count)`` against two shards — or the same shard at
+        two times — compares cell-for-cell.
+        """
+        slot = self.supervisor.slots[slot_index]
+        with slot.lock:
+            if not self.supervisor.is_alive(slot_index):
+                return None
+            try:
+                slot.conn.send(("tableprobe", seed, count))
+                if not slot.conn.poll(2.0):
+                    raise TimeoutError("table probe timed out")
+                tag, payload = slot.conn.recv()
+            except Exception:
+                self.supervisor.report_failure(slot_index)
+                return None
+        if tag != "ok":
+            return None
+        version, cells = payload
+        return int(version), list(cells)
+
+    def shard_table_versions(self) -> List[int]:
+        """Per-slot table version right now (``-1`` for a dead slot)."""
+        versions = []
+        for i in range(self.shards):
+            probe = self.table_probe(i, 0, 0)
+            versions.append(probe[0] if probe is not None else -1)
+        return versions
+
+    def _swap_table(self, slot_index: int, path: str) -> Optional[int]:
+        """Tell one worker to remap its table; returns the version it
+        now serves, or ``None`` on failure (worker reported dead)."""
+        slot = self.supervisor.slots[slot_index]
+        with slot.lock:
+            if not self.supervisor.is_alive(slot_index):
+                return None
+            try:
+                slot.conn.send(("table", path))
+                if not slot.conn.poll(2.0):
+                    raise TimeoutError("table swap timed out")
+                tag, payload = slot.conn.recv()
+            except Exception:
+                self.supervisor.report_failure(slot_index)
+                return None
+        if tag != "ok":
+            return None
+        return int(payload)
+
+    def rollout(
+        self,
+        table: DecisionTable,
+        probation: float = 0.5,
+        wave_size: int = 1,
+        probe_seed: int = 17,
+        probe_count: int = 128,
+        floor_rate_margin: float = 0.2,
+        error_rate_margin: float = 0.05,
+        p99_factor: float = 4.0,
+        monitor=None,
+    ) -> RolloutReport:
+        """Canary a new decision table onto the fleet, or roll it back.
+
+        The state machine: *publish* the candidate beside the live file
+        (next monotonic version), swap it onto one *canary* shard via the
+        ``table`` control message (no process restart), hold a
+        *probation* window under live traffic, then either *advance*
+        wave-by-wave and *commit* (promote the candidate over the live
+        path and converge every shard onto it) or *rollback* (re-swap
+        every touched shard onto the live path, which still holds the old
+        bytes, and unpublish the candidate).  Workers that die and
+        restart mid-rollout reload ``spec.table_path`` — the live path —
+        so both terminal states are naturally convergent; a final
+        convergence pass re-swaps any straggler.
+
+        The canary verdict combines a deterministic table probe (defer
+        fraction of the same sampled cells, candidate vs live — the
+        poisoned-table detector) with windowed floor-rate /
+        solver-error-rate deltas against the baseline shards and a p99
+        comparison against the deadline.
+
+        Args:
+            table: the candidate (its version is assigned here).
+            probation: seconds of live traffic the canary must survive.
+            wave_size: shards swapped per wave after the canary clears.
+            probe_seed / probe_count: deterministic cell-probe identity.
+            floor_rate_margin: max allowed canary-minus-baseline rise in
+                probe defer fraction or windowed floor rate.
+            error_rate_margin: max allowed windowed solver-error-rate
+                rise.
+            p99_factor: canary p99 must stay under
+                ``p99_factor × baseline p99`` once it breaches the
+                deadline.
+            monitor: optional ``(stage, info) -> None`` callback fired at
+                every stage transition (the chaos soak keys its fault
+                injection off this).
+
+        Raises:
+            RuntimeError: when tier 1 is disabled (no live table file)
+                or the service is draining.
+        """
+        if self.table_path is None:
+            raise RuntimeError("rollout requires tier-1 serving (a table)")
+        if self._closing:
+            raise RuntimeError("cannot roll out a table while draining")
+        with self._rollout_lock:
+            return self._rollout_locked(
+                table, probation, wave_size, probe_seed, probe_count,
+                floor_rate_margin, error_rate_margin, p99_factor,
+                monitor or (lambda stage, info: None),
+            )
+
+    def _rollout_locked(
+        self, table, probation, wave_size, probe_seed, probe_count,
+        floor_rate_margin, error_rate_margin, p99_factor, notify,
+    ) -> RolloutReport:
+        publisher = TablePublisher(self.table_path)
+        previous_version = publisher.live_version()
+        path, version = publisher.publish(table)
+        stages: List[str] = []
+        waves: List[List[int]] = []
+        swapped: List[int] = []
+        base_frac = -1.0
+        canary_frac = -1.0
+
+        def stage(name: str, **info) -> None:
+            stages.append(name)
+            notify(name, dict(info, version=version, path=path))
+
+        def report(committed: bool, rolled_back: bool, reason: str,
+                   canary: int) -> RolloutReport:
+            return RolloutReport(
+                target_version=version,
+                previous_version=previous_version,
+                committed=committed,
+                rolled_back=rolled_back,
+                reason=reason,
+                canary_shard=canary,
+                waves=waves,
+                stages=stages,
+                probe_seed=probe_seed,
+                probe_count=probe_count,
+                baseline_defer_fraction=base_frac,
+                canary_defer_fraction=canary_frac,
+                final_versions=self.shard_table_versions(),
+            )
+
+        stage("publish")
+        live = self.supervisor.live_indices()
+        if not live:
+            publisher.unpublish(path)
+            stage("abort")
+            return report(False, False, "no live shards", -1)
+        canary = live[0]
+        baseline_shards = live[1:]
+
+        # Baselines before anything changes: the live table's probe
+        # (against the canary itself, still on the old version) and each
+        # shard's counter snapshot to window the probation deltas.
+        base_probe = self.table_probe(canary, probe_seed, probe_count)
+        base_frac = _defer_fraction(base_probe[1]) if base_probe else -1.0
+        base_stats = {i: self._shard_snapshot(i) for i in live}
+
+        if self._swap_table(canary, path) != version:
+            self._revert(swapped, publisher, path, previous_version)
+            stage("rollback", reason="canary swap failed")
+            return report(False, True, "canary swap failed", canary)
+        swapped.append(canary)
+        waves.append([canary])
+        stage("canary", shard=canary)
+
+        stage("probation", shard=canary, seconds=probation)
+        deadline = self.clock() + probation
+        while self.clock() < deadline and not self._closing:
+            time.sleep(min(0.02, probation))
+
+        verdict, canary_frac = self._judge_canary(
+            canary, baseline_shards, version, base_frac, base_stats,
+            probe_seed, probe_count, floor_rate_margin, error_rate_margin,
+            p99_factor,
+        )
+        if verdict is not None:
+            self._revert(swapped, publisher, path, previous_version)
+            stage("rollback", reason=verdict)
+            return report(False, True, verdict, canary)
+
+        # Advance wave-by-wave over whatever is live now (a shard that
+        # died during probation restarts on the old table; the commit
+        # convergence pass picks it up).
+        remaining = [
+            i for i in self.supervisor.live_indices() if i not in swapped
+        ]
+        step = max(1, wave_size)
+        for start in range(0, len(remaining), step):
+            wave = remaining[start:start + step]
+            for i in wave:
+                if self._swap_table(i, path) == version:
+                    swapped.append(i)
+            waves.append(wave)
+            stage("advance", shards=wave)
+            for i in wave:
+                probe = self.table_probe(i, probe_seed, probe_count)
+                if probe is None or probe[0] != version:
+                    continue  # died or restarted: convergence handles it
+                frac = _defer_fraction(probe[1])
+                if base_frac >= 0 and frac - base_frac > floor_rate_margin:
+                    why = (
+                        f"wave shard {i} floor-rate spike: probe defer "
+                        f"fraction {frac:.2f} vs baseline {base_frac:.2f}"
+                    )
+                    self._revert(swapped, publisher, path, previous_version)
+                    stage("rollback", reason=why)
+                    return report(False, True, why, canary)
+
+        # Commit: the candidate becomes the live file, every shard is
+        # converged onto the live path (also catching workers that
+        # restarted mid-rollout), and the side file is retired.
+        publisher.promote(path)
+        for i in self.supervisor.live_indices():
+            self._swap_table(i, self.table_path)
+        publisher.unpublish(path)
+        stage("commit")
+        return report(True, False, "committed", canary)
+
+    def _judge_canary(
+        self, canary, baseline_shards, version, base_frac, base_stats,
+        probe_seed, probe_count, floor_rate_margin, error_rate_margin,
+        p99_factor,
+    ) -> Tuple[Optional[str], float]:
+        """The probation verdict: ``(reason-to-rollback or None,
+        canary probe defer fraction)``."""
+        probe = self.table_probe(canary, probe_seed, probe_count)
+        if probe is None:
+            return "canary unreachable at end of probation", -1.0
+        canary_version, cells = probe
+        if canary_version != version:
+            return (
+                f"canary restarted off the candidate (serving "
+                f"v{canary_version})",
+                -1.0,
+            )
+        frac = _defer_fraction(cells)
+        if base_frac >= 0 and frac - base_frac > floor_rate_margin:
+            return (
+                f"canary floor-rate spike: probe defer fraction "
+                f"{frac:.2f} vs baseline {base_frac:.2f}",
+                frac,
+            )
+
+        after = {
+            i: self._shard_snapshot(i) for i in [canary] + baseline_shards
+        }
+        canary_window = _stat_window(base_stats.get(canary), after[canary])
+        baseline_windows = [
+            w for i in baseline_shards
+            if (w := _stat_window(base_stats.get(i), after[i])) is not None
+        ]
+        if canary_window is not None and baseline_windows:
+            base_floor = sum(
+                w["floor_rate"] for w in baseline_windows
+            ) / len(baseline_windows)
+            base_error = sum(
+                w["error_rate"] for w in baseline_windows
+            ) / len(baseline_windows)
+            if canary_window["floor_rate"] - base_floor > floor_rate_margin:
+                return (
+                    f"canary floor rate {canary_window['floor_rate']:.2f} "
+                    f"vs baseline {base_floor:.2f}",
+                    frac,
+                )
+            if canary_window["error_rate"] - base_error > error_rate_margin:
+                return (
+                    f"canary solver-error rate "
+                    f"{canary_window['error_rate']:.2f} vs baseline "
+                    f"{base_error:.2f}",
+                    frac,
+                )
+        canary_p99 = after[canary].get("latency", {}).get("p99", 0.0)
+        base_p99 = max(
+            (
+                after[i].get("latency", {}).get("p99", 0.0)
+                for i in baseline_shards if after[i].get("live")
+            ),
+            default=0.0,
+        )
+        if canary_p99 > self.deadline and (
+            base_p99 <= 0 or canary_p99 > p99_factor * base_p99
+        ):
+            return (
+                f"canary p99 {canary_p99 * 1e3:.2f} ms breaches the "
+                f"deadline ({self.deadline * 1e3:.2f} ms)",
+                frac,
+            )
+        return None, frac
+
+    def _revert(
+        self, swapped: List[int], publisher: TablePublisher, path: str,
+        previous_version: int,
+    ) -> None:
+        """Roll every touched shard back onto the live (old) table and
+        retire the candidate file; stragglers are converged by version."""
+        for i in dict.fromkeys(swapped):
+            self._swap_table(i, self.table_path)
+        for i in self.supervisor.live_indices():
+            probe = self.table_probe(i, 0, 0)
+            if probe is not None and probe[0] != previous_version:
+                self._swap_table(i, self.table_path)
+        publisher.unpublish(path)
+
+    # ------------------------------------------------------------------
     # health and lifecycle
     # ------------------------------------------------------------------
     def worker_pids(self) -> List[Optional[int]]:
@@ -770,11 +1214,13 @@ class ShardedDecisionService:
     def _shard_snapshot(self, slot_index: int) -> dict:
         """One shard's health dict over the pipe (dead → ``live: False``)."""
         slot = self.supervisor.slots[slot_index]
+        restarts = max(0, slot.generation - 1)
+        dead = {"live": False, "shard": slot_index, "restarts": restarts}
         if not self.supervisor.is_alive(slot_index):
-            return {"live": False, "shard": slot_index}
+            return dead
         with slot.lock:
             if not self.supervisor.is_alive(slot_index):
-                return {"live": False, "shard": slot_index}
+                return dead
             try:
                 slot.conn.send(("health",))
                 if not slot.conn.poll(1.0):
@@ -782,8 +1228,9 @@ class ShardedDecisionService:
                 _tag, payload = slot.conn.recv()
             except Exception:
                 self.supervisor.report_failure(slot_index)
-                return {"live": False, "shard": slot_index}
+                return dead
         payload["shard"] = slot_index
+        payload["restarts"] = restarts
         return payload
 
     def health(self) -> FleetHealth:
@@ -794,6 +1241,7 @@ class ShardedDecisionService:
     def _build_health(self, per_shard: List[dict]) -> FleetHealth:
         live = sum(1 for s in per_shard if s.get("live"))
         counters = self.supervisor.counters()
+        retry = self.retry_budget.snapshot()
         with self._counter_lock:
             decisions = self._decisions
             failovers = self._failovers
@@ -813,6 +1261,12 @@ class ShardedDecisionService:
             deadline=self.deadline,
             rollup=_roll_up(per_shard),
             per_shard=per_shard,
+            table_versions=[
+                int(s.get("table_version", -1)) if s.get("live") else -1
+                for s in per_shard
+            ],
+            retries_granted=retry["retries_granted"],
+            retries_denied=retry["retries_denied"],
         )
 
     # ------------------------------------------------------------------
@@ -843,6 +1297,7 @@ class ShardedDecisionService:
                             snapshot = payload
                     except Exception:
                         pass
+            snapshot["restarts"] = max(0, slot.generation - 1)
             per_shard.append(snapshot)
         self.supervisor.kill_all()
         health = self._build_health(per_shard)
@@ -853,6 +1308,9 @@ class ShardedDecisionService:
 
     def _cleanup_table(self) -> None:
         if self._owns_table and self.table_path is not None:
+            publisher = TablePublisher(self.table_path)
+            for published_path in publisher.published().values():
+                publisher.unpublish(published_path)
             try:
                 os.unlink(self.table_path)
             except OSError:

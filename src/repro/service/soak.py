@@ -36,13 +36,14 @@ from typing import Callable, List, Optional
 
 from ..abr.base import PlayerObservation
 from ..core.controller import SodaController
+from ..core.lookup import DecisionTable
 from ..faults.plan import FaultPlan
 from ..prediction.base import ThroughputSample
 from ..sim.video import BitrateLadder
 from .degrade import TIER_SOLVER
 from .health import HealthSnapshot
 from .service import DecisionService, Tier0
-from .shard import FleetHealth, ShardedDecisionService
+from .shard import FleetHealth, RolloutReport, ShardedDecisionService
 
 __all__ = ["ChaosSolver", "SoakConfig", "SoakReport", "run_soak"]
 
@@ -162,6 +163,16 @@ class SoakConfig:
             faults for process faults: a worker is SIGKILLed mid-run.
         kill_at: front-end decision count at which the sharded soak
             kills a live worker; defaults to half the expected total.
+        rollout: run the *rollout* chaos soak instead (needs
+            ``shards >= 2``): mid-run a poisoned table (format-valid,
+            every cell defer) is rolled out while a baseline worker is
+            SIGKILLed during the canary's probation; the canary
+            floor-rate spike must trigger automatic rollback, the fleet
+            must converge back to the old version, and post-rollback
+            table cells must be identical to pre-rollout.
+        rollout_at: front-end decision count at which the rollout
+            starts; defaults to a third of the expected total.
+        rollout_probation: canary probation window, seconds.
     """
 
     sessions: int = 200
@@ -184,6 +195,9 @@ class SoakConfig:
     breaker_cooldown: float = 0.3
     shards: int = 0
     kill_at: Optional[int] = None
+    rollout: bool = False
+    rollout_at: Optional[int] = None
+    rollout_probation: float = 0.4
 
 
 @dataclass
@@ -199,6 +213,7 @@ class SoakReport:
             soaks; ``None`` for sharded runs).
         fleet: the final fleet health (sharded soaks; ``None`` for
             single-process runs).
+        rollout_report: the rollout's outcome (rollout soaks only).
     """
 
     config: SoakConfig
@@ -207,6 +222,7 @@ class SoakReport:
     violations: List[str] = field(default_factory=list)
     snapshot: Optional[HealthSnapshot] = None
     fleet: Optional[FleetHealth] = None
+    rollout_report: Optional[RolloutReport] = None
 
     @property
     def passed(self) -> bool:
@@ -341,6 +357,10 @@ def run_soak(
         ladder = youtube_4k_ladder()
     say = progress or (lambda line: None)
 
+    if cfg.rollout:
+        if cfg.shards < 2:
+            raise ValueError("the rollout soak needs shards >= 2")
+        return _run_rollout_soak(cfg, ladder, max_buffer, say)
     if cfg.shards > 0:
         return _run_shard_soak(cfg, ladder, max_buffer, say)
 
@@ -671,4 +691,232 @@ def _run_shard_soak(
         elapsed=elapsed,
         violations=violations,
         fleet=fleet,
+    )
+
+
+# ----------------------------------------------------------------------
+def _run_rollout_soak(
+    cfg: SoakConfig,
+    ladder: BitrateLadder,
+    max_buffer: float,
+    say: Callable[[str], None],
+) -> SoakReport:
+    """Soak a fleet through a poisoned rollout plus a worker SIGKILL.
+
+    The double fault the tentpole defends against: mid-run a *poisoned*
+    decision table — format-valid, but every cell defer, so it passes
+    every load-time check while being wrong everywhere — is rolled onto
+    the canary shard, and while the canary sits in probation a *baseline*
+    worker is SIGKILLed.  The run passes when
+
+    * the canary's floor-rate spike (probe defer fraction against the
+      live-table baseline) triggers automatic rollback,
+    * the fleet converges back onto the old table version — including
+      the killed worker, whose restart reloads the live (old) file,
+    * every request was answered in range and inside the budget across
+      both faults, and
+    * the post-rollback table cells are identical to the pre-rollout
+      probe on every surviving shard.
+    """
+    say(
+        f"building {cfg.shards}-shard fleet (table "
+        f"{cfg.table_points}x{cfg.table_points}, deadline "
+        f"{cfg.deadline * 1e3:.0f} ms) ..."
+    )
+    service = ShardedDecisionService(
+        ladder,
+        max_buffer,
+        shards=cfg.shards,
+        deadline=cfg.deadline,
+        max_in_flight=max(cfg.max_in_flight, 8),
+        max_sessions=cfg.max_sessions,
+        table_points=cfg.table_points,
+        heartbeat_interval=0.05,
+    )
+    latency_slack = SCHEDULING_SLACK + 2.0 * (
+        cfg.deadline + service.request_slack
+    )
+
+    probe_seed, probe_count = 17, 128
+    pre_probes = {
+        i: service.table_probe(i, probe_seed, probe_count)
+        for i in service.live_shards()
+    }
+
+    queue = list(range(cfg.sessions))
+    queue_lock = threading.Lock()
+    violations: List[str] = []
+    violations_lock = threading.Lock()
+    expected_total = cfg.sessions * cfg.segments_per_session
+    rollout_at = (
+        cfg.rollout_at if cfg.rollout_at is not None else expected_total // 3
+    )
+
+    canary_holder: List[int] = []
+    probation_seen = threading.Event()
+    killed: List[int] = []
+    rollout_result: List[RolloutReport] = []
+
+    def monitor(stage: str, info: dict) -> None:
+        if stage == "canary":
+            canary_holder.append(info["shard"])
+        elif stage == "probation":
+            probation_seen.set()
+
+    def roller() -> None:
+        """Publish the poisoned table once enough traffic has flowed."""
+        while service.decisions < rollout_at:
+            if service.decisions >= expected_total:
+                return
+            time.sleep(0.002)
+        say("chaos: rolling out a poisoned table (every cell defer) ...")
+        poison = DecisionTable(
+            ladder,
+            max_buffer,
+            throughput_points=cfg.table_points,
+            buffer_points=cfg.table_points,
+        )
+        poison._table[:] = -1  # in-range per the format, wrong everywhere
+        report = service.rollout(
+            poison,
+            probation=cfg.rollout_probation,
+            probe_seed=probe_seed,
+            probe_count=probe_count,
+            monitor=monitor,
+        )
+        rollout_result.append(report)
+        say(
+            f"rollout settled: committed={report.committed} "
+            f"rolled_back={report.rolled_back} ({report.reason})"
+        )
+
+    def killer() -> None:
+        """SIGKILL one *baseline* worker while the canary is probing."""
+        if not probation_seen.wait(timeout=30.0):
+            return
+        canary = canary_holder[0] if canary_holder else -1
+        live = [i for i in service.live_shards() if i != canary]
+        if not live:
+            return
+        slot = live[0]
+        pid = service.worker_pids()[slot]
+        if pid is None:
+            return
+        say(f"chaos: SIGKILL baseline shard {slot} worker (pid {pid}) ...")
+        os.kill(pid, signal.SIGKILL)
+        killed.append(slot)
+
+    say(
+        f"driving {cfg.sessions} sessions x {cfg.segments_per_session} "
+        f"segments on {cfg.threads} threads ..."
+    )
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(
+            target=_session_worker,
+            args=(
+                service, cfg, queue, queue_lock, violations, violations_lock,
+            ),
+            kwargs={"latency_slack": latency_slack},
+            name=f"soak-worker-{i}",
+            daemon=True,
+        )
+        for i in range(cfg.threads)
+    ]
+    roller_thread = threading.Thread(target=roller, name="soak-roller",
+                                     daemon=True)
+    killer_thread = threading.Thread(target=killer, name="soak-killer",
+                                     daemon=True)
+    for worker in workers:
+        worker.start()
+    roller_thread.start()
+    killer_thread.start()
+    for worker in workers:
+        worker.join()
+    roller_thread.join(timeout=30.0)
+    killer_thread.join(timeout=5.0)
+
+    report = rollout_result[0] if rollout_result else None
+
+    # ---- rollout invariants ------------------------------------------
+    if report is None:
+        violations.append(
+            f"rollout never ran (rollout_at={rollout_at}, traffic ended "
+            f"at {service.decisions})"
+        )
+    else:
+        if report.committed:
+            violations.append("poisoned table was committed fleet-wide")
+        if not report.rolled_back:
+            violations.append(
+                f"poisoned canary did not trigger rollback ({report.reason})"
+            )
+        if "floor-rate" not in report.reason:
+            violations.append(
+                f"rollback was not triggered by the canary floor-rate "
+                f"spike: {report.reason}"
+            )
+    if not killed:
+        violations.append("chaos never killed a baseline worker")
+
+    if killed:
+        slot = killed[0]
+        say(f"waiting for shard {slot} to restart ...")
+        wait_until = time.perf_counter() + 10.0
+        while (
+            slot not in service.live_shards()
+            and time.perf_counter() < wait_until
+        ):
+            time.sleep(0.05)
+        if slot not in service.live_shards():
+            violations.append(
+                f"killed shard {slot} was not restarted within 10 s"
+            )
+
+    if report is not None:
+        versions = service.shard_table_versions()
+        stray = [
+            (i, v) for i, v in enumerate(versions)
+            if v != report.previous_version
+        ]
+        if stray:
+            violations.append(
+                f"fleet did not converge to v{report.previous_version} "
+                f"after rollback: {stray}"
+            )
+        for i, pre in pre_probes.items():
+            if pre is None:
+                continue
+            post = service.table_probe(i, probe_seed, probe_count)
+            if post is None:
+                violations.append(
+                    f"shard {i} unreachable for the post-rollback probe"
+                )
+            elif post[1] != pre[1]:
+                violations.append(
+                    f"shard {i} post-rollback cells differ from "
+                    f"pre-rollout (probe seed {probe_seed})"
+                )
+    elapsed = time.perf_counter() - started
+
+    # ---- fleet invariants --------------------------------------------
+    if service.decisions != expected_total:
+        violations.append(
+            f"answered {service.decisions} decisions, expected "
+            f"{expected_total}"
+        )
+    fleet_counters = service.supervisor.counters()
+    if killed and fleet_counters["worker_deaths"] < 1:
+        violations.append("worker SIGKILL was never observed as a death")
+    if killed and fleet_counters["worker_restarts"] < 1:
+        violations.append("supervisor never restarted a worker")
+
+    fleet = service.close()
+    return SoakReport(
+        config=cfg,
+        decisions=service.decisions,
+        elapsed=elapsed,
+        violations=violations,
+        fleet=fleet,
+        rollout_report=report,
     )

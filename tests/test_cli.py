@@ -160,15 +160,34 @@ class TestCommands:
         assert len(runs) == 2
         assert all(run["mode"] == "serve" for run in runs)
 
-    def test_out_rejects_non_journal_file(self, capsys, tmp_path):
+    def test_out_tolerates_non_journal_file(self, capsys, tmp_path):
+        # A malformed journal must not cost the run that just finished:
+        # warn, start a fresh one, and still record the new entry.
         perf = tmp_path / "bench.json"
         perf.write_text("this is not json\n")
         assert main(["serve", "--sessions", "4", "--segments", "3",
                      "--threads", "2", "--table-points", "0",
-                     "--out", str(perf)]) == 2
-        err = capsys.readouterr().err
-        assert "repro: error:" in err
-        assert "not a perf journal" in err
+                     "--out", str(perf)]) == 0
+        captured = capsys.readouterr()
+        assert "not a perf journal" in captured.err
+        runs = json.loads(perf.read_text())["runs"]
+        assert len(runs) == 1
+        assert runs[0]["mode"] == "serve"
+
+    def test_out_skips_malformed_entries_keeps_good_ones(
+        self, capsys, tmp_path
+    ):
+        perf = tmp_path / "bench.json"
+        perf.write_text(json.dumps(
+            {"runs": [{"mode": "old", "ok": True}, "garbage", 7]}
+        ))
+        assert main(["serve", "--sessions", "4", "--segments", "3",
+                     "--threads", "2", "--table-points", "0",
+                     "--out", str(perf)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping malformed entry" in captured.err
+        runs = json.loads(perf.read_text())["runs"]
+        assert [run.get("mode") for run in runs] == ["old", "serve"]
 
 
 class TestTableCommand:
@@ -182,6 +201,16 @@ class TestTableCommand:
         out = capsys.readouterr().out
         assert "valid decision table" in out
         assert "6 throughput x 6 buffer points" in out
+        assert "table version: 1" in out
+        assert "crc32" in out
+
+    def test_build_stamps_requested_version(self, capsys, tmp_path):
+        path = tmp_path / "table.sodatbl"
+        assert main(["table", "build", str(path), "--table-points", "6",
+                     "--table-version", "7"]) == 0
+        assert "v7" in capsys.readouterr().out
+        assert main(["table", "inspect", str(path)]) == 0
+        assert "table version: 7" in capsys.readouterr().out
 
     def test_inspect_missing_file_exits_2(self, capsys):
         assert main(["table", "inspect", "/no/such/table.sodatbl"]) == 2

@@ -11,11 +11,12 @@ serving garbage rungs.
 
 import json
 import struct
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.core.lookup import DecisionTable, TableFormatError
+from repro.core.lookup import DecisionTable, TableFormatError, TablePublisher
 from repro.core.objective import SodaConfig
 from repro.sim.video import BitrateLadder
 
@@ -130,8 +131,132 @@ class TestCorruption:
         )
         self._assert_rejects(table_path, "does not match")
 
-    def test_out_of_range_cells(self, table_path):
+    def test_payload_checksum_mismatch(self, table_path):
+        blob = bytearray(table_path.read_bytes())
+        blob[-1] ^= 0x01  # one flipped bit in the decision array
+        table_path.write_bytes(bytes(blob))
+        self._assert_rejects(table_path, "checksum mismatch")
+
+    def test_out_of_range_cells_pass_checksum(self, table_path):
+        # Re-stamp the checksum after the damage: the range check must
+        # catch a table whose bytes are intact but semantically invalid.
         blob = bytearray(table_path.read_bytes())
         blob[-1] = LADDER.levels + 3  # a rung the ladder does not have
-        table_path.write_bytes(bytes(blob))
+        (hlen,) = struct.unpack(">Q", blob[8:16])
+        header = json.loads(blob[16:16 + hlen])
+        header["crc32"] = zlib.crc32(bytes(blob[16 + hlen:])) & 0xFFFFFFFF
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        table_path.write_bytes(
+            bytes(blob[:8]) + struct.pack(">Q", len(new_header))
+            + new_header + bytes(blob[16 + hlen:])
+        )
         self._assert_rejects(table_path, "out-of-range")
+
+
+@pytest.fixture()
+def fresh(table):
+    """A function-scoped copy: ``save_mmap(version=...)`` stamps the
+    instance, and the module-scoped table must stay pristine."""
+    import copy
+
+    return copy.copy(table)
+
+
+class TestVersioning:
+    def test_default_version_is_one(self, table, table_path):
+        assert DecisionTable.load_mmap(str(table_path)).version == 1
+        assert DecisionTable.peek_version(str(table_path)) == 1
+
+    def test_save_stamps_requested_version(self, fresh, tmp_path):
+        path = tmp_path / "v9.sodatbl"
+        fresh.save_mmap(str(path), version=9)
+        assert DecisionTable.peek_version(str(path)) == 9
+        assert DecisionTable.load_mmap(str(path)).version == 9
+
+    def test_save_rejects_non_positive_version(self, fresh, tmp_path):
+        with pytest.raises(ValueError):
+            fresh.save_mmap(str(tmp_path / "bad.sodatbl"), version=0)
+
+    def test_peek_rejects_non_table(self, tmp_path):
+        junk = tmp_path / "junk.sodatbl"
+        junk.write_bytes(b"definitely not a table")
+        with pytest.raises(TableFormatError):
+            DecisionTable.peek_version(str(junk))
+
+    def test_probe_cells_deterministic_and_in_table(self, table,
+                                                    table_path):
+        loaded = DecisionTable.load_mmap(str(table_path))
+        cells = loaded.probe_cells(seed=17, count=64)
+        assert cells == loaded.probe_cells(seed=17, count=64)
+        assert cells == table.probe_cells(seed=17, count=64)
+        assert len(cells) == 64
+        assert all(-1 <= c < LADDER.levels for c in cells)
+        assert loaded.probe_cells(seed=17, count=0) == []
+
+    def test_probe_cells_see_payload_differences(self, table, tmp_path):
+        import copy
+
+        other = copy.copy(table)
+        other._table = np.full_like(np.asarray(table._table), -1)
+        assert other.probe_cells(17, 64) != table.probe_cells(17, 64)
+
+
+class TestPublisher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TablePublisher("")
+
+    def test_missing_live_file_starts_at_version_one(self, fresh,
+                                                     tmp_path):
+        publisher = TablePublisher(str(tmp_path / "live.sodatbl"))
+        assert publisher.live_version() == 0
+        path, version = publisher.publish(fresh)
+        assert version == 1
+        assert path.endswith(".v1")
+        assert DecisionTable.peek_version(path) == 1
+
+    def test_publish_is_monotonic_and_leaves_live_alone(self, fresh,
+                                                        table_path):
+        publisher = TablePublisher(str(table_path))
+        before = table_path.read_bytes()
+        path2, v2 = publisher.publish(fresh)
+        path3, v3 = publisher.publish(fresh)
+        assert (v2, v3) == (2, 3)
+        assert publisher.published() == {2: path2, 3: path3}
+        assert table_path.read_bytes() == before
+        assert publisher.live_version() == 1
+
+    def test_promote_swaps_live_and_survives_restarted_readers(
+        self, fresh, table_path
+    ):
+        publisher = TablePublisher(str(table_path))
+        old = DecisionTable.load_mmap(str(table_path))  # maps old inode
+        path, version = publisher.publish(fresh)
+        publisher.promote(path)
+        assert DecisionTable.peek_version(str(table_path)) == version
+        # The already-open mapping keeps serving the old pages.
+        assert old.version == 1
+        assert int(old._table[0, 0, 0]) == int(fresh._table[0, 0, 0])
+
+    def test_promote_refuses_non_table(self, table_path, tmp_path):
+        junk = tmp_path / "junk"
+        junk.write_bytes(b"nope")
+        with pytest.raises(TableFormatError):
+            TablePublisher(str(table_path)).promote(str(junk))
+
+    def test_unpublish_removes_and_tolerates_missing(self, fresh,
+                                                     table_path):
+        publisher = TablePublisher(str(table_path))
+        path, _ = publisher.publish(fresh)
+        publisher.unpublish(path)
+        assert publisher.published() == {}
+        publisher.unpublish(path)  # second removal is a no-op
+
+    def test_published_skips_leftover_garbage(self, fresh, table_path):
+        publisher = TablePublisher(str(table_path))
+        path, version = publisher.publish(fresh)
+        garbage = str(table_path) + ".v99"
+        with open(garbage, "wb") as f:
+            f.write(b"crashed publisher leftovers")
+        assert publisher.published() == {version: path}
+        assert publisher.next_version() == version + 1

@@ -570,3 +570,171 @@ class TestSoak:
         assert stats.sanitized_observations == 0
         assert stats.tier0_decisions > 0.9 * stats.decisions
         assert report.snapshot.breaker_state == "closed"
+
+
+# ----------------------------------------------------------------------
+class TestAdaptiveGate:
+    def make(self, **kw):
+        from repro.service import AdaptiveGate
+
+        kw.setdefault("max_in_flight", 8)
+        kw.setdefault("deadline", 0.1)
+        kw.setdefault("window", 4)
+        return AdaptiveGate(**kw)
+
+    def test_validation(self):
+        from repro.service import AdaptiveGate
+
+        with pytest.raises(ValueError):
+            AdaptiveGate(4, deadline=0.1, min_in_flight=5)
+        with pytest.raises(ValueError):
+            AdaptiveGate(4, deadline=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveGate(4, deadline=0.1, decrease=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveGate(4, deadline=0.1, new_headroom=0.0)
+
+    def test_limit_starts_at_the_ceiling(self):
+        gate = self.make()
+        assert gate.limit == 8
+        # Clean load behaves exactly like the fixed gate.
+        assert all(gate.try_acquire() for _ in range(8))
+        assert not gate.try_acquire()
+        assert gate.shed == 1
+
+    def test_slow_windows_cut_the_limit_multiplicatively(self):
+        gate = self.make()
+        for _ in range(4):
+            gate.observe(0.2)  # p99 well past the deadline
+        assert gate.limit == 4
+        for _ in range(4):
+            gate.observe(0.2)
+        assert gate.limit == 2
+        snapshot = gate.snapshot()
+        assert snapshot["limit_decreases"] == 2
+        assert snapshot["min_limit_seen"] == 2
+
+    def test_decrease_stops_at_the_floor(self):
+        gate = self.make(min_in_flight=2)
+        for _ in range(40):
+            gate.observe(0.2)
+        assert gate.limit == 2
+
+    def test_fast_windows_recover_additively(self):
+        gate = self.make()
+        for _ in range(8):
+            gate.observe(0.2)  # two bad windows: 8 -> 4 -> 2
+        assert gate.limit == 2
+        for _ in range(4):
+            gate.observe(0.001)  # one good window: +1
+        assert gate.limit == 3
+        assert gate.snapshot()["limit_increases"] == 1
+
+    def test_recovery_never_exceeds_the_ceiling(self):
+        gate = self.make()
+        for _ in range(100):
+            gate.observe(0.001)
+        assert gate.limit == 8
+        assert gate.snapshot()["limit_increases"] == 0
+
+    def test_mid_band_latencies_hold_the_limit(self):
+        gate = self.make()
+        for _ in range(8):
+            gate.observe(0.07)  # between low (0.05) and high (0.1)
+        snapshot = gate.snapshot()
+        assert gate.limit == 8
+        assert snapshot["limit_increases"] == 0
+        assert snapshot["limit_decreases"] == 0
+
+    def test_new_arrivals_get_less_headroom(self):
+        gate = self.make(max_in_flight=4, new_headroom=0.5)
+        assert gate.try_acquire(established=False)
+        assert gate.try_acquire(established=False)
+        # 0.5 * 4 = 2 slots for new arrivals; established still fit.
+        assert not gate.try_acquire(established=False)
+        assert gate.try_acquire(established=True)
+        snapshot = gate.snapshot()
+        assert snapshot["shed"] == 1
+        assert snapshot["shed_new"] == 1
+
+
+class TestRetryBudget:
+    def make(self, **kw):
+        from repro.service import RetryBudget
+
+        return RetryBudget(**kw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(ratio=0.0)
+        with pytest.raises(ValueError):
+            self.make(burst=0.5)
+
+    def test_starts_full_so_isolated_failures_retry(self):
+        budget = self.make(ratio=0.1, burst=2.0)
+        assert budget.try_retry()
+        assert budget.try_retry()
+        assert not budget.try_retry()
+        snapshot = budget.snapshot()
+        assert snapshot["retries_granted"] == 2
+        assert snapshot["retries_denied"] == 1
+
+    def test_requests_refill_at_the_ratio(self):
+        budget = self.make(ratio=0.1, burst=1.0)
+        assert budget.try_retry()
+        assert not budget.try_retry()
+        budget.record_request(count=9)
+        assert not budget.try_retry()  # 0.9 tokens: not enough
+        budget.record_request()
+        assert budget.try_retry()  # 1.0 tokens
+
+    def test_bucket_caps_at_burst(self):
+        budget = self.make(ratio=0.5, burst=2.0)
+        budget.record_request(count=1000)
+        assert budget.tokens == 2.0
+
+    def test_non_positive_deposits_ignored(self):
+        budget = self.make(ratio=0.1, burst=1.0)
+        before = budget.tokens
+        budget.record_request(count=0)
+        budget.record_request(count=-5)
+        assert budget.tokens == before
+
+
+# ----------------------------------------------------------------------
+class TestTableSwap:
+    def make_service(self, ladder, points=8):
+        return DecisionService(
+            ladder, 20.0, deadline=0.5, table_points=points
+        )
+
+    def test_set_table_swaps_tier1_in_place(self, ladder, tmp_path):
+        from repro.core.lookup import DecisionTable
+
+        service = self.make_service(ladder)
+        assert service.table_version == 1
+        path = tmp_path / "next.sodatbl"
+        service.table.save_mmap(str(path), version=4)
+        assert service.set_table(DecisionTable.load_mmap(str(path))) == 4
+        assert service.table_version == 4
+        decision = service.decide("s", make_obs(ladder))  # still serving
+        assert 0 <= decision.quality < ladder.levels
+
+    def test_set_table_none_disables_tier1(self, ladder):
+        service = self.make_service(ladder)
+        assert service.set_table(None) == 0
+        assert service.table_version == 0
+        assert service.degradation.tier1 is None
+        decision = service.decide("s", make_obs(ladder))
+        assert 0 <= decision.quality < ladder.levels
+
+    def test_health_surfaces_table_version_and_admission(self, ladder):
+        service = self.make_service(ladder)
+        service.decide("s", make_obs(ladder))
+        snapshot = service.health()
+        assert snapshot.table_version == 1
+        assert snapshot.admission["limit"] >= 1
+        assert "shed_new" in snapshot.admission
+        payload = json.loads(snapshot.to_json())
+        assert payload["table_version"] == 1
+        assert "admission" in payload

@@ -273,4 +273,184 @@ class TestFleetHealth:
         fleet.decide(session_homed_on(fleet, 0), make_obs())  # detect death
         health = fleet.health()
         assert health.live_shards == 1
-        assert health.per_shard[0] == {"live": False, "shard": 0}
+        assert health.per_shard[0] == {
+            "live": False, "shard": 0, "restarts": 0,
+        }
+        assert health.table_versions[0] == -1
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestRestartBackoff:
+    """The supervisor's bounded-backoff policy, driven deterministically."""
+
+    def make(self, clock):
+        from repro.service.supervisor import RestartPolicy, Supervisor
+
+        class FakeProc:
+            pid = 4242
+
+            def __init__(self):
+                self._alive = True
+
+            def is_alive(self):
+                return self._alive
+
+            def kill(self):
+                self._alive = False
+
+            def join(self, timeout=None):
+                pass
+
+        class FakeConn:
+            def close(self):
+                pass
+
+        def spawn(index, generation):
+            return FakeProc(), FakeConn()
+
+        return Supervisor(
+            1,
+            spawn,
+            policy=RestartPolicy(
+                base_delay=0.1, max_delay=2.0, min_uptime=1.0
+            ),
+            clock=clock,
+        )
+
+    def test_policy_validation(self):
+        from repro.service.supervisor import RestartPolicy
+
+        with pytest.raises(ValueError):
+            RestartPolicy(base_delay=0.0)
+        with pytest.raises(ValueError):
+            RestartPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_rapid_crash_loop_doubles_backoff_to_the_cap(self):
+        clock = FakeClock()
+        sup = self.make(clock)
+        slot = sup.slots[0]
+        sup._respawn(slot)
+        expected = [0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0]
+        for backoff in expected:
+            sup._mark_dead(slot, killed=False)  # instant death
+            assert slot.backoff == pytest.approx(backoff)
+            assert slot.next_restart_at == pytest.approx(clock() + backoff)
+            sup._respawn(slot)
+        assert sup.counters()["worker_deaths"] == len(expected)
+        assert sup.counters()["worker_restarts"] == len(expected)
+
+    def test_serving_past_min_uptime_restarts_at_base_delay(self):
+        clock = FakeClock()
+        sup = self.make(clock)
+        slot = sup.slots[0]
+        sup._respawn(slot)
+        for _ in range(4):  # build up a doubled backoff first
+            sup._mark_dead(slot, killed=False)
+            sup._respawn(slot)
+        assert slot.backoff == pytest.approx(0.8)
+        clock.advance(5.0)  # a healthy stretch past min_uptime
+        sup._mark_dead(slot, killed=False)
+        assert slot.backoff == pytest.approx(0.1)
+        assert slot.next_restart_at == pytest.approx(clock() + 0.1)
+
+    def test_death_exactly_at_min_uptime_counts_as_healthy(self):
+        clock = FakeClock()
+        sup = self.make(clock)
+        slot = sup.slots[0]
+        sup._respawn(slot)
+        sup._mark_dead(slot, killed=False)
+        sup._respawn(slot)
+        clock.advance(1.0)  # uptime == min_uptime
+        sup._mark_dead(slot, killed=False)
+        assert slot.backoff == pytest.approx(0.1)
+
+
+def build_table(points=10):
+    from repro.core.lookup import DecisionTable
+    from repro.core.objective import SodaConfig
+
+    return DecisionTable(
+        LADDER,
+        MAX_BUFFER,
+        config=SodaConfig(solver_backend="fast"),
+        throughput_points=points,
+        buffer_points=points,
+    )
+
+
+class TestRollout:
+    def test_commit_advances_every_shard(self, fleet):
+        from repro.core.lookup import DecisionTable, TablePublisher
+
+        stages = []
+        report = fleet.rollout(
+            build_table(),
+            probation=0.1,
+            monitor=lambda stage, info: stages.append(stage),
+        )
+        assert report.committed and not report.rolled_back
+        assert (report.previous_version, report.target_version) == (1, 2)
+        assert stages[0] == "publish"
+        assert "canary" in stages and "probation" in stages
+        assert stages[-1] == "commit"
+        assert fleet.shard_table_versions() == [2, 2]
+        assert fleet.health().table_versions == [2, 2]
+        # The live file was promoted (worker restarts land on v2) and
+        # the published sibling was cleaned up.
+        assert DecisionTable.peek_version(fleet.table_path) == 2
+        assert TablePublisher(fleet.table_path).published() == {}
+        assert report.final_versions == [2, 2]
+
+    def test_poisoned_canary_rolls_back_everywhere(self, fleet):
+        from repro.core.lookup import DecisionTable, TablePublisher
+
+        poison = build_table()
+        poison._table[:] = -1  # in-range cells, catastrophic answers
+        stages = []
+        report = fleet.rollout(
+            poison,
+            probation=0.1,
+            monitor=lambda stage, info: stages.append(stage),
+        )
+        assert report.rolled_back and not report.committed
+        assert "floor-rate" in report.reason
+        assert stages[-1] == "rollback"
+        assert "advance" not in stages  # stopped at the canary
+        assert fleet.shard_table_versions() == [1, 1]
+        assert DecisionTable.peek_version(fleet.table_path) == 1
+        assert TablePublisher(fleet.table_path).published() == {}
+        # The fleet is still serving on the old table afterwards.
+        decision = fleet.decide("s-after", make_obs())
+        assert 0 <= decision.quality < LADDER.levels
+
+    def test_rollout_requires_a_published_table(self):
+        service = ShardedDecisionService(
+            ladder=LADDER,
+            max_buffer=MAX_BUFFER,
+            shards=2,
+            deadline=DEADLINE,
+            table_points=0,  # tier 1 disabled: nothing to roll out onto
+            heartbeat_interval=0.05,
+        )
+        try:
+            with pytest.raises(RuntimeError):
+                service.rollout(build_table())
+        finally:
+            service.close()
+
+    def test_fleet_health_reports_retry_budget(self, fleet):
+        fleet.decide("s-0", make_obs())
+        health = fleet.health()
+        assert health.retries_granted == 0
+        assert health.retries_denied == 0
+        assert "retries_granted" in health.to_dict()
