@@ -284,6 +284,14 @@ def _add_service_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--shards", type=int, default=0,
                    help="serve from a sharded fleet of this many worker "
                         "processes (0: one in-process service)")
+    p.add_argument("--tier0-chunk", type=int, default=16,
+                   help="sessions per batched tier-0 solver call in the "
+                        "service's batch paths (1 disables cross-session "
+                        "batching)")
+    p.add_argument("--batch-window", type=float, default=0.0,
+                   help="micro-batch collection window in seconds for the "
+                        "clean serve workload (0 disables the "
+                        "micro-batcher; requires --shards 0)")
     p.add_argument("--health-json",
                    help="write the final health snapshot JSON here "
                         "(the fleet health with --shards)")
@@ -474,6 +482,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ValueError("--shards must be non-negative")
     if getattr(args, "rollout", False) and args.shards < 2:
         raise ValueError("--rollout needs --shards >= 2 (canary + baseline)")
+    if args.tier0_chunk < 1:
+        raise ValueError("--tier0-chunk must be at least 1")
+    if args.batch_window < 0:
+        raise ValueError("--batch-window must be non-negative")
+    if args.batch_window > 0 and (args.chaos or args.shards > 0):
+        raise ValueError(
+            "--batch-window needs the clean single-process serve mode "
+            "(no chaos, --shards 0)"
+        )
     cfg = SoakConfig(
         sessions=args.sessions,
         segments_per_session=args.segments,
@@ -492,6 +509,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kill_at=getattr(args, "kill_at", None),
         rollout=getattr(args, "rollout", False),
         rollout_at=getattr(args, "rollout_at", None),
+        tier0_chunk=args.tier0_chunk,
+        batch_window=args.batch_window,
     )
     report = run_soak(cfg, progress=lambda line: print(f"  {line}"))
     mode = "soak" if args.chaos else "serve"
@@ -523,6 +542,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"rule={rollup.get('tier2_decisions', 0):.0f} "
               f"(evictions={rollup.get('evictions', 0):.0f}, "
               f"sheds={rollup.get('sheds', 0):.0f})")
+        if rollup.get("batching_batches"):
+            print(f"batching: batches="
+                  f"{rollup['batching_batches']:.0f} "
+                  f"occupancy="
+                  f"{rollup.get('batching_mean_occupancy', 0.0):.1f} "
+                  f"amortized="
+                  f"{rollup.get('batching_amortized_ms', 0.0):.3f}ms")
         lat = fleet.latency
         latency_max = fleet.latency_max
         health_json = fleet.to_json()
@@ -542,6 +568,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"breaker: state={snapshot.breaker_state} "
               f"opened={snapshot.breaker_times_opened} "
               f"full_cycles={snapshot.breaker_full_cycles}")
+        batching = snapshot.batching
+        if batching.get("batches"):
+            print(f"batching: batches={batching['batches']:.0f} "
+                  f"decisions={batching['batched_decisions']:.0f} "
+                  f"occupancy={batching['mean_occupancy']:.1f} "
+                  f"max={batching['max_batch']:.0f} "
+                  f"amortized={batching['amortized_ms']:.3f}ms")
         lat = snapshot.latency
         latency_max = snapshot.latency_max
         health_json = snapshot.to_json()
@@ -575,6 +608,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "latency_max": latency_max,
             "deadline": args.deadline,
             "violations": len(report.violations),
+            "batching": (
+                {k: v for k, v in report.fleet.rollup.items()
+                 if k.startswith("batching_")}
+                if report.fleet is not None
+                else dict(report.snapshot.batching)
+            ),
         })
         print(f"appended perf entry to {args.out}")
     if report.violations:

@@ -9,18 +9,25 @@ first rung of the K-step plan.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..abr.base import AbrController, PlayerObservation
 from ..prediction.base import ThroughputPredictor
 from ..prediction.moving_average import SlidingWindowPredictor
-from .fastpath import PlanCache, solve_brute_force_fast, solve_monotonic_fast
+from .fastpath import (
+    PlanCache,
+    SessionSolveRequest,
+    _pred,
+    solve_brute_force_fast,
+    solve_monotonic_fast,
+    solve_sessions_batch,
+)
 from .objective import SodaConfig
 from .solver import PlanResult, solve_brute_force, solve_monotonic
 
-__all__ = ["SodaController"]
+__all__ = ["SodaController", "select_quality_batch"]
 
 #: (backend, brute-force?) → solver entry point
 _SOLVERS = {
@@ -290,3 +297,128 @@ class SodaController(AbrController):
                 fallback = obs.ladder.min_bitrate
             omega = np.full(horizon, fallback)
         return np.asarray(omega, dtype=float)
+
+
+# ----------------------------------------------------------------------
+# Cross-session batched decisions
+# ----------------------------------------------------------------------
+def select_quality_batch(
+    pairs: Sequence[Tuple[SodaController, PlayerObservation]],
+) -> List[Union[Optional[int], BaseException]]:
+    """Decide for many (controller, observation) pairs in one solver pass.
+
+    Behaves exactly like calling ``ctrl.select_quality(obs)`` for each pair
+    in order — same committed rungs and defers, same plan-cache hit/miss
+    accounting, same ``last_plan`` side effects — but the main horizon
+    solves of all cache-missing sessions run through
+    :func:`repro.core.fastpath.solve_sessions_batch` in a few vectorized
+    passes grouped by bundle key.  Only the fast backend batches;
+    reference-backend controllers fall back to the sequential path inline.
+    The rare horizon-1 infeasibility retry inside ``_finalize`` stays
+    sequential (it reuses the untouched single-session code, so parity is
+    by construction).
+
+    Faults are isolated per session: an exception raised while deciding for
+    one pair (invalid prediction, corrupt observation, a raising solver) is
+    returned *as that pair's result* instead of propagating, so one corrupt
+    session cannot take down the whole batch.  Callers must therefore check
+    ``isinstance(result, BaseException)`` before treating a result as a
+    rung.
+    """
+    n = len(pairs)
+    results: List[Union[Optional[int], BaseException]] = [None] * n
+    done = [False] * n
+    prepped: List[Optional[tuple]] = [None] * n
+    pending: List[int] = []
+    pending_reqs: List[SessionSolveRequest] = []
+    # Within one batch, two sessions can share a plan-cache *and* a key
+    # (same quantized state).  Sequentially the second request would hit
+    # the entry the first one just stored; mark it a duplicate and resolve
+    # it after the batch solve so the counters stay faithful.
+    pending_key_owner: dict = {}
+    dup = [False] * n
+
+    for i, (ctrl, obs) in enumerate(pairs):
+        try:
+            cfg = ctrl.config
+            omega = ctrl._predict_vector(obs, cfg.horizon)
+            cap_tput = float(omega[0])
+            if obs.last_throughput is not None:
+                cap_tput = max(cap_tput, obs.last_throughput)
+            if cfg.solver_backend != "fast":
+                results[i] = ctrl._select(
+                    omega, obs.buffer_level, obs.previous_quality,
+                    obs.ladder, obs.max_buffer, cap_tput,
+                )
+                done[i] = True
+                continue
+            ladder = obs.ladder
+            dt = ladder.segment_duration
+            first_cap = ctrl._first_step_cap(
+                cap_tput, obs.buffer_level, obs.max_buffer, ladder, cfg
+            )
+            cache = ctrl._plan_cache
+            key = None
+            plan = None
+            if cache is not None:
+                key = cache.key(
+                    omega, obs.buffer_level, obs.previous_quality, ladder,
+                    obs.max_buffer, dt, first_cap,
+                )
+                if (id(cache), key) in pending_key_owner:
+                    dup[i] = True
+                    prepped[i] = (ctrl, obs, omega, first_cap, cache, key, None)
+                    continue
+                plan = cache.get(key)
+            if plan is None:
+                # Validate before enqueueing so one bad prediction fails
+                # alone rather than poisoning the shared batch call.
+                _pred(omega, cfg.horizon)
+                if cache is not None:
+                    pending_key_owner[(id(cache), key)] = i
+                pending.append(i)
+                pending_reqs.append(
+                    SessionSolveRequest(
+                        omega, float(obs.buffer_level), obs.previous_quality,
+                        ladder, cfg, obs.max_buffer, dt=dt,
+                        first_cap=first_cap,
+                    )
+                )
+            prepped[i] = (ctrl, obs, omega, first_cap, cache, key, plan)
+        except Exception as exc:  # per-session isolation
+            results[i] = exc
+            done[i] = True
+
+    solved: dict = {}
+    if pending_reqs:
+        solved = dict(zip(pending, solve_sessions_batch(pending_reqs)))
+
+    for i, pair in enumerate(pairs):
+        if done[i]:
+            continue
+        ctrl, obs, omega, first_cap, cache, key, plan = prepped[i]
+        try:
+            if i in solved:
+                plan = solved[i]
+                if cache is not None:
+                    cache.put(key, plan)
+            elif dup[i]:
+                plan = cache.get(key)
+                if plan is None:
+                    # The owning request failed before storing: replicate
+                    # the sequential get-miss → solve → put path verbatim.
+                    cfg = ctrl.config
+                    solver = _SOLVERS[(cfg.solver_backend, cfg.use_brute_force)]
+                    plan = solver(
+                        omega, obs.buffer_level, obs.previous_quality,
+                        obs.ladder, cfg, obs.max_buffer,
+                        dt=obs.ladder.segment_duration, first_cap=first_cap,
+                    )
+                    cache.put(key, plan)
+            results[i] = ctrl._finalize(
+                plan, omega, obs.buffer_level, obs.previous_quality,
+                obs.ladder, obs.max_buffer, first_cap,
+            )
+        except Exception as exc:  # per-session isolation
+            results[i] = exc
+    return results

@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import itertools
 import math
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +56,8 @@ __all__ = [
     "solve_brute_force_fast",
     "solve_monotonic_batch",
     "solve_brute_force_batch",
+    "solve_sessions_batch",
+    "SessionSolveRequest",
     "PlanCache",
 ]
 
@@ -230,6 +233,12 @@ def _pred(omega, horizon: int):
     collapses constant vectors to a scalar so the kernel can use the
     bundle's precomputed prefix sums.
     """
+    if type(omega) is float or type(omega) is int:
+        # Hot path: plain scalars skip the np.ndim dispatch entirely.
+        w = float(omega)
+        if w < 0:
+            raise ValueError("throughput predictions must be non-negative")
+        return w
     if np.ndim(omega) == 0:
         w = float(omega)
         if w < 0:
@@ -425,6 +434,225 @@ def solve_brute_force_batch(
         _brute_bundle, omega, buffer_levels, prev_quality, ladder, cfg,
         max_buffer, dt, first_caps, terminal_weight,
     )
+
+
+# ----------------------------------------------------------------------
+# Cross-session batched solving
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class SessionSolveRequest:
+    """One session's live decision state for :func:`solve_sessions_batch`.
+
+    Mirrors the argument list of :func:`solve_monotonic_fast` — ``omega``
+    may be a scalar or a horizon-length vector; ``dt=None`` defaults to the
+    ladder's segment duration, exactly as the single-session entry point
+    does.
+    """
+
+    omega: Sequence[float] | float
+    buffer_level: float
+    prev_quality: Optional[int]
+    ladder: BitrateLadder
+    cfg: SodaConfig
+    max_buffer: float
+    dt: Optional[float] = None
+    first_cap: Optional[int] = None
+    terminal_weight: float = 0.0
+
+
+# Cap on elements per (sessions × candidates × horizon) scoring block so a
+# large fleet over a brute-force bundle cannot balloon transient arrays;
+# sessions beyond the cap are solved in successive chunks.
+_BATCH_ELEMENT_BUDGET = 2_000_000
+
+
+def _solve_bundle_chunk(
+    bundle: _Bundle,
+    omegas: np.ndarray,
+    scalar: bool,
+    buffers: np.ndarray,
+    cfg: SodaConfig,
+    targets: np.ndarray,
+    max_buffers: np.ndarray,
+    caps: Sequence[Optional[int]],
+    terminal_weights: np.ndarray,
+) -> List[PlanResult]:
+    """Score one bundle for S live states in a single vectorized pass.
+
+    This is :func:`_solve_bundle` with a leading session axis.  Every
+    operation is elementwise, a ``cumsum`` along the horizon axis, or an
+    ``einsum`` contracting only the horizon axis — each session's floats
+    flow through the same operations in the same order as the
+    single-session kernel, so the scores (and therefore the argmin row,
+    taken first-occurrence per session) are bit-identical.
+    """
+    n_sessions = buffers.shape[0]
+    if scalar:
+        # Constant predictions: prefix-sum path, ω broadcast per session.
+        x = omegas[:, None, None] * bundle.cum_gain_base[None, :, :]
+        x += (buffers[:, None] - bundle.dt_ramp[None, :])[:, None, :]
+        total = omegas[:, None] * bundle.dist_row_base[None, :]
+    else:
+        gain = omegas[:, None, :] * bundle.gain_base[None, :, :]
+        x = np.cumsum(gain, axis=2)
+        x += (buffers[:, None] - bundle.dt_ramp[None, :])[:, None, :]
+        total = np.einsum("nk,snk->sn", bundle.vq, gain)
+    feasible = (x.min(axis=2) >= -_TOL) & (
+        x.max(axis=2) <= max_buffers[:, None] + _TOL
+    )
+
+    dev = targets[:, None, None] - x
+    dev *= dev
+    weight = np.where(
+        x <= targets[:, None, None], cfg.beta, cfg.beta * cfg.epsilon
+    )
+    total += np.einsum("snk,snk->sn", dev, weight)
+    total += bundle.switch_row[None, :]
+    # The single-session kernel skips the terminal term entirely when the
+    # weight is zero (0·inf² would poison otherwise-feasible rows), so the
+    # batched kernel must apply it only to the sessions that carry one.
+    tw_rows = np.flatnonzero(terminal_weights > 0)
+    if tw_rows.size:
+        t_dev = x[tw_rows, :, -1] - targets[tw_rows, None]
+        total[tw_rows] += (terminal_weights[tw_rows, None] * t_dev) * t_dev
+
+    evaluations = np.full(n_sessions, bundle.count, dtype=np.int64)
+    cap_rows = [
+        j for j, c in enumerate(caps)
+        if c is not None and c < bundle.max_first_rung
+    ]
+    if cap_rows:
+        cap_vals = np.asarray([caps[j] for j in cap_rows], dtype=np.int64)
+        allowed = bundle.first_rungs[None, :] <= cap_vals[:, None]
+        evaluations[cap_rows] = np.count_nonzero(allowed, axis=1)
+        feasible[cap_rows] &= allowed
+    total = np.where(feasible, total, math.inf)
+
+    best = np.argmin(total, axis=1)
+    plans: List[PlanResult] = []
+    for j in range(n_sessions):
+        objective = float(total[j, best[j]])
+        evals = int(evaluations[j])
+        if not math.isfinite(objective):
+            plans.append(PlanResult(None, math.inf, (), evals))
+            continue
+        seq = bundle.sequences[int(best[j])]
+        plans.append(PlanResult(seq[0], objective, seq, evals))
+    return plans
+
+
+def _solve_bundle_many(
+    bundle: _Bundle,
+    omegas: np.ndarray,
+    scalar: bool,
+    buffers: np.ndarray,
+    cfg: SodaConfig,
+    targets: np.ndarray,
+    max_buffers: np.ndarray,
+    caps: Sequence[Optional[int]],
+    terminal_weights: np.ndarray,
+) -> List[PlanResult]:
+    """Chunk the session axis so transient arrays stay bounded."""
+    n_sessions = buffers.shape[0]
+    per_session = bundle.count * bundle.candidates.shape[1]
+    chunk = max(1, _BATCH_ELEMENT_BUDGET // max(1, per_session))
+    if chunk >= n_sessions:
+        return _solve_bundle_chunk(
+            bundle, omegas, scalar, buffers, cfg, targets, max_buffers,
+            caps, terminal_weights,
+        )
+    plans: List[PlanResult] = []
+    for start in range(0, n_sessions, chunk):
+        sl = slice(start, start + chunk)
+        plans.extend(
+            _solve_bundle_chunk(
+                bundle, omegas[sl], scalar, buffers[sl], cfg, targets[sl],
+                max_buffers[sl], caps[sl], terminal_weights[sl],
+            )
+        )
+    return plans
+
+
+def solve_sessions_batch(
+    requests: Sequence[SessionSolveRequest],
+) -> List[PlanResult]:
+    """Solve many sessions' decisions in a few vectorized passes.
+
+    Requests are grouped by bundle key — ``(ladder, config, previous
+    rung, Δt)`` plus the config's backend choice — so a heterogeneous
+    fleet still batches: each distinct bundle is scored once for all of
+    its sessions.  Ladder and config are compared by identity (the
+    service shares one of each across sessions); equal-but-distinct
+    objects fall into separate, equally correct groups.  Within a group, sessions whose prediction
+    normalises to a scalar (constant ω) and sessions with a genuine
+    per-interval vector are scored separately, because the single-session
+    kernel uses different (bit-inequivalent) arithmetic for the two cases.
+    Per-session ``target``/``max_buffer``/``first_cap``/``terminal_weight``
+    vary freely inside a group.
+
+    Results come back in request order and each equals, bit for bit, what
+    :func:`solve_monotonic_fast` (or the brute variant, per
+    ``cfg.use_brute_force``) returns for that request alone.  Invalid
+    predictions raise ``ValueError`` exactly as the single-session entry
+    points do — callers wanting per-session fault isolation should
+    pre-validate (see ``repro.core.controller.select_quality_batch``).
+    """
+    results: List[Optional[PlanResult]] = [None] * len(requests)
+    # Group by *identity* of (ladder, config): hashing a SodaConfig and
+    # rebuilding the bitrate tuple per request is measurable at serving
+    # batch sizes, while id() is a dict probe on two ints.  The service
+    # shares one ladder and one config object across every session, so
+    # identity grouping loses no batching there; distinct-but-equal
+    # objects merely split into smaller (still correct) groups.
+    groups: Dict[tuple, tuple] = {}
+    for i, req in enumerate(requests):
+        dt = req.dt
+        if dt is None:
+            dt = req.ladder.segment_duration
+        pred = _pred(req.omega, req.cfg.horizon)
+        key = (id(req.ladder), id(req.cfg), req.prev_quality, dt)
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = entry = (req, dt, [])
+        entry[2].append((i, pred))
+    for first_req, dt, members in groups.values():
+        ladder, cfg = first_req.ladder, first_req.cfg
+        prev_quality = first_req.prev_quality
+        bundle_fn = _brute_bundle if cfg.use_brute_force else _monotone_bundle
+        bundle = bundle_fn(tuple(ladder.bitrates), cfg, prev_quality, dt)
+        scalars = [(i, p) for i, p in members if isinstance(p, float)]
+        vectors = [(i, p) for i, p in members if not isinstance(p, float)]
+        target_buffer = cfg.target_buffer
+        for subset, is_scalar in ((scalars, True), (vectors, False)):
+            if not subset:
+                continue
+            idx = [i for i, _ in subset]
+            omegas = np.asarray([p for _, p in subset], dtype=float)
+            buf_list, mb_list, tw_list, caps = [], [], [], []
+            for i in idx:
+                r = requests[i]
+                buf_list.append(r.buffer_level)
+                mb_list.append(r.max_buffer)
+                tw_list.append(r.terminal_weight)
+                caps.append(r.first_cap)
+            buffers = np.asarray(buf_list, dtype=float)
+            max_buffers = np.asarray(mb_list, dtype=float)
+            terminal_weights = np.asarray(tw_list, dtype=float)
+            if target_buffer is None:
+                # cfg.resolve_target's 0.8·max_buffer branch, vectorized
+                # (scalar × float64 array is the identical IEEE multiply)
+                targets = 0.8 * max_buffers
+            else:
+                targets = np.asarray(
+                    [cfg.resolve_target(m) for m in mb_list], dtype=float
+                )
+            plans = _solve_bundle_many(
+                bundle, omegas, is_scalar, buffers, cfg, targets,
+                max_buffers, caps, terminal_weights,
+            )
+            for i, plan in zip(idx, plans):
+                results[i] = plan
+    return results  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from .admission import (
     SessionEntry,
     SessionTable,
 )
+from .batcher import MicroBatcher, PendingDecision
 from .breaker import BreakerOpenError, BreakerState, CircuitBreaker
 from .degrade import (
     TIER_RULE,
@@ -33,7 +34,7 @@ from .degrade import (
     StatsCounters,
     TierDecision,
 )
-from .health import HealthSnapshot, LatencyRing, build_snapshot
+from .health import BatchCounters, HealthSnapshot, LatencyRing, build_snapshot
 from .service import Decision, DecisionService, SessionState
 from .shard import (
     FleetHealth,
@@ -50,9 +51,12 @@ __all__ = [
     "RetryBudget",
     "SessionEntry",
     "SessionTable",
+    "MicroBatcher",
+    "PendingDecision",
     "BreakerOpenError",
     "BreakerState",
     "CircuitBreaker",
+    "BatchCounters",
     "TIER_SOLVER",
     "TIER_TABLE",
     "TIER_RULE",

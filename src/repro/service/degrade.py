@@ -253,55 +253,87 @@ class DegradationLadder:
                 with the caller, so the solver arrives per call.
             deadline_at: absolute clock() value the answer is due by.
         """
+        # ---- tier 0: the full horizon solve, breaker permitting -------
+        if self.tier0_affordable(deadline_at) and self.breaker.allow():
+            try:
+                outcome = tier0(obs)
+            except Exception as exc:
+                outcome = exc
+            return self.resolve_tier0(obs, outcome, deadline_at)
+        return self._descend(obs, deadline_at, False, False)
+
+    def tier0_affordable(self, deadline_at: float) -> bool:
+        """Whether enough budget remains to attempt the full solver."""
+        return deadline_at - self.clock() >= self.tier0_budget
+
+    def resolve_tier0(
+        self,
+        obs: PlayerObservation,
+        outcome,
+        deadline_at: float,
+    ) -> TierDecision:
+        """Finish the ladder for a tier-0 attempt computed elsewhere.
+
+        ``outcome`` is the solver's answer (rung or ``None`` for defer) or
+        the exception it raised.  The batched tier-0 path solves many
+        sessions in one kernel call and then runs each session's outcome
+        through this method, so breaker accounting, overrun detection,
+        defer resolution, and tier descent stay byte-identical to the
+        sequential :meth:`decide`.  The caller must already hold a breaker
+        ``allow()`` grant for the attempt.
+        """
         levels = obs.ladder.levels
         solver_error = False
         overran = False
-
-        # ---- tier 0: the full horizon solve, breaker permitting -------
-        if (
-            deadline_at - self.clock() >= self.tier0_budget
-            and self.breaker.allow()
-        ):
-            try:
-                answer = tier0(obs)
-            except Exception:
-                solver_error = True
-                self.breaker.record_failure()
+        if isinstance(outcome, BaseException):
+            solver_error = True
+            self.breaker.record_failure()
+        else:
+            # An answer past the deadline counts against the breaker,
+            # but the work is already spent — serving the computed
+            # rung beats burning more time in tier 1.  The breaker
+            # will stop further exposure.
+            overran = self.clock() > deadline_at
+            if outcome is None:
+                # A defer is a legitimate answer, not a failure.
+                if overran:
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
+                held = validate_rung(obs.previous_quality, levels)
+                if held is not None:
+                    return TierDecision(
+                        quality=held,
+                        tier=TIER_SOLVER,
+                        deferred=True,
+                        overran=overran,
+                    )
+                # Nothing to hold at session start: descend a tier.
             else:
-                # An answer past the deadline counts against the breaker,
-                # but the work is already spent — serving the computed
-                # rung beats burning more time in tier 1.  The breaker
-                # will stop further exposure.
-                overran = self.clock() > deadline_at
-                if answer is None:
-                    # A defer is a legitimate answer, not a failure.
+                rung = validate_rung(outcome, levels)
+                if rung is None:
+                    # Out-of-range/NaN answer: treat as an exception.
+                    solver_error = True
+                    self.breaker.record_failure()
+                else:
                     if overran:
                         self.breaker.record_failure()
                     else:
                         self.breaker.record_success()
-                    held = validate_rung(obs.previous_quality, levels)
-                    if held is not None:
-                        return TierDecision(
-                            quality=held,
-                            tier=TIER_SOLVER,
-                            deferred=True,
-                            overran=overran,
-                        )
-                    # Nothing to hold at session start: descend a tier.
-                else:
-                    rung = validate_rung(answer, levels)
-                    if rung is None:
-                        # Out-of-range/NaN answer: treat as an exception.
-                        solver_error = True
-                        self.breaker.record_failure()
-                    else:
-                        if overran:
-                            self.breaker.record_failure()
-                        else:
-                            self.breaker.record_success()
-                        return TierDecision(
-                            quality=rung, tier=TIER_SOLVER, overran=overran
-                        )
+                    return TierDecision(
+                        quality=rung, tier=TIER_SOLVER, overran=overran
+                    )
+        return self._descend(obs, deadline_at, solver_error, overran)
+
+    def _descend(
+        self,
+        obs: PlayerObservation,
+        deadline_at: float,
+        solver_error: bool,
+        overran: bool,
+    ) -> TierDecision:
+        """Tiers 1 and 2, carrying the tier-0 intervention flags."""
+        levels = obs.ladder.levels
 
         # ---- tier 1: the precomputed decision table -------------------
         if (

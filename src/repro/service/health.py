@@ -26,7 +26,67 @@ from typing import Dict, List, Optional, Tuple
 from .breaker import CircuitBreaker
 from .degrade import ServiceStats
 
-__all__ = ["LatencyRing", "HealthSnapshot", "build_snapshot"]
+__all__ = ["BatchCounters", "LatencyRing", "HealthSnapshot", "build_snapshot"]
+
+
+class BatchCounters:
+    """Thread-safe counters for the cross-session batched solve path.
+
+    Tracks how well tier-0 batching is amortizing: how many solver
+    batches ran, how many decisions they covered (occupancy), how much
+    wall time they cost (amortized per-decision cost), and — when a
+    :class:`~repro.service.batcher.MicroBatcher` fronts the service —
+    why each collected batch was flushed.
+    """
+
+    FLUSH_REASONS = ("window", "deadline", "size", "drain", "manual")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.batched_decisions = 0
+        self.batch_time_total = 0.0
+        self.max_batch = 0
+        self.flushes = {reason: 0 for reason in self.FLUSH_REASONS}
+
+    def record(self, size: int, elapsed: float = 0.0) -> None:
+        """Account one batched tier-0 solve covering ``size`` decisions."""
+        if size <= 0:
+            return
+        with self._lock:
+            self.batches += 1
+            self.batched_decisions += size
+            self.batch_time_total += max(0.0, elapsed)
+            if size > self.max_batch:
+                self.max_batch = size
+
+    def record_flush(self, reason: str) -> None:
+        """Count one micro-batch flush by its trigger."""
+        with self._lock:
+            self.flushes[reason] = self.flushes.get(reason, 0) + 1
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters plus derived occupancy/amortized-cost figures."""
+        with self._lock:
+            out: Dict[str, float] = {
+                "batches": self.batches,
+                "batched_decisions": self.batched_decisions,
+                "batch_time_total": self.batch_time_total,
+                "max_batch": self.max_batch,
+                "mean_occupancy": (
+                    self.batched_decisions / self.batches
+                    if self.batches
+                    else 0.0
+                ),
+                "amortized_ms": (
+                    1000.0 * self.batch_time_total / self.batched_decisions
+                    if self.batched_decisions
+                    else 0.0
+                ),
+            }
+            for reason, count in self.flushes.items():
+                out[f"flush_{reason}"] = count
+            return out
 
 
 class LatencyRing:
@@ -129,6 +189,9 @@ class HealthSnapshot:
         admission: the admission gate's counter snapshot (current limit,
             in-flight, sheds by class; the adaptive gate adds its AIMD
             trajectory counters).
+        batching: the cross-session batched-solve counters (batches,
+            occupancy, amortized per-decision cost, micro-batch flush
+            triggers; see :class:`BatchCounters`).
     """
 
     live: bool
@@ -145,6 +208,7 @@ class HealthSnapshot:
     sheds: int = 0
     table_version: int = 0
     admission: Dict[str, float] = field(default_factory=dict)
+    batching: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """A plain-dict view (stats flattened) suitable for JSON."""
@@ -166,6 +230,7 @@ def build_snapshot(
     max_shed_rate: float = 0.5,
     table_version: int = 0,
     admission: Optional[Dict[str, float]] = None,
+    batching: Optional[Dict[str, float]] = None,
 ) -> HealthSnapshot:
     """Assemble a :class:`HealthSnapshot` from the live components.
 
@@ -192,4 +257,5 @@ def build_snapshot(
         sheds=stats.shed,
         table_version=table_version,
         admission=dict(admission) if admission else {},
+        batching=dict(batching) if batching else {},
     )

@@ -34,7 +34,7 @@ import numpy as np
 from ..abr.base import PlayerObservation
 from ..abr.bba import BbaController
 from ..abr.resilient import sanitize_observation
-from ..core.controller import SodaController
+from ..core.controller import SodaController, select_quality_batch
 from ..core.lookup import DecisionTable
 from ..core.objective import SodaConfig
 from ..prediction.base import ThroughputSample
@@ -49,7 +49,7 @@ from .degrade import (
     StatsCounters,
     TierDecision,
 )
-from .health import HealthSnapshot, LatencyRing, build_snapshot
+from .health import BatchCounters, HealthSnapshot, LatencyRing, build_snapshot
 
 __all__ = ["Decision", "DecisionService", "SessionState"]
 
@@ -134,7 +134,14 @@ class DecisionService:
         tier0_factory: ``(session_id, controller) -> tier0`` hook that
             builds the per-session solver callable.  The default calls
             ``controller.select_quality``; the chaos-soak harness swaps
-            in slow/crashing wrappers here.
+            in slow/crashing wrappers here.  Supplying a factory also
+            disables cross-session tier-0 batching (a wrapped solver
+            cannot be proven equivalent to the batched kernel), so the
+            batch paths fall back to the sequential per-request loop.
+        tier0_chunk: sessions per batched tier-0 solver call inside
+            :meth:`decide_many` / :meth:`decide_columns`; ``1`` disables
+            batching.  Budget is re-checked between chunks, so a large
+            batch still degrades mid-way when the deadline thins.
         clock: injectable monotonic time source shared by the ladder and
             breaker (deterministic tests use a fake clock).
 
@@ -160,10 +167,13 @@ class DecisionService:
         tier0_factory: Optional[
             Callable[[str, SodaController], Tier0]
         ] = None,
+        tier0_chunk: int = 16,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if deadline <= 0:
             raise ValueError("deadline must be positive")
+        if tier0_chunk < 1:
+            raise ValueError("tier0_chunk must be at least 1")
         self.ladder = ladder
         self.max_buffer = max_buffer
         self.config = config or SodaConfig(solver_backend="fast")
@@ -200,6 +210,12 @@ class DecisionService:
         self.sessions = SessionTable(max_sessions)
         self.counters = StatsCounters()
         self.latencies = LatencyRing()
+        self.batches = BatchCounters()
+        # Cross-session batching requires the *default* tier-0 path: the
+        # batched kernel is differentially proven equivalent to
+        # ``controller.select_quality``, not to arbitrary wrappers.
+        self._batchable = tier0_factory is None
+        self.tier0_chunk = int(tier0_chunk)
         self._tier0_factory = tier0_factory or (
             lambda session_id, controller: controller.select_quality
         )
@@ -284,6 +300,98 @@ class DecisionService:
             self.sessions.checkin(entry)
         return tier
 
+    def _decide_admitted_many(
+        self,
+        items: Sequence[Tuple[str, PlayerObservation]],
+        deadline_at: float,
+    ) -> List[TierDecision]:
+        """Ladder descent for a chunk of admitted requests, tier-0 batched.
+
+        All sessions' horizon solves run through one
+        :func:`~repro.core.controller.select_quality_batch` call; the
+        breaker grant, overrun check, defer resolution, and descent then
+        run per session via
+        :meth:`~repro.service.degrade.DegradationLadder.resolve_tier0`,
+        so the per-request contract is identical to the sequential path.
+        Entry locks are acquired in canonical (sorted session-id) order —
+        the same discipline the shard scatter path uses — so concurrent
+        batches over overlapping sessions cannot deadlock.
+
+        Duplicate session ids within one chunk are solved in *waves*
+        (first occurrences, then seconds, ...): a later duplicate's
+        history feed must not reach the shared predictor before the
+        earlier request's solve, or the batch would answer the earlier
+        request from state the sequential path builds only afterwards.
+        """
+        tiers: List[Optional[TierDecision]] = [None] * len(items)
+        remaining = list(range(len(items)))
+        while remaining:
+            seen: set = set()
+            wave: List[int] = []
+            rest: List[int] = []
+            for j in remaining:
+                sid = items[j][0]
+                if sid in seen:
+                    rest.append(j)
+                else:
+                    seen.add(sid)
+                    wave.append(j)
+            self._decide_admitted_wave(items, wave, tiers, deadline_at)
+            remaining = rest
+        return tiers  # type: ignore[return-value]
+
+    def _decide_admitted_wave(
+        self,
+        items: Sequence[Tuple[str, PlayerObservation]],
+        wave: List[int],
+        tiers: List[Optional[TierDecision]],
+        deadline_at: float,
+    ) -> None:
+        """Feed and solve one duplicate-free wave of a batched chunk."""
+        entries: dict = {}
+        for j in wave:
+            sid = items[j][0]
+            entry, _created = self.sessions.checkout(
+                sid, lambda sid=sid: self._new_session(sid)
+            )
+            entries[sid] = entry
+        ordered = [entries[sid] for sid in sorted(entries)]
+        for entry in ordered:
+            entry.lock.acquire()
+        try:
+            pairs: List[Tuple[SodaController, PlayerObservation]] = []
+            slots: List[int] = []
+            for j in wave:
+                sid, clean = items[j]
+                state: SessionState = entries[sid].state
+                self._feed_history(state, clean)
+                if (
+                    self.degradation.tier0_affordable(deadline_at)
+                    and self.breaker.allow()
+                ):
+                    pairs.append((state.controller, clean))
+                    slots.append(j)
+                else:
+                    tiers[j] = self.degradation._descend(
+                        clean, deadline_at, False, False
+                    )
+                state.decisions += 1
+            if pairs:
+                solve_started = self.clock()
+                outcomes = select_quality_batch(pairs)
+                self.batches.record(
+                    len(pairs), self.clock() - solve_started
+                )
+                for j, outcome in zip(slots, outcomes):
+                    tiers[j] = self.degradation.resolve_tier0(
+                        items[j][1], outcome, deadline_at
+                    )
+        finally:
+            for entry in reversed(ordered):
+                entry.lock.release()
+            for entry in ordered:
+                self.sessions.checkin(entry)
+
     # ------------------------------------------------------------------
     def decide_many(
         self,
@@ -330,22 +438,37 @@ class DecisionService:
         try:
             decisions: List[Optional[Decision]] = [None] * n
             solved = 0
-            tier0_budget = self.degradation.tier0_budget
-            # ---- tier-0 prefix: full per-request path while budget lasts
+            chunk_size = self.tier0_chunk if self._batchable else 1
+            # ---- tier-0 prefix: batched solver chunks while budget lasts
             while (
                 solved < n
-                and deadline_at - self.clock() >= tier0_budget
+                and self.degradation.tier0_affordable(deadline_at)
             ):
-                sid, obs = requests[solved]
-                clean = sanitize_observation(obs)
-                sanitized = clean is not obs
-                if sanitized:
-                    self.counters.bump("sanitized_observations")
-                tier = self._decide_admitted(sid, clean, deadline_at)
-                decisions[solved] = self._finish(
-                    sid, tier, started, shed=False, sanitized=sanitized
-                )
-                solved += 1
+                stop = min(n, solved + chunk_size)
+                items: List[Tuple[str, PlayerObservation]] = []
+                sanitized_flags: List[bool] = []
+                for sid, obs in requests[solved:stop]:
+                    clean = sanitize_observation(obs)
+                    sanitized = clean is not obs
+                    if sanitized:
+                        self.counters.bump("sanitized_observations")
+                    items.append((sid, clean))
+                    sanitized_flags.append(sanitized)
+                if len(items) == 1:
+                    tiers = [
+                        self._decide_admitted(
+                            items[0][0], items[0][1], deadline_at
+                        )
+                    ]
+                else:
+                    tiers = self._decide_admitted_many(items, deadline_at)
+                for (sid, _clean), tier, sanitized in zip(
+                    items, tiers, sanitized_flags
+                ):
+                    decisions[solved] = self._finish(
+                        sid, tier, started, shed=False, sanitized=sanitized
+                    )
+                    solved += 1
             if solved < n:
                 rest = requests[solved:]
                 tail = self._decide_vectorized(rest, started, deadline_at)
@@ -488,22 +611,37 @@ class DecisionService:
 
         try:
             solved = 0
-            tier0_budget = self.degradation.tier0_budget
+            chunk_size = self.tier0_chunk if self._batchable else 1
             while (
                 solved < n
-                and deadline_at - self.clock() >= tier0_budget
+                and self.degradation.tier0_affordable(deadline_at)
             ):
-                obs = self._obs_from_columns(
-                    tputs[solved], bufs[solved], prev_arr[solved]
-                )
-                tier = self._decide_admitted(
-                    session_ids[solved], obs, deadline_at
-                )
-                self.counters.record_tier(tier)
-                rungs[solved] = tier.quality
-                tiers[solved] = tier.tier
-                deferred[solved] = tier.deferred
-                solved += 1
+                stop = min(n, solved + chunk_size)
+                items = [
+                    (
+                        session_ids[i],
+                        self._obs_from_columns(
+                            tputs[i], bufs[i], prev_arr[i]
+                        ),
+                    )
+                    for i in range(solved, stop)
+                ]
+                if len(items) == 1:
+                    chunk_tiers = [
+                        self._decide_admitted(
+                            items[0][0], items[0][1], deadline_at
+                        )
+                    ]
+                else:
+                    chunk_tiers = self._decide_admitted_many(
+                        items, deadline_at
+                    )
+                for tier in chunk_tiers:
+                    self.counters.record_tier(tier)
+                    rungs[solved] = tier.quality
+                    tiers[solved] = tier.tier
+                    deferred[solved] = tier.deferred
+                    solved += 1
             if solved < n:
                 self._columns_vectorized(
                     tputs, bufs, prev_arr, rungs, tiers, deferred,
@@ -679,4 +817,5 @@ class DecisionService:
             self.deadline,
             table_version=self.table_version,
             admission=self.gate.snapshot(),
+            batching=self.batches.snapshot(),
         )

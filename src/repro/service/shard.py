@@ -156,6 +156,7 @@ class WorkerSpec:
     breaker_threshold: int = 5
     breaker_cooldown: float = 1.0
     tier0_factory: Optional[object] = None
+    tier0_chunk: int = 16
 
 
 def _worker_main(conn, spec: WorkerSpec, slot: int, generation: int) -> None:
@@ -183,6 +184,7 @@ def _worker_main(conn, spec: WorkerSpec, slot: int, generation: int) -> None:
             cooldown=spec.breaker_cooldown,
         ),
         tier0_factory=spec.tier0_factory,
+        tier0_chunk=spec.tier0_chunk,
     )
     ladder = spec.ladder
     try:
@@ -404,6 +406,24 @@ def _roll_up(per_shard: Sequence[dict]) -> Dict[str, float]:
         for key in ("evictions", "sheds"):
             value = snapshot.get(key, 0)
             rollup[key] = rollup.get(key, 0) + value
+        batching = snapshot.get("batching", {})
+        for key, value in batching.items():
+            # Per-shard means/costs do not sum; rebuild them below from
+            # the raw counters.  max_batch rolls up as a fleet max.
+            if key in ("mean_occupancy", "amortized_ms"):
+                continue
+            name = f"batching_{key}"
+            if key == "max_batch":
+                rollup[name] = max(rollup.get(name, 0), value)
+            else:
+                rollup[name] = rollup.get(name, 0) + value
+    batches = rollup.get("batching_batches", 0)
+    batched = rollup.get("batching_batched_decisions", 0)
+    if batched:
+        rollup["batching_mean_occupancy"] = batched / batches
+        rollup["batching_amortized_ms"] = (
+            1000.0 * rollup.get("batching_batch_time_total", 0.0) / batched
+        )
     return rollup
 
 
@@ -428,6 +448,8 @@ class ShardedDecisionService:
         tier0_budget / tier1_budget: ladder budgets forwarded to workers.
         tier0_factory: per-session solver hook forwarded to workers
             (inherited via fork — the chaos soak injects faults here).
+        tier0_chunk: sessions per batched tier-0 solver call inside each
+            worker's batch paths (``1`` disables cross-session batching).
         request_slack: extra seconds past the deadline the front end
             waits for a worker's answer before declaring it wedged.
         heartbeat_interval / restart_policy: supervision tuning.
@@ -456,6 +478,7 @@ class ShardedDecisionService:
         tier0_budget: Optional[float] = None,
         tier1_budget: Optional[float] = None,
         tier0_factory: Optional[object] = None,
+        tier0_chunk: int = 16,
         request_slack: float = 0.25,
         heartbeat_interval: float = 0.1,
         restart_policy: Optional[RestartPolicy] = None,
@@ -511,6 +534,7 @@ class ShardedDecisionService:
             tier0_budget=tier0_budget,
             tier1_budget=tier1_budget,
             tier0_factory=tier0_factory,
+            tier0_chunk=tier0_chunk,
         )
 
         self._rule = BbaController()  # front-end failover floor

@@ -173,6 +173,14 @@ class SoakConfig:
         rollout_at: front-end decision count at which the rollout
             starts; defaults to a third of the expected total.
         rollout_probation: canary probation window, seconds.
+        tier0_chunk: sessions per batched tier-0 solver call inside the
+            service's ``decide_many`` path (``1`` disables cross-session
+            batching).
+        batch_window: clean-serve only — when positive, client workers
+            submit through a shared
+            :class:`~repro.service.batcher.MicroBatcher` with this
+            collection window (seconds) instead of calling ``decide``
+            directly, so the batched tier-0 kernel sees real occupancy.
     """
 
     sessions: int = 200
@@ -198,6 +206,8 @@ class SoakConfig:
     rollout: bool = False
     rollout_at: Optional[int] = None
     rollout_probation: float = 0.4
+    tier0_chunk: int = 16
+    batch_window: float = 0.0
 
 
 @dataclass
@@ -240,6 +250,7 @@ def _session_worker(
     violations: List[str],
     violations_lock: threading.Lock,
     latency_slack: float = SCHEDULING_SLACK,
+    batcher=None,
 ) -> None:
     """Pull session indices off the queue and stream each one.
 
@@ -247,6 +258,11 @@ def _session_worker(
     — the in-process :class:`DecisionService` or the sharded front end
     (which needs a larger ``latency_slack``: a request that catches a
     worker dying pays up to two pipe round trips before its answer).
+    With a ``batcher``, requests go through the shared
+    :class:`~repro.service.batcher.MicroBatcher` instead: the worker
+    offers its request, then polls the clock edge until its handle
+    resolves — whichever worker's poll crosses a trigger flushes the
+    whole collected batch, so concurrent workers batch each other.
     """
     levels = service.ladder.levels
     while True:
@@ -300,7 +316,14 @@ def _session_worker(
                 ladder=service.ladder,
                 history=tuple(history),
             )
-            decision = service.decide(session_id, obs)
+            if batcher is not None:
+                pending = batcher.offer(session_id, obs)
+                while not pending.done:
+                    if not batcher.poll():
+                        time.sleep(batcher.window / 4)
+                decision = pending.decision
+            else:
+                decision = service.decide(session_id, obs)
 
             # ---- per-call invariants --------------------------------
             if not (
@@ -380,9 +403,7 @@ def run_soak(
         # recovery probes see healthy calls again immediately after.
         return index >= cfg.burst_at and breaker.times_opened == 0
 
-    def tier0_factory(session_id: str, controller: SodaController) -> Tier0:
-        if not cfg.chaos:
-            return controller.select_quality
+    def chaos_factory(session_id: str, controller: SodaController) -> Tier0:
         return ChaosSolver(
             controller.select_quality,
             rng=chaos_rng,
@@ -394,6 +415,10 @@ def run_soak(
             slow_seconds=cfg.slow_seconds,
             burst=burst,
         )
+
+    # A clean serve keeps the default tier-0 path: the service stays
+    # batchable (a custom factory disables cross-session batching).
+    tier0_factory = chaos_factory if cfg.chaos else None
 
     say(
         f"building service (table {cfg.table_points}x{cfg.table_points}, "
@@ -408,7 +433,15 @@ def run_soak(
         table_points=cfg.table_points,
         breaker=breaker,
         tier0_factory=tier0_factory,
+        tier0_chunk=cfg.tier0_chunk,
     )
+    batcher = None
+    if cfg.batch_window > 0 and not cfg.chaos:
+        from .batcher import MicroBatcher
+
+        batcher = MicroBatcher(
+            service, window=cfg.batch_window, max_batch=cfg.tier0_chunk
+        )
 
     queue = list(range(cfg.sessions))
     queue_lock = threading.Lock()
@@ -426,6 +459,7 @@ def run_soak(
             args=(
                 service, cfg, queue, queue_lock, violations, violations_lock,
             ),
+            kwargs={"batcher": batcher},
             name=f"soak-worker-{i}",
             daemon=True,
         )
@@ -435,6 +469,8 @@ def run_soak(
         worker.start()
     for worker in workers:
         worker.join()
+    if batcher is not None:
+        batcher.close()
 
     # ---- drain phase: let the breaker finish its recovery cycle ------
     # Short soaks can outrun the cooldown (the burst trips the breaker
@@ -564,6 +600,7 @@ def _run_shard_soak(
         max_sessions=cfg.max_sessions,
         table_points=cfg.table_points,
         heartbeat_interval=0.05,
+        tier0_chunk=cfg.tier0_chunk,
     )
     # A request that catches the worker dying pays up to two full pipe
     # round trips (timeout on the dying shard, then the survivor).
@@ -732,6 +769,7 @@ def _run_rollout_soak(
         max_sessions=cfg.max_sessions,
         table_points=cfg.table_points,
         heartbeat_interval=0.05,
+        tier0_chunk=cfg.tier0_chunk,
     )
     latency_slack = SCHEDULING_SLACK + 2.0 * (
         cfg.deadline + service.request_slack

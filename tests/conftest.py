@@ -1,6 +1,19 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Explicit hypothesis profiles: the property suites time fake-clock
+# service paths whose wall cost varies wildly across boxes, so the
+# per-example deadline is disabled suite-wide (individual tests still
+# state ``deadline=None`` so they are self-contained when run alone).
+# Select with HYPOTHESIS_PROFILE; "ci" derandomizes for reproducible
+# gate runs.
+hypothesis_settings.register_profile("repro", deadline=None)
+hypothesis_settings.register_profile("ci", deadline=None, derandomize=True)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 def pytest_addoption(parser):

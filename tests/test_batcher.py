@@ -1,0 +1,247 @@
+"""Fake-clock unit suite for the MicroBatcher's timing contract.
+
+Every trigger edge is pinned deterministically with an injected clock:
+flush on window expiry, flush on deadline pressure (never holding a
+request past its tier-0 budget), flush on the size cap, drain on close.
+The service underneath runs with the same fake clock, so the decisions a
+flush produces are themselves deterministic — including which tier the
+shared (earliest-deadline) budget buys.
+"""
+
+import pytest
+
+from repro.service import DecisionService, MicroBatcher
+from repro.service.degrade import TIER_RULE, TIER_SOLVER
+from repro.sim.player import PlayerObservation
+from repro.sim.video import BitrateLadder
+
+DEADLINE = 0.05  # tier0_budget defaults to half of this
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def service(clock):
+    return DecisionService(
+        BitrateLadder([1.0, 3.0, 6.0], 2.0, name="test"),
+        20.0,
+        deadline=DEADLINE,
+        table_points=0,
+        clock=clock,
+    )
+
+
+def make_obs(ladder, buffer_level=8.0, prev=1):
+    return PlayerObservation(
+        wall_time=10.0,
+        segment_index=5,
+        buffer_level=buffer_level,
+        max_buffer=20.0,
+        previous_quality=prev,
+        ladder=ladder,
+        history=(),
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, service):
+        with pytest.raises(ValueError):
+            MicroBatcher(service, window=0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(service, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(service, reserve=-0.01)
+
+    def test_reserve_defaults_to_tier0_budget(self, service):
+        b = MicroBatcher(service)
+        assert b.reserve == service.degradation.tier0_budget
+
+    def test_clock_defaults_to_service_clock(self, service, clock):
+        assert MicroBatcher(service).clock is clock
+
+
+class TestWindowExpiry:
+    def test_holds_within_window_then_flushes(self, service, clock):
+        b = MicroBatcher(service, window=0.002, max_batch=32)
+        obs = make_obs(service.ladder)
+        # generous deadlines so only the window can trigger
+        p1 = b.offer("a", obs, deadline_at=clock() + 10.0)
+        p2 = b.offer("b", obs, deadline_at=clock() + 10.0)
+        assert b.due() is None and not p1.done
+        clock.advance(0.0019)
+        assert b.due() is None
+        assert b.poll() == []
+        clock.advance(0.0002)  # past the 2 ms window
+        assert b.due() == "window"
+        decisions = b.poll()
+        assert len(decisions) == 2
+        assert p1.done and p2.done
+        assert p1.decision.session_id == "a"
+        assert service.batches.snapshot()["flush_window"] == 1
+
+    def test_window_restarts_with_each_new_batch(self, service, clock):
+        b = MicroBatcher(service, window=0.002)
+        obs = make_obs(service.ladder)
+        b.offer("a", obs, deadline_at=clock() + 10.0)
+        clock.advance(0.003)
+        b.poll()
+        # a fresh batch gets its own full window
+        b.offer("b", obs, deadline_at=clock() + 10.0)
+        assert b.due() is None
+        clock.advance(0.0021)
+        assert b.due() == "window"
+
+
+class TestDeadlinePressure:
+    def test_flushes_when_budget_hits_reserve(self, service, clock):
+        """The batcher never holds a request past its tier-0 budget: the
+        moment any pending request's remaining budget shrinks to the
+        reserve, the batch flushes — and the request still gets a full
+        tier-0 solve."""
+        b = MicroBatcher(service, window=10.0, max_batch=32)
+        obs = make_obs(service.ladder)
+        pending = b.offer("a", obs)  # deadline starts at offer: now + 50 ms
+        reserve = b.reserve
+        # remaining budget still above the reserve: keep waiting
+        clock.advance(DEADLINE - reserve - 0.001)
+        assert b.due() is None
+        # exactly at the edge: remaining == reserve, flush now
+        clock.advance(0.001)
+        assert b.due() == "deadline"
+        b.poll()
+        assert pending.done
+        assert pending.decision.tier == TIER_SOLVER
+        assert not pending.decision.overran
+        assert service.batches.snapshot()["flush_deadline"] == 1
+
+    def test_earliest_deadline_governs(self, service, clock):
+        b = MicroBatcher(service, window=10.0)
+        obs = make_obs(service.ladder)
+        b.offer("slack", obs, deadline_at=clock() + 100.0)
+        b.offer("tight", obs, deadline_at=clock() + b.reserve + 0.002)
+        assert b.due() is None
+        clock.advance(0.002)
+        assert b.due() == "deadline"
+
+    def test_batch_shares_earliest_deadline(self, service, clock):
+        """A flushed batch is served on its tightest member's budget: a
+        member with no tier-0 budget left drags the whole batch down to
+        the floor rather than letting anyone exceed its own promise."""
+        b = MicroBatcher(service, window=10.0)
+        obs = make_obs(service.ladder)
+        roomy = b.offer("roomy", obs, deadline_at=clock() + 100.0)
+        broke = b.offer(
+            "broke", obs,
+            deadline_at=clock() + 0.5 * service.degradation.tier0_budget,
+        )
+        b.flush("manual")
+        assert roomy.decision.tier == TIER_RULE
+        assert broke.decision.tier == TIER_RULE
+
+
+class TestSizeCap:
+    def test_reaching_max_batch_flushes_synchronously(self, service, clock):
+        b = MicroBatcher(service, window=10.0, max_batch=3)
+        obs = make_obs(service.ladder)
+        p1 = b.offer("a", obs, deadline_at=clock() + 10.0)
+        p2 = b.offer("b", obs, deadline_at=clock() + 10.0)
+        assert not p1.done
+        p3 = b.offer("c", obs, deadline_at=clock() + 10.0)
+        assert p1.done and p2.done and p3.done
+        snap = service.batches.snapshot()
+        assert snap["flush_size"] == 1
+        assert snap["max_batch"] == 3
+        assert len(b) == 0
+
+    def test_occupancy_accounting(self, service, clock):
+        b = MicroBatcher(service, window=10.0, max_batch=2)
+        obs = make_obs(service.ladder)
+        for sid in ("a", "b", "c", "d"):
+            b.offer(sid, obs, deadline_at=clock() + 10.0)
+        snap = service.batches.snapshot()
+        assert snap["batches"] == 2
+        assert snap["batched_decisions"] == 4
+        assert snap["mean_occupancy"] == 2.0
+
+
+class TestDrainAndClose:
+    def test_close_drains_pending(self, service, clock):
+        b = MicroBatcher(service, window=10.0)
+        obs = make_obs(service.ladder)
+        p = b.offer("a", obs, deadline_at=clock() + 10.0)
+        decisions = b.close()
+        assert p.done and len(decisions) == 1
+        assert service.batches.snapshot()["flush_drain"] == 1
+
+    def test_offer_after_close_raises(self, service):
+        b = MicroBatcher(service)
+        b.close()
+        with pytest.raises(RuntimeError):
+            b.offer("a", make_obs(service.ladder))
+
+    def test_double_close_is_idempotent(self, service):
+        b = MicroBatcher(service)
+        assert b.close() == []
+        assert b.close() == []
+
+    def test_empty_flush_is_not_counted(self, service):
+        b = MicroBatcher(service)
+        assert b.flush("manual") == []
+        snap = service.batches.snapshot()
+        assert all(snap[f"flush_{r}"] == 0 for r in
+                   ("window", "deadline", "size", "drain", "manual"))
+
+
+class TestSubmit:
+    def test_submit_forces_an_answer(self, service, clock):
+        b = MicroBatcher(service, window=10.0)
+        obs = make_obs(service.ladder)
+        decision = b.submit("a", obs)
+        assert decision.session_id == "a"
+        assert service.batches.snapshot()["flush_manual"] == 1
+
+    def test_submit_amortizes_over_pending_queue(self, service, clock):
+        b = MicroBatcher(service, window=10.0, max_batch=32)
+        obs = make_obs(service.ladder)
+        waiting = b.offer("waiting", obs, deadline_at=clock() + 10.0)
+        b.submit("tail", obs, deadline_at=clock() + 10.0)
+        assert waiting.done  # the forced flush took the queue with it
+        assert service.batches.snapshot()["batched_decisions"] == 2
+
+    def test_submit_resolved_by_size_cap_does_not_reflush(self, service, clock):
+        b = MicroBatcher(service, window=10.0, max_batch=2)
+        obs = make_obs(service.ladder)
+        b.offer("a", obs, deadline_at=clock() + 10.0)
+        b.submit("b", obs, deadline_at=clock() + 10.0)
+        snap = service.batches.snapshot()
+        assert snap["flush_size"] == 1
+        assert snap["flush_manual"] == 0
+
+
+class TestHealthSurface:
+    def test_batching_counters_reach_health_snapshot(self, service, clock):
+        b = MicroBatcher(service, window=0.002, max_batch=32)
+        obs = make_obs(service.ladder)
+        b.offer("a", obs, deadline_at=clock() + 10.0)
+        b.offer("b", obs, deadline_at=clock() + 10.0)
+        clock.advance(0.003)
+        b.poll()
+        payload = service.health().to_dict()
+        assert payload["batching"]["batches"] == 1
+        assert payload["batching"]["batched_decisions"] == 2
+        assert payload["batching"]["flush_window"] == 1
+        assert payload["batching"]["mean_occupancy"] == 2.0

@@ -140,3 +140,28 @@ def test_soda_golden_matches_reference_backend():
         )
         assert list(result.qualities) == golden["qualities"]
         controller.reset()
+
+
+def test_soda_golden_matches_batched_solver():
+    """Routing every decision through the cross-session batched kernel
+    (``select_quality_batch``) replays the checked-in golden rung
+    sequences exactly — the batch path is not a new backend, it is the
+    same arithmetic with a session axis."""
+    from repro.core.controller import select_quality_batch
+
+    class BatchedSoda(SodaController):
+        def select_quality(self, obs):
+            result = select_quality_batch([(self, obs)])[0]
+            if isinstance(result, BaseException):
+                raise result
+            return result
+
+    for trace_name, make_trace in _TRACES.items():
+        controller = BatchedSoda()
+        result = run_session(controller, make_trace(), _LADDER, _PLAYER)
+        golden = json.loads(
+            (GOLDEN_DIR / f"{_case_id('soda', trace_name)}.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert list(result.qualities) == golden["qualities"], trace_name

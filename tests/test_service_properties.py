@@ -303,3 +303,112 @@ class TestHalfOpenContention:
         # ... and after the next cooldown, again exactly one wins.
         clock.advance(1.5)
         assert len(self._race_allow(breaker)) == 1
+
+
+# ----------------------------------------------------------------------
+# AdaptiveGate AIMD invariants
+# ----------------------------------------------------------------------
+from repro.service import AdaptiveGate  # noqa: E402
+
+
+latency_stream = st.lists(
+    st.floats(min_value=0.0, max_value=4 * DEADLINE,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=400,
+)
+
+
+def _driven_gate(latencies, max_in_flight=16, window=8):
+    gate = AdaptiveGate(
+        max_in_flight, DEADLINE, min_in_flight=2, window=window
+    )
+    for latency in latencies:
+        gate.observe(latency)
+    return gate
+
+
+class TestAdaptiveGateAimdProperties:
+    """Hypothesis: the AIMD limit trajectory honors its contract under
+    arbitrary latency streams."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(latencies=latency_stream)
+    def test_limit_stays_within_floor_and_ceiling(self, latencies):
+        gate = _driven_gate(latencies)
+        snap = gate.snapshot()
+        assert 2 <= snap["limit"] <= gate.max_in_flight
+        assert 2 <= snap["min_limit_seen"] <= gate.max_in_flight
+        assert snap["min_limit_seen"] <= snap["limit"]
+
+    @settings(max_examples=200, deadline=None)
+    @given(latencies=latency_stream)
+    def test_decrease_only_on_p99_breach(self, latencies):
+        """The limit is cut multiplicatively only in windows whose p99
+        reached high_ratio * deadline; replaying the stream window by
+        window predicts the gate's counters exactly."""
+        window = 8
+        gate = _driven_gate(latencies, window=window)
+        expected_decreases = 0
+        expected_increases = 0
+        level = float(gate.max_in_flight)
+        for start in range(0, len(latencies) - window + 1, window):
+            chunk = sorted(latencies[start:start + window])
+            p99 = chunk[min(len(chunk) - 1, int(0.99 * len(chunk)))]
+            if p99 >= gate.high_ratio * DEADLINE:
+                level = max(float(gate.min_in_flight), level * gate.decrease)
+                expected_decreases += 1
+            elif p99 < gate.low_ratio * DEADLINE:
+                if level < gate.max_in_flight:
+                    level = min(
+                        float(gate.max_in_flight), level + gate.increase
+                    )
+                    expected_increases += 1
+        assert gate.limit_decreases == expected_decreases
+        assert gate.limit_increases == expected_increases
+        assert gate.limit == max(gate.min_in_flight, int(level))
+
+    @settings(max_examples=200, deadline=None)
+    @given(latencies=latency_stream)
+    def test_all_healthy_windows_never_decrease(self, latencies):
+        """A stream that never breaches the deadline can only hold or
+        grow the limit back toward the ceiling — never shrink it."""
+        healthy = [min(lat, 0.4 * DEADLINE) for lat in latencies]
+        gate = _driven_gate(healthy)
+        assert gate.limit_decreases == 0
+        assert gate.limit == gate.max_in_flight
+        assert gate.snapshot()["min_limit_seen"] == gate.max_in_flight
+
+    @settings(max_examples=200, deadline=None)
+    @given(latencies=latency_stream)
+    def test_new_arrival_headroom_never_exceeds_established(self, latencies):
+        gate = _driven_gate(latencies)
+        established = gate._limit_for(established=True)
+        fresh = gate._limit_for(established=False)
+        assert fresh <= established
+        assert fresh >= gate.min_in_flight
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        latencies=latency_stream,
+        probes=st.integers(min_value=0, max_value=24),
+    )
+    def test_admission_respects_the_live_limit(self, latencies, probes):
+        """try_acquire never admits past the current limit, and new
+        arrivals stop at the headroom fraction of it."""
+        gate = _driven_gate(latencies)
+        admitted_new = 0
+        for _ in range(probes):
+            if not gate.try_acquire(established=False):
+                break
+            admitted_new += 1
+        assert admitted_new <= gate._limit_for(established=False)
+        for _ in range(admitted_new):
+            gate.release()
+        admitted = 0
+        for _ in range(probes):
+            if not gate.try_acquire(established=True):
+                break
+            admitted += 1
+        assert admitted <= gate.limit
+        for _ in range(admitted):
+            gate.release()
