@@ -1,0 +1,167 @@
+"""Extension: population-simulator throughput at the million-session scale.
+
+The fleet claim behind :mod:`repro.sim.population` is quantitative: one
+million coarse-grained sessions — diurnal arrivals, flash crowds, a
+correlated fault storm — must complete **in minutes** on one box, or the
+"soak the sharded service against a production-sized population" story
+does not hold.  This bench runs the full 1M-session configuration (table
+backend, storms on) and gates
+
+* total wall clock under ``REQUIRED_WALL_SECONDS``,
+* finished-session throughput of at least ``REQUIRED_SESSIONS_PER_SEC``,
+* the conservation invariant (arrivals = finished + shed + censored).
+
+Each run appends an entry (mode ``population``) to the
+``BENCH_population.json`` perf journal for CI trend tracking.  Run
+``python benchmarks/bench_ext_population.py --sessions N`` standalone;
+env knobs (``REPRO_BENCH_POP_*``) let CI shrink or grow the workload.
+
+Reference on a dev box: 1M sessions / 2 simulated hours in ~54 s
+(~18k finished sessions/s, ~2.3M decisions/s through
+``DecisionTable.lookup_batch``).
+"""
+
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without PYTHONPATH=src
+    sys.path.insert(
+        0,
+        os.path.abspath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+        ),
+    )
+
+from repro.sim.population import PopulationConfig, PopulationSim
+
+SESSIONS = int(os.environ.get("REPRO_BENCH_POP_SESSIONS", "1000000"))
+DURATION_HOURS = float(os.environ.get("REPRO_BENCH_POP_HOURS", "2.0"))
+TICK_SECONDS = float(os.environ.get("REPRO_BENCH_POP_TICK", "4.0"))
+SEED = int(os.environ.get("REPRO_BENCH_POP_SEED", "0"))
+STORM_INTENSITY = float(os.environ.get("REPRO_BENCH_POP_STORMS", "1.0"))
+TABLE_POINTS = int(os.environ.get("REPRO_BENCH_POP_TABLE_POINTS", "24"))
+
+#: acceptance floors — ~9x headroom under the dev-box reference so slow
+#: CI runners pass while a vectorization regression still fails loudly
+REQUIRED_SESSIONS_PER_SEC = float(
+    os.environ.get("REPRO_BENCH_POP_REQUIRED", "2000")
+)
+REQUIRED_WALL_SECONDS = float(
+    os.environ.get("REPRO_BENCH_POP_WALL_BUDGET", "600")
+)
+
+JOURNAL = os.environ.get(
+    "REPRO_BENCH_POP_JOURNAL", "BENCH_population.json"
+)
+
+
+def run_population_bench(sessions=SESSIONS):
+    """One full population run; returns the perf-journal entry."""
+    config = PopulationConfig(
+        sessions=sessions,
+        duration_hours=DURATION_HOURS,
+        tick_seconds=TICK_SECONDS,
+        seed=SEED,
+        storm_intensity=STORM_INTENSITY,
+        table_points=TABLE_POINTS,
+    )
+    sim = PopulationSim(config)
+    started = time.perf_counter()
+    report = sim.run()
+    elapsed = time.perf_counter() - started
+    fleet = report.fleet["fleet"]
+    return {
+        "mode": "population",
+        "backend": report.backend,
+        "sessions": sessions,
+        "duration_hours": DURATION_HOURS,
+        "tick_seconds": TICK_SECONDS,
+        "storm_intensity": STORM_INTENSITY,
+        "storm_events": len(sim.storms),
+        "capacity": sim.capacity,
+        "ticks": report.ticks,
+        "arrivals": fleet["arrivals"],
+        "finished": fleet["finished"],
+        "shed": fleet["shed"],
+        "censored": fleet["censored"],
+        "decisions": report.decisions,
+        "elapsed_seconds": round(elapsed, 2),
+        "sessions_per_second": round(fleet["finished"] / elapsed, 1),
+        "decisions_per_second": round(report.decisions / elapsed, 1),
+        "slo_attainment": round(fleet["slo_attainment"], 6),
+        "peak_concurrency_p95": report.concurrency["p95"],
+    }
+
+
+def _print_entry(entry):
+    from conftest import banner
+
+    print(banner("Population-simulator throughput"))
+    print(f"{'sessions':>10} {'ticks':>7} {'finished':>10} {'wall s':>8} "
+          f"{'sess/s':>9} {'dec/s':>11}")
+    print(f"{entry['sessions']:>10} {entry['ticks']:>7} "
+          f"{entry['finished']:>10} {entry['elapsed_seconds']:>8.1f} "
+          f"{entry['sessions_per_second']:>9.0f} "
+          f"{entry['decisions_per_second']:>11.0f}")
+    print(f"storms={entry['storm_events']} shed={entry['shed']} "
+          f"censored={entry['censored']} "
+          f"slo_attainment={entry['slo_attainment']:.4f}")
+
+
+def _assert_gates(entry):
+    assert entry["arrivals"] == (
+        entry["finished"] + entry["shed"] + entry["censored"]
+    ), "session conservation violated"
+    assert entry["elapsed_seconds"] <= REQUIRED_WALL_SECONDS, (
+        f"{entry['sessions']:,} sessions took "
+        f"{entry['elapsed_seconds']:.0f}s — over the "
+        f"{REQUIRED_WALL_SECONDS:.0f}s budget; 'a million sessions in "
+        f"minutes' no longer holds"
+    )
+    assert entry["sessions_per_second"] >= REQUIRED_SESSIONS_PER_SEC, (
+        f"population throughput below "
+        f"{REQUIRED_SESSIONS_PER_SEC:,.0f} finished sessions/sec: "
+        f"{entry['sessions_per_second']:,.0f}/s"
+    )
+
+
+def test_population_million_session_floor(benchmark):
+    from conftest import run_once
+    from repro.cli import _append_perf_entry
+
+    entry = run_once(benchmark, run_population_bench)
+    _print_entry(entry)
+    _append_perf_entry(JOURNAL, entry)
+    print(f"appended run to {JOURNAL}")
+    _assert_gates(entry)
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.cli import _append_perf_entry
+
+    parser = argparse.ArgumentParser(
+        description="Population-simulator million-session bench"
+    )
+    parser.add_argument("--sessions", type=int, default=SESSIONS)
+    parser.add_argument(
+        "--out", default=None,
+        help="perf journal to append to (e.g. BENCH_population.json)",
+    )
+    args = parser.parse_args(argv)
+    entry = run_population_bench(sessions=args.sessions)
+    _print_entry(entry)
+    if args.out:
+        _append_perf_entry(args.out, entry)
+        print(f"appended run to {args.out}")
+    _assert_gates(entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,7 @@ class EngagementModel:
         switching_rates: Sequence[float],
         seed: int = 0,
         noise: float = 0.05,
+        rng: "np.random.Generator | None" = None,
     ) -> np.ndarray:
         """Simulated per-session watch fractions for the Figure 1 scatter.
 
@@ -84,9 +85,19 @@ class EngagementModel:
         rebuffering); we reproduce that population: the mean watch fraction
         declines linearly from ~22% at zero switching to ~10% at a 20%
         switching rate, with Gaussian session noise, clipped to (0, 0.25].
+
+        Determinism contract: when ``rng`` is given it takes precedence
+        over ``seed`` and exactly ``len(switching_rates)`` normal draws
+        are taken from it — no more, no fewer — so a caller threading one
+        generator through a larger simulation (e.g. the population
+        simulator) advances its stream by a size that depends only on the
+        input length.  Without ``rng``, a fresh generator is derived from
+        ``seed`` and the result is a pure function of
+        ``(switching_rates, seed, noise)``.
         """
         rates = np.asarray(switching_rates, dtype=float)
-        rng = np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         mean = 0.22 - 0.6 * rates
         sampled = mean + rng.normal(0.0, noise, size=rates.shape)
         return np.clip(sampled, 0.005, 0.25)

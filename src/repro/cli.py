@@ -18,6 +18,11 @@ Subcommands:
   ``--rollout`` the double-fault rollout soak, where a poisoned table is
   canaried while a baseline worker is SIGKILLed and the gate adds
   automatic rollback, version convergence, and cell identity;
+* ``population`` — the vectorized population simulator: 1M+ coarse
+  fleet sessions with diurnal/flash-crowd arrivals, correlated fault
+  storms, atomic checkpoints with ``--resume`` (bit-identical
+  aggregates), and a ``--serve`` mode that drives every decision
+  through the live sharded service;
 * ``table`` — build a memory-mapped decision table file (versioned,
   checksummed) or inspect one.
 
@@ -238,6 +243,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rollout-report",
                    help="write the rollout/rollback report JSON here")
     p.set_defaults(func=_cmd_serve, chaos=True)
+
+    p = sub.add_parser(
+        "population",
+        help="vectorized population simulation: 1M+ coarse fleet sessions",
+    )
+    p.add_argument("--sessions", type=int, default=100_000,
+                   help="expected arrivals over the run")
+    p.add_argument("--duration-hours", type=float, default=2.0,
+                   help="simulated span, hours")
+    p.add_argument("--tick", type=float, default=2.0,
+                   help="event-core step, seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--capacity", type=int, default=0,
+                   help="concurrent-session slab size (0 = auto from the "
+                        "peak arrival rate; overflow arrivals are shed)")
+    p.add_argument("--regions", type=int, default=8)
+    p.add_argument("--cdns", type=int, default=3)
+    p.add_argument("--flash-crowds", type=int, default=2,
+                   help="flash-crowd bursts built into the arrival plan")
+    p.add_argument("--storm-intensity", type=float, default=0.0,
+                   help="correlated fault-storm intensity (0 = none)")
+    p.add_argument("--content-minutes", type=float, default=40.0)
+    p.add_argument("--max-buffer", type=float, default=20.0)
+    p.add_argument("--table-points", type=int, default=32,
+                   help="decision-table grid points per axis")
+    p.add_argument("--backend", choices=["table", "solver"],
+                   default="table",
+                   help="decision backend: shared lookup table (default) "
+                        "or exact cross-session batched tier-0 solves")
+    p.add_argument("--checkpoint",
+                   help="checkpoint file (.npz); the full population "
+                        "state is written atomically every "
+                        "--checkpoint-every ticks")
+    p.add_argument("--checkpoint-every", type=int, default=50,
+                   help="checkpoint cadence in ticks")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists (refuses "
+                        "a config-hash mismatch); final aggregates are "
+                        "bit-identical to an uninterrupted run")
+    p.add_argument("--serve", action="store_true",
+                   help="drive decisions through a live sharded decision "
+                        "service (fleet-scale soak; excludes checkpoints)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="with --serve: shard worker count")
+    p.add_argument("--deadline", type=float, default=0.05,
+                   help="with --serve: per-decision budget, seconds")
+    p.add_argument("--kill-at", type=int, default=None,
+                   help="with --serve: tick at which one live shard "
+                        "worker is SIGKILLed (chaos)")
+    p.add_argument("--report",
+                   help="write the fleet report JSON (SLO curve, "
+                        "per-cohort QoE distributions) here")
+    p.add_argument("--out",
+                   help="append a perf entry to this JSON trajectory file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines")
+    p.set_defaults(func=_cmd_population)
 
     p = sub.add_parser(
         "table",
@@ -670,6 +732,146 @@ def _append_perf_entry(path: str, entry: dict) -> None:
     with open(path, "w", encoding="utf-8") as f:
         json.dump({"runs": runs}, f, indent=2, sort_keys=True)
         f.write("\n")
+
+
+def _cmd_population(args: argparse.Namespace) -> int:
+    import os
+
+    from .sim.population import (
+        PopulationConfig,
+        PopulationSim,
+        ServiceBackend,
+        SolverBackend,
+    )
+
+    if args.serve and (args.checkpoint or args.resume):
+        raise ValueError(
+            "--serve answers are not bit-deterministic (timeouts, "
+            "failovers); checkpoints/--resume require the table or "
+            "solver backend"
+        )
+    if args.resume and not args.checkpoint:
+        raise ValueError("--resume requires --checkpoint")
+
+    config = PopulationConfig(
+        sessions=args.sessions,
+        duration_hours=args.duration_hours,
+        tick_seconds=args.tick,
+        seed=args.seed,
+        capacity=args.capacity,
+        regions=args.regions,
+        cdns=args.cdns,
+        flash_crowds=args.flash_crowds,
+        content_minutes=args.content_minutes,
+        max_buffer=args.max_buffer,
+        storm_intensity=args.storm_intensity,
+        table_points=args.table_points,
+    )
+
+    ladder = live_profile().ladder
+    backend = None
+    service = None
+    kill_state = {"done": False}
+    if args.serve:
+        from .service import ShardedDecisionService
+
+        service = ShardedDecisionService(
+            ladder,
+            config.max_buffer,
+            shards=max(args.shards, 1),
+            deadline=args.deadline,
+            table_points=args.table_points,
+            max_sessions=1 << 20,
+        )
+        backend = ServiceBackend(service, ladder, config.max_buffer)
+    elif args.backend == "solver":
+        backend = SolverBackend(ladder, config.max_buffer)
+
+    def on_tick(tick: int) -> None:
+        if (
+            args.serve
+            and args.kill_at is not None
+            and tick >= args.kill_at
+            and not kill_state["done"]
+        ):
+            import signal as _signal
+
+            live = service.live_shards()
+            if live:
+                pid = service.worker_pids()[live[0]]
+                os.kill(pid, _signal.SIGKILL)
+                kill_state["done"] = True
+                if not args.quiet:
+                    print(f"chaos: SIGKILLed shard {live[0]} worker "
+                          f"(pid {pid}) at tick {tick}")
+
+    resumed = bool(
+        args.resume and args.checkpoint and os.path.exists(args.checkpoint)
+    )
+    cadence = args.checkpoint_every if args.checkpoint else 0
+    if resumed:
+        sim = PopulationSim.resume(
+            args.checkpoint, config, ladder=ladder, backend=backend,
+            checkpoint_every=cadence,
+        )
+        if not args.quiet:
+            print(f"resumed from {args.checkpoint} at tick {sim.tick}")
+    else:
+        sim = PopulationSim(
+            config, ladder=ladder, backend=backend,
+            checkpoint_path=args.checkpoint, checkpoint_every=cadence,
+        )
+
+    progress = None if args.quiet else (lambda line: print(line))
+    try:
+        report = sim.run(progress=progress, on_tick=on_tick)
+    finally:
+        if backend is not None and hasattr(backend, "close"):
+            backend.close()
+
+    fleet = report.fleet["fleet"]
+    print(f"\npopulation: {fleet['arrivals']} arrivals over "
+          f"{report.ticks} ticks ({config.duration_hours:g}h sim) "
+          f"in {report.elapsed:.1f}s wall "
+          f"[{report.backend} backend, {report.decisions} decisions]")
+    print(f"  finished {fleet['finished']} "
+          f"(completed {fleet['completed']}, abandoned {fleet['abandoned']}) "
+          f"shed {fleet['shed']} censored {fleet['censored']}")
+    print(f"  rebuffer-SLO (<= {config.rebuffer_slo:g}) attainment: "
+          f"{fleet['slo_attainment']:.4f}")
+    for name, cohort in report.fleet["cohorts"].items():
+        print(f"  {name}: {cohort['arrivals']} arrivals, "
+              f"slo {cohort['slo_attainment']:.4f}, "
+              f"abandon {cohort['abandon_rate']:.4f}, "
+              f"shed {cohort['shed_rate']:.4f}, "
+              f"mean bitrate {cohort['mean_bitrate']:.2f} Mb/s")
+    if report.service is not None:
+        health = report.service.get("fleet_health") or {}
+        print(f"  service: failovers={report.service['failovers']} "
+              f"worker_deaths={health.get('worker_deaths', 0)} "
+              f"restarts={health.get('worker_restarts', 0)} "
+              f"rehomed={health.get('sessions_rehomed', 0)}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(report.to_json())
+            f.write("\n")
+        print(f"wrote {args.report}")
+    if args.out:
+        _append_perf_entry(args.out, {
+            "mode": "population",
+            "backend": report.backend,
+            "sessions": args.sessions,
+            "finished": fleet["finished"],
+            "ticks": report.ticks,
+            "decisions": report.decisions,
+            "elapsed": report.elapsed,
+            "sessions_per_second": report.sessions_per_second(),
+            "slo_attainment": fleet["slo_attainment"],
+            "storm_intensity": args.storm_intensity,
+            "resumed_from_tick": report.resumed_from_tick,
+        })
+        print(f"appended perf entry to {args.out}")
+    return 0
 
 
 def _cmd_table_build(args: argparse.Namespace) -> int:

@@ -9,6 +9,7 @@ from .plan import (
     FaultSpec,
     compose,
 )
+from .storm import StormEvent, StormKind, StormSchedule, StormSpec
 
 __all__ = [
     "CLEAN",
@@ -18,4 +19,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "compose",
+    "StormEvent",
+    "StormKind",
+    "StormSchedule",
+    "StormSpec",
 ]

@@ -1,0 +1,258 @@
+"""Correlated fault storms: cohort-level events over a session population.
+
+:mod:`repro.faults.plan` injects *per-session* download faults — every
+session draws its own independent stream.  Real incidents are correlated:
+a regional backbone degradation collapses bandwidth for every session in
+one region at once, a CDN outage takes out every session pinned to one
+CDN, and a flash crowd multiplies the arrival rate fleet-wide.  This
+module expresses those as a seeded :class:`StormSchedule` of
+:class:`StormEvent` windows that the population simulator
+(:mod:`repro.sim.population`) applies to *masked slices* of its session
+arrays — the hot loop stays vectorized because an event resolves to one
+boolean mask and one multiplier per tick.
+
+Schedules are pure functions of ``(spec, horizon, seed)``: regenerating
+one after a crash-resume yields the identical event list, so no storm
+state needs checkpointing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StormKind", "StormEvent", "StormSpec", "StormSchedule"]
+
+
+class StormKind(enum.Enum):
+    """The correlated incident classes a schedule can contain."""
+
+    REGIONAL_COLLAPSE = "regional-collapse"  #: bandwidth multiplier on regions
+    CDN_OUTAGE = "cdn-outage"                #: near-total loss on one CDN
+    FLASH_CROWD = "flash-crowd"              #: fleet-wide arrival-rate surge
+
+
+@dataclass(frozen=True)
+class StormEvent:
+    """One correlated incident window.
+
+    Attributes:
+        kind: which incident class this is.
+        start: window start, seconds into the run.
+        duration: window length, seconds.
+        targets: region ids (:attr:`StormKind.REGIONAL_COLLAPSE`) or CDN
+            ids (:attr:`StormKind.CDN_OUTAGE`) the event hits; empty
+            means *every* cohort.  Ignored for flash crowds, which are
+            fleet-wide by definition.
+        magnitude: throughput multiplier in ``[0, 1]`` for collapse and
+            outage events (0 = total loss), arrival-rate multiplier
+            (``> 1``) for flash crowds.
+    """
+
+    kind: StormKind
+    start: float
+    duration: float
+    targets: Tuple[int, ...] = ()
+    magnitude: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("storm windows need start >= 0, duration > 0")
+        if self.magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+        if self.kind is StormKind.FLASH_CROWD and self.magnitude < 1.0:
+            raise ValueError("flash-crowd magnitude must be >= 1")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class StormSpec:
+    """Rates and magnitudes for seeded schedule generation.
+
+    Rates are expected events per simulated hour at ``intensity == 1``;
+    windows are exponential draws around the mean lengths, clamped so an
+    event never outlives the run.
+    """
+
+    collapse_per_hour: float = 1.0
+    collapse_minutes: float = 8.0
+    collapse_magnitude: float = 0.15
+    outage_per_hour: float = 0.5
+    outage_minutes: float = 3.0
+    outage_magnitude: float = 0.02
+    crowd_per_hour: float = 0.5
+    crowd_minutes: float = 6.0
+    crowd_magnitude: float = 2.5
+
+    def __post_init__(self) -> None:
+        for name in ("collapse_per_hour", "outage_per_hour", "crowd_per_hour"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("collapse_minutes", "outage_minutes", "crowd_minutes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.collapse_magnitude <= 1.0:
+            raise ValueError("collapse_magnitude must be in [0, 1]")
+        if not 0.0 <= self.outage_magnitude <= 1.0:
+            raise ValueError("outage_magnitude must be in [0, 1]")
+        if self.crowd_magnitude < 1.0:
+            raise ValueError("crowd_magnitude must be >= 1")
+
+
+class StormSchedule:
+    """An ordered list of correlated incidents over one run.
+
+    Build one explicitly from events, or :meth:`generate` a seeded random
+    schedule.  The two query methods are the vectorized hot-path API:
+
+    * :meth:`throughput_factors` — per-session bandwidth multipliers for
+      one instant, given each session's region and CDN assignment
+      (``None`` when nothing is active, so the clean path costs one
+      cursor check);
+    * :meth:`arrival_factor` — the scalar arrival-rate multiplier.
+    """
+
+    def __init__(self, events: Sequence[StormEvent] = ()) -> None:
+        self.events: List[StormEvent] = sorted(
+            events, key=lambda e: (e.start, e.kind.value)
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def generate(
+        horizon: float,
+        regions: int,
+        cdns: int,
+        intensity: float = 1.0,
+        seed: int = 0,
+        spec: Optional[StormSpec] = None,
+    ) -> "StormSchedule":
+        """A seeded random schedule over ``[0, horizon)`` seconds.
+
+        Event counts are Poisson in ``intensity × rate × horizon``;
+        collapse events hit a random non-empty subset of regions, outages
+        one CDN.  The same arguments always produce the identical
+        schedule (the generator is local), which is what lets a resumed
+        run rebuild its storms from config alone.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if regions < 1 or cdns < 1:
+            raise ValueError("need at least one region and one CDN")
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        spec = spec or StormSpec()
+        if intensity == 0:
+            return StormSchedule()
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x5708]))
+        hours = horizon / 3600.0
+        events: List[StormEvent] = []
+
+        def windows(per_hour: float, mean_minutes: float):
+            count = int(rng.poisson(intensity * per_hour * hours))
+            for _ in range(count):
+                start = float(rng.uniform(0.0, horizon))
+                duration = float(
+                    min(rng.exponential(mean_minutes * 60.0) + 30.0,
+                        horizon - start)
+                )
+                if duration > 0:
+                    yield start, duration
+
+        for start, duration in windows(
+            spec.collapse_per_hour, spec.collapse_minutes
+        ):
+            hit = 1 + int(rng.integers(0, max(1, regions // 2)))
+            targets = tuple(
+                int(r)
+                for r in rng.choice(regions, size=min(hit, regions),
+                                    replace=False)
+            )
+            events.append(StormEvent(
+                StormKind.REGIONAL_COLLAPSE, start, duration,
+                targets=targets, magnitude=spec.collapse_magnitude,
+            ))
+        for start, duration in windows(
+            spec.outage_per_hour, spec.outage_minutes
+        ):
+            events.append(StormEvent(
+                StormKind.CDN_OUTAGE, start, duration,
+                targets=(int(rng.integers(0, cdns)),),
+                magnitude=spec.outage_magnitude,
+            ))
+        for start, duration in windows(spec.crowd_per_hour, spec.crowd_minutes):
+            events.append(StormEvent(
+                StormKind.FLASH_CROWD, start, duration,
+                magnitude=spec.crowd_magnitude,
+            ))
+        return StormSchedule(events)
+
+    # ------------------------------------------------------------------
+    def active(self, t: float) -> List[StormEvent]:
+        """Every event whose window covers instant ``t``."""
+        return [e for e in self.events if e.active_at(t)]
+
+    def arrival_factor(self, t: float) -> float:
+        """Scalar arrival-rate multiplier at instant ``t``."""
+        factor = 1.0
+        for event in self.events:
+            if event.kind is StormKind.FLASH_CROWD and event.active_at(t):
+                factor *= event.magnitude
+        return factor
+
+    def throughput_factors(
+        self,
+        t: float,
+        region_ids: np.ndarray,
+        cdn_ids: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Per-session bandwidth multipliers at instant ``t``.
+
+        Args:
+            t: instant, seconds into the run.
+            region_ids: per-session region assignment (int array).
+            cdn_ids: per-session CDN assignment, aligned with
+                ``region_ids``.
+
+        Returns:
+            ``None`` when no bandwidth-affecting event is active (the
+            common case, so callers skip the multiply entirely);
+            otherwise a float array aligned with the inputs.  Multiple
+            overlapping events compound multiplicatively.
+        """
+        factors: Optional[np.ndarray] = None
+        for event in self.events:
+            if not event.active_at(t):
+                continue
+            if event.kind is StormKind.REGIONAL_COLLAPSE:
+                ids, axis = event.targets, region_ids
+            elif event.kind is StormKind.CDN_OUTAGE:
+                ids, axis = event.targets, cdn_ids
+            else:
+                continue
+            if factors is None:
+                factors = np.ones(len(axis))
+            if ids:
+                mask = np.isin(axis, np.asarray(ids))
+            else:
+                mask = slice(None)
+            factors[mask] *= event.magnitude
+        return factors
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {}
+        for e in self.events:
+            kinds[e.kind.value] = kinds.get(e.kind.value, 0) + 1
+        return f"<StormSchedule {len(self.events)} events {kinds}>"

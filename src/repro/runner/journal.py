@@ -14,6 +14,11 @@ existing journal, refuses a config-hash mismatch with
 :class:`ConfigMismatchError`, and exposes the completed records so the
 executor can skip them.
 
+Journals can optionally be gzip-compressed (million-record fleet journals
+are large): pass ``compress=True`` or use a ``.gz`` path, and reads detect
+the gzip magic bytes transparently, so a compressed journal resumes exactly
+like a plain one.
+
 Test hook: when the environment variable ``REPRO_JOURNAL_KILL_AFTER`` is a
 positive integer *n*, the process SIGKILLs itself immediately after the
 *n*-th session record of the current process has been flushed.  This is how
@@ -22,6 +27,7 @@ the kill-and-resume tests simulate a hard mid-run crash deterministically.
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import json
 import os
@@ -62,6 +68,15 @@ def config_hash(spec: Mapping[str, Any]) -> str:
     """Stable 16-hex-digit digest of an experiment spec."""
     digest = hashlib.sha256(canonical_json(spec).encode("utf-8"))
     return digest.hexdigest()[:16]
+
+
+def _is_gzip(path: str) -> bool:
+    """True when ``path`` starts with the gzip magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(2) == b"\x1f\x8b"
+    except OSError:
+        return False
 
 
 def _key_tuple(record: Mapping[str, Any]) -> Tuple[str, str, str, int, str]:
@@ -133,9 +148,15 @@ class Journal:
         path: str,
         manifest: RunManifest,
         records: Optional[Mapping[Tuple, Mapping[str, Any]]] = None,
+        compress: Optional[bool] = None,
     ) -> None:
         self.path = str(path)
         self.manifest = manifest
+        # None = infer from the path suffix; reads never need this flag
+        # (the gzip magic is detected), it only controls how flushes write.
+        if compress is None:
+            compress = self.path.endswith(".gz")
+        self.compress = bool(compress)
         self._records: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict(
             (k, dict(v)) for k, v in (records or {}).items()
         )
@@ -148,9 +169,11 @@ class Journal:
         path: str,
         spec: Mapping[str, Any],
         version: Optional[str] = None,
+        compress: Optional[bool] = None,
     ) -> "Journal":
         """Start a new journal, overwriting ``path`` if it exists."""
-        journal = cls(path, RunManifest.for_spec(spec, version))
+        journal = cls(path, RunManifest.for_spec(spec, version),
+                      compress=compress)
         journal.flush()  # the manifest lands on disk before any work runs
         return journal
 
@@ -161,6 +184,7 @@ class Journal:
         spec: Mapping[str, Any],
         resume: bool = False,
         version: Optional[str] = None,
+        compress: Optional[bool] = None,
     ) -> "Journal":
         """Open a journal for an experiment described by ``spec``.
 
@@ -171,7 +195,10 @@ class Journal:
         records become available through :meth:`cached`.
         """
         if not resume or not os.path.exists(path):
-            return cls.fresh(path, spec, version)
+            return cls.fresh(path, spec, version, compress=compress)
+        if compress is None:
+            # keep flushing in whatever format the existing file uses
+            compress = _is_gzip(path)
         manifest_dict, record_dicts = cls.load(path)
         if manifest_dict is None:
             raise JournalError(f"{path}: no manifest line; cannot resume")
@@ -186,7 +213,8 @@ class Journal:
         records: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
         for record in record_dicts:
             records[_key_tuple(record)] = dict(record)
-        return cls(path, RunManifest.from_dict(manifest_dict), records)
+        return cls(path, RunManifest.from_dict(manifest_dict), records,
+                   compress=compress)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -198,11 +226,23 @@ class Journal:
         A corrupt *final* line is tolerated (dropped): it can only be the
         product of a non-atomic writer, and resuming past it is safe.  A
         corrupt line anywhere else raises :class:`JournalError`.
+
+        Gzip-compressed journals are detected by their magic bytes and
+        read transparently, whatever the file's suffix.
         """
         manifest: Optional[Dict[str, Any]] = None
         records: List[Dict[str, Any]] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
+        if _is_gzip(path):
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    lines = handle.read().splitlines()
+            except (OSError, EOFError) as exc:
+                raise JournalError(
+                    f"{path}: corrupt gzip journal: {exc}"
+                ) from exc
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
         for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
@@ -240,17 +280,25 @@ class Journal:
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Write-temp-fsync-rename the full journal."""
+        """Write-temp-fsync-rename the full journal (gzipped if enabled)."""
         directory = os.path.dirname(os.path.abspath(self.path)) or "."
         fd, tmp_path = tempfile.mkstemp(
             prefix=os.path.basename(self.path) + ".", suffix=".tmp",
             dir=directory,
         )
+        lines = [json.dumps(self.manifest.to_dict())]
+        lines.extend(json.dumps(r) for r in self._records.values())
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps(self.manifest.to_dict()) + "\n")
-                for record in self._records.values():
-                    handle.write(json.dumps(record) + "\n")
+            with os.fdopen(fd, "wb") as handle:
+                if self.compress:
+                    # mtime=0 keeps the bytes a pure function of content
+                    with gzip.GzipFile(
+                        fileobj=handle, mode="wb", mtime=0
+                    ) as zipped:
+                        zipped.write(payload)
+                else:
+                    handle.write(payload)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, self.path)

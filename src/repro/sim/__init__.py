@@ -4,6 +4,18 @@ from .events import EventKind, SessionEvent, SessionTimeline, TimelineRecorder
 from .multiclient import SharedLinkOutcome, jain_fairness, simulate_shared_link
 from .network import ThroughputTrace, TraceStats
 from .player import LivelockError, PlayerConfig, SessionResult, simulate_session
+from .population import (
+    ArrivalModel,
+    CohortSpec,
+    FleetAggregator,
+    FleetReport,
+    PopulationConfig,
+    PopulationSim,
+    ServiceBackend,
+    SolverBackend,
+    TableBackend,
+    default_cohorts,
+)
 from .profiles import (
     EvaluationProfile,
     live_profile,
@@ -35,6 +47,16 @@ __all__ = [
     "PlayerConfig",
     "SessionResult",
     "simulate_session",
+    "ArrivalModel",
+    "CohortSpec",
+    "FleetAggregator",
+    "FleetReport",
+    "PopulationConfig",
+    "PopulationSim",
+    "ServiceBackend",
+    "SolverBackend",
+    "TableBackend",
+    "default_cohorts",
     "run_session",
     "run_dataset",
     "EvaluationProfile",

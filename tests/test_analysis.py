@@ -153,6 +153,33 @@ class TestEngagement:
         with pytest.raises(ValueError):
             fit_line([1.0], [2.0])
 
+    def test_watch_fractions_seed_determinism(self):
+        model = EngagementModel()
+        rates = np.linspace(0.0, 0.3, 50)
+        a = model.sample_watch_fractions(rates, seed=11)
+        b = model.sample_watch_fractions(rates, seed=11)
+        assert np.array_equal(a, b)
+        c = model.sample_watch_fractions(rates, seed=12)
+        assert not np.array_equal(a, c)
+
+    def test_watch_fractions_explicit_rng_takes_precedence(self):
+        model = EngagementModel()
+        rates = np.zeros(40)
+        a = model.sample_watch_fractions(
+            rates, seed=999, rng=np.random.default_rng(5)
+        )
+        b = model.sample_watch_fractions(rates, rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_watch_fractions_draw_count_contract(self):
+        """Exactly len(rates) normal draws advance the caller's generator."""
+        model = EngagementModel()
+        rng = np.random.default_rng(7)
+        model.sample_watch_fractions(np.zeros(25), rng=rng)
+        witness = np.random.default_rng(7)
+        witness.normal(0.0, 0.05, size=25)
+        assert rng.standard_normal() == witness.standard_normal()
+
 
 class TestProduction:
     def test_device_families_defined(self):

@@ -34,6 +34,10 @@ class TestParser:
             ["serve", "--out", "BENCH_service.json"],
             ["table", "build", "out.sodatbl", "--table-points", "24"],
             ["table", "inspect", "out.sodatbl"],
+            ["population", "--sessions", "1000"],
+            ["population", "--checkpoint", "pop.npz", "--resume"],
+            ["population", "--serve", "--shards", "2", "--kill-at", "50"],
+            ["population", "--backend", "solver", "--storm-intensity", "2"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
@@ -235,6 +239,35 @@ class TestTableCommand:
         assert main(["table", "build", "/tmp/t.sodatbl",
                      "--table-points", "1"]) == 2
         assert "--table-points" in capsys.readouterr().err
+
+
+class TestPopulationCommand:
+    def test_tiny_run_with_report_and_perf_entry(self, capsys, tmp_path):
+        report = tmp_path / "fleet.json"
+        out = tmp_path / "BENCH_population.json"
+        assert main([
+            "population", "--sessions", "400", "--duration-hours", "0.05",
+            "--tick", "4", "--table-points", "8", "--quiet",
+            "--report", str(report), "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "rebuffer-SLO" in text
+        fleet = json.loads(report.read_text())["fleet"]["fleet"]
+        assert fleet["arrivals"] == (
+            fleet["finished"] + fleet["shed"] + fleet["censored"]
+        )
+        runs = json.loads(out.read_text())["runs"]
+        assert runs[-1]["mode"] == "population"
+        assert runs[-1]["decisions"] > 0
+
+    def test_serve_excludes_checkpoints(self, capsys):
+        assert main(["population", "--serve",
+                     "--checkpoint", "pop.npz"]) == 2
+        assert "deterministic" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["population", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
 
 
 class _StubSuite:

@@ -212,3 +212,30 @@ class TestDistributionSummary:
         from repro.qoe.aggregate import DistributionSummary
 
         assert "med=" in str(DistributionSummary.of([1.0, 2.0]))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 20, 101])
+    def test_of_array_parity_with_of(self, n):
+        """of_array must agree with of() to float precision."""
+        import numpy as np
+
+        from repro.qoe.aggregate import DistributionSummary
+
+        rng = np.random.default_rng(n)
+        values = rng.normal(0.0, 3.0, size=n)
+        listwise = DistributionSummary.of(list(values))
+        arraywise = DistributionSummary.of_array(values)
+        for field_name in ("p5", "p25", "median", "p75", "p95"):
+            assert getattr(arraywise, field_name) == pytest.approx(
+                getattr(listwise, field_name), abs=1e-12
+            )
+        assert arraywise.n == listwise.n == n
+
+    def test_of_array_flattens_and_validates(self):
+        import numpy as np
+
+        from repro.qoe.aggregate import DistributionSummary
+
+        d = DistributionSummary.of_array(np.ones((4, 5)))
+        assert d.n == 20 and d.median == 1.0
+        with pytest.raises(ValueError):
+            DistributionSummary.of_array(np.empty(0))

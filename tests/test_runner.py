@@ -170,6 +170,55 @@ class TestJournal:
         with pytest.raises(ConfigMismatchError, match="refusing to resume"):
             Journal.open(path, {"sessions": 8}, resume=True)
 
+    def test_gzip_roundtrip(self, tmp_path):
+        """A .gz journal compresses on flush and reads transparently."""
+        import gzip
+
+        path = str(tmp_path / "run.jsonl.gz")
+        journal = Journal.fresh(path, {"kind": "test", "seed": 3})
+        assert journal.compress
+        for i in range(3):
+            journal.record(SessionRecord(key=make_key(seed=i)).to_dict())
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        manifest, records = Journal.load(path)
+        assert manifest["config_hash"] == config_hash(
+            {"kind": "test", "seed": 3}
+        )
+        assert len(records) == 3
+        # The payload inside is the same JSONL a plain journal writes.
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert json.loads(lines[0])["kind"] == "manifest"
+
+    def test_gzip_resume_and_format_stickiness(self, tmp_path):
+        path = str(tmp_path / "run.jsonl.gz")
+        journal = Journal.fresh(path, {"k": 1})
+        journal.record(SessionRecord(key=make_key()).to_dict())
+        resumed = Journal.open(path, {"k": 1}, resume=True)
+        assert resumed.compress  # keeps writing gzip after resume
+        assert len(resumed.records) == 1
+        resumed.record(SessionRecord(key=make_key(seed=9)).to_dict())
+        _, records = Journal.load(path)
+        assert len(records) == 2
+
+    def test_gzip_detected_without_suffix(self, tmp_path):
+        """Reads key off the magic bytes, not the file name."""
+        path = str(tmp_path / "run.jsonl")  # no .gz suffix
+        journal = Journal.fresh(path, {"k": 2}, compress=True)
+        journal.record(SessionRecord(key=make_key()).to_dict())
+        _, records = Journal.load(path)
+        assert len(records) == 1
+        resumed = Journal.open(path, {"k": 2}, resume=True)
+        assert resumed.compress
+
+    def test_corrupt_gzip_raises_journal_error(self, tmp_path):
+        path = str(tmp_path / "run.jsonl.gz")
+        with open(path, "wb") as handle:
+            handle.write(b"\x1f\x8b" + b"\x00" * 16)  # magic, garbage body
+        with pytest.raises(JournalError, match="gzip"):
+            Journal.load(path)
+
     def test_resume_requires_manifest(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         with open(path, "w") as handle:
