@@ -1,0 +1,258 @@
+"""Extension: distilled learned policies served at tier-1 cost.
+
+The learning pipeline (:mod:`repro.learn`) promises that a behavior-cloned
+SODA policy, rendered onto the dense tier-1 grid, is operationally
+indistinguishable from a solver-built table: the same mmap wire format,
+the same nearest-neighbour lookup, and QoE that tracks the teacher.  This
+bench gates both halves of that promise:
+
+* **lookup parity** — ``lookup_observation`` on the distilled table must
+  run within ``REQUIRED_PARITY`` of the solver table's per-lookup latency
+  over the same observation stream (they share the code path, so anything
+  beyond noise means the distilled grid broke the tier-1 cost model), and
+* **QoE fidelity** — on the canonical step-down scenario the distilled
+  policy's QoE must land within ``QOE_TOLERANCE`` (5%) of SODA's.
+
+Demonstrations are drawn in-process from SODA sessions over the
+deterministic scenario set (steps, ramps, oscillations, sawtooth), so the
+bench is self-contained and seed-stable.  Each run appends a
+``learn-distilled`` entry to the root-level ``BENCH_service.json`` perf
+journal for CI trend tracking.  Run ``python benchmarks/bench_ext_learn.py
+--out BENCH_service.json`` for script mode.
+"""
+
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without PYTHONPATH=src
+    sys.path.insert(
+        0,
+        os.path.abspath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+        ),
+    )
+
+from repro.core.controller import SodaController
+from repro.core.lookup import DecisionTable
+from repro.learn import DemoDataset, TableController, distill_policy, fit_bc
+from repro.prediction.base import ThroughputSample
+from repro.qoe.metrics import qoe_from_session
+from repro.sim.player import PlayerObservation, simulate_session
+from repro.sim.profiles import live_profile
+from repro.traces.scenarios import (
+    oscillation,
+    ramp,
+    sawtooth,
+    step_down,
+    step_up,
+)
+
+#: distilled per-lookup latency may be at most this multiple of the
+#: solver table's (identical code path; headroom absorbs timer noise)
+REQUIRED_PARITY = float(os.environ.get("REPRO_BENCH_LEARN_PARITY", "1.5"))
+#: QoE shortfall tolerance vs SODA on the step-down scenario
+QOE_TOLERANCE = float(os.environ.get("REPRO_BENCH_LEARN_QOE_TOL", "0.05"))
+#: lookups per table in the timed parity section
+LOOKUPS = int(os.environ.get("REPRO_BENCH_LEARN_LOOKUPS", "20000"))
+#: grid points per axis for both tables (identical shapes by design)
+TABLE_POINTS = int(os.environ.get("REPRO_BENCH_LEARN_TABLE_POINTS", "48"))
+#: state-space resolution of the cloned policy
+BUCKETS = int(os.environ.get("REPRO_BENCH_LEARN_BUCKETS", "16"))
+JOURNAL = os.environ.get("REPRO_BENCH_SERVICE_JOURNAL", "BENCH_service.json")
+
+SESSION_SECONDS = 300.0
+
+
+def _profile():
+    return live_profile(session_seconds=SESSION_SECONDS)
+
+
+def _training_traces():
+    """The deterministic scenario set the teacher demonstrates on."""
+    return [
+        step_down(), step_up(), ramp(), ramp(start=20.0, end=2.0),
+        oscillation(), sawtooth(), step_down(high=20.0, low=6.0),
+        oscillation(low=2.0, high=14.0),
+    ]
+
+
+def _qoe(profile, controller, trace):
+    result = simulate_session(
+        controller, trace, profile.ladder, profile.player
+    )
+    return qoe_from_session(
+        result,
+        utility=profile.utility,
+        ssim_model=profile.ssim_model,
+        seed=0,
+    ).qoe
+
+
+def _distill_from_soda(profile):
+    """Demonstrate, clone, and distill — the pipeline minus the journal."""
+    dataset = DemoDataset(
+        ladder=profile.ladder,
+        max_buffer=profile.player.max_buffer,
+        controller="soda",
+        buffer_buckets=BUCKETS,
+        throughput_buckets=BUCKETS,
+    )
+    for trace in _training_traces():
+        result = simulate_session(
+            SodaController(), trace, profile.ladder, profile.player,
+            log_decisions=True,
+        )
+        for row in result.decision_log:
+            dataset.add_row(row)
+    policy, coverage = fit_bc(dataset)
+    distilled = distill_policy(
+        policy,
+        throughput_points=TABLE_POINTS,
+        buffer_points=TABLE_POINTS,
+    )
+    return distilled, coverage
+
+
+def _lookup_stream(ladder, count):
+    """A deterministic observation stream sweeping all three axes."""
+    stream = []
+    for i in range(count):
+        tput = 0.5 * (1.22 ** (i % 31))
+        prev = i % (ladder.levels + 1)
+        stream.append(PlayerObservation(
+            wall_time=float(i),
+            segment_index=i,
+            buffer_level=(i * 1.37) % 20.0,
+            max_buffer=20.0,
+            previous_quality=None if prev == ladder.levels else prev,
+            ladder=ladder,
+            history=(
+                ThroughputSample(
+                    start=float(i), duration=1.0, size=tput, throughput=tput
+                ),
+            ),
+        ))
+    return stream
+
+
+def _time_lookups(table, stream):
+    start = time.perf_counter()
+    for obs in stream:
+        table.lookup_observation(obs)
+    return (time.perf_counter() - start) / len(stream)
+
+
+def run_learn_bench():
+    profile = _profile()
+    distilled, coverage = _distill_from_soda(profile)
+    solver_table = DecisionTable(
+        profile.ladder,
+        profile.player.max_buffer,
+        throughput_points=TABLE_POINTS,
+        buffer_points=TABLE_POINTS,
+    )
+    assert distilled.shape == solver_table.shape
+
+    stream = _lookup_stream(profile.ladder, LOOKUPS)
+    # Warm both paths off the clock, then interleave-time them.
+    _time_lookups(solver_table, stream[:200])
+    _time_lookups(distilled, stream[:200])
+    solver_latency = _time_lookups(solver_table, stream)
+    distilled_latency = _time_lookups(distilled, stream)
+
+    trace = step_down()
+    soda_qoe = _qoe(profile, SodaController(), trace)
+    distilled_qoe = _qoe(
+        profile, TableController(distilled, name="distilled"), trace
+    )
+
+    return {
+        "mode": "learn-distilled",
+        "table_points": TABLE_POINTS,
+        "buckets": BUCKETS,
+        "coverage": coverage.coverage,
+        "demo_decisions": coverage.decisions,
+        "lookups": LOOKUPS,
+        "solver_lookup_seconds": solver_latency,
+        "distilled_lookup_seconds": distilled_latency,
+        "latency_ratio": distilled_latency / solver_latency,
+        "step_down_qoe_soda": soda_qoe,
+        "step_down_qoe_distilled": distilled_qoe,
+        "qoe_shortfall": soda_qoe - distilled_qoe,
+        "required_parity": REQUIRED_PARITY,
+        "qoe_tolerance": QOE_TOLERANCE,
+    }
+
+
+def _print_entry(entry):
+    print(
+        f"lookup latency: solver "
+        f"{entry['solver_lookup_seconds'] * 1e6:.2f} us, distilled "
+        f"{entry['distilled_lookup_seconds'] * 1e6:.2f} us "
+        f"(ratio {entry['latency_ratio']:.2f}, "
+        f"required <= {entry['required_parity']:.2f})"
+    )
+    print(
+        f"step-down QoE: soda {entry['step_down_qoe_soda']:.3f}, "
+        f"distilled {entry['step_down_qoe_distilled']:.3f} "
+        f"(shortfall {entry['qoe_shortfall']:+.3f}, tolerance "
+        f"{entry['qoe_tolerance']:.0%})"
+    )
+    print(
+        f"demonstrations: {entry['demo_decisions']} decisions, "
+        f"{entry['coverage']:.1%} state coverage"
+    )
+
+
+def _assert_gates(entry):
+    assert entry["latency_ratio"] <= entry["required_parity"], (
+        f"distilled lookup {entry['latency_ratio']:.2f}x slower than the "
+        f"solver table (required <= {entry['required_parity']:.2f}x)"
+    )
+    allowed = entry["qoe_tolerance"] * max(
+        abs(entry["step_down_qoe_soda"]), 1.0
+    )
+    assert entry["qoe_shortfall"] <= allowed, (
+        f"distilled QoE trails SODA by {entry['qoe_shortfall']:.3f} on "
+        f"step-down (allowed {allowed:.3f})"
+    )
+
+
+def test_distilled_table_parity_and_fidelity(benchmark):
+    from conftest import run_once
+    from repro.cli import _append_perf_entry
+
+    entry = run_once(benchmark, run_learn_bench)
+    _print_entry(entry)
+    _append_perf_entry(JOURNAL, entry)
+    print(f"appended run to {JOURNAL}")
+    _assert_gates(entry)
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.cli import _append_perf_entry
+
+    parser = argparse.ArgumentParser(
+        description="Distilled-policy tier-1 parity and fidelity bench"
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="perf journal to append this run to (e.g. BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+    entry = run_learn_bench()
+    _print_entry(entry)
+    if args.out:
+        _append_perf_entry(args.out, entry)
+        print(f"appended run to {args.out}")
+    _assert_gates(entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

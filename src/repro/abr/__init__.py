@@ -15,7 +15,7 @@ from .resilient import (
     sanitize_sample,
     validate_rung,
 )
-from .rl import QTableController, train_q_controller
+from .rl import QTableController, encode_state, train_q_controller
 
 __all__ = [
     "AbrController",
@@ -36,5 +36,6 @@ __all__ = [
     "sanitize_sample",
     "validate_rung",
     "QTableController",
+    "encode_state",
     "train_q_controller",
 ]

@@ -24,9 +24,46 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..prediction.base import ThroughputSample
 from .base import AbrController, PlayerObservation
 
-__all__ = ["QTableController", "train_q_controller"]
+__all__ = ["QTableController", "encode_state", "train_q_controller"]
 
 State = Tuple[int, int, int]
+
+
+def encode_state(
+    buffer_level: float,
+    throughput: Optional[float],
+    previous_quality: Optional[int],
+    max_buffer: float,
+    min_bitrate: float,
+    max_bitrate: float,
+    buffer_buckets: int = 8,
+    throughput_buckets: int = 8,
+) -> State:
+    """Discretise raw observation features into a Q-table state.
+
+    This is the single state-space contract shared by the RL agent, the
+    behavior-cloning pipeline (``repro.learn``), and distillation: buffer
+    level in ``buffer_buckets`` linear buckets of ``max_buffer``,
+    throughput in ``throughput_buckets`` log-spaced buckets across
+    1/4x .. 4x of the ladder span, previous rung verbatim (``-1`` when the
+    session has not downloaded a segment yet).  ``throughput`` may be
+    ``None`` (no history yet) and falls back to ``min_bitrate``.
+    """
+    # Injected faults can corrupt observations (NaN/inf throughput samples,
+    # see repro.faults); clamp to safe values rather than crash the agent.
+    if not math.isfinite(buffer_level):
+        buffer_level = 0.0
+    frac = min(max(buffer_level / max_buffer, 0.0), 1.0)
+    b = min(int(frac * buffer_buckets), buffer_buckets - 1)
+    if throughput is None or not math.isfinite(throughput) or throughput <= 0.0:
+        throughput = min_bitrate
+    lo = 0.25 * min_bitrate
+    hi = 4.0 * max_bitrate
+    ratio = min(max(throughput, lo), hi) / lo
+    t = int(math.log(ratio) / math.log(hi / lo) * throughput_buckets)
+    t = min(t, throughput_buckets - 1)
+    p = -1 if previous_quality is None else int(previous_quality)
+    return (b, t, p)
 
 
 @dataclass
@@ -57,6 +94,12 @@ class QTableController(AbrController):
 
     q_table: Dict[Tuple[State, int], float] = field(default_factory=dict)
     training: bool = False
+    #: optional teacher controller: during training, with probability
+    #: ``anchor_epsilon`` the agent takes the teacher's action instead of
+    #: its own (SABR's ε-style anchor, keeping fine-tuning near the
+    #: behavior-cloned policy).  Ignored outside training.
+    teacher: Optional[AbrController] = None
+    anchor_epsilon: float = 0.0
 
     def __post_init__(self) -> None:
         super().__init__(predictor=None)
@@ -70,17 +113,16 @@ class QTableController(AbrController):
 
     def encode(self, obs: PlayerObservation) -> State:
         """Discretise an observation into a table state."""
-        frac = min(max(obs.buffer_level / obs.max_buffer, 0.0), 1.0)
-        b = min(int(frac * self.buffer_buckets), self.buffer_buckets - 1)
-        throughput = obs.last_throughput or obs.ladder.min_bitrate
-        # Log-spaced throughput buckets across 1/4x .. 4x of the ladder span.
-        lo = 0.25 * obs.ladder.min_bitrate
-        hi = 4.0 * obs.ladder.max_bitrate
-        ratio = min(max(throughput, lo), hi) / lo
-        t = int(math.log(ratio) / math.log(hi / lo) * self.throughput_buckets)
-        t = min(t, self.throughput_buckets - 1)
-        p = -1 if obs.previous_quality is None else obs.previous_quality
-        return (b, t, p)
+        return encode_state(
+            obs.buffer_level,
+            obs.last_throughput,
+            obs.previous_quality,
+            obs.max_buffer,
+            obs.ladder.min_bitrate,
+            obs.ladder.max_bitrate,
+            self.buffer_buckets,
+            self.throughput_buckets,
+        )
 
     def q_value(self, state: State, action: int) -> float:
         return self.q_table.get((state, action), 0.0)
@@ -93,9 +135,18 @@ class QTableController(AbrController):
         if self.training and self._prev is not None:
             self._learn(obs, state, levels)
 
-        if self.training and self._rng.random() < self.epsilon:
+        action: Optional[int] = None
+        if (
+            self.training
+            and self.teacher is not None
+            and self._rng.random() < self.anchor_epsilon
+        ):
+            taught = self.teacher.select_quality(obs)
+            if taught is not None and 0 <= taught < levels:
+                action = int(taught)
+        if action is None and self.training and self._rng.random() < self.epsilon:
             action = self._rng.randrange(levels)
-        else:
+        if action is None:
             action = max(
                 range(levels), key=lambda a: (self.q_value(state, a), -a)
             )
@@ -139,6 +190,9 @@ def train_q_controller(
     epsilon_start: float = 0.4,
     epsilon_end: float = 0.02,
     seed: int = 0,
+    q_init: Optional[Dict[Tuple[State, int], float]] = None,
+    teacher: Optional[AbrController] = None,
+    anchor_epsilon: float = 0.0,
     **agent_kwargs,
 ) -> QTableController:
     """Train a :class:`QTableController` in the package's own simulator.
@@ -151,22 +205,39 @@ def train_q_controller(
         epsilon_start: initial exploration rate, decayed linearly.
         epsilon_end: final exploration rate.
         seed: RNG seed for exploration.
+        q_init: warm-start Q-values (e.g. from a behavior-cloned policy,
+            see :func:`repro.learn.bc.fit_bc`); copied, never mutated.
+        teacher: anchor controller — with probability ``anchor_epsilon``
+            the agent follows the teacher's action during training
+            (SABR-style fine-tuning near the demonstrated policy).
+        anchor_epsilon: probability of deferring to ``teacher`` per step.
         **agent_kwargs: forwarded to :class:`QTableController`.
 
     Returns:
-        The trained agent, frozen (``training=False``, ε=0).
+        The trained agent, frozen (``training=False``, ε=0, no teacher).
     """
     from ..sim.player import simulate_session
 
     if not traces:
         raise ValueError("need at least one training trace")
-    agent = QTableController(seed=seed, **agent_kwargs)
+    agent = QTableController(
+        seed=seed,
+        teacher=teacher,
+        anchor_epsilon=anchor_epsilon,
+        **agent_kwargs,
+    )
+    if q_init:
+        agent.q_table.update(q_init)
     agent.training = True
     for episode in range(episodes):
         frac = episode / max(episodes - 1, 1)
         agent.epsilon = epsilon_start + (epsilon_end - epsilon_start) * frac
         trace = traces[episode % len(traces)]
+        if teacher is not None:
+            teacher.reset()
         simulate_session(agent, trace, ladder, player_config)
     agent.training = False
     agent.epsilon = 0.0
+    agent.teacher = None
+    agent.anchor_epsilon = 0.0
     return agent

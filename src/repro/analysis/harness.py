@@ -168,9 +168,14 @@ def suite_spec(
     dataset_name: str,
     qoe_beta: float,
     qoe_gamma: float,
+    log_decisions: bool = False,
 ) -> Dict[str, object]:
-    """The canonical (JSON-safe) config of one suite run, for hashing."""
-    return {
+    """The canonical (JSON-safe) config of one suite run, for hashing.
+
+    ``log_decisions`` only enters the spec when enabled, so the config
+    hash of every journal written before the hook existed is unchanged.
+    """
+    spec: Dict[str, object] = {
         "kind": "suite",
         "dataset": dataset_name,
         "profile": profile.name,
@@ -186,6 +191,9 @@ def suite_spec(
         },
         "qoe": {"beta": qoe_beta, "gamma": qoe_gamma},
     }
+    if log_decisions:
+        spec["log_decisions"] = True
+    return spec
 
 
 def _make_session_thunk(
@@ -196,6 +204,7 @@ def _make_session_thunk(
     qoe_gamma: float,
     seed: int,
     fault_factory: Optional[Callable[[], object]] = None,
+    log_decisions: bool = False,
 ) -> Callable[[], Dict[str, object]]:
     """One session as a runner thunk: simulate, score, audit."""
 
@@ -203,7 +212,12 @@ def _make_session_thunk(
         controller = factory()
         faults = fault_factory() if fault_factory is not None else None
         result = run_session(
-            controller, trace, profile.ladder, profile.player, faults=faults
+            controller,
+            trace,
+            profile.ladder,
+            profile.player,
+            faults=faults,
+            log_decisions=log_decisions,
         )
         metrics = qoe_from_session(
             result,
@@ -216,7 +230,7 @@ def _make_session_thunk(
         violations = audit_session(
             result, metrics, config=profile.player, faults=faults
         )
-        return {
+        output: Dict[str, object] = {
             "metrics": metrics_to_dict(metrics),
             "counters": {
                 "segments": result.num_segments,
@@ -231,6 +245,9 @@ def _make_session_thunk(
             },
             "violations": violations,
         }
+        if log_decisions:
+            output["decisions"] = result.decision_log
+        return output
 
     return thunk
 
@@ -247,6 +264,7 @@ def run_suite(
     journal: Optional[str] = None,
     resume: bool = False,
     session_timeout: Optional[float] = None,
+    log_decisions: bool = False,
 ) -> SuiteResult:
     """Run every controller factory over every trace of a dataset.
 
@@ -267,6 +285,10 @@ def run_suite(
             under the same config hash (refuses a mismatched config).
         session_timeout: per-session wall-clock budget in seconds,
             enforced by killing the worker (``jobs > 1`` only).
+        log_decisions: record every controller answer as a demonstration
+            row on each session record (and in the journal), producing a
+            dataset for ``repro.learn``.  Changes the config hash, so a
+            demonstration journal never resumes a plain run or vice versa.
     """
     if not factories:
         raise ValueError("need at least one controller factory")
@@ -276,7 +298,13 @@ def run_suite(
         raise ValueError("--resume requires a journal path")
 
     spec = suite_spec(
-        factories, traces, profile, dataset_name, qoe_beta, qoe_gamma
+        factories,
+        traces,
+        profile,
+        dataset_name,
+        qoe_beta,
+        qoe_gamma,
+        log_decisions=log_decisions,
     )
     chash = config_hash(spec)
     run_journal = (
@@ -300,7 +328,13 @@ def run_suite(
                 SessionTask(
                     key=key,
                     thunk=_make_session_thunk(
-                        factory, trace, profile, qoe_beta, qoe_gamma, index
+                        factory,
+                        trace,
+                        profile,
+                        qoe_beta,
+                        qoe_gamma,
+                        index,
+                        log_decisions=log_decisions,
                     ),
                 )
             )

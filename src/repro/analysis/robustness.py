@@ -60,6 +60,8 @@ class RobustnessPoint:
         retries: mean download retries per session.
         fallback_decisions: mean resilient-fallback decisions per session.
         sessions: number of sessions aggregated.
+        switching_rate: mean per-session switching rate (the stability
+            axis of the learned-controller evaluations).
     """
 
     intensity: float
@@ -70,6 +72,7 @@ class RobustnessPoint:
     retries: float
     fallback_decisions: float
     sessions: int
+    switching_rate: float = float("nan")
 
 
 @dataclass
@@ -318,6 +321,7 @@ def sweep_fault_intensity(
             cell = cells.get((name, level_index), [])
             qoes = [r.metrics["qoe"] for r in cell]
             rebufs = [r.metrics["rebuffer_ratio"] for r in cell]
+            switches = [r.metrics["switching_rate"] for r in cell]
             faults_n = [r.counters.get("faults_injected", 0) for r in cell]
             retries_n = [r.counters.get("retries", 0) for r in cell]
             fallbacks_n = [
@@ -338,6 +342,9 @@ def sweep_fault_intensity(
                         float(np.mean(fallbacks_n)) if fallbacks_n else nan
                     ),
                     sessions=len(cell),
+                    switching_rate=(
+                        float(np.mean(switches)) if switches else nan
+                    ),
                 )
             )
         report.curves[name] = curve

@@ -24,7 +24,13 @@ Subcommands:
   aggregates), and a ``--serve`` mode that drives every decision
   through the live sharded service;
 * ``table`` — build a memory-mapped decision table file (versioned,
-  checksummed) or inspect one.
+  checksummed) or inspect one;
+* ``learn`` — the offline learning pipeline (``extract``, ``bc``,
+  ``finetune``, ``distill``, ``eval``): demonstration datasets from
+  journaled ``compare --log-decisions`` runs, behavior cloning,
+  RL fine-tuning, distillation to a servable decision table, and a
+  stability evaluation against SODA (with an optional 2-shard canary
+  rollout check).
 
 ``compare`` and ``robustness`` accept the experiment-runner options
 ``--jobs N`` (supervised worker pool with crash containment),
@@ -151,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="fast",
                    help="SODA horizon solver: the vectorized fast path "
                         "(default) or the recursive reference")
+    p.add_argument("--log-decisions", action="store_true",
+                   help="record every controller answer on each session "
+                        "record (demonstration data for 'repro learn'; "
+                        "changes the journal config hash)")
     _add_runner_args(p)
     p.set_defaults(func=_cmd_compare)
 
@@ -322,6 +332,99 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("path", help=".sodatbl file to inspect")
     tp.set_defaults(func=_cmd_table_inspect)
 
+    p = sub.add_parser(
+        "learn",
+        help="offline learning pipeline: journals -> BC -> fine-tune "
+             "-> distill -> serve",
+    )
+    lsub = p.add_subparsers(dest="learn_command", required=True)
+
+    lp = lsub.add_parser(
+        "extract", help="demonstration JSONL from a --log-decisions journal"
+    )
+    lp.add_argument("--journal", required=True,
+                    help="source run journal (plain or gzip JSONL)")
+    lp.add_argument("--out", required=True,
+                    help="demonstration file to write (.gz compresses)")
+    lp.add_argument("--controller", default="soda",
+                    help="teacher whose decisions to keep")
+    lp.set_defaults(func=_cmd_learn_extract)
+
+    lp = lsub.add_parser(
+        "bc", help="behavior-clone a greedy policy from demonstrations"
+    )
+    lp.add_argument("--demos", required=True, help="demonstration file")
+    lp.add_argument("--out", required=True, help="policy JSON to write")
+    lp.add_argument("--smoothing", type=float, default=0.5,
+                    help="Laplace pseudo-count per action")
+    lp.add_argument("--buffer-buckets", type=int, default=8)
+    lp.add_argument("--throughput-buckets", type=int, default=8)
+    lp.add_argument("--coverage-json",
+                    help="write the state-coverage report JSON here")
+    lp.set_defaults(func=_cmd_learn_bc)
+
+    lp = lsub.add_parser(
+        "finetune",
+        help="RL fine-tuning: warm-start the Q-learner from a cloned "
+             "policy, anchored to the teacher",
+    )
+    lp.add_argument("--policy", required=True, help="cloned policy JSON")
+    lp.add_argument("--out", required=True,
+                    help="fine-tuned policy JSON to write")
+    lp.add_argument("--dataset", choices=sorted(DATASET_FACTORIES),
+                    default="puffer")
+    lp.add_argument("--sessions", type=int, default=4,
+                    help="fine-tuning traces")
+    lp.add_argument("--duration", type=float, default=240.0)
+    lp.add_argument("--episodes", type=int, default=40)
+    lp.add_argument("--anchor-epsilon", type=float, default=0.3,
+                    help="per-decision probability of taking the "
+                         "teacher's action (0 disables the anchor)")
+    lp.add_argument("--epsilon-start", type=float, default=0.15)
+    lp.add_argument("--epsilon-end", type=float, default=0.02)
+    lp.add_argument("--seed", type=int, default=0)
+    lp.set_defaults(func=_cmd_learn_finetune)
+
+    lp = lsub.add_parser(
+        "distill",
+        help="render a policy onto a dense servable decision-table file",
+    )
+    lp.add_argument("--policy", required=True, help="policy JSON to distill")
+    lp.add_argument("--out", required=True, help=".sodatbl file to write")
+    lp.add_argument("--table-points", type=int, default=32,
+                    help="grid points per axis")
+    lp.add_argument("--table-version", type=int, default=1,
+                    help="monotonic table version stamped into the header")
+    lp.set_defaults(func=_cmd_learn_distill)
+
+    lp = lsub.add_parser(
+        "eval",
+        help="stability evaluation of learned policies vs SODA on the "
+             "robustness sweep",
+    )
+    lp.add_argument("--policy", required=True,
+                    help="cloned policy JSON to evaluate")
+    lp.add_argument("--finetuned",
+                    help="fine-tuned policy JSON to evaluate alongside")
+    lp.add_argument("--distilled",
+                    help="distilled .sodatbl to evaluate at tier-1 lookup "
+                         "semantics (adds a solver-table head-to-head)")
+    lp.add_argument("--dataset", choices=sorted(DATASET_FACTORIES),
+                    default="puffer")
+    lp.add_argument("--sessions", type=int, default=4)
+    lp.add_argument("--duration", type=float, default=240.0)
+    lp.add_argument("--seed", type=int, default=1)
+    lp.add_argument("--intensities", default="0,0.2",
+                    help="comma-separated fault intensities, ascending")
+    lp.add_argument("--jobs", type=int, default=1)
+    lp.add_argument("--serve-check", action="store_true",
+                    help="with --distilled: canary-roll the table onto a "
+                         "live 2-shard service and require a commit")
+    lp.add_argument("--out",
+                    help="append the evaluation summary to this JSON "
+                         "perf-trajectory file")
+    lp.set_defaults(func=_cmd_learn_eval)
+
     return parser
 
 
@@ -390,6 +493,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             journal=journal,
             resume=args.resume,
             session_timeout=args.session_timeout,
+            log_decisions=args.log_decisions,
         )
         print(f"\n=== {name} ({args.sessions} × {args.duration:.0f}s) ===")
         summaries = suite.summaries()
@@ -910,6 +1014,209 @@ def _cmd_table_inspect(args: argparse.Namespace) -> int:
           f"-{table.tput_grid[-1]:.2f} Mb/s; "
           f"buffer 0-{table.buffer_grid[-1]:.1f}s")
     print(f"  originally built in {table.stats.build_seconds:.2f}s")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _cmd_learn_extract(args: argparse.Namespace) -> int:
+    from .learn import extract_demonstrations
+
+    report = extract_demonstrations(
+        args.journal, args.out, controller=args.controller
+    )
+    skipped = f" ({report.skipped} session(s) skipped)" if report.skipped else ""
+    print(f"extracted {report.decisions} decisions from {report.sessions} "
+          f"'{report.controller}' session(s) -> {report.path}{skipped}")
+    return 0
+
+
+def _cmd_learn_bc(args: argparse.Namespace) -> int:
+    import json
+
+    from .learn import fit_bc, load_demonstrations
+
+    dataset = load_demonstrations(
+        args.demos,
+        buffer_buckets=args.buffer_buckets,
+        throughput_buckets=args.throughput_buckets,
+    )
+    policy, coverage = fit_bc(dataset, smoothing=args.smoothing)
+    policy.save(args.out)
+    print(f"cloned '{dataset.controller}' from {dataset.decisions} decisions "
+          f"into {args.out} ({len(policy.values)} states)")
+    print(coverage.render())
+    if args.coverage_json:
+        with open(args.coverage_json, "w", encoding="utf-8") as f:
+            json.dump(coverage.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.coverage_json}")
+    return 0
+
+
+def _cmd_learn_finetune(args: argparse.Namespace) -> int:
+    from .learn import PolicyTable, finetune, policy_from_q
+
+    policy = PolicyTable.load(args.policy)
+    traces = DATASET_FACTORIES[args.dataset]().dataset(
+        args.sessions, args.duration, seed=args.seed
+    )
+    profile = live_profile(
+        session_seconds=args.duration, cellular=args.dataset in ("5g", "4g")
+    )
+    agent = finetune(
+        policy,
+        traces,
+        player_config=profile.player,
+        episodes=args.episodes,
+        epsilon_start=args.epsilon_start,
+        epsilon_end=args.epsilon_end,
+        anchor_epsilon=args.anchor_epsilon,
+        seed=args.seed,
+    )
+    tuned = policy_from_q(agent, policy.ladder, policy.max_buffer, name="ft")
+    tuned.save(args.out)
+    print(f"fine-tuned '{policy.name}' over {args.episodes} episodes on "
+          f"{len(traces)} {args.dataset} trace(s) "
+          f"(anchor ε={args.anchor_epsilon:g}): "
+          f"{len(tuned.values)} states -> {args.out}")
+    return 0
+
+
+def _cmd_learn_distill(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .learn import PolicyTable, distill_policy
+
+    if args.table_points < 2:
+        raise ValueError("--table-points must be at least 2")
+    policy = PolicyTable.load(args.policy)
+    table = distill_policy(
+        policy,
+        throughput_points=args.table_points,
+        buffer_points=args.table_points,
+        version=args.table_version,
+    )
+    table.save_mmap(args.out)
+    shape = table.shape
+    defer_fraction = float(np.mean(table._table < 0))
+    print(f"distilled '{policy.name}' -> {args.out}: v{table.version}, "
+          f"{shape[0]}x{shape[1]} grid, {shape[2]} prev slots, "
+          f"defer fraction {defer_fraction:.1%}, "
+          f"built in {table.stats.build_seconds:.2f}s")
+    return 0
+
+
+def _cmd_learn_eval(args: argparse.Namespace) -> int:
+    from .core.lookup import DecisionTable
+    from .learn import (
+        PolicyController,
+        PolicyTable,
+        TableController,
+        evaluate_stability,
+    )
+
+    try:
+        intensities = sorted(float(x) for x in args.intensities.split(",") if x)
+    except ValueError:
+        raise ValueError(
+            f"--intensities must be comma-separated numbers, "
+            f"got {args.intensities!r}"
+        )
+    if not intensities:
+        raise ValueError("--intensities must name at least one level")
+    if args.serve_check and not args.distilled:
+        raise ValueError("--serve-check requires --distilled")
+
+    traces = DATASET_FACTORIES[args.dataset]().dataset(
+        args.sessions, args.duration, seed=args.seed
+    )
+    profile = live_profile(
+        session_seconds=args.duration, cellular=args.dataset in ("5g", "4g")
+    )
+
+    policies = {}
+    cloned = PolicyTable.load(args.policy)
+    policies[cloned.name or "bc"] = lambda p=cloned: PolicyController(p)
+    if args.finetuned:
+        tuned = PolicyTable.load(args.finetuned)
+        name = tuned.name if tuned.name not in policies else "ft"
+        policies[name] = lambda p=tuned: PolicyController(p)
+    distilled = None
+    if args.distilled:
+        distilled = DecisionTable.load_mmap(args.distilled)
+        policies["distilled"] = (
+            lambda t=distilled: TableController(t, name="distilled")
+        )
+        solver_table = DecisionTable(
+            profile.ladder,
+            distilled.max_buffer,
+            throughput_points=distilled.shape[0],
+            buffer_points=distilled.shape[1],
+        )
+        policies["solver-table"] = (
+            lambda t=solver_table: TableController(t, name="solver-table")
+        )
+
+    report, summary = evaluate_stability(
+        policies,
+        traces,
+        profile,
+        intensities=intensities,
+        seed=args.seed,
+        dataset_name=args.dataset,
+        jobs=args.jobs,
+    )
+    print(f"=== learn eval: {args.dataset} "
+          f"({args.sessions} × {args.duration:.0f}s) ===")
+    print(report.render())
+    for name, row in summary.items():
+        delta = "" if name == "soda" else (
+            f"  [vs soda: qoe {row['qoe_delta']:+.3f} "
+            f"switch {row['switch_delta']:+.3f} "
+            f"rebuf {row['rebuffer_delta']:+.4f}]"
+        )
+        print(f"{name}: qoe={row['qoe_faulted']:.3f} "
+              f"switch={row['switching_rate']:.3f} "
+              f"rebuf={row['rebuffer_ratio']:.4f}{delta}")
+    _print_failures(report)
+
+    committed = None
+    if args.serve_check:
+        from .service import ShardedDecisionService
+
+        service = ShardedDecisionService(
+            profile.ladder,
+            distilled.max_buffer,
+            shards=2,
+            deadline=0.25,
+            table_points=10,
+        )
+        try:
+            roll = service.rollout(distilled, probation=0.2)
+        finally:
+            service.close()
+        committed = roll.committed
+        outcome = "committed" if roll.committed else (
+            f"rolled back ({roll.reason})" if roll.rolled_back
+            else f"aborted ({roll.reason})"
+        )
+        print(f"serve-check: rollout v{roll.previous_version} -> "
+              f"v{roll.target_version} {outcome} on 2 shards")
+
+    if args.out:
+        _append_perf_entry(args.out, {
+            "mode": "learn-eval",
+            "dataset": args.dataset,
+            "sessions": args.sessions,
+            "intensities": intensities,
+            "summary": summary,
+            "serve_check_committed": committed,
+        })
+        print(f"appended perf entry to {args.out}")
+    if report.failure_count:
+        return 1
+    if committed is False:
+        return 1
     return 0
 
 

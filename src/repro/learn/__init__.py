@@ -1,0 +1,47 @@
+"""Offline learning pipeline: journals → BC → fine-tune → distill → serve.
+
+The paper's CausalSimRL baseline is substituted by a tabular agent
+(:mod:`repro.abr.rl`); this package closes the loop from recorded SODA
+decisions back to a servable policy, SABR-fashion:
+
+1. :mod:`~repro.learn.dataset` — extract per-decision demonstrations from
+   run journals written by ``repro compare --log-decisions``.
+2. :mod:`~repro.learn.bc` — behavior-clone a greedy policy table from the
+   demonstration counts (Laplace-smoothed) with a state-coverage report.
+3. :mod:`~repro.learn.finetune` — warm-start the tabular Q-learner from
+   the cloned table and fine-tune in-simulator with an ε-style anchor to
+   the teacher, then evaluate stability vs SODA on the robustness sweep.
+4. :mod:`~repro.learn.distill` — export any policy as a dense int8
+   :class:`~repro.core.lookup.DecisionTable` grid, publishable with
+   :class:`~repro.core.lookup.TablePublisher` and canary-rolled-out via
+   :meth:`~repro.service.shard.ShardedDecisionService.rollout`.
+
+The ``repro learn extract|bc|finetune|distill|eval`` CLI ties the stages
+together; DESIGN.md §15 documents the state-space contract.
+"""
+
+from .bc import CoverageReport, PolicyController, PolicyTable, fit_bc
+from .dataset import (
+    DemoDataset,
+    ExtractReport,
+    extract_demonstrations,
+    load_demonstrations,
+)
+from .distill import TableController, distill_policy
+from .finetune import evaluate_stability, finetune, policy_from_q
+
+__all__ = [
+    "CoverageReport",
+    "PolicyController",
+    "PolicyTable",
+    "fit_bc",
+    "DemoDataset",
+    "ExtractReport",
+    "extract_demonstrations",
+    "load_demonstrations",
+    "TableController",
+    "distill_policy",
+    "evaluate_stability",
+    "finetune",
+    "policy_from_q",
+]

@@ -1,0 +1,277 @@
+"""Behavior cloning: a greedy policy table from demonstration counts.
+
+The cloned policy is a sparse table over the discretised state space of
+:func:`repro.abr.rl.encode_state`: for every *visited* state it stores a
+Laplace-smoothed action distribution (ladder rungs plus a trailing defer
+slot) and acts greedily.  Unvisited states fall back to holding the
+previous rung (rung 0 at session start) — the same safe-hold rule the
+degradation ladder applies to tier-1 defers — and the
+:class:`CoverageReport` says how often that fallback will fire.
+
+:class:`PolicyController` serves any policy table as an ABR controller,
+so cloned and fine-tuned policies run through the very same simulator,
+robustness sweep, and QoE pipeline as every hand-written controller.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..abr.base import AbrController, PlayerObservation
+from ..abr.rl import State, encode_state
+from ..sim.video import BitrateLadder
+from .dataset import DemoDataset
+
+__all__ = ["CoverageReport", "PolicyTable", "PolicyController", "fit_bc"]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How much of the state space the demonstrations visited.
+
+    Attributes:
+        total_states: full discretised state-space size.
+        visited_states: states with at least one demonstration.
+        sessions: demonstration sessions consumed.
+        decisions: demonstration rows consumed.
+        defer_fraction: fraction of rows where the teacher deferred.
+        action_histogram: row count per action (defer slot last).
+    """
+
+    total_states: int
+    visited_states: int
+    sessions: int
+    decisions: int
+    defer_fraction: float
+    action_histogram: Tuple[int, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Visited fraction of the state space, in [0, 1]."""
+        if self.total_states == 0:
+            return 0.0
+        return self.visited_states / self.total_states
+
+    def to_dict(self) -> dict:
+        return {
+            "total_states": self.total_states,
+            "visited_states": self.visited_states,
+            "coverage": self.coverage,
+            "sessions": self.sessions,
+            "decisions": self.decisions,
+            "defer_fraction": self.defer_fraction,
+            "action_histogram": list(self.action_histogram),
+        }
+
+    def render(self) -> str:
+        return (
+            f"coverage: {self.visited_states}/{self.total_states} states "
+            f"({self.coverage:.1%}) from {self.decisions} decisions over "
+            f"{self.sessions} session(s); defer rate "
+            f"{self.defer_fraction:.1%}"
+        )
+
+
+@dataclass
+class PolicyTable:
+    """A sparse greedy policy over the shared discretised state space.
+
+    ``values[state]`` is a float array of length ``ladder.levels + 1``
+    (action scores, defer slot last); greedy ties break toward the lowest
+    rung, and a rung always beats the defer slot on an exact tie —
+    matching the Q-agent's ``(value, -action)`` rule.
+    """
+
+    ladder: BitrateLadder
+    max_buffer: float
+    buffer_buckets: int
+    throughput_buckets: int
+    values: Dict[State, np.ndarray] = field(default_factory=dict)
+    name: str = "bc"
+
+    def scores(self, state: State) -> Optional[np.ndarray]:
+        """Action scores for a state, or ``None`` when unvisited."""
+        return self.values.get(state)
+
+    def decide(self, state: State, prev: Optional[int]) -> Optional[int]:
+        """The policy's answer for one state: a rung or ``None`` (defer).
+
+        Unvisited states hold the previous rung (rung 0 at session
+        start); a learned defer is suppressed when the buffer bucket is
+        empty, where idling would risk a stall the teacher never chose.
+        """
+        levels = self.ladder.levels
+        row = self.values.get(state)
+        if row is None:
+            if prev is not None and 0 <= prev < levels:
+                return int(prev)
+            return 0
+        best = int(np.argmax(row))
+        if best == levels:  # defer slot
+            if state[0] == 0:
+                return int(prev) if prev is not None and 0 <= prev < levels else 0
+            return None
+        return best
+
+    def to_q_table(self, scale: float = 1.0) -> Dict[Tuple[State, int], float]:
+        """Warm-start Q-values: ``scale`` × action probability per state.
+
+        Defer has no Q-action (the Q-agent never defers), so only real
+        rungs are emitted; greedy over the result matches this policy
+        wherever it picks a rung.
+        """
+        q: Dict[Tuple[State, int], float] = {}
+        for state, row in self.values.items():
+            for action in range(self.ladder.levels):
+                q[(state, action)] = float(scale * row[action])
+        return q
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the policy as a single JSON document."""
+        doc = {
+            "kind": "policy",
+            "name": self.name,
+            "ladder": {
+                "bitrates": list(self.ladder.bitrates),
+                "segment_duration": self.ladder.segment_duration,
+                "name": self.ladder.name,
+                "size_variation": self.ladder.size_variation,
+            },
+            "max_buffer": self.max_buffer,
+            "buffer_buckets": self.buffer_buckets,
+            "throughput_buckets": self.throughput_buckets,
+            "values": {
+                f"{b},{t},{p}": [float(x) for x in row]
+                for (b, t, p), row in sorted(self.values.items())
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, sort_keys=True)
+            handle.write("\n")
+
+    @staticmethod
+    def load(path: str) -> "PolicyTable":
+        """Load a policy written by :meth:`save`.
+
+        Raises:
+            ValueError: the file is not a policy table document.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a policy file ({exc})") from None
+        if not isinstance(doc, dict) or doc.get("kind") != "policy":
+            raise ValueError(f"{path}: not a policy file (missing kind)")
+        try:
+            ladder_spec = doc["ladder"]
+            ladder = BitrateLadder(
+                ladder_spec["bitrates"],
+                segment_duration=ladder_spec["segment_duration"],
+                name=ladder_spec.get("name", ""),
+                size_variation=ladder_spec.get("size_variation", 0.0),
+            )
+            policy = PolicyTable(
+                ladder=ladder,
+                max_buffer=float(doc["max_buffer"]),
+                buffer_buckets=int(doc["buffer_buckets"]),
+                throughput_buckets=int(doc["throughput_buckets"]),
+                name=str(doc.get("name", "bc")),
+            )
+            for key, row in doc["values"].items():
+                b, t, p = (int(x) for x in key.split(","))
+                arr = np.asarray(row, dtype=float)
+                if arr.shape != (ladder.levels + 1,):
+                    raise ValueError(
+                        f"state {key} has {arr.size} scores for "
+                        f"{ladder.levels} rungs"
+                    )
+                policy.values[(b, t, p)] = arr
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: corrupt policy file ({exc})") from None
+        return policy
+
+
+class PolicyController(AbrController):
+    """Serve a :class:`PolicyTable` as an ABR controller.
+
+    Observations are discretised with the policy's own bucket sizes but
+    the *observation's* ladder and buffer cap, so the controller stays on
+    the state-space contract even if the serving ladder drifts from the
+    training one.
+    """
+
+    def __init__(self, policy: PolicyTable, name: Optional[str] = None) -> None:
+        super().__init__(predictor=None)
+        self.policy = policy
+        self.name = name or policy.name
+
+    def select_quality(self, obs: PlayerObservation) -> Optional[int]:
+        state = encode_state(
+            obs.buffer_level,
+            obs.last_throughput,
+            obs.previous_quality,
+            obs.max_buffer,
+            obs.ladder.min_bitrate,
+            obs.ladder.max_bitrate,
+            self.policy.buffer_buckets,
+            self.policy.throughput_buckets,
+        )
+        decision = self.policy.decide(state, obs.previous_quality)
+        if decision is not None and not 0 <= decision < obs.ladder.levels:
+            # A policy trained on a taller ladder than the one serving:
+            # clamp rather than hand the player an out-of-range rung.
+            decision = obs.ladder.levels - 1
+        return decision
+
+
+def fit_bc(
+    dataset: DemoDataset,
+    smoothing: float = 0.5,
+    name: str = "bc",
+) -> Tuple[PolicyTable, CoverageReport]:
+    """Clone the teacher: per-state action distributions from counts.
+
+    Args:
+        dataset: discretised demonstrations (see
+            :func:`repro.learn.dataset.load_demonstrations`).
+        smoothing: Laplace pseudo-count added to every action (including
+            defer) before normalising; must be positive so unseen actions
+            keep non-zero probability.
+        name: controller name of the cloned policy.
+
+    Returns:
+        ``(policy, coverage)`` — the greedy policy table and its
+        state-space coverage report.
+    """
+    if smoothing <= 0:
+        raise ValueError("smoothing must be positive")
+    levels = dataset.ladder.levels
+    policy = PolicyTable(
+        ladder=dataset.ladder,
+        max_buffer=dataset.max_buffer,
+        buffer_buckets=dataset.buffer_buckets,
+        throughput_buckets=dataset.throughput_buckets,
+        name=name,
+    )
+    for state, counts in dataset.counts.items():
+        total = float(counts.sum()) + smoothing * (levels + 1)
+        policy.values[state] = (counts + smoothing) / total
+    histogram = dataset.action_histogram()
+    total_rows = int(histogram.sum())
+    coverage = CoverageReport(
+        total_states=dataset.total_states,
+        visited_states=len(dataset.counts),
+        sessions=dataset.sessions,
+        decisions=dataset.decisions,
+        defer_fraction=(
+            float(histogram[-1]) / total_rows if total_rows else 0.0
+        ),
+        action_histogram=tuple(int(x) for x in histogram),
+    )
+    return policy, coverage

@@ -1,0 +1,266 @@
+"""Demonstration datasets: journaled SODA decisions → (state, action) counts.
+
+A *demonstration file* is a JSONL sibling of the run-journal format: one
+``demo-manifest`` line carrying everything a learner needs to interpret the
+rows (ladder, buffer cap, teacher controller, source config hash), then one
+``demo`` line per session holding that session's decision rows.  Rows are
+``[buffer_level, throughput, prev_rung, action]`` with ``-1`` encoding
+no-history / no-previous-rung / defer — exactly what the ``log_decisions``
+hook records on :class:`~repro.sim.player.SessionResult`.
+
+Extraction streams the source journal through
+:func:`repro.runner.journal.iter_records`, so multi-hundred-MB (possibly
+gzip-compressed) journals never load into memory; a ``.gz`` output path
+compresses the demonstration file the same way.
+
+Loading discretises every row into the (buffer bucket, throughput bucket,
+previous rung) state space shared with
+:func:`repro.abr.rl.encode_state` — the single contract that keeps BC,
+fine-tuning, and distillation mutually consistent.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..abr.rl import State, encode_state
+from ..runner.journal import JournalError, iter_records
+from ..sim.video import BitrateLadder
+
+__all__ = [
+    "ExtractReport",
+    "DemoDataset",
+    "extract_demonstrations",
+    "load_demonstrations",
+]
+
+#: schema version of the demonstration-file manifest
+_DEMO_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExtractReport:
+    """What one extraction pass produced.
+
+    Attributes:
+        path: the demonstration file written.
+        controller: the teacher whose decisions were kept.
+        sessions: sessions with at least one decision row.
+        decisions: total decision rows written.
+        skipped: sessions of the teacher dropped (failed, or journaled
+            without decision rows).
+    """
+
+    path: str
+    controller: str
+    sessions: int
+    decisions: int
+    skipped: int
+
+
+@dataclass
+class DemoDataset:
+    """Discretised demonstrations: per-state action counts.
+
+    ``counts[state]`` is an int array of length ``ladder.levels + 1``; the
+    last slot counts defers.  States follow
+    :func:`repro.abr.rl.encode_state` with this dataset's bucket sizes.
+    """
+
+    ladder: BitrateLadder
+    max_buffer: float
+    controller: str
+    buffer_buckets: int
+    throughput_buckets: int
+    counts: Dict[State, np.ndarray] = field(default_factory=dict)
+    sessions: int = 0
+    decisions: int = 0
+
+    @property
+    def total_states(self) -> int:
+        """Size of the full state space (visited or not)."""
+        return (
+            self.buffer_buckets
+            * self.throughput_buckets
+            * (self.ladder.levels + 1)
+        )
+
+    def action_histogram(self) -> np.ndarray:
+        """Total count per action across all states (defer slot last)."""
+        total = np.zeros(self.ladder.levels + 1, dtype=np.int64)
+        for row in self.counts.values():
+            total += row
+        return total
+
+    def add_row(self, row) -> None:
+        """Discretise and count one ``[buffer, tput, prev, action]`` row."""
+        if len(row) != 4:
+            raise ValueError(f"demonstration row must have 4 fields: {row!r}")
+        buffer_level, throughput, prev, action = (
+            float(row[0]), float(row[1]), int(row[2]), int(row[3]),
+        )
+        state = encode_state(
+            buffer_level,
+            None if throughput < 0 else throughput,
+            None if prev < 0 else prev,
+            self.max_buffer,
+            self.ladder.min_bitrate,
+            self.ladder.max_bitrate,
+            self.buffer_buckets,
+            self.throughput_buckets,
+        )
+        levels = self.ladder.levels
+        if not -1 <= action < levels:
+            raise ValueError(f"action {action} out of range for {levels} rungs")
+        slot = levels if action < 0 else action
+        if state not in self.counts:
+            self.counts[state] = np.zeros(levels + 1, dtype=np.int64)
+        self.counts[state][slot] += 1
+        self.decisions += 1
+
+
+def _open_text(path: str, mode: str):
+    """Text handle, gzip-compressed when the path ends in ``.gz``."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _ladder_from_spec(spec: dict) -> BitrateLadder:
+    ladder_spec = spec.get("ladder") or {}
+    try:
+        return BitrateLadder(
+            ladder_spec["bitrates"],
+            segment_duration=ladder_spec["segment_duration"],
+            name=ladder_spec.get("name", ""),
+            size_variation=ladder_spec.get("size_variation", 0.0),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JournalError(f"manifest has no usable ladder spec: {exc}") from None
+
+
+def extract_demonstrations(
+    journal_path: str,
+    out_path: str,
+    controller: str = "soda",
+) -> ExtractReport:
+    """Extract one teacher's decision rows from a run journal.
+
+    Streams the journal (plain or gzip) record by record; sessions of
+    ``controller`` that completed (``ok`` or ``flagged``) and carry
+    decision rows become one ``demo`` line each in ``out_path``.
+
+    Raises:
+        JournalError: no manifest line, or no session of the teacher
+            carries decision rows (the run was journaled without
+            ``--log-decisions``).
+    """
+    manifest: Optional[dict] = None
+    sessions = decisions = skipped = 0
+    with _open_text(out_path, "w") as out:
+        for record in iter_records(journal_path):
+            kind = record.get("kind")
+            if kind == "manifest":
+                manifest = record
+                spec = record.get("spec") or {}
+                ladder = _ladder_from_spec(spec)
+                player = spec.get("player") or {}
+                header = {
+                    "kind": "demo-manifest",
+                    "version": _DEMO_VERSION,
+                    "controller": controller,
+                    "source_config": record.get("config_hash", ""),
+                    "ladder": {
+                        "bitrates": list(ladder.bitrates),
+                        "segment_duration": ladder.segment_duration,
+                        "name": ladder.name,
+                        "size_variation": ladder.size_variation,
+                    },
+                    "max_buffer": float(player.get("max_buffer", 20.0)),
+                }
+                out.write(json.dumps(header) + "\n")
+                continue
+            if kind != "session":
+                continue
+            if record.get("controller") != controller:
+                continue
+            if manifest is None:
+                raise JournalError(
+                    f"{journal_path}: session record before the manifest line"
+                )
+            rows = record.get("decisions")
+            if record.get("status") not in ("ok", "flagged") or not rows:
+                skipped += 1
+                continue
+            out.write(json.dumps({
+                "kind": "demo",
+                "trace": record.get("trace", ""),
+                "seed": record.get("seed", 0),
+                "decisions": rows,
+            }) + "\n")
+            sessions += 1
+            decisions += len(rows)
+    if manifest is None:
+        raise JournalError(f"{journal_path}: no manifest line; not a run journal")
+    if sessions == 0:
+        raise JournalError(
+            f"{journal_path}: no '{controller}' session carries decision "
+            f"rows — re-run the experiment with --log-decisions"
+        )
+    return ExtractReport(
+        path=out_path,
+        controller=controller,
+        sessions=sessions,
+        decisions=decisions,
+        skipped=skipped,
+    )
+
+
+def load_demonstrations(
+    path: str,
+    buffer_buckets: int = 8,
+    throughput_buckets: int = 8,
+) -> DemoDataset:
+    """Load a demonstration file into per-state action counts.
+
+    Streams through :func:`iter_records` (demonstration files share the
+    journal line format, gzip detection included) and discretises every
+    row with :func:`repro.abr.rl.encode_state`.
+
+    Raises:
+        JournalError: no ``demo-manifest`` line or no decision rows.
+        ValueError: degenerate bucket sizes.
+    """
+    if buffer_buckets < 1 or throughput_buckets < 1:
+        raise ValueError("bucket counts must be positive")
+    dataset: Optional[DemoDataset] = None
+    for record in iter_records(path):
+        kind = record.get("kind")
+        if kind == "demo-manifest":
+            dataset = DemoDataset(
+                ladder=_ladder_from_spec(record),
+                max_buffer=float(record.get("max_buffer", 20.0)),
+                controller=str(record.get("controller", "")),
+                buffer_buckets=buffer_buckets,
+                throughput_buckets=throughput_buckets,
+            )
+            continue
+        if kind != "demo":
+            continue
+        if dataset is None:
+            raise JournalError(f"{path}: demo line before the demo-manifest")
+        for row in record.get("decisions") or ():
+            dataset.add_row(row)
+        dataset.sessions += 1
+    if dataset is None:
+        raise JournalError(
+            f"{path}: no demo-manifest line; not a demonstration file"
+        )
+    if dataset.decisions == 0:
+        raise JournalError(f"{path}: demonstration file holds no decisions")
+    return dataset

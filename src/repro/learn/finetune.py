@@ -1,0 +1,181 @@
+"""RL fine-tuning of a behavior-cloned policy, SABR-fashion.
+
+The cloned policy warm-starts the tabular Q-learner of
+:mod:`repro.abr.rl` (its ``q_init=`` hook) and training anchors to the
+teacher: with probability ``anchor_epsilon`` per decision the agent takes
+the teacher's action instead of its own, keeping the fine-tuned policy in
+the neighbourhood of the demonstrated one — the ε-style stand-in for
+SABR's KL regulariser that a tabular agent admits.
+
+:func:`policy_from_q` folds the fine-tuned Q-table back into a
+:class:`~repro.learn.bc.PolicyTable` so every downstream stage
+(distillation, serving, evaluation) handles BC and fine-tuned policies
+identically, and :func:`evaluate_stability` scores any set of learned
+policies against SODA on the operational robustness sweep — QoE,
+switching rate, and rebuffering per fault intensity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..abr.base import AbrController
+from ..abr.rl import QTableController, State, train_q_controller
+from ..analysis.harness import standard_controllers
+from ..analysis.robustness import RobustnessReport, sweep_fault_intensity
+from ..sim.network import ThroughputTrace
+from ..sim.profiles import EvaluationProfile
+from ..sim.video import BitrateLadder
+from .bc import PolicyController, PolicyTable
+
+__all__ = ["finetune", "policy_from_q", "evaluate_stability"]
+
+
+def finetune(
+    policy: PolicyTable,
+    traces: Sequence[ThroughputTrace],
+    player_config=None,
+    episodes: int = 40,
+    epsilon_start: float = 0.15,
+    epsilon_end: float = 0.02,
+    anchor_epsilon: float = 0.3,
+    bc_scale: float = 1.0,
+    seed: int = 0,
+    teacher: Optional[AbrController] = None,
+    **agent_kwargs,
+) -> QTableController:
+    """Fine-tune a cloned policy in-simulator, anchored to its teacher.
+
+    Args:
+        policy: the behavior-cloned table (fixes the bucket sizes).
+        traces: fine-tuning traces; episodes cycle through them.
+        player_config: player parameters during fine-tuning.
+        episodes: training sessions.
+        epsilon_start / epsilon_end: exploration schedule — deliberately
+            lower than from-scratch training, the point of BC pretraining.
+        anchor_epsilon: per-decision probability of taking the teacher's
+            action; 0 disables the anchor.
+        bc_scale: scale of the warm-start Q-values built from the cloned
+            action probabilities.
+        seed: RNG seed (exploration and anchor draws).
+        teacher: anchor controller; defaults to the cloned policy itself.
+        **agent_kwargs: forwarded to :class:`QTableController`.
+
+    Returns:
+        The fine-tuned agent, frozen greedy (see
+        :func:`repro.abr.rl.train_q_controller`).
+    """
+    if not 0.0 <= anchor_epsilon <= 1.0:
+        raise ValueError("anchor_epsilon must be in [0, 1]")
+    if teacher is None and anchor_epsilon > 0.0:
+        teacher = PolicyController(policy, name=f"{policy.name}-anchor")
+    agent_kwargs.setdefault("buffer_buckets", policy.buffer_buckets)
+    agent_kwargs.setdefault("throughput_buckets", policy.throughput_buckets)
+    agent_kwargs.setdefault("name", "ft")
+    return train_q_controller(
+        policy.ladder,
+        traces,
+        player_config=player_config,
+        episodes=episodes,
+        epsilon_start=epsilon_start,
+        epsilon_end=epsilon_end,
+        seed=seed,
+        q_init=policy.to_q_table(scale=bc_scale),
+        teacher=teacher,
+        anchor_epsilon=anchor_epsilon,
+        **agent_kwargs,
+    )
+
+
+def policy_from_q(
+    agent: QTableController,
+    ladder: BitrateLadder,
+    max_buffer: float,
+    name: str = "ft",
+) -> PolicyTable:
+    """Fold a Q-table back into a :class:`PolicyTable`.
+
+    Only states the agent actually valued appear; everything else stays
+    on the policy's safe-hold fallback.  The defer slot is pinned below
+    the worst rung value so the folded policy never defers — the Q-agent
+    has no defer action to have learned one.
+    """
+    policy = PolicyTable(
+        ladder=ladder,
+        max_buffer=max_buffer,
+        buffer_buckets=agent.buffer_buckets,
+        throughput_buckets=agent.throughput_buckets,
+        name=name,
+    )
+    levels = ladder.levels
+    states: Dict[State, np.ndarray] = {}
+    for (state, action), value in agent.q_table.items():
+        if not 0 <= action < levels:
+            continue
+        if state not in states:
+            states[state] = np.zeros(levels + 1, dtype=float)
+        states[state][action] = float(value)
+    for state, row in states.items():
+        row[levels] = float(row[:levels].min()) - 1.0
+        policy.values[state] = row
+    return policy
+
+
+def evaluate_stability(
+    policies: Mapping[str, Callable[[], AbrController]],
+    traces: Sequence[ThroughputTrace],
+    profile: EvaluationProfile,
+    intensities: Sequence[float] = (0.0, 0.2),
+    seed: int = 0,
+    dataset_name: str = "dataset",
+    jobs: int = 1,
+    soda_name: str = "soda",
+) -> Tuple[RobustnessReport, Dict[str, dict]]:
+    """Score learned policies against SODA on the robustness sweep.
+
+    Every policy faces the identical per-(intensity, session) fault
+    streams SODA faces (the sweep's seeding contract), so the comparison
+    isolates the controller.
+
+    Returns:
+        ``(report, summary)`` — the full sweep report plus, per policy, a
+        dict with its fault-free and max-intensity QoE / switching rate /
+        rebuffer ratio and the deltas against SODA (positive
+        ``qoe_delta`` means the policy beats SODA; ``switch_delta`` and
+        ``rebuffer_delta`` are policy minus SODA, lower is better).
+    """
+    factories: Dict[str, Callable[[], AbrController]] = dict(
+        standard_controllers()
+    )
+    factories = {soda_name: factories[soda_name]}
+    for name, factory in policies.items():
+        if name == soda_name:
+            raise ValueError(f"policy name {name!r} collides with the teacher")
+        factories[name] = factory
+    report = sweep_fault_intensity(
+        traces,
+        profile,
+        factories=factories,
+        intensities=intensities,
+        seed=seed,
+        dataset_name=dataset_name,
+        jobs=jobs,
+    )
+    soda_curve = report.curve(soda_name)
+    summary: Dict[str, dict] = {}
+    for name in factories:
+        curve = report.curve(name)
+        first, last = curve.points[0], curve.points[-1]
+        soda_last = soda_curve.points[-1]
+        summary[name] = {
+            "qoe_clean": first.qoe_mean,
+            "qoe_faulted": last.qoe_mean,
+            "switching_rate": last.switching_rate,
+            "rebuffer_ratio": last.rebuffer_ratio,
+            "qoe_delta": last.qoe_mean - soda_last.qoe_mean,
+            "switch_delta": last.switching_rate - soda_last.switching_rate,
+            "rebuffer_delta": last.rebuffer_ratio - soda_last.rebuffer_ratio,
+        }
+    return report, summary

@@ -33,6 +33,7 @@ from .journal import (
     RunManifest,
     canonical_json,
     config_hash,
+    iter_records,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "RunManifest",
     "canonical_json",
     "config_hash",
+    "iter_records",
 ]

@@ -107,6 +107,10 @@ class SessionRecord:
         violations: invariant-audit findings for flagged sessions.
         elapsed: wall seconds the session took (0 for cached records).
         cached: the record was served from a resumed journal.
+        decisions: opt-in per-decision demonstration rows (``[buffer,
+            throughput, prev_rung, action]``; see ``log_decisions`` on
+            :func:`repro.sim.player.simulate_session`), or ``None`` when
+            the run did not log decisions.
     """
 
     key: SessionKey
@@ -117,6 +121,7 @@ class SessionRecord:
     violations: Tuple[str, ...] = ()
     elapsed: float = 0.0
     cached: bool = False
+    decisions: Optional[List[List[float]]] = None
 
     @property
     def completed(self) -> bool:
@@ -143,7 +148,7 @@ class SessionRecord:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": "session",
             "controller": self.key.controller,
             "dataset": self.key.dataset,
@@ -157,6 +162,11 @@ class SessionRecord:
             "violations": list(self.violations),
             "elapsed": self.elapsed,
         }
+        # Only emitted when decision logging was on, so journals written
+        # before the hook existed hash and replay unchanged.
+        if self.decisions is not None:
+            data["decisions"] = [list(row) for row in self.decisions]
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "SessionRecord":
@@ -178,6 +188,11 @@ class SessionRecord:
             ),
             violations=tuple(data.get("violations", ())),
             elapsed=float(data.get("elapsed", 0.0)),
+            decisions=(
+                [list(row) for row in data["decisions"]]
+                if data.get("decisions") is not None
+                else None
+            ),
         )
 
 
@@ -230,6 +245,7 @@ def _record_from_output(
     key: SessionKey, output: Mapping[str, Any], elapsed: float
 ) -> SessionRecord:
     violations = tuple(output.get("violations", ()))
+    decisions = output.get("decisions")
     return SessionRecord(
         key=key,
         status=STATUS_FLAGGED if violations else STATUS_OK,
@@ -237,6 +253,7 @@ def _record_from_output(
         counters=dict(output.get("counters", {})),
         violations=violations,
         elapsed=elapsed,
+        decisions=[list(row) for row in decisions] if decisions else None,
     )
 
 

@@ -45,6 +45,7 @@ __all__ = [
     "Journal",
     "canonical_json",
     "config_hash",
+    "iter_records",
 ]
 
 #: test-only crash hook, see module docstring
@@ -77,6 +78,61 @@ def _is_gzip(path: str) -> bool:
             return handle.read(2) == b"\x1f\x8b"
     except OSError:
         return False
+
+
+def iter_records(path: str, kind: Optional[str] = None):
+    """Stream a journal's JSON lines without loading the file into memory.
+
+    Yields one parsed dict per line, in file order — the manifest line
+    included (``kind == "manifest"``) unless ``kind`` filters it out.
+    Gzip-compressed journals are detected by their magic bytes exactly
+    like :meth:`Journal.load`, and the same torn-line rule applies: a
+    corrupt *final* line is dropped silently, a corrupt line anywhere
+    else raises :class:`JournalError`.
+
+    This is the reader dataset extraction (``repro.learn.dataset``) is
+    built on: multi-hundred-MB fleet journals stream through it one
+    record at a time.
+
+    Args:
+        path: journal file (plain or gzip JSONL).
+        kind: when set, only records whose ``"kind"`` equals it are
+            yielded (e.g. ``"session"``).
+
+    Raises:
+        JournalError: unreadable gzip or a corrupt non-final line.
+        OSError: the file cannot be opened.
+    """
+    if _is_gzip(path):
+        handle = gzip.open(path, "rt", encoding="utf-8")
+    else:
+        handle = open(path, "r", encoding="utf-8")
+    with handle:
+        lineno = 0
+        try:
+            for line in handle:
+                lineno += 1
+                if not line.strip():
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    # Only the very last line may be torn (a non-atomic
+                    # writer mid-flush); anything after it is corruption.
+                    torn_at = lineno
+                    for extra in handle:
+                        if extra.strip():
+                            raise JournalError(
+                                f"{path}:{torn_at}: corrupt journal line: "
+                                f"{exc}"
+                            ) from exc
+                    break
+                if kind is None or data.get("kind") == kind:
+                    yield data
+        except (OSError, EOFError) as exc:
+            raise JournalError(
+                f"{path}: corrupt gzip journal: {exc}"
+            ) from exc
 
 
 def _key_tuple(record: Mapping[str, Any]) -> Tuple[str, str, str, int, str]:

@@ -205,6 +205,12 @@ class SessionResult:
     fallback_decisions: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: opt-in per-decision demonstration rows (see ``simulate_session``'s
+    #: ``log_decisions``): ``[buffer_level, throughput, prev_rung, action]``
+    #: per controller answer, throughput/prev/action ``-1`` encoding
+    #: no-history / no-previous-rung / defer respectively.  JSON-safe by
+    #: construction so runner records can carry it into journals.
+    decision_log: List[List[float]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -248,6 +254,7 @@ def simulate_session(
     ladder: BitrateLadder,
     config: Optional[PlayerConfig] = None,
     faults: Optional[DownloadFaultHook] = None,
+    log_decisions: bool = False,
 ) -> SessionResult:
     """Run one streaming session and return its full record.
 
@@ -261,6 +268,11 @@ def simulate_session(
             attempt.  Failed attempts are retried with exponential backoff
             and optional rung downshift per ``config``; corrupted samples
             reach the controller but not the QoE record.
+        log_decisions: record every controller answer (defers included)
+            as a ``[buffer, throughput, prev, action]`` row in
+            ``result.decision_log`` — the demonstration stream behaviour
+            cloning (:mod:`repro.learn`) trains on.  Off by default; a
+            300-segment session logs ~300 rows.
 
     Returns:
         A :class:`SessionResult` with per-segment decisions and QoE inputs.
@@ -329,6 +341,14 @@ def simulate_session(
                 playing=playing,
             )
             quality = controller.select_quality(obs)
+            if log_decisions:
+                result.decision_log.append([
+                    float(obs.buffer_level),
+                    -1.0 if obs.last_throughput is None
+                    else float(obs.last_throughput),
+                    -1.0 if prev_quality is None else float(prev_quality),
+                    -1.0 if quality is None else float(quality),
+                ])
             if quality is not None:
                 break
             idle_steps += 1

@@ -33,6 +33,7 @@ def run_session(
     utility: str = "log",
     ssim_model: Optional[SsimModel] = None,
     faults: Optional[DownloadFaultHook] = None,
+    log_decisions: bool = False,
 ) -> SessionResult:
     """Simulate one session, attaching oracle predictors to the trace.
 
@@ -40,12 +41,20 @@ def run_session(
     at the session's ground-truth trace before the run — this is how the
     perfect/noisy-prediction experiments of §6.1.4 are wired.  ``faults``
     (e.g. a :class:`repro.faults.FaultPlan`) injects download faults into
-    the session.
+    the session.  ``log_decisions`` records every controller answer in
+    ``result.decision_log`` for demonstration datasets (``repro.learn``).
     """
     predictor = getattr(controller, "predictor", None)
     if predictor is not None and hasattr(predictor, "attach_trace"):
         predictor.attach_trace(trace)
-    return simulate_session(controller, trace, ladder, config, faults=faults)
+    return simulate_session(
+        controller,
+        trace,
+        ladder,
+        config,
+        faults=faults,
+        log_decisions=log_decisions,
+    )
 
 
 def run_dataset(

@@ -1,0 +1,190 @@
+"""Property tests: learned policies honor the tier-0/1 serving contract.
+
+Satellite of the learning PR, mirroring ``test_service_properties.py``:
+Hypothesis drives behavior-cloned, fine-tuned, and distilled policies
+with arbitrary observations — buffers outside the cap, NaN/inf
+throughputs (what injected faults produce), previous rungs off either
+end of the ladder — and asserts the one invariant every serving layer
+assumes: a policy answers with an **in-range rung or None** (defer, which
+tier 1's safe fallback absorbs), and it never raises.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.rl import encode_state
+from repro.learn import (
+    DemoDataset,
+    PolicyController,
+    PolicyTable,
+    TableController,
+    distill_policy,
+    fit_bc,
+    finetune,
+    policy_from_q,
+)
+from repro.prediction.base import ThroughputSample
+from repro.sim.network import ThroughputTrace
+from repro.sim.player import PlayerConfig, PlayerObservation
+from repro.sim.video import BitrateLadder
+
+# Hypothesis examples can't use function-scoped fixtures; the policies
+# under test are built once at import, deterministically, and never
+# mutated by an example.
+LADDER = BitrateLadder([1.0, 3.0, 6.0, 12.0], segment_duration=2.0,
+                       name="prop")
+MAX_BUFFER = 20.0
+
+
+def _build_policies():
+    dataset = DemoDataset(
+        ladder=LADDER, max_buffer=MAX_BUFFER, controller="soda",
+        buffer_buckets=6, throughput_buckets=6,
+    )
+    # A sparse, lopsided demonstration set: some states defer, most of
+    # the state space stays unvisited, exercising every fallback path.
+    rows = [
+        [0.0, -1.0, -1, 0], [2.0, 1.2, 0, 0], [5.0, 2.5, 0, 1],
+        [9.0, 5.0, 1, 2], [14.0, 9.0, 2, 3], [19.0, 14.0, 3, -1],
+        [19.5, 14.0, 3, -1], [7.0, 3.0, 1, 1], [11.0, 6.0, 2, 2],
+    ]
+    for row in rows:
+        dataset.add_row(row)
+    bc_policy, _ = fit_bc(dataset)
+
+    trace = ThroughputTrace([20.0, 20.0], [8.0, 1.5], name="prop-ft")
+    config = PlayerConfig(max_buffer=MAX_BUFFER, num_segments=10,
+                          startup_threshold=2.0, live_delay=None)
+    agent = finetune(bc_policy, [trace], player_config=config,
+                     episodes=2, seed=11)
+    ft_policy = policy_from_q(agent, LADDER, MAX_BUFFER)
+    table = distill_policy(bc_policy, throughput_points=10, buffer_points=10)
+    return bc_policy, ft_policy, table
+
+
+BC_POLICY, FT_POLICY, TABLE = _build_policies()
+
+CONTROLLERS = [
+    PolicyController(BC_POLICY, name="bc"),
+    PolicyController(FT_POLICY, name="ft"),
+    TableController(TABLE, name="distilled"),
+]
+
+# Adversarial raw features: buffers beyond the cap and negative,
+# throughputs including the NaN/inf a fault-corrupted sample carries,
+# previous rungs off both ends of the ladder.
+buffer_levels = st.one_of(
+    st.floats(min_value=-10.0, max_value=3.0 * MAX_BUFFER,
+              allow_nan=False, allow_infinity=False),
+    st.sampled_from([float("nan"), float("inf"), -float("inf")]),
+)
+throughputs = st.one_of(
+    st.none(),
+    st.floats(min_value=-5.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    st.sampled_from([float("nan"), float("inf"), -float("inf")]),
+)
+previous_qualities = st.one_of(
+    st.none(), st.integers(min_value=-3, max_value=LADDER.levels + 3)
+)
+
+
+def make_obs(buffer_level, throughput, prev):
+    history = ()
+    if throughput is not None:
+        history = (ThroughputSample(start=0.0, duration=1.0,
+                                    size=throughput,
+                                    throughput=throughput),)
+    return PlayerObservation(
+        wall_time=42.0,
+        segment_index=5,
+        buffer_level=buffer_level,
+        max_buffer=MAX_BUFFER,
+        previous_quality=prev,
+        ladder=LADDER,
+        history=history,
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(buffer_level=buffer_levels, throughput=throughputs,
+       prev=previous_qualities)
+def test_policies_answer_in_range_or_defer(buffer_level, throughput, prev):
+    """BC, fine-tuned, and distilled policies all return an in-range
+    rung or None for any observation, and never raise."""
+    obs = make_obs(buffer_level, throughput, prev)
+    for controller in CONTROLLERS:
+        decision = controller.select_quality(obs)
+        assert decision is None or (
+            isinstance(decision, (int, np.integer))
+            and not isinstance(decision, bool)
+            and 0 <= decision < LADDER.levels
+        ), f"{controller.name}: {decision!r}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(buffer_level=buffer_levels, throughput=throughputs,
+       prev=previous_qualities)
+def test_encode_state_is_total_and_in_bounds(buffer_level, throughput, prev):
+    """The shared state contract: every raw feature combination maps to
+    a finite in-bounds state — faults can't crash discretisation."""
+    state = encode_state(
+        buffer_level, throughput, prev, MAX_BUFFER,
+        LADDER.min_bitrate, LADDER.max_bitrate, 6, 6,
+    )
+    b, t, p = state
+    assert 0 <= b < 6
+    assert 0 <= t < 6
+    if prev is None:
+        assert p == -1
+    else:
+        assert p == int(prev)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    b=st.integers(min_value=-2, max_value=8),
+    t=st.integers(min_value=-2, max_value=8),
+    p=st.integers(min_value=-3, max_value=LADDER.levels + 3),
+    prev=previous_qualities,
+)
+def test_decide_is_total_over_arbitrary_states(b, t, p, prev):
+    """PolicyTable.decide never raises even on states outside the
+    bucket ranges (a policy queried with foreign bucket sizes), and a
+    defer is only ever returned with a non-empty buffer bucket."""
+    for policy in (BC_POLICY, FT_POLICY):
+        decision = policy.decide((b, t, p), prev)
+        assert decision is None or 0 <= decision < LADDER.levels
+        if b == 0:
+            assert decision is not None
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    throughput=st.floats(min_value=1e-3, max_value=100.0,
+                         allow_nan=False, allow_infinity=False),
+    buffer_level=st.floats(min_value=0.0, max_value=MAX_BUFFER,
+                           allow_nan=False, allow_infinity=False),
+    prev=previous_qualities,
+)
+def test_distilled_grid_agrees_with_its_policy(throughput, buffer_level,
+                                               prev):
+    """On exact grid points the distilled table reproduces the policy's
+    own decision — distillation is a rendering, not an approximation."""
+    ti = int(np.abs(TABLE._tput_grid - throughput).argmin())
+    bi = int(np.abs(TABLE._buffer_grid - buffer_level).argmin())
+    grid_tput = float(TABLE._tput_grid[ti])
+    grid_buf = float(TABLE._buffer_grid[bi])
+    clean_prev = prev if prev is not None and 0 <= prev < LADDER.levels \
+        else None
+    state = encode_state(
+        grid_buf, grid_tput, clean_prev, MAX_BUFFER,
+        LADDER.min_bitrate, LADDER.max_bitrate,
+        BC_POLICY.buffer_buckets, BC_POLICY.throughput_buckets,
+    )
+    expected = BC_POLICY.decide(state, clean_prev)
+    assert TABLE.lookup(grid_tput, grid_buf, clean_prev) == expected
+    assert expected is None or math.isfinite(expected)

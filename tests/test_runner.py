@@ -33,6 +33,7 @@ from repro.runner import (
     audit_session,
     config_hash,
     execute,
+    iter_records,
     metrics_from_dict,
     metrics_to_dict,
 )
@@ -708,3 +709,151 @@ class TestCliRunner:
         capsys.readouterr()
         assert main(base + ["--sessions", "2", "--resume"]) == 2
         assert "refusing to resume" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Streaming reader (iter_records)
+# ----------------------------------------------------------------------
+class TestIterRecords:
+    """The streaming journal reader the learning pipeline extracts from."""
+
+    @staticmethod
+    def _synthetic_journal(path, sessions, pad=0):
+        """Hand-write a journal: manifest plus ``sessions`` session lines,
+        each optionally padded to grow the file into the multi-MB range."""
+        lines = [json.dumps({
+            "kind": "manifest", "config_hash": "a" * 16, "spec": {"n": 1},
+        })]
+        for i in range(sessions):
+            record = {
+                "kind": "session", "controller": "soda", "dataset": "d",
+                "trace": f"t{i}", "seed": i, "config_hash": "a" * 16,
+                "status": "ok", "metrics": {"qoe": float(i)},
+            }
+            if pad:
+                record["padding"] = "x" * pad
+            lines.append(json.dumps(record))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def test_streams_a_multi_megabyte_journal_in_order(self, tmp_path):
+        path = str(tmp_path / "big.jsonl")
+        self._synthetic_journal(path, sessions=4000, pad=1024)
+        assert os.path.getsize(path) > 4 * 1024 * 1024
+        seeds = []
+        for i, record in enumerate(iter_records(path)):
+            if i == 0:
+                assert record["kind"] == "manifest"
+                continue
+            assert record["kind"] == "session"
+            seeds.append(record["seed"])
+        assert seeds == list(range(4000))
+
+    def test_kind_filter(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        self._synthetic_journal(path, sessions=5)
+        records = list(iter_records(path, kind="session"))
+        assert len(records) == 5
+        assert all(r["kind"] == "session" for r in records)
+        assert list(iter_records(path, kind="manifest"))[0]["spec"] == {"n": 1}
+
+    def test_gzip_detected_by_magic_not_suffix(self, tmp_path):
+        import gzip as _gzip
+
+        plain = tmp_path / "plain.jsonl"
+        self._synthetic_journal(str(plain), sessions=50)
+        squeezed = tmp_path / "nosuffix.jsonl"  # deliberately not .gz
+        squeezed.write_bytes(_gzip.compress(plain.read_bytes()))
+        assert [r["kind"] for r in iter_records(str(squeezed))] \
+            == [r["kind"] for r in iter_records(str(plain))]
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        self._synthetic_journal(path, sessions=3)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "session", "tr')  # mid-flush crash
+        records = list(iter_records(path))
+        assert len(records) == 4  # manifest + 3 intact sessions
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "corrupt.jsonl")
+        self._synthetic_journal(path, sessions=3)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[2] = lines[2][:20]  # truncate a non-final line
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            list(iter_records(path))
+
+    def test_corrupt_gzip_raises_journal_error(self, tmp_path):
+        import gzip as _gzip
+
+        path = tmp_path / "bad.jsonl.gz"
+        payload = _gzip.compress(b'{"kind": "manifest"}\n' * 40)
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(JournalError, match="gzip"):
+            list(iter_records(str(path)))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"kind": "manifest"}\n\n\n{"kind": "session"}\n')
+        assert len(list(iter_records(str(path)))) == 2
+
+
+class TestSessionRecordDecisions:
+    """The opt-in demonstration rows ride the journal wire format."""
+
+    def test_roundtrip_preserves_rows(self):
+        rows = [[0.0, -1.0, -1.0, 0.0], [4.5, 3.25, 0.0, 1.0]]
+        record = SessionRecord(
+            key=make_key(), metrics={"qoe": 1.0}, decisions=rows,
+        )
+        data = record.to_dict()
+        assert data["decisions"] == rows
+        back = SessionRecord.from_dict(data)
+        assert back.decisions == rows
+
+    def test_absent_by_default_so_old_journals_hash_unchanged(self):
+        record = SessionRecord(key=make_key(), metrics={"qoe": 1.0})
+        data = record.to_dict()
+        assert "decisions" not in data
+        assert SessionRecord.from_dict(data).decisions is None
+
+    def test_run_suite_only_journals_decisions_when_asked(self, tmp_path):
+        from repro.sim.profiles import live_profile
+
+        profile = live_profile(session_seconds=60.0)
+        traces = tiny_traces(1)
+        from repro.core.controller import SodaController
+
+        factories = {"soda": lambda: SodaController()}
+        plain = str(tmp_path / "plain.jsonl")
+        run_suite(factories, traces, profile, "d", journal=plain, jobs=1)
+        _, records = Journal.load(plain)
+        assert all(r.get("decisions") is None for r in records)
+
+        logged = str(tmp_path / "logged.jsonl")
+        run_suite(factories, traces, profile, "d", journal=logged, jobs=1,
+                  log_decisions=True)
+        _, records = Journal.load(logged)
+        assert records and all(r.get("decisions") for r in records)
+        for row in records[0]["decisions"]:
+            assert len(row) == 4
+
+    def test_log_decisions_changes_the_config_hash_only_when_on(
+            self, tmp_path):
+        from repro.analysis.harness import suite_spec
+        from repro.sim.profiles import live_profile
+
+        from repro.core.controller import SodaController
+
+        profile = live_profile(session_seconds=60.0)
+        traces = tiny_traces(1)
+        factories = {"soda": lambda: SodaController()}
+        base = suite_spec(factories, traces, profile, "d", 10.0, 1.0)
+        off = suite_spec(factories, traces, profile, "d", 10.0, 1.0,
+                         log_decisions=False)
+        on = suite_spec(factories, traces, profile, "d", 10.0, 1.0,
+                        log_decisions=True)
+        assert config_hash(base) == config_hash(off)
+        assert config_hash(base) != config_hash(on)
